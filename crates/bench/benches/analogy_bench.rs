@@ -1,0 +1,78 @@
+//! Ablation benchmark for the Section 3 erasure-code analogy: computing
+//! `dmin` through the fault graph vs. computing the minimum Hamming distance
+//! of the induced code words.  Both give the same answer (asserted once per
+//! benchmark setup); the benchmark compares their cost, which quantifies how
+//! much the incremental fault-graph representation buys over the naive
+//! code-word formulation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsm_bench::counter_family;
+use fsm_dfsm::ReachableProduct;
+use fsm_erasure::code_minimum_distance;
+use fsm_fusion_core::{projection_partitions, FaultGraph};
+
+fn bench_dmin_vs_code_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analogy_dmin");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for count in [3usize, 4, 5] {
+        let machines = counter_family(count, 3);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let parts = projection_partitions(&product);
+        let assignments: Vec<Vec<usize>> = parts
+            .iter()
+            .map(|p| (0..product.size()).map(|t| p.block_of(t)).collect())
+            .collect();
+        // Cross-validate once: the two formulations agree.
+        let graph_dmin = FaultGraph::from_partitions(product.size(), &parts).dmin() as usize;
+        assert_eq!(Some(graph_dmin), code_minimum_distance(&assignments));
+
+        group.bench_function(format!("fault_graph_top{}", product.size()), |b| {
+            b.iter(|| FaultGraph::from_partitions(product.size(), &parts).dmin())
+        });
+        group.bench_function(format!("code_words_top{}", product.size()), |b| {
+            b.iter(|| code_minimum_distance(&assignments).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_codes(c: &mut Criterion) {
+    use fsm_erasure::{BlockCode, Hamming74, ParityCode, RepetitionCode};
+    let mut group = c.benchmark_group("analogy_block_codes");
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    let parity = ParityCode {
+        data_symbols: 8,
+        modulus: 3,
+    };
+    let data = vec![1u8, 2, 0, 1, 2, 2, 0, 1];
+    let encoded = parity.encode(&data);
+    let mut erased: Vec<Option<u8>> = encoded.iter().map(|&v| Some(v)).collect();
+    erased[3] = None;
+    group.bench_function("parity_encode_decode_one_erasure", |b| {
+        b.iter(|| {
+            let e = parity.encode(&data);
+            let d = parity.decode_erasures(&erased).unwrap();
+            (e, d)
+        })
+    });
+    let rep = RepetitionCode { copies: 3 };
+    group.bench_function("repetition_encode", |b| b.iter(|| rep.encode(&[7])));
+    let hamming = Hamming74;
+    let word = hamming.encode(&[1, 0, 1, 1]);
+    group.bench_function("hamming74_correct_one_error", |b| {
+        b.iter(|| {
+            let mut corrupted = word.clone();
+            corrupted[2] ^= 1;
+            hamming.decode_correcting(&corrupted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dmin_vs_code_distance, bench_block_codes);
+criterion_main!(benches);

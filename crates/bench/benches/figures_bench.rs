@@ -1,0 +1,97 @@
+//! Criterion benchmarks for the paper's running examples (Figures 1–5):
+//! the Fig. 1 counter fusion, the Fig. 3 lattice enumeration, the Fig. 4
+//! fault-graph construction and the Fig. 5 set representation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsm_dfsm::ReachableProduct;
+use fsm_fusion_core::{
+    enumerate_lattice, generate_fusion, lower_cover, projection_partitions, set_representation,
+    FaultGraph, Partition,
+};
+use fsm_machines::{fig1_fusion_f1, fig1_machines, fig2_machines, fig3_top};
+
+fn bench_fig1_counters(c: &mut Criterion) {
+    let machines = fig1_machines();
+    let product = ReachableProduct::new(&machines).unwrap();
+    let originals = projection_partitions(&product);
+    let mut group = c.benchmark_group("fig1_counters");
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("generate_1fault_fusion", |b| {
+        b.iter(|| generate_fusion(product.top(), &originals, 1).unwrap())
+    });
+    group.bench_function("generate_2fault_fusion", |b| {
+        b.iter(|| generate_fusion(product.top(), &originals, 2).unwrap())
+    });
+    group.bench_function("cross_product", |b| {
+        b.iter(|| ReachableProduct::new(&machines).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fig3_lattice(c: &mut Criterion) {
+    let top = fig3_top();
+    let mut group = c.benchmark_group("fig3_lattice");
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("enumerate_full_lattice", |b| {
+        b.iter(|| enumerate_lattice(&top, 10_000).unwrap())
+    });
+    group.bench_function("lower_cover_of_top", |b| {
+        b.iter(|| lower_cover(&top, &Partition::singletons(top.size())).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_fig4_fault_graphs(c: &mut Criterion) {
+    let top = fig3_top();
+    let machines = fig2_machines();
+    let a = set_representation(&top, &machines[0]).unwrap();
+    let b_part = set_representation(&top, &machines[1]).unwrap();
+    let mut group = c.benchmark_group("fig4_fault_graph");
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("build_and_dmin_small", |b| {
+        b.iter(|| {
+            let g = FaultGraph::from_partitions(top.size(), &[a.clone(), b_part.clone()]);
+            g.dmin()
+        })
+    });
+    // A larger fault graph: the Fig. 1 nine-state product with four machines.
+    let fig1 = fig1_machines();
+    let product = ReachableProduct::new(&fig1).unwrap();
+    let mut parts = projection_partitions(&product);
+    parts.push(set_representation(product.top(), &fig1_fusion_f1()).unwrap());
+    group.bench_function("build_and_dmin_fig1", |b| {
+        b.iter(|| {
+            let g = FaultGraph::from_partitions(product.size(), &parts);
+            (g.dmin(), g.weakest_edges().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig5_set_representation(c: &mut Criterion) {
+    let top = fig3_top();
+    let machines = fig2_machines();
+    let fig1 = fig1_machines();
+    let product = ReachableProduct::new(&fig1).unwrap();
+    let f1 = fig1_fusion_f1();
+    let mut group = c.benchmark_group("fig5_set_representation");
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("algorithm1_fig2_a", |b| {
+        b.iter(|| set_representation(&top, &machines[0]).unwrap())
+    });
+    group.bench_function("algorithm1_fig1_fusion", |b| {
+        b.iter(|| set_representation(product.top(), &f1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1_counters,
+    bench_fig3_lattice,
+    bench_fig4_fault_graphs,
+    bench_fig5_set_representation
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks for the paper's results table (Section 6): one
+//! benchmark per row, timing the full pipeline the table measures — build
+//! the reachable cross product and run Algorithm 2.
+//!
+//! The paper reports only that its largest run took 13.2 minutes (Java,
+//! 2009 hardware); these benchmarks record what this implementation needs
+//! per row so regressions in the generator show up.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fsm_bench::table_rows;
+use fsm_fusion_core::generate_fusion_for_machines;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(15));
+    for (i, row) in table_rows().into_iter().enumerate() {
+        group.bench_function(format!("row{}_f{}", i + 1, row.f), |b| {
+            b.iter_batched(
+                || row.machines.clone(),
+                |machines| generate_fusion_for_machines(&machines, row.f).unwrap(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_product_only(c: &mut Criterion) {
+    // The cross-product construction alone, per row — shows how little of
+    // the row time is spent outside Algorithm 2.
+    let mut group = c.benchmark_group("table1_cross_product");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for (i, row) in table_rows().into_iter().enumerate() {
+        group.bench_function(format!("row{}", i + 1), |b| {
+            b.iter(|| fsm_dfsm::ReachableProduct::new(&row.machines).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_cross_product_only);
+criterion_main!(benches);

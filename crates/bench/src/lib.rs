@@ -1,0 +1,119 @@
+//! Shared helpers for the fsm-fusion benchmark harness.
+//!
+//! The binaries (`table1`, `figures`, `scaling`) and the Criterion benches
+//! regenerate every table and figure of the paper's evaluation; this module
+//! provides the workload builders they share, so the printed tables and the
+//! timed benchmarks measure exactly the same computations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fsm_dfsm::Dfsm;
+use fsm_fusion_core::FusionReport;
+use fsm_machines::{mod_counter, table1_rows, MachineSet};
+
+/// The five machine sets of the paper's results table.
+pub fn table_rows() -> Vec<MachineSet> {
+    table1_rows()
+}
+
+/// Measures one table row: cross product + Algorithm 2 + state-space
+/// accounting.
+pub fn measure_row(row: &MachineSet) -> FusionReport {
+    FusionReport::measure(row.label.clone(), &row.machines, row.f)
+        .expect("fusion generation succeeds for every table row")
+}
+
+/// A family of `count` mod-`modulus` counters over *disjoint* events, used
+/// by the scaling experiments: the reachable cross product has
+/// `modulus^count` states, so `count` directly controls `|⊤|`.
+pub fn counter_family(count: usize, modulus: usize) -> Vec<Dfsm> {
+    let alphabet: Vec<String> = (0..count).map(|i| format!("e{i}")).collect();
+    let alphabet_refs: Vec<&str> = alphabet.iter().map(|s| s.as_str()).collect();
+    (0..count)
+        .map(|i| {
+            mod_counter(
+                &format!("C{i}"),
+                modulus,
+                &format!("e{i}"),
+                &alphabet_refs,
+            )
+        })
+        .collect()
+}
+
+/// Pretty prints a whole table of reports with the paper's column layout
+/// plus the paper's own numbers for side-by-side comparison.
+pub fn render_table(reports: &[FusionReport], paper_rows: &[PaperRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", FusionReport::table_header());
+    let _ = writeln!(out, "{}", "-".repeat(110));
+    for (r, paper) in reports.iter().zip(paper_rows.iter()) {
+        let _ = writeln!(out, "{r}");
+        let _ = writeln!(
+            out,
+            "{:<42} {:>2} {:>6} {:>18} {:>14} {:>12}   (paper)",
+            "", paper.f, paper.top, paper.backups, paper.replication, paper.fusion
+        );
+    }
+    out
+}
+
+/// The numbers printed in the paper's results table, for side-by-side
+/// comparison in reports and EXPERIMENTS.md.
+#[derive(Debug, Clone)]
+pub struct PaperRow {
+    /// Faults tolerated.
+    pub f: usize,
+    /// |⊤| as reported by the paper.
+    pub top: usize,
+    /// Backup machine sizes as reported by the paper.
+    pub backups: &'static str,
+    /// Replication state space as reported by the paper.
+    pub replication: u128,
+    /// Fusion state space as reported by the paper.
+    pub fusion: u128,
+}
+
+/// The paper's table, row by row.
+pub fn paper_table() -> Vec<PaperRow> {
+    vec![
+        PaperRow { f: 2, top: 87, backups: "[39 39]", replication: 82_944, fusion: 1521 },
+        PaperRow { f: 3, top: 64, backups: "[32 32 32]", replication: 2_097_152, fusion: 32_768 },
+        PaperRow { f: 2, top: 82, backups: "[18 28]", replication: 59_049, fusion: 504 },
+        PaperRow { f: 1, top: 131, backups: "[85]", replication: 396, fusion: 85 },
+        PaperRow { f: 2, top: 56, backups: "[44 56]", replication: 156_816, fusion: 2464 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_family_has_disjoint_counted_events() {
+        let family = counter_family(3, 3);
+        assert_eq!(family.len(), 3);
+        for m in &family {
+            assert_eq!(m.size(), 3);
+            assert_eq!(m.alphabet().len(), 3);
+        }
+        let product = fsm_dfsm::ReachableProduct::new(&family).unwrap();
+        assert_eq!(product.size(), 27);
+    }
+
+    #[test]
+    fn paper_table_has_five_rows_matching_machine_sets() {
+        assert_eq!(paper_table().len(), table_rows().len());
+    }
+
+    #[test]
+    fn measure_and_render_small_row() {
+        let rows = table_rows();
+        let report = measure_row(&rows[1]); // the smallest |top| row
+        let text = render_table(std::slice::from_ref(&report), &paper_table()[1..2]);
+        assert!(text.contains("Original Machines"));
+        assert!(text.contains("(paper)"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Builder for [`Dfsm`] values.
+
+use std::collections::BTreeMap;
+
+use crate::dfsm::Dfsm;
+use crate::error::{DfsmError, Result};
+use crate::event::{Alphabet, Event};
+use crate::state::{StateId, StateInfo};
+
+/// Incremental builder for a [`Dfsm`].
+///
+/// Typical usage:
+///
+/// ```
+/// use fsm_dfsm::DfsmBuilder;
+///
+/// let mut b = DfsmBuilder::new("toggle");
+/// b.add_states(["off", "on"]);
+/// b.set_initial("off");
+/// b.add_transition("off", "press", "on");
+/// b.add_transition("on", "press", "off");
+/// let m = b.build().unwrap();
+/// assert_eq!(m.size(), 2);
+/// ```
+///
+/// The builder checks that:
+///
+/// * state names are unique,
+/// * exactly one initial state is declared,
+/// * no conflicting transitions are declared,
+/// * the transition function is total over the declared alphabet
+///   (missing transitions are either rejected or completed as self-loops,
+///   depending on [`DfsmBuilder::complete_missing_with_self_loops`]).
+#[derive(Debug, Clone)]
+pub struct DfsmBuilder {
+    name: String,
+    states: Vec<StateInfo>,
+    state_index: BTreeMap<String, StateId>,
+    alphabet: Alphabet,
+    /// (state, event) -> target
+    transitions: BTreeMap<(usize, usize), StateId>,
+    initial: Option<StateId>,
+    self_loop_completion: bool,
+    errors: Vec<DfsmError>,
+}
+
+impl DfsmBuilder {
+    /// Creates a builder for a machine with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DfsmBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            state_index: BTreeMap::new(),
+            alphabet: Alphabet::new(),
+            transitions: BTreeMap::new(),
+            initial: None,
+            self_loop_completion: false,
+            errors: Vec::new(),
+        }
+    }
+
+    /// When enabled, any `(state, event)` pair without an explicit
+    /// transition is completed as a self-loop at build time instead of
+    /// being reported as an error.  This is convenient for protocol
+    /// machines (MESI, TCP) where most events leave most states unchanged.
+    pub fn complete_missing_with_self_loops(&mut self) -> &mut Self {
+        self.self_loop_completion = true;
+        self
+    }
+
+    /// Adds a state with the given name.  Returns its id.
+    pub fn add_state(&mut self, name: impl Into<String>) -> StateId {
+        self.add_state_info(StateInfo::named(name))
+    }
+
+    /// Adds a state with an output label (used by Moore-style minimization).
+    pub fn add_state_with_output(
+        &mut self,
+        name: impl Into<String>,
+        output: impl Into<String>,
+    ) -> StateId {
+        self.add_state_info(StateInfo::with_output(name, output))
+    }
+
+    /// Adds a state from full metadata.
+    pub fn add_state_info(&mut self, info: StateInfo) -> StateId {
+        if let Some(&existing) = self.state_index.get(&info.name) {
+            self.errors.push(DfsmError::DuplicateState(info.name.clone()));
+            return existing;
+        }
+        let id = StateId(self.states.len());
+        self.state_index.insert(info.name.clone(), id);
+        self.states.push(info);
+        id
+    }
+
+    /// Adds several states at once.
+    pub fn add_states<I, S>(&mut self, names: I) -> Vec<StateId>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        names.into_iter().map(|n| self.add_state(n)).collect()
+    }
+
+    /// Declares an event without any transition (it will self-loop
+    /// everywhere unless transitions are added, provided self-loop
+    /// completion is enabled).
+    pub fn add_event(&mut self, event: impl Into<Event>) -> &mut Self {
+        self.alphabet.insert(event.into());
+        self
+    }
+
+    /// Declares the initial state by name.  The state must already exist or
+    /// be added later; resolution happens at build time.
+    pub fn set_initial(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        match self.state_index.get(&name) {
+            Some(&id) => self.initial = Some(id),
+            None => {
+                // Allow declaring the initial state before adding it: record
+                // the intent and resolve during build by name.
+                let id = self.add_state(name);
+                self.initial = Some(id);
+            }
+        }
+        self
+    }
+
+    /// Adds a transition `from --event--> to`.  Unknown states are created
+    /// on the fly; unknown events are added to the alphabet.
+    pub fn add_transition(
+        &mut self,
+        from: impl Into<String>,
+        event: impl Into<Event>,
+        to: impl Into<String>,
+    ) -> &mut Self {
+        let from = from.into();
+        let to = to.into();
+        let event = event.into();
+        let from_id = self
+            .state_index
+            .get(&from)
+            .copied()
+            .unwrap_or_else(|| self.add_state(from.clone()));
+        let to_id = self
+            .state_index
+            .get(&to)
+            .copied()
+            .unwrap_or_else(|| self.add_state(to.clone()));
+        let ev_id = self.alphabet.insert(event.clone());
+        let key = (from_id.index(), ev_id.index());
+        if let Some(&existing) = self.transitions.get(&key) {
+            if existing != to_id {
+                self.errors.push(DfsmError::ConflictingTransition {
+                    state: from,
+                    event: event.name().to_string(),
+                    existing: self.states[existing.index()].name.clone(),
+                    attempted: to,
+                });
+            }
+            return self;
+        }
+        self.transitions.insert(key, to_id);
+        self
+    }
+
+    /// Adds a set of self-loop transitions for an event on every currently
+    /// declared state.  Useful to express "this event is observed but has no
+    /// effect".
+    pub fn add_self_loops(&mut self, event: impl Into<Event>) -> &mut Self {
+        let event = event.into();
+        let ev_id = self.alphabet.insert(event);
+        for s in 0..self.states.len() {
+            self.transitions.entry((s, ev_id.index())).or_insert(StateId(s));
+        }
+        self
+    }
+
+    /// Number of states added so far.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Builds the machine, checking all invariants.
+    pub fn build(&self) -> Result<Dfsm> {
+        if let Some(err) = self.errors.first() {
+            return Err(err.clone());
+        }
+        if self.states.is_empty() {
+            return Err(DfsmError::NoStates);
+        }
+        let initial = self.initial.ok_or(DfsmError::NoInitialState)?;
+        let n = self.states.len();
+        let k = self.alphabet.len();
+        let mut table: Vec<Vec<StateId>> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut row = Vec::with_capacity(k);
+            for e in 0..k {
+                match self.transitions.get(&(s, e)) {
+                    Some(&t) => row.push(t),
+                    None if self.self_loop_completion => row.push(StateId(s)),
+                    None => {
+                        return Err(DfsmError::MissingTransition {
+                            state: self.states[s].name.clone(),
+                            event: self
+                                .alphabet
+                                .event(crate::event::EventId(e))
+                                .map(|ev| ev.name().to_string())
+                                .unwrap_or_else(|| format!("e{e}")),
+                        })
+                    }
+                }
+            }
+            table.push(row);
+        }
+        Dfsm::from_parts(
+            self.name.clone(),
+            self.states.clone(),
+            self.alphabet.clone(),
+            table,
+            initial,
+        )
+    }
+
+    /// Builds the machine and additionally checks that every state is
+    /// reachable from the initial state, as the paper's model assumes.
+    pub fn build_reachable(&self) -> Result<Dfsm> {
+        let m = self.build()?;
+        m.check_all_reachable()?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_machine() {
+        let mut b = DfsmBuilder::new("toggle");
+        b.add_states(["off", "on"]);
+        b.set_initial("off");
+        b.add_transition("off", "press", "on");
+        b.add_transition("on", "press", "off");
+        let m = b.build_reachable().unwrap();
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.alphabet().len(), 1);
+        assert_eq!(m.initial(), StateId(0));
+    }
+
+    #[test]
+    fn duplicate_state_is_an_error() {
+        let mut b = DfsmBuilder::new("dup");
+        b.add_state("a");
+        b.add_state("a");
+        b.set_initial("a");
+        assert!(matches!(b.build(), Err(DfsmError::DuplicateState(_))));
+    }
+
+    #[test]
+    fn missing_initial_is_an_error() {
+        let mut b = DfsmBuilder::new("noinit");
+        b.add_state("a");
+        b.add_transition("a", "e", "a");
+        assert!(matches!(b.build(), Err(DfsmError::NoInitialState)));
+    }
+
+    #[test]
+    fn missing_transition_is_an_error_without_completion() {
+        let mut b = DfsmBuilder::new("partial");
+        b.add_states(["a", "b"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "b");
+        // b has no transition on e.
+        assert!(matches!(
+            b.build(),
+            Err(DfsmError::MissingTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loop_completion_fills_missing_transitions() {
+        let mut b = DfsmBuilder::new("partial");
+        b.complete_missing_with_self_loops();
+        b.add_states(["a", "b"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "b");
+        let m = b.build().unwrap();
+        assert_eq!(m.apply_event(StateId(1), &Event::new("e")), StateId(1));
+    }
+
+    #[test]
+    fn conflicting_transition_is_an_error() {
+        let mut b = DfsmBuilder::new("conflict");
+        b.add_states(["a", "b"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "a");
+        b.add_transition("a", "e", "b");
+        b.add_transition("b", "e", "b");
+        assert!(matches!(
+            b.build(),
+            Err(DfsmError::ConflictingTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_identical_transition_is_ok() {
+        let mut b = DfsmBuilder::new("dup-trans");
+        b.add_states(["a"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "a");
+        b.add_transition("a", "e", "a");
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn set_initial_creates_state_if_missing() {
+        let mut b = DfsmBuilder::new("auto");
+        b.set_initial("start");
+        b.add_transition("start", "go", "start");
+        let m = b.build().unwrap();
+        assert_eq!(m.state_name(m.initial()), "start");
+    }
+
+    #[test]
+    fn unreachable_state_rejected_by_build_reachable() {
+        let mut b = DfsmBuilder::new("unreach");
+        b.add_states(["a", "island"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "a");
+        b.add_transition("island", "e", "island");
+        assert!(b.build().is_ok());
+        assert!(matches!(
+            b.build_reachable(),
+            Err(DfsmError::UnreachableState(_))
+        ));
+    }
+
+    #[test]
+    fn add_self_loops_covers_all_states() {
+        let mut b = DfsmBuilder::new("loops");
+        b.add_states(["a", "b"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "b");
+        b.add_transition("b", "e", "a");
+        b.add_self_loops("noop");
+        let m = b.build().unwrap();
+        assert_eq!(m.alphabet().len(), 2);
+        assert_eq!(m.apply_event(StateId(0), &Event::new("noop")), StateId(0));
+        assert_eq!(m.apply_event(StateId(1), &Event::new("noop")), StateId(1));
+    }
+
+    #[test]
+    fn add_state_with_output_is_preserved() {
+        let mut b = DfsmBuilder::new("outputs");
+        b.add_state_with_output("even", "0");
+        b.add_state_with_output("odd", "1");
+        b.set_initial("even");
+        b.add_transition("even", "bit", "odd");
+        b.add_transition("odd", "bit", "even");
+        let m = b.build().unwrap();
+        assert_eq!(m.state(StateId(0)).output.as_deref(), Some("0"));
+    }
+}

@@ -1,0 +1,448 @@
+//! The deterministic finite state machine type.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use crate::error::{DfsmError, Result};
+use crate::event::{Alphabet, Event, EventId};
+use crate::state::{StateId, StateInfo};
+
+/// A deterministic finite state machine (Definition 1 of the paper).
+///
+/// A DFSM is a quadruple `(X, Σ, δ, x0)`:
+///
+/// * `X` — a finite set of states ([`Dfsm::states`]),
+/// * `Σ` — a finite event alphabet ([`Dfsm::alphabet`]),
+/// * `δ : X × Σ → X` — a *total* transition function ([`Dfsm::next`]),
+/// * `x0` — the initial state ([`Dfsm::initial`]).
+///
+/// Following the system model of Section 2, events that are not in the
+/// machine's alphabet are ignored when applied through
+/// [`Dfsm::apply_event`]: the machine stays in its current state.  This is
+/// how a set of machines with different alphabets consumes a single shared
+/// event stream.
+///
+/// `Dfsm` values are immutable once built; use [`crate::DfsmBuilder`] to
+/// construct them.  Execution state (the "current state" that faults erase
+/// or corrupt) lives outside the machine, in [`crate::Executor`] or in the
+/// `fsm-distsys` servers, mirroring the paper's observation that faults
+/// affect the execution state while "the underlying DFSM remains intact".
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dfsm {
+    name: String,
+    states: Vec<StateInfo>,
+    alphabet: Alphabet,
+    /// `transitions[s][e]` is the successor of state `s` on event `e`.
+    transitions: Vec<Vec<StateId>>,
+    initial: StateId,
+}
+
+impl Dfsm {
+    /// Constructs a machine directly from its parts: state metadata, an
+    /// alphabet, a dense transition table (`transitions[s][e]` is the
+    /// successor of state `s` on event `e`, with `e` indexing the alphabet
+    /// in id order) and an initial state.
+    ///
+    /// The structural invariants are validated ([`Dfsm::validate`]); for
+    /// incremental, name-based construction prefer [`crate::DfsmBuilder`].
+    /// This constructor is what quotient and product constructions use when
+    /// they already have dense tables.
+    pub fn from_parts(
+        name: String,
+        states: Vec<StateInfo>,
+        alphabet: Alphabet,
+        transitions: Vec<Vec<StateId>>,
+        initial: StateId,
+    ) -> Result<Self> {
+        let m = Dfsm {
+            name,
+            states,
+            alphabet,
+            transitions,
+            initial,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Checks the structural invariants of the machine: at least one state,
+    /// a total transition table with in-range targets, and an in-range
+    /// initial state.
+    pub fn validate(&self) -> Result<()> {
+        if self.states.is_empty() {
+            return Err(DfsmError::NoStates);
+        }
+        if self.initial.index() >= self.states.len() {
+            return Err(DfsmError::StateOutOfRange {
+                state: self.initial,
+                size: self.states.len(),
+            });
+        }
+        if self.transitions.len() != self.states.len() {
+            return Err(DfsmError::MissingTransition {
+                state: format!("<table has {} rows>", self.transitions.len()),
+                event: "<any>".into(),
+            });
+        }
+        for (s, row) in self.transitions.iter().enumerate() {
+            if row.len() != self.alphabet.len() {
+                return Err(DfsmError::MissingTransition {
+                    state: self.states[s].name.clone(),
+                    event: format!("<row has {} entries>", row.len()),
+                });
+            }
+            for &t in row {
+                if t.index() >= self.states.len() {
+                    return Err(DfsmError::StateOutOfRange {
+                        state: t,
+                        size: self.states.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns a copy of this machine with a different name.
+    pub fn renamed(&self, name: impl Into<String>) -> Dfsm {
+        let mut m = self.clone();
+        m.name = name.into();
+        m
+    }
+
+    /// Number of states (`|A|` in the paper).
+    pub fn size(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state metadata, indexed by [`StateId`].
+    pub fn states(&self) -> &[StateInfo] {
+        &self.states
+    }
+
+    /// Metadata for one state.
+    pub fn state(&self, id: StateId) -> &StateInfo {
+        &self.states[id.index()]
+    }
+
+    /// The name of one state.
+    pub fn state_name(&self, id: StateId) -> &str {
+        &self.states[id.index()].name
+    }
+
+    /// Looks up a state id by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(StateId)
+    }
+
+    /// The event alphabet `Σ`.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The initial state `x0`.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Iterator over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len()).map(StateId)
+    }
+
+    /// The transition function `δ` for an event already resolved to this
+    /// machine's alphabet.
+    pub fn next(&self, state: StateId, event: EventId) -> StateId {
+        self.transitions[state.index()][event.index()]
+    }
+
+    /// Applies an event by name.  Events outside the machine's alphabet are
+    /// ignored (the machine stays put), per the system model of Section 2.
+    pub fn apply_event(&self, state: StateId, event: &Event) -> StateId {
+        match self.alphabet.id_of(event) {
+            Some(id) => self.next(state, id),
+            None => state,
+        }
+    }
+
+    /// Applies an event by name, returning an error if the event is not in
+    /// the machine's alphabet.
+    pub fn apply_event_strict(&self, state: StateId, event: &Event) -> Result<StateId> {
+        match self.alphabet.id_of(event) {
+            Some(id) => Ok(self.next(state, id)),
+            None => Err(DfsmError::EventNotInAlphabet(event.clone())),
+        }
+    }
+
+    /// Runs a sequence of events from the initial state and returns the
+    /// final state.  Unknown events are ignored.
+    pub fn run<'a, I: IntoIterator<Item = &'a Event>>(&self, events: I) -> StateId {
+        self.run_from(self.initial, events)
+    }
+
+    /// Runs a sequence of events from an arbitrary state.
+    pub fn run_from<'a, I: IntoIterator<Item = &'a Event>>(
+        &self,
+        start: StateId,
+        events: I,
+    ) -> StateId {
+        let mut s = start;
+        for e in events {
+            s = self.apply_event(s, e);
+        }
+        s
+    }
+
+    /// Runs a sequence of events and returns every intermediate state,
+    /// starting with `start` (so the result has `len(events) + 1` entries).
+    pub fn trace_from<'a, I: IntoIterator<Item = &'a Event>>(
+        &self,
+        start: StateId,
+        events: I,
+    ) -> Vec<StateId> {
+        let mut out = vec![start];
+        let mut s = start;
+        for e in events {
+            s = self.apply_event(s, e);
+            out.push(s);
+        }
+        out
+    }
+
+    /// The set of states reachable from the initial state.
+    pub fn reachable_states(&self) -> BTreeSet<StateId> {
+        let mut seen = vec![false; self.size()];
+        let mut queue = VecDeque::new();
+        seen[self.initial.index()] = true;
+        queue.push_back(self.initial);
+        while let Some(s) = queue.pop_front() {
+            for (e, _) in self.alphabet.iter() {
+                let t = self.next(s, e);
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+        seen.iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| StateId(i))
+            .collect()
+    }
+
+    /// Whether every state is reachable from the initial state (the paper's
+    /// model assumes this).
+    pub fn all_reachable(&self) -> bool {
+        self.reachable_states().len() == self.size()
+    }
+
+    /// Returns an error naming an unreachable state, if any.
+    pub fn check_all_reachable(&self) -> Result<()> {
+        let reach = self.reachable_states();
+        for id in self.state_ids() {
+            if !reach.contains(&id) {
+                return Err(DfsmError::UnreachableState(self.state_name(id).into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of this machine restricted to its reachable states.
+    /// State names are preserved; ids are re-assigned densely in BFS order
+    /// from the initial state.
+    pub fn trimmed(&self) -> Dfsm {
+        let mut order = Vec::new();
+        let mut index_of = vec![usize::MAX; self.size()];
+        let mut queue = VecDeque::new();
+        index_of[self.initial.index()] = 0;
+        order.push(self.initial);
+        queue.push_back(self.initial);
+        while let Some(s) = queue.pop_front() {
+            for (e, _) in self.alphabet.iter() {
+                let t = self.next(s, e);
+                if index_of[t.index()] == usize::MAX {
+                    index_of[t.index()] = order.len();
+                    order.push(t);
+                    queue.push_back(t);
+                }
+            }
+        }
+        let states: Vec<StateInfo> = order.iter().map(|&s| self.states[s.index()].clone()).collect();
+        let transitions: Vec<Vec<StateId>> = order
+            .iter()
+            .map(|&s| {
+                self.alphabet
+                    .iter()
+                    .map(|(e, _)| StateId(index_of[self.next(s, e).index()]))
+                    .collect()
+            })
+            .collect();
+        Dfsm {
+            name: self.name.clone(),
+            states,
+            alphabet: self.alphabet.clone(),
+            transitions,
+            initial: StateId(0),
+        }
+    }
+
+    /// Raw access to the transition table (`table[s][e]`), used by the
+    /// fusion algorithms which iterate over all states and events densely.
+    pub fn transition_table(&self) -> &[Vec<StateId>] {
+        &self.transitions
+    }
+
+    /// Returns the successor state names of a state as `(event, successor)`
+    /// pairs, useful for debugging and display.
+    pub fn successors(&self, state: StateId) -> Vec<(&Event, StateId)> {
+        self.alphabet
+            .iter()
+            .map(|(id, ev)| (ev, self.next(state, id)))
+            .collect()
+    }
+
+    /// Number of transitions (states × events).
+    pub fn transition_count(&self) -> usize {
+        self.size() * self.alphabet.len()
+    }
+}
+
+impl fmt::Debug for Dfsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dfsm({}, {} states, {} events)",
+            self.name,
+            self.size(),
+            self.alphabet.len()
+        )
+    }
+}
+
+impl fmt::Display for Dfsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DFSM {} ({} states, initial = {})",
+            self.name,
+            self.size(),
+            self.state_name(self.initial)
+        )?;
+        for s in self.state_ids() {
+            write!(f, "  {}", self.state_name(s))?;
+            for (e, ev) in self.alphabet.iter() {
+                write!(f, "  --{}-->{}", ev, self.state_name(self.next(s, e)))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsmBuilder;
+
+    fn mod3_counter() -> Dfsm {
+        // Counts occurrences of event "tick" modulo 3; ignores "other".
+        let mut b = DfsmBuilder::new("mod3");
+        b.add_states(["c0", "c1", "c2"]);
+        b.set_initial("c0");
+        b.add_transition("c0", "tick", "c1");
+        b.add_transition("c1", "tick", "c2");
+        b.add_transition("c2", "tick", "c0");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn apply_event_ignores_unknown_events() {
+        let m = mod3_counter();
+        let s = m.initial();
+        assert_eq!(m.apply_event(s, &Event::new("noise")), s);
+        assert_eq!(m.apply_event(s, &Event::new("tick")), StateId(1));
+        assert!(m.apply_event_strict(s, &Event::new("noise")).is_err());
+    }
+
+    #[test]
+    fn run_counts_modulo_three() {
+        let m = mod3_counter();
+        let tick = Event::new("tick");
+        let noise = Event::new("noise");
+        let seq = vec![
+            tick.clone(),
+            noise.clone(),
+            tick.clone(),
+            tick.clone(),
+            noise.clone(),
+            tick.clone(),
+        ];
+        // 4 ticks => state c1.
+        assert_eq!(m.run(seq.iter()), StateId(1));
+    }
+
+    #[test]
+    fn trace_has_one_more_entry_than_events() {
+        let m = mod3_counter();
+        let tick = Event::new("tick");
+        let seq = vec![tick.clone(), tick.clone()];
+        let trace = m.trace_from(m.initial(), seq.iter());
+        assert_eq!(trace, vec![StateId(0), StateId(1), StateId(2)]);
+    }
+
+    #[test]
+    fn reachability_and_trim() {
+        let m = mod3_counter();
+        assert!(m.all_reachable());
+        assert!(m.check_all_reachable().is_ok());
+        let t = m.trimmed();
+        assert_eq!(t.size(), 3);
+        assert_eq!(t.initial(), StateId(0));
+    }
+
+    #[test]
+    fn state_lookup_by_name() {
+        let m = mod3_counter();
+        assert_eq!(m.state_by_name("c2"), Some(StateId(2)));
+        assert_eq!(m.state_by_name("zz"), None);
+        assert_eq!(m.state_name(StateId(1)), "c1");
+    }
+
+    #[test]
+    fn display_and_debug_mention_name() {
+        let m = mod3_counter();
+        assert!(format!("{m:?}").contains("mod3"));
+        assert!(format!("{m}").contains("c0"));
+        assert_eq!(m.transition_count(), 3);
+        assert_eq!(m.successors(StateId(0)).len(), 1);
+    }
+
+    #[test]
+    fn renamed_keeps_structure() {
+        let m = mod3_counter().renamed("other");
+        assert_eq!(m.name(), "other");
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_initial() {
+        let m = mod3_counter();
+        let bad = Dfsm {
+            initial: StateId(99),
+            ..m
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(DfsmError::StateOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Graphviz DOT export for DFSMs.
+//!
+//! Useful for visually inspecting the machines, the reachable cross product
+//! and the generated fusion machines (the paper's Figures 1–3 are exactly
+//! such drawings).
+
+use std::fmt::Write as _;
+
+use crate::dfsm::Dfsm;
+
+/// Options controlling DOT output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph orientation; `true` renders left-to-right.
+    pub horizontal: bool,
+    /// Whether to merge parallel edges between the same pair of states into
+    /// a single edge labelled with all events.
+    pub merge_parallel_edges: bool,
+    /// Whether to include self-loops.
+    pub show_self_loops: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            horizontal: true,
+            merge_parallel_edges: true,
+            show_self_loops: false,
+        }
+    }
+}
+
+/// Renders the machine as a Graphviz DOT digraph.
+pub fn to_dot(machine: &Dfsm, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(machine.name()));
+    if options.horizontal {
+        let _ = writeln!(out, "  rankdir=LR;");
+    }
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  __start [shape=point, label=\"\"];");
+    let _ = writeln!(
+        out,
+        "  __start -> \"{}\";",
+        sanitize(machine.state_name(machine.initial()))
+    );
+    for s in machine.state_ids() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\"];",
+            sanitize(machine.state_name(s)),
+            sanitize(machine.state_name(s))
+        );
+    }
+    for s in machine.state_ids() {
+        if options.merge_parallel_edges {
+            // Group events by destination.
+            let mut by_dest: std::collections::BTreeMap<usize, Vec<String>> = Default::default();
+            for (e, ev) in machine.alphabet().iter() {
+                let t = machine.next(s, e);
+                by_dest.entry(t.index()).or_default().push(ev.to_string());
+            }
+            for (t, events) in by_dest {
+                if t == s.index() && !options.show_self_loops {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                    sanitize(machine.state_name(s)),
+                    sanitize(machine.state_name(crate::state::StateId(t))),
+                    sanitize(&events.join(","))
+                );
+            }
+        } else {
+            for (e, ev) in machine.alphabet().iter() {
+                let t = machine.next(s, e);
+                if t == s && !options.show_self_loops {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  \"{}\" -> \"{}\" [label=\"{}\"];",
+                    sanitize(machine.state_name(s)),
+                    sanitize(machine.state_name(t)),
+                    sanitize(ev.name())
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders with default options.
+pub fn to_dot_default(machine: &Dfsm) -> String {
+    to_dot(machine, &DotOptions::default())
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsmBuilder;
+
+    fn toggle() -> Dfsm {
+        let mut b = DfsmBuilder::new("toggle");
+        b.add_states(["off", "on"]);
+        b.set_initial("off");
+        b.add_transition("off", "press", "on");
+        b.add_transition("on", "press", "off");
+        b.add_self_loops("noop");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_output_contains_states_and_edges() {
+        let dot = to_dot_default(&toggle());
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"off\" -> \"on\""));
+        assert!(dot.contains("\"on\" -> \"off\""));
+        assert!(dot.contains("__start -> \"off\""));
+        // Self loops hidden by default.
+        assert!(!dot.contains("\"off\" -> \"off\""));
+    }
+
+    #[test]
+    fn dot_can_show_self_loops_and_unmerged_edges() {
+        let opts = DotOptions {
+            horizontal: false,
+            merge_parallel_edges: false,
+            show_self_loops: true,
+        };
+        let dot = to_dot(&toggle(), &opts);
+        assert!(dot.contains("\"off\" -> \"off\" [label=\"noop\"]"));
+        assert!(!dot.contains("rankdir"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_names() {
+        let mut b = DfsmBuilder::new("weird\"name");
+        b.add_state("a\"b");
+        b.set_initial("a\"b");
+        b.add_transition("a\"b", "e", "a\"b");
+        let m = b.build().unwrap();
+        let dot = to_dot_default(&m);
+        assert!(dot.contains("\\\""));
+    }
+}

@@ -1,0 +1,257 @@
+//! Events and alphabets.
+//!
+//! Events are the inputs applied to every machine in the system by the
+//! environment (Section 2 of the paper).  A machine only reacts to events
+//! that belong to its own alphabet; all other events are ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An input event.
+///
+/// Events are identified by name.  Cloning an [`Event`] is cheap (the name is
+/// reference counted), and events compare, hash and order by name, so the
+/// same logical event can be shared across many machines with different
+/// alphabets.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event(Arc<str>);
+
+impl Event {
+    /// Creates a new event with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Event(Arc::from(name.as_ref()))
+    }
+
+    /// The name of the event.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Event({})", self.0)
+    }
+}
+
+impl From<&str> for Event {
+    fn from(s: &str) -> Self {
+        Event::new(s)
+    }
+}
+
+impl From<String> for Event {
+    fn from(s: String) -> Self {
+        Event::new(s)
+    }
+}
+
+/// Index of an event inside an [`Alphabet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub usize);
+
+impl EventId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An ordered set of events.
+///
+/// Alphabets assign a dense [`EventId`] to every event so that transition
+/// tables can be stored as flat vectors.  The order of events is the order of
+/// insertion, which keeps transition tables reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    events: Vec<Event>,
+    index: BTreeMap<Event, EventId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from an iterator of events, ignoring duplicates.
+    pub fn from_events<I, E>(events: I) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<Event>,
+    {
+        let mut a = Self::new();
+        for e in events {
+            a.insert(e.into());
+        }
+        a
+    }
+
+    /// Inserts an event, returning its id.  Inserting an existing event
+    /// returns the existing id.
+    pub fn insert(&mut self, event: Event) -> EventId {
+        if let Some(&id) = self.index.get(&event) {
+            return id;
+        }
+        let id = EventId(self.events.len());
+        self.events.push(event.clone());
+        self.index.insert(event, id);
+        id
+    }
+
+    /// Looks up an event id by event.
+    pub fn id_of(&self, event: &Event) -> Option<EventId> {
+        self.index.get(event).copied()
+    }
+
+    /// Looks up an event by id.
+    pub fn event(&self, id: EventId) -> Option<&Event> {
+        self.events.get(id.0)
+    }
+
+    /// Whether the alphabet contains the event.
+    pub fn contains(&self, event: &Event) -> bool {
+        self.index.contains_key(event)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over `(EventId, &Event)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &Event)> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EventId(i), e))
+    }
+
+    /// All events in id order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The union of two alphabets.  Events of `self` keep their relative
+    /// order and come first.
+    pub fn union(&self, other: &Alphabet) -> Alphabet {
+        let mut out = self.clone();
+        for e in other.events() {
+            out.insert(e.clone());
+        }
+        out
+    }
+
+    /// Union of an arbitrary number of alphabets.
+    pub fn union_all<'a, I: IntoIterator<Item = &'a Alphabet>>(alphabets: I) -> Alphabet {
+        let mut out = Alphabet::new();
+        for a in alphabets {
+            for e in a.events() {
+                out.insert(e.clone());
+            }
+        }
+        out
+    }
+
+    /// The intersection of two alphabets (events present in both).
+    pub fn intersection(&self, other: &Alphabet) -> Alphabet {
+        Alphabet::from_events(self.events().iter().filter(|e| other.contains(e)).cloned())
+    }
+
+    /// Whether the two alphabets share no events.
+    pub fn is_disjoint(&self, other: &Alphabet) -> bool {
+        self.intersection(other).is_empty()
+    }
+}
+
+impl<E: Into<Event>> FromIterator<E> for Alphabet {
+    fn from_iter<I: IntoIterator<Item = E>>(iter: I) -> Self {
+        Alphabet::from_events(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_equality_is_by_name() {
+        let a = Event::new("tick");
+        let b = Event::new("tick");
+        let c = Event::new("tock");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.name(), "tick");
+        assert_eq!(format!("{a}"), "tick");
+    }
+
+    #[test]
+    fn alphabet_assigns_dense_ids_in_insertion_order() {
+        let mut a = Alphabet::new();
+        let id0 = a.insert(Event::new("x"));
+        let id1 = a.insert(Event::new("y"));
+        let id0b = a.insert(Event::new("x"));
+        assert_eq!(id0, EventId(0));
+        assert_eq!(id1, EventId(1));
+        assert_eq!(id0, id0b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.event(id1).unwrap().name(), "y");
+        assert_eq!(a.id_of(&Event::new("y")), Some(EventId(1)));
+        assert_eq!(a.id_of(&Event::new("z")), None);
+    }
+
+    #[test]
+    fn alphabet_union_preserves_left_order() {
+        let a = Alphabet::from_events(["0", "1"]);
+        let b = Alphabet::from_events(["1", "2"]);
+        let u = a.union(&b);
+        let names: Vec<_> = u.events().iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, vec!["0", "1", "2"]);
+    }
+
+    #[test]
+    fn alphabet_union_all_and_intersection() {
+        let a = Alphabet::from_events(["0", "1"]);
+        let b = Alphabet::from_events(["1", "2"]);
+        let c = Alphabet::from_events(["2", "3"]);
+        let u = Alphabet::union_all([&a, &b, &c]);
+        assert_eq!(u.len(), 4);
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        assert!(i.contains(&Event::new("1")));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn alphabet_from_iterator_dedups() {
+        let a: Alphabet = ["a", "b", "a", "c"].into_iter().collect();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let a = Alphabet::new();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.iter().count(), 0);
+    }
+}

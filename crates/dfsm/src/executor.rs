@@ -1,0 +1,150 @@
+//! Execution state for a DFSM.
+//!
+//! The paper separates the (immutable) machine description from its
+//! *execution state*, which is what crash faults lose and Byzantine faults
+//! corrupt.  [`Executor`] is the minimal owner of that execution state; the
+//! `fsm-distsys` crate builds fault-injectable servers on top of it.
+
+use crate::dfsm::Dfsm;
+use crate::event::Event;
+use crate::state::StateId;
+
+/// A running instance of a [`Dfsm`]: the machine plus a current state and an
+/// optional trace of every state visited.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    machine: Dfsm,
+    current: StateId,
+    events_applied: usize,
+    trace: Option<Vec<StateId>>,
+}
+
+impl Executor {
+    /// Starts an executor in the machine's initial state.
+    pub fn new(machine: Dfsm) -> Self {
+        let current = machine.initial();
+        Executor {
+            machine,
+            current,
+            events_applied: 0,
+            trace: None,
+        }
+    }
+
+    /// Starts an executor that records every state it visits.
+    pub fn with_trace(machine: Dfsm) -> Self {
+        let mut e = Self::new(machine);
+        e.trace = Some(vec![e.current]);
+        e
+    }
+
+    /// The machine being executed.
+    pub fn machine(&self) -> &Dfsm {
+        &self.machine
+    }
+
+    /// The current state.
+    pub fn current(&self) -> StateId {
+        self.current
+    }
+
+    /// The name of the current state.
+    pub fn current_name(&self) -> &str {
+        self.machine.state_name(self.current)
+    }
+
+    /// How many events have been applied (including ignored ones).
+    pub fn events_applied(&self) -> usize {
+        self.events_applied
+    }
+
+    /// Applies a single event (events outside the alphabet are ignored) and
+    /// returns the new current state.
+    pub fn apply(&mut self, event: &Event) -> StateId {
+        self.current = self.machine.apply_event(self.current, event);
+        self.events_applied += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(self.current);
+        }
+        self.current
+    }
+
+    /// Applies a sequence of events.
+    pub fn apply_all<'a, I: IntoIterator<Item = &'a Event>>(&mut self, events: I) -> StateId {
+        for e in events {
+            self.apply(e);
+        }
+        self.current
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[StateId]> {
+        self.trace.as_deref()
+    }
+
+    /// Forces the current state (used to model Byzantine corruption and to
+    /// restore a recovered state).
+    pub fn set_state(&mut self, state: StateId) {
+        self.current = state;
+        if let Some(t) = &mut self.trace {
+            t.push(state);
+        }
+    }
+
+    /// Resets to the initial state and clears the trace and counters.
+    pub fn reset(&mut self) {
+        self.current = self.machine.initial();
+        self.events_applied = 0;
+        if let Some(t) = &mut self.trace {
+            t.clear();
+            t.push(self.current);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsmBuilder;
+
+    fn toggle() -> Dfsm {
+        let mut b = DfsmBuilder::new("toggle");
+        b.add_states(["off", "on"]);
+        b.set_initial("off");
+        b.add_transition("off", "press", "on");
+        b.add_transition("on", "press", "off");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn executor_applies_events() {
+        let mut ex = Executor::new(toggle());
+        assert_eq!(ex.current_name(), "off");
+        ex.apply(&Event::new("press"));
+        assert_eq!(ex.current_name(), "on");
+        ex.apply(&Event::new("unknown"));
+        assert_eq!(ex.current_name(), "on");
+        assert_eq!(ex.events_applied(), 2);
+    }
+
+    #[test]
+    fn executor_trace_records_states() {
+        let mut ex = Executor::with_trace(toggle());
+        let press = Event::new("press");
+        ex.apply_all([&press, &press, &press]);
+        assert_eq!(
+            ex.trace().unwrap(),
+            &[StateId(0), StateId(1), StateId(0), StateId(1)]
+        );
+    }
+
+    #[test]
+    fn set_state_and_reset() {
+        let mut ex = Executor::new(toggle());
+        ex.set_state(StateId(1));
+        assert_eq!(ex.current(), StateId(1));
+        ex.reset();
+        assert_eq!(ex.current(), StateId(0));
+        assert_eq!(ex.events_applied(), 0);
+    }
+}

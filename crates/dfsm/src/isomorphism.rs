@@ -1,0 +1,168 @@
+//! Isomorphism checking between DFSMs.
+//!
+//! Two machines are isomorphic here when there is a bijection between their
+//! state sets that maps initial state to initial state and commutes with the
+//! transition function for every shared event name.  Because both machines
+//! are deterministic and (by the paper's model) fully reachable, the
+//! bijection — if it exists — is uniquely determined by a lock-step
+//! breadth-first traversal from the initial states, which makes the check
+//! linear in the number of transitions.
+//!
+//! This is used by tests and examples to verify, e.g., that the fusion found
+//! for the Fig. 1 mod-3 counters is (isomorphic to) the `{n0 + n1} mod 3`
+//! counter the paper describes.
+
+use std::collections::VecDeque;
+
+use crate::dfsm::Dfsm;
+use crate::state::StateId;
+
+/// Checks structural isomorphism of two machines over a *shared* alphabet.
+///
+/// Returns `Some(mapping)` where `mapping[a_state] = b_state` when the
+/// machines are isomorphic, and `None` otherwise.  Machines with different
+/// sizes or different alphabets (as sets of event names) are never
+/// isomorphic.  Unreachable states (which the paper's model excludes) cause
+/// the check to fail unless both machines have none.
+pub fn isomorphism(a: &Dfsm, b: &Dfsm) -> Option<Vec<StateId>> {
+    if a.size() != b.size() {
+        return None;
+    }
+    // Alphabets must be equal as sets.
+    if a.alphabet().len() != b.alphabet().len() {
+        return None;
+    }
+    for ev in a.alphabet().events() {
+        if !b.alphabet().contains(ev) {
+            return None;
+        }
+    }
+    // Resolve event ids of b in the order of a's alphabet.
+    let b_event: Vec<_> = a
+        .alphabet()
+        .events()
+        .iter()
+        .map(|ev| b.alphabet().id_of(ev).expect("checked above"))
+        .collect();
+
+    let n = a.size();
+    let mut map = vec![usize::MAX; n];
+    let mut rmap = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    map[a.initial().index()] = b.initial().index();
+    rmap[b.initial().index()] = a.initial().index();
+    queue.push_back(a.initial());
+    let mut visited = 0usize;
+    while let Some(sa) = queue.pop_front() {
+        visited += 1;
+        let sb = StateId(map[sa.index()]);
+        for (e, _) in a.alphabet().iter() {
+            let ta = a.next(sa, e);
+            let tb = b.next(sb, b_event[e.index()]);
+            let expected = map[ta.index()];
+            if expected == usize::MAX {
+                if rmap[tb.index()] != usize::MAX {
+                    return None; // not injective
+                }
+                map[ta.index()] = tb.index();
+                rmap[tb.index()] = ta.index();
+                queue.push_back(ta);
+            } else if expected != tb.index() {
+                return None;
+            }
+        }
+    }
+    // Every state of a must have been visited (machines are assumed
+    // reachable); otherwise the mapping is partial and we refuse to call the
+    // machines isomorphic.
+    if visited != n || map.iter().any(|&m| m == usize::MAX) {
+        return None;
+    }
+    Some(map.into_iter().map(StateId).collect())
+}
+
+/// Convenience wrapper returning only a boolean.
+pub fn are_isomorphic(a: &Dfsm, b: &Dfsm) -> bool {
+    isomorphism(a, b).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsmBuilder;
+
+    fn counter(name: &str, event: &str, k: usize, offset: usize) -> Dfsm {
+        let mut b = DfsmBuilder::new(name);
+        for i in 0..k {
+            b.add_state(format!("{name}{i}"));
+        }
+        b.set_initial(format!("{name}{offset}"));
+        for i in 0..k {
+            b.add_transition(
+                format!("{name}{i}"),
+                event,
+                format!("{name}{}", (i + 1) % k),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_structure_different_names_is_isomorphic() {
+        let a = counter("a", "t", 5, 0);
+        let b = counter("b", "t", 5, 0);
+        let map = isomorphism(&a, &b).unwrap();
+        assert_eq!(map.len(), 5);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_initial_state_is_still_isomorphic_for_cycles() {
+        // A pure cycle looks the same from any starting point.
+        let a = counter("a", "t", 4, 0);
+        let b = counter("b", "t", 4, 2);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_sizes_are_not_isomorphic() {
+        let a = counter("a", "t", 3, 0);
+        let b = counter("b", "t", 4, 0);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_alphabets_are_not_isomorphic() {
+        let a = counter("a", "t", 3, 0);
+        let b = counter("b", "u", 3, 0);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_structure_same_size_is_not_isomorphic() {
+        let a = counter("a", "t", 3, 0);
+        let mut bb = DfsmBuilder::new("b");
+        bb.add_states(["b0", "b1", "b2"]);
+        bb.set_initial("b0");
+        bb.add_transition("b0", "t", "b1");
+        bb.add_transition("b1", "t", "b0"); // 2-cycle plus a tail
+        bb.add_transition("b2", "t", "b0");
+        let b = bb.build().unwrap();
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn mapping_commutes_with_transitions() {
+        let a = counter("a", "t", 6, 0);
+        let b = counter("b", "t", 6, 0);
+        let map = isomorphism(&a, &b).unwrap();
+        for s in a.state_ids() {
+            for (e, ev) in a.alphabet().iter() {
+                let _ = e;
+                let lhs = map[a.apply_event(s, ev).index()];
+                let rhs = b.apply_event(map[s.index()], ev);
+                assert_eq!(lhs, rhs);
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Moore-style state minimization by partition refinement.
+//!
+//! The paper assumes its input machines are "reduced a priori" using
+//! classical DFSM minimization (Huffman / Hopcroft, Section 1).  For
+//! machines without outputs every state is behaviourally equivalent, so
+//! minimization is only meaningful with respect to an observation: either
+//! the per-state output labels carried by [`StateInfo`]
+//! (`fsm_dfsm::StateInfo::output`) or an arbitrary labelling supplied by the
+//! caller.
+//!
+//! The algorithm is the standard iterative partition refinement (Moore's
+//! algorithm): start from the partition induced by the labels and split
+//! blocks until every block is closed under "successors land in equal
+//! blocks" for every event.  Complexity is `O(|X|² · |Σ|)` in this simple
+//! formulation, which is ample for the machine sizes in the paper.
+
+use std::collections::HashMap;
+
+use crate::dfsm::Dfsm;
+use crate::error::Result;
+use crate::state::{StateId, StateInfo};
+
+/// The result of minimizing a machine: the quotient machine plus the map
+/// from original states to quotient states.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced machine.
+    pub machine: Dfsm,
+    /// `class_of[s]` is the quotient state for original state `s`.
+    pub class_of: Vec<StateId>,
+}
+
+/// Minimizes `machine` with respect to its per-state output labels (states
+/// with no output are all given the same implicit label).
+pub fn minimize_by_output(machine: &Dfsm) -> Result<Minimized> {
+    let labels: Vec<String> = machine
+        .states()
+        .iter()
+        .map(|s| s.output.clone().unwrap_or_default())
+        .collect();
+    minimize_by_labels(machine, &labels)
+}
+
+/// Minimizes `machine` with respect to an arbitrary labelling of its states
+/// (two states can only be merged if they carry equal labels and are
+/// bisimilar under the transition function).
+pub fn minimize_by_labels<L: Eq + std::hash::Hash + Clone>(
+    machine: &Dfsm,
+    labels: &[L],
+) -> Result<Minimized> {
+    assert_eq!(
+        labels.len(),
+        machine.size(),
+        "one label per state is required"
+    );
+    let n = machine.size();
+    let k = machine.alphabet().len();
+
+    // Initial partition: by label.
+    let mut class: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut seen: HashMap<&L, usize> = HashMap::new();
+        for label in labels {
+            let next = seen.len();
+            let c = *seen.entry(label).or_insert(next);
+            class.push(c);
+        }
+    }
+
+    // Refine until stable: two states stay together iff they carry the same
+    // class and, for every event, their successors are in the same class.
+    let mut class = relabel_canonical(&class);
+    loop {
+        let mut signature_to_class: HashMap<(usize, Vec<usize>), usize> = HashMap::new();
+        let mut new_class = vec![0usize; n];
+        for s in 0..n {
+            let sig: Vec<usize> = (0..k)
+                .map(|e| class[machine.next(StateId(s), crate::event::EventId(e)).index()])
+                .collect();
+            let key = (class[s], sig);
+            let next = signature_to_class.len();
+            let c = *signature_to_class.entry(key).or_insert(next);
+            new_class[s] = c;
+        }
+        let new_class = relabel_canonical(&new_class);
+        let done = new_class == class;
+        class = new_class;
+        if done {
+            break;
+        }
+    }
+    let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+
+    // Build the quotient machine.
+    let mut representative = vec![usize::MAX; num_classes];
+    for (s, &c) in class.iter().enumerate() {
+        if representative[c] == usize::MAX {
+            representative[c] = s;
+        }
+    }
+    let states: Vec<StateInfo> = (0..num_classes)
+        .map(|c| {
+            let members: Vec<&str> = (0..n)
+                .filter(|&s| class[s] == c)
+                .map(|s| machine.state_name(StateId(s)))
+                .collect();
+            let rep = representative[c];
+            StateInfo {
+                name: if members.len() == 1 {
+                    members[0].to_string()
+                } else {
+                    format!("{{{}}}", members.join(","))
+                },
+                output: machine.states()[rep].output.clone(),
+            }
+        })
+        .collect();
+    let transitions: Vec<Vec<StateId>> = (0..num_classes)
+        .map(|c| {
+            let rep = StateId(representative[c]);
+            (0..k)
+                .map(|e| StateId(class[machine.next(rep, crate::event::EventId(e)).index()]))
+                .collect()
+        })
+        .collect();
+    let initial = StateId(class[machine.initial().index()]);
+    let quotient = Dfsm::from_parts(
+        format!("{}_min", machine.name()),
+        states,
+        machine.alphabet().clone(),
+        transitions,
+        initial,
+    )?;
+    Ok(Minimized {
+        machine: quotient,
+        class_of: class.into_iter().map(StateId).collect(),
+    })
+}
+
+/// Renumbers classes by order of first occurrence, producing a canonical
+/// labelling.
+fn relabel_canonical(class: &[usize]) -> Vec<usize> {
+    let mut map: HashMap<usize, usize> = HashMap::new();
+    let mut out = Vec::with_capacity(class.len());
+    for &c in class {
+        let next = map.len();
+        out.push(*map.entry(c).or_insert(next));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsmBuilder;
+    use crate::event::Event;
+
+    /// A redundant parity checker: four states but only two distinguishable
+    /// classes (even / odd number of 1s).
+    fn redundant_parity() -> Dfsm {
+        let mut b = DfsmBuilder::new("parity4");
+        b.add_state_with_output("e0", "even");
+        b.add_state_with_output("o0", "odd");
+        b.add_state_with_output("e1", "even");
+        b.add_state_with_output("o1", "odd");
+        b.set_initial("e0");
+        // 1 flips parity, 0 keeps it, but the machine wanders between the
+        // redundant copies.
+        b.add_transition("e0", "1", "o0");
+        b.add_transition("o0", "1", "e1");
+        b.add_transition("e1", "1", "o1");
+        b.add_transition("o1", "1", "e0");
+        b.add_transition("e0", "0", "e1");
+        b.add_transition("e1", "0", "e0");
+        b.add_transition("o0", "0", "o1");
+        b.add_transition("o1", "0", "o0");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn minimize_collapses_redundant_states() {
+        let m = redundant_parity();
+        let min = minimize_by_output(&m).unwrap();
+        assert_eq!(min.machine.size(), 2);
+        // Behaviour is preserved: parity of 1s in any word.
+        let words: Vec<Vec<Event>> = vec![
+            vec![],
+            vec![Event::new("1")],
+            vec![Event::new("1"), Event::new("0"), Event::new("1")],
+            vec![Event::new("0"), Event::new("1"), Event::new("1"), Event::new("1")],
+        ];
+        for w in words {
+            let orig = m.run(w.iter());
+            let red = min.machine.run(w.iter());
+            assert_eq!(
+                m.states()[orig.index()].output,
+                min.machine.states()[red.index()].output,
+                "word {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_of_maps_every_state() {
+        let m = redundant_parity();
+        let min = minimize_by_output(&m).unwrap();
+        assert_eq!(min.class_of.len(), 4);
+        for &c in &min.class_of {
+            assert!(c.index() < min.machine.size());
+        }
+        // e0 and e1 must be merged, o0 and o1 must be merged.
+        assert_eq!(min.class_of[0], min.class_of[2]);
+        assert_eq!(min.class_of[1], min.class_of[3]);
+        assert_ne!(min.class_of[0], min.class_of[1]);
+    }
+
+    #[test]
+    fn machine_without_outputs_collapses_to_one_state() {
+        let mut b = DfsmBuilder::new("blind");
+        b.add_states(["a", "b", "c"]);
+        b.set_initial("a");
+        b.add_transition("a", "e", "b");
+        b.add_transition("b", "e", "c");
+        b.add_transition("c", "e", "a");
+        let m = b.build().unwrap();
+        let min = minimize_by_output(&m).unwrap();
+        assert_eq!(min.machine.size(), 1);
+    }
+
+    #[test]
+    fn minimize_with_distinct_labels_is_identity_sized() {
+        let m = redundant_parity();
+        let labels: Vec<usize> = (0..m.size()).collect();
+        let min = minimize_by_labels(&m, &labels).unwrap();
+        assert_eq!(min.machine.size(), m.size());
+    }
+
+    #[test]
+    fn already_minimal_machine_is_unchanged_in_size() {
+        let mut b = DfsmBuilder::new("mod3");
+        b.add_state_with_output("c0", "0");
+        b.add_state_with_output("c1", "1");
+        b.add_state_with_output("c2", "2");
+        b.set_initial("c0");
+        for (i, j) in [(0, 1), (1, 2), (2, 0)] {
+            b.add_transition(format!("c{i}"), "t", format!("c{j}"));
+        }
+        let m = b.build().unwrap();
+        let min = minimize_by_output(&m).unwrap();
+        assert_eq!(min.machine.size(), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! Reachable cross product of a set of DFSMs.
+//!
+//! Given machines `A = {A1, …, An}`, the reachable cross product `R(A)`
+//! (written `⊤` or "top" in the paper) is the machine whose states are the
+//! *reachable* tuples of component states, whose alphabet is the union of
+//! the component alphabets, and whose transition function applies each event
+//! component-wise, with machines ignoring events outside their own alphabet
+//! (Section 2).
+//!
+//! Every input machine is less than or equal to `⊤` in the closed-partition
+//! order, so knowing the state of `⊤` determines the state of every input
+//! machine; the fusion algorithms in `fsm-fusion-core` operate on quotients
+//! of `⊤`.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::dfsm::Dfsm;
+use crate::error::Result;
+use crate::event::Alphabet;
+use crate::state::{StateId, StateInfo};
+
+/// The reachable cross product `R(A)` of a set of machines, together with
+/// the mapping from product states back to component states.
+#[derive(Debug, Clone)]
+pub struct ReachableProduct {
+    top: Dfsm,
+    components: Vec<Dfsm>,
+    /// `tuples[t]` is the vector of component states for product state `t`.
+    tuples: Vec<Vec<StateId>>,
+    /// Map from component-state tuple to product state id.
+    index: HashMap<Vec<StateId>, StateId>,
+}
+
+impl ReachableProduct {
+    /// Builds the reachable cross product of the given machines.
+    ///
+    /// The product is constructed by breadth-first search from the tuple of
+    /// initial states, so every product state is reachable by construction
+    /// and the product state `0` is the initial state.
+    pub fn new(machines: &[Dfsm]) -> Result<Self> {
+        Self::with_name(machines, "top")
+    }
+
+    /// Like [`ReachableProduct::new`] but with an explicit machine name.
+    pub fn with_name(machines: &[Dfsm], name: impl Into<String>) -> Result<Self> {
+        assert!(
+            !machines.is_empty(),
+            "reachable cross product of zero machines is undefined"
+        );
+        let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
+
+        // Pre-resolve, for every union event, the per-machine event id (or
+        // None when the machine ignores that event).
+        let resolved: Vec<Vec<Option<crate::event::EventId>>> = alphabet
+            .events()
+            .iter()
+            .map(|ev| machines.iter().map(|m| m.alphabet().id_of(ev)).collect())
+            .collect();
+
+        let initial_tuple: Vec<StateId> = machines.iter().map(|m| m.initial()).collect();
+        let mut tuples: Vec<Vec<StateId>> = vec![initial_tuple.clone()];
+        let mut index: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        index.insert(initial_tuple, StateId(0));
+        let mut transitions: Vec<Vec<StateId>> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(0);
+
+        while let Some(t) = queue.pop_front() {
+            let tuple = tuples[t].clone();
+            let mut row = Vec::with_capacity(alphabet.len());
+            for (e_idx, per_machine) in resolved.iter().enumerate() {
+                let _ = e_idx;
+                let next_tuple: Vec<StateId> = tuple
+                    .iter()
+                    .zip(machines.iter().zip(per_machine.iter()))
+                    .map(|(&s, (m, ev))| match ev {
+                        Some(id) => m.next(s, *id),
+                        None => s,
+                    })
+                    .collect();
+                let next_id = match index.get(&next_tuple) {
+                    Some(&id) => id,
+                    None => {
+                        let id = StateId(tuples.len());
+                        index.insert(next_tuple.clone(), id);
+                        tuples.push(next_tuple);
+                        queue.push_back(id.index());
+                        id
+                    }
+                };
+                row.push(next_id);
+            }
+            // Rows are produced in BFS order, which is also id order because
+            // ids are assigned in discovery order and the queue is FIFO.
+            debug_assert_eq!(transitions.len(), t);
+            transitions.push(row);
+        }
+
+        let states: Vec<StateInfo> = tuples
+            .iter()
+            .map(|tuple| {
+                let names: Vec<&str> = tuple
+                    .iter()
+                    .zip(machines.iter())
+                    .map(|(&s, m)| m.state_name(s))
+                    .collect();
+                StateInfo::named(format!("{{{}}}", names.join(",")))
+            })
+            .collect();
+
+        let top = Dfsm::from_parts(name.into(), states, alphabet, transitions, StateId(0))?;
+        Ok(ReachableProduct {
+            top,
+            components: machines.to_vec(),
+            tuples,
+            index,
+        })
+    }
+
+    /// The product machine `⊤` itself.
+    pub fn top(&self) -> &Dfsm {
+        &self.top
+    }
+
+    /// The component machines, in the order they were given.
+    pub fn components(&self) -> &[Dfsm] {
+        &self.components
+    }
+
+    /// Number of product states (`|⊤|`).
+    pub fn size(&self) -> usize {
+        self.top.size()
+    }
+
+    /// Number of component machines.
+    pub fn arity(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The tuple of component states corresponding to a product state.
+    pub fn tuple(&self, state: StateId) -> &[StateId] {
+        &self.tuples[state.index()]
+    }
+
+    /// The state of component `i` when the product is in `state`.
+    pub fn component_state(&self, state: StateId, i: usize) -> StateId {
+        self.tuples[state.index()][i]
+    }
+
+    /// Finds the product state for a full tuple of component states, if that
+    /// combination is reachable.
+    pub fn find_tuple(&self, tuple: &[StateId]) -> Option<StateId> {
+        self.index.get(tuple).copied()
+    }
+
+    /// The full (not necessarily reachable) state-space size `∏ |Ai|`.
+    pub fn full_product_size(&self) -> u128 {
+        self.components
+            .iter()
+            .map(|m| m.size() as u128)
+            .product()
+    }
+
+    /// Groups product states by the state of component `i`: the result has
+    /// one entry per component state, listing the product states that
+    /// project onto it.  This is exactly the closed partition of `⊤`
+    /// corresponding to machine `i` (used by `fsm-fusion-core`).
+    pub fn projection_blocks(&self, i: usize) -> Vec<Vec<StateId>> {
+        let mut blocks: Vec<Vec<StateId>> = vec![Vec::new(); self.components[i].size()];
+        for (t, tuple) in self.tuples.iter().enumerate() {
+            blocks[tuple[i].index()].push(StateId(t));
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DfsmBuilder;
+    use crate::event::Event;
+
+    /// Mod-k counter of occurrences of `event`.
+    fn counter(name: &str, event: &str, k: usize) -> Dfsm {
+        let mut b = DfsmBuilder::new(name);
+        for i in 0..k {
+            b.add_state(format!("{name}{i}"));
+        }
+        b.set_initial(format!("{name}0"));
+        for i in 0..k {
+            b.add_transition(
+                format!("{name}{i}"),
+                event,
+                format!("{name}{}", (i + 1) % k),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn product_of_independent_counters_is_full_product() {
+        // Counters over *different* events: all 9 combinations reachable.
+        let a = counter("a", "0", 3);
+        let b = counter("b", "1", 3);
+        let p = ReachableProduct::new(&[a, b]).unwrap();
+        assert_eq!(p.size(), 9);
+        assert_eq!(p.full_product_size(), 9);
+        assert_eq!(p.arity(), 2);
+        assert!(p.top().all_reachable());
+    }
+
+    #[test]
+    fn product_of_lockstep_machines_is_small() {
+        // Two counters over the *same* event move in lock step: only 3 of
+        // the 9 tuples are reachable.
+        let a = counter("a", "tick", 3);
+        let b = counter("b", "tick", 3);
+        let p = ReachableProduct::new(&[a, b]).unwrap();
+        assert_eq!(p.size(), 3);
+        assert_eq!(p.full_product_size(), 9);
+    }
+
+    #[test]
+    fn product_transitions_match_componentwise_application() {
+        let a = counter("a", "0", 3);
+        let b = counter("b", "1", 2);
+        let p = ReachableProduct::new(&[a.clone(), b.clone()]).unwrap();
+        let e0 = Event::new("0");
+        let e1 = Event::new("1");
+        // Apply 0,1,0 on the product and on the components separately.
+        let seq = [e0.clone(), e1.clone(), e0.clone()];
+        let top_state = p.top().run(seq.iter());
+        let a_state = a.run(seq.iter());
+        let b_state = b.run(seq.iter());
+        assert_eq!(p.component_state(top_state, 0), a_state);
+        assert_eq!(p.component_state(top_state, 1), b_state);
+    }
+
+    #[test]
+    fn find_tuple_and_projection_blocks() {
+        let a = counter("a", "0", 2);
+        let b = counter("b", "1", 2);
+        let p = ReachableProduct::new(&[a, b]).unwrap();
+        assert_eq!(p.size(), 4);
+        let t = p.find_tuple(&[StateId(1), StateId(1)]).unwrap();
+        assert_eq!(p.tuple(t), &[StateId(1), StateId(1)]);
+        assert_eq!(p.find_tuple(&[StateId(5), StateId(0)]), None);
+        let blocks = p.projection_blocks(0);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks.iter().map(|b| b.len()).sum::<usize>(), 4);
+        // Each block has exactly the product states whose first component
+        // matches.
+        for (a_state, block) in blocks.iter().enumerate() {
+            for &t in block {
+                assert_eq!(p.component_state(t, 0), StateId(a_state));
+            }
+        }
+    }
+
+    #[test]
+    fn product_state_names_mention_components() {
+        let a = counter("a", "0", 2);
+        let b = counter("b", "1", 2);
+        let p = ReachableProduct::new(&[a, b]).unwrap();
+        assert_eq!(p.top().state_name(StateId(0)), "{a0,b0}");
+    }
+
+    #[test]
+    fn single_machine_product_is_isomorphic_copy() {
+        let a = counter("a", "0", 4);
+        let p = ReachableProduct::new(&[a.clone()]).unwrap();
+        assert_eq!(p.size(), a.size());
+        assert_eq!(p.top().alphabet().len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the distributed-system simulation.
+
+use std::fmt;
+
+/// Errors raised by the simulated distributed system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are described by the variant docs and Display impl
+pub enum DistsysError {
+    /// A system was built with no machines.
+    NoMachines,
+    /// A fault or query referenced a server that does not exist.
+    NoSuchServer { server: usize, count: usize },
+    /// A Byzantine fault tried to move a server to a state it does not have.
+    InvalidState {
+        server: usize,
+        state: usize,
+        size: usize,
+    },
+    /// An error from the fusion layer (generation or recovery).
+    Fusion(fsm_fusion_core::FusionError),
+    /// An error from the DFSM layer.
+    Dfsm(fsm_dfsm::DfsmError),
+}
+
+impl fmt::Display for DistsysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistsysError::NoMachines => write!(f, "a system needs at least one machine"),
+            DistsysError::NoSuchServer { server, count } => {
+                write!(f, "server {server} does not exist (system has {count})")
+            }
+            DistsysError::InvalidState {
+                server,
+                state,
+                size,
+            } => write!(
+                f,
+                "state {state} is out of range for server {server} (machine has {size} states)"
+            ),
+            DistsysError::Fusion(e) => write!(f, "fusion error: {e}"),
+            DistsysError::Dfsm(e) => write!(f, "dfsm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistsysError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistsysError::Fusion(e) => Some(e),
+            DistsysError::Dfsm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fsm_fusion_core::FusionError> for DistsysError {
+    fn from(e: fsm_fusion_core::FusionError) -> Self {
+        DistsysError::Fusion(e)
+    }
+}
+
+impl From<fsm_dfsm::DfsmError> for DistsysError {
+    fn from(e: fsm_dfsm::DfsmError) -> Self {
+        DistsysError::Dfsm(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DistsysError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(DistsysError::NoMachines.to_string().contains("machine"));
+        let e: DistsysError = fsm_dfsm::DfsmError::NoStates.into();
+        assert!(matches!(e, DistsysError::Dfsm(_)));
+        let e: DistsysError = fsm_fusion_core::FusionError::NothingToRecoverFrom.into();
+        assert!(matches!(e, DistsysError::Fusion(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = DistsysError::NoSuchServer {
+            server: 5,
+            count: 3,
+        };
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,222 @@
+//! Randomized fault injection plans.
+//!
+//! A [`FaultPlan`] is a reproducible schedule of faults: "after event `k`,
+//! crash (or corrupt) server `s`".  Plans are generated with a seeded RNG so
+//! failure-injection tests and benchmarks are repeatable, and they respect a
+//! fault budget so the scheduled faults stay within what the system is
+//! provisioned to tolerate (or deliberately exceed it, for negative tests).
+
+use fsm_dfsm::StateId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::system::FusedSystem;
+use crate::workload::Workload;
+
+/// The kind of fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash the server (lose its state).
+    Crash,
+    /// Move the server to the given state (Byzantine corruption).
+    Corrupt(StateId),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// Inject the fault after this many events of the workload have been
+    /// applied.
+    pub after_event: usize,
+    /// Which server to affect.
+    pub server: usize,
+    /// What to do to it.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults, sorted by `after_event`.
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan that crashes `count` distinct servers (chosen with `seed`) at
+    /// random points of a `workload_len`-event run.
+    pub fn random_crashes(
+        num_servers: usize,
+        count: usize,
+        workload_len: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut servers: Vec<usize> = (0..num_servers).collect();
+        servers.shuffle(&mut rng);
+        let mut faults: Vec<ScheduledFault> = servers
+            .into_iter()
+            .take(count)
+            .map(|server| ScheduledFault {
+                after_event: rng.gen_range(0..=workload_len),
+                server,
+                kind: FaultKind::Crash,
+            })
+            .collect();
+        faults.sort_by_key(|f| f.after_event);
+        FaultPlan { faults }
+    }
+
+    /// A plan that corrupts `count` distinct servers.  The corrupted state
+    /// is chosen as "current state + 1 (mod machine size)" at injection
+    /// time, so the placeholder state recorded here is resolved by
+    /// [`FaultPlan::execute`].
+    pub fn random_corruptions(
+        num_servers: usize,
+        count: usize,
+        workload_len: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut servers: Vec<usize> = (0..num_servers).collect();
+        servers.shuffle(&mut rng);
+        let mut faults: Vec<ScheduledFault> = servers
+            .into_iter()
+            .take(count)
+            .map(|server| ScheduledFault {
+                after_event: rng.gen_range(0..=workload_len),
+                server,
+                kind: FaultKind::Corrupt(StateId(usize::MAX)), // resolved at injection time
+            })
+            .collect();
+        faults.sort_by_key(|f| f.after_event);
+        FaultPlan { faults }
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Runs a workload against a [`FusedSystem`], injecting the scheduled
+    /// faults at their positions, and returns how many faults were actually
+    /// injected.  Recovery is *not* triggered automatically; callers decide
+    /// when to recover (typically at the end, as in the paper's model where
+    /// the environment pauses during recovery).
+    pub fn execute(&self, system: &mut FusedSystem, workload: &Workload) -> usize {
+        let mut injected = 0usize;
+        let mut next_fault = 0usize;
+        // Faults scheduled at position 0 fire before any event.
+        let fire = |system: &mut FusedSystem, upto: usize, next_fault: &mut usize| {
+            let mut count = 0;
+            while *next_fault < self.faults.len() && self.faults[*next_fault].after_event <= upto {
+                let f = self.faults[*next_fault];
+                match f.kind {
+                    FaultKind::Crash => {
+                        let _ = system.crash(f.server);
+                    }
+                    FaultKind::Corrupt(state) => {
+                        if state.index() == usize::MAX {
+                            let _ = system.corrupt_differently(f.server);
+                        } else {
+                            let _ = system.corrupt(f.server, state);
+                        }
+                    }
+                }
+                *next_fault += 1;
+                count += 1;
+            }
+            count
+        };
+        injected += fire(system, 0, &mut next_fault);
+        for (i, e) in workload.iter().enumerate() {
+            system.apply_event(e);
+            injected += fire(system, i + 1, &mut next_fault);
+        }
+        injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_fusion_core::FaultModel;
+    use fsm_machines::fig1_machines;
+
+    #[test]
+    fn random_crash_plan_is_reproducible_and_bounded() {
+        let p1 = FaultPlan::random_crashes(5, 2, 100, 9);
+        let p2 = FaultPlan::random_crashes(5, 2, 100, 9);
+        assert_eq!(p1.faults, p2.faults);
+        assert_eq!(p1.len(), 2);
+        assert!(!p1.is_empty());
+        // Distinct servers.
+        assert_ne!(p1.faults[0].server, p1.faults[1].server);
+        // Sorted by position.
+        assert!(p1.faults[0].after_event <= p1.faults[1].after_event);
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        let mut sys = FusedSystem::new(&fig1_machines(), 1, FaultModel::Crash).unwrap();
+        let w = Workload::from_bits("0101");
+        assert_eq!(p.execute(&mut sys, &w), 0);
+        assert_eq!(sys.metrics().events_processed, 4);
+    }
+
+    #[test]
+    fn executed_crash_plan_is_recoverable_within_budget() {
+        for seed in 0..10u64 {
+            let mut sys = FusedSystem::new(&fig1_machines(), 1, FaultModel::Crash).unwrap();
+            let w = Workload::uniform_over_machines(&fig1_machines(), 50, seed);
+            let plan = FaultPlan::random_crashes(sys.num_servers(), 1, w.len(), seed);
+            let injected = plan.execute(&mut sys, &w);
+            assert_eq!(injected, 1);
+            let outcome = sys.recover().unwrap();
+            assert!(outcome.matches_oracle, "seed {seed}");
+            assert!(sys.consistent_with_oracle(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn executed_corruption_plan_is_recoverable_within_budget() {
+        for seed in 0..10u64 {
+            let mut sys = FusedSystem::new(&fig1_machines(), 1, FaultModel::Byzantine).unwrap();
+            let w = Workload::uniform_over_machines(&fig1_machines(), 50, seed);
+            let plan = FaultPlan::random_corruptions(sys.num_servers(), 1, w.len(), seed);
+            plan.execute(&mut sys, &w);
+            let outcome = sys.recover().unwrap();
+            assert!(outcome.matches_oracle, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn corruption_with_explicit_state() {
+        let mut sys = FusedSystem::new(&fig1_machines(), 1, FaultModel::Byzantine).unwrap();
+        let w = Workload::from_bits("0011");
+        let plan = FaultPlan {
+            faults: vec![ScheduledFault {
+                after_event: 2,
+                server: 0,
+                kind: FaultKind::Corrupt(StateId(0)),
+            }],
+        };
+        plan.execute(&mut sys, &w);
+        // The corrupted server kept executing from state 0 for the last two
+        // events; recovery still reconstructs the truth.
+        let outcome = sys.recover().unwrap();
+        assert!(outcome.matches_oracle);
+    }
+}

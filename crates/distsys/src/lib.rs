@@ -1,0 +1,43 @@
+//! # fsm-distsys — the simulated distributed system of the paper's model
+//!
+//! The paper (Section 2) assumes a set of independent servers, each running
+//! one DFSM, all consuming a common totally-ordered event stream from the
+//! environment; faults erase (crash) or corrupt (Byzantine) the execution
+//! state of up to `f` servers, after which the environment pauses and the
+//! surviving states are combined to recover the lost ones.
+//!
+//! This crate turns that model into runnable infrastructure:
+//!
+//! * [`Server`] — one DFSM execution with injectable crash/Byzantine faults.
+//! * [`Workload`] — scripted or seeded-random event streams (the
+//!   environment).
+//! * [`FusedSystem`] — originals + Algorithm-2 backups + Algorithm-3
+//!   recovery, end to end, with an oracle for verification.
+//! * [`ReplicatedSystem`] — the replication baseline for side-by-side
+//!   comparison.
+//! * [`FaultPlan`] — reproducible randomized fault injection.
+//! * [`SensorNetwork`] — the paper's motivating sensor-network scenario,
+//!   including the 100-sensor configuration.
+//! * [`ParallelServerGroup`] — servers on OS threads with channel-based
+//!   event broadcast and report collection.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod fault;
+pub mod parallel;
+pub mod replicated;
+pub mod scenario;
+pub mod server;
+pub mod system;
+pub mod workload;
+
+pub use error::{DistsysError, Result};
+pub use fault::{FaultKind, FaultPlan, ScheduledFault};
+pub use parallel::ParallelServerGroup;
+pub use replicated::{ReplicaGroup, ReplicatedSystem};
+pub use scenario::{replay_oracle, SensorBackupMode, SensorNetwork};
+pub use server::{Server, ServerStatus};
+pub use system::{FusedSystem, RecoveryOutcome, SystemMetrics};
+pub use workload::Workload;

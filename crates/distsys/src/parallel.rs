@@ -1,0 +1,268 @@
+//! Threaded execution of a server group.
+//!
+//! The paper's servers are independent processes; this module runs each
+//! server on its own OS thread, broadcasting events over channels and
+//! collecting state reports on demand — a small-scale but faithful model of
+//! the deployment the paper assumes (independent servers, no shared state,
+//! communication only for recovery).
+//!
+//! The implementation uses `crossbeam-channel` for the per-server command
+//! queues and a shared response channel for reports.
+
+use std::thread;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use fsm_dfsm::{Dfsm, Event, StateId};
+use fsm_fusion_core::MachineReport;
+
+use crate::server::Server;
+
+/// Commands sent to a server thread.
+enum Command {
+    /// Apply an event.
+    Apply(Event),
+    /// Crash the server.
+    Crash,
+    /// Corrupt the server to the given state.
+    Corrupt(StateId),
+    /// Restore the server to the given state (post-recovery).
+    Restore(StateId),
+    /// Ask for a state report.
+    Report,
+    /// Shut the thread down.
+    Stop,
+}
+
+/// A server running on its own thread.
+struct ServerHandle {
+    commands: Sender<Command>,
+    join: Option<thread::JoinHandle<Server>>,
+}
+
+/// A group of servers, each on its own thread, driven by broadcast events.
+///
+/// This type mirrors the event-application and fault-injection API of
+/// [`crate::FusedSystem`] but performs the work concurrently.  Recovery
+/// logic is intentionally not duplicated here: callers collect reports with
+/// [`ParallelServerGroup::collect_reports`] and feed them to a
+/// [`fsm_fusion_core::RecoveryEngine`], then push the corrected states back
+/// with [`ParallelServerGroup::restore`].
+pub struct ParallelServerGroup {
+    handles: Vec<ServerHandle>,
+    reports: Receiver<(usize, MachineReport)>,
+    report_sender: Sender<(usize, MachineReport)>,
+}
+
+impl ParallelServerGroup {
+    /// Spawns one thread per machine.
+    pub fn spawn(machines: &[Dfsm]) -> Self {
+        let (report_sender, reports) = unbounded();
+        let handles = machines
+            .iter()
+            .enumerate()
+            .map(|(index, machine)| {
+                let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+                let report_tx = report_sender.clone();
+                let machine = machine.clone();
+                let join = thread::spawn(move || {
+                    let mut server = Server::new(machine);
+                    while let Ok(cmd) = rx.recv() {
+                        match cmd {
+                            Command::Apply(e) => server.apply(&e),
+                            Command::Crash => server.crash(),
+                            Command::Corrupt(s) => {
+                                server.corrupt(s);
+                            }
+                            Command::Restore(s) => server.restore(s),
+                            Command::Report => {
+                                let _ = report_tx.send((index, server.report()));
+                            }
+                            Command::Stop => break,
+                        }
+                    }
+                    server
+                });
+                ServerHandle {
+                    commands: tx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ParallelServerGroup {
+            handles,
+            reports,
+            report_sender,
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Broadcasts an event to every server.
+    pub fn apply_event(&self, event: &Event) {
+        for h in &self.handles {
+            let _ = h.commands.send(Command::Apply(event.clone()));
+        }
+    }
+
+    /// Broadcasts a sequence of events.
+    pub fn apply_all<'a, I: IntoIterator<Item = &'a Event>>(&self, events: I) {
+        for e in events {
+            self.apply_event(e);
+        }
+    }
+
+    /// Crashes server `i`.
+    pub fn crash(&self, i: usize) {
+        let _ = self.handles[i].commands.send(Command::Crash);
+    }
+
+    /// Corrupts server `i` to `state`.
+    pub fn corrupt(&self, i: usize, state: StateId) {
+        let _ = self.handles[i].commands.send(Command::Corrupt(state));
+    }
+
+    /// Restores server `i` to `state` (after recovery).
+    pub fn restore(&self, i: usize, state: StateId) {
+        let _ = self.handles[i].commands.send(Command::Restore(state));
+    }
+
+    /// Collects a state report from every server.  This is the
+    /// synchronization point of the recovery protocol: it waits until every
+    /// server has answered, which also guarantees all previously broadcast
+    /// events have been applied (commands are processed in order).
+    pub fn collect_reports(&self) -> Vec<MachineReport> {
+        for h in &self.handles {
+            let _ = h.commands.send(Command::Report);
+        }
+        let mut out: Vec<Option<MachineReport>> = vec![None; self.handles.len()];
+        let mut received = 0;
+        while received < self.handles.len() {
+            let (i, r) = self
+                .reports
+                .recv()
+                .expect("server threads outlive the group");
+            if out[i].is_none() {
+                received += 1;
+            }
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("all received")).collect()
+    }
+
+    /// Stops all threads and returns the final `Server` values (for
+    /// inspection in tests).
+    pub fn shutdown(mut self) -> Vec<Server> {
+        self.handles
+            .iter()
+            .for_each(|h| drop(h.commands.send(Command::Stop)));
+        self.handles
+            .iter_mut()
+            .map(|h| {
+                h.join
+                    .take()
+                    .expect("joined once")
+                    .join()
+                    .expect("server thread panicked")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ParallelServerGroup {
+    fn drop(&mut self) {
+        for h in &self.handles {
+            let _ = h.commands.send(Command::Stop);
+        }
+        for h in &mut self.handles {
+            if let Some(j) = h.join.take() {
+                let _ = j.join();
+            }
+        }
+        // Keep the report sender alive until here so late reports do not
+        // panic the threads.
+        let _ = &self.report_sender;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_fusion_core::{projection_partitions, FaultModel, RecoveryEngine};
+    use fsm_machines::fig1_machines;
+
+    #[test]
+    fn parallel_group_applies_events_concurrently() {
+        let machines = fig1_machines();
+        let group = ParallelServerGroup::spawn(&machines);
+        assert_eq!(group.len(), 2);
+        assert!(!group.is_empty());
+        let events: Vec<Event> = "00110".chars().map(|c| Event::new(c.to_string())).collect();
+        group.apply_all(events.iter());
+        let reports = group.collect_reports();
+        // 3 zeros → 0-counter at 0; 2 ones → 1-counter at 2.
+        assert_eq!(reports[0], MachineReport::State(0));
+        assert_eq!(reports[1], MachineReport::State(2));
+        let servers = group.shutdown();
+        assert_eq!(servers.len(), 2);
+        assert_eq!(servers[0].events_seen(), 5);
+    }
+
+    #[test]
+    fn parallel_group_matches_sequential_execution() {
+        let machines = fig1_machines();
+        let group = ParallelServerGroup::spawn(&machines);
+        let word = "0101101001";
+        let events: Vec<Event> = word.chars().map(|c| Event::new(c.to_string())).collect();
+        group.apply_all(events.iter());
+        let reports = group.collect_reports();
+        for (i, m) in machines.iter().enumerate() {
+            let expected = m.run(events.iter()).index();
+            assert_eq!(reports[i], MachineReport::State(expected));
+        }
+        drop(group);
+    }
+
+    #[test]
+    fn parallel_crash_and_recovery_roundtrip() {
+        // Full distributed recovery: originals + fusion backup on threads,
+        // crash one, rebuild its state with the recovery engine, push the
+        // restored state back.
+        let machines = fig1_machines();
+        let sys = crate::FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+        let mut all_machines = machines.clone();
+        all_machines.extend(sys.fusion().machines.iter().cloned());
+        let group = ParallelServerGroup::spawn(&all_machines);
+
+        let events: Vec<Event> = "011010011".chars().map(|c| Event::new(c.to_string())).collect();
+        group.apply_all(events.iter());
+        group.crash(0);
+
+        let reports = group.collect_reports();
+        assert_eq!(reports[0], MachineReport::Crashed);
+
+        let product = sys.product();
+        let mut engine = RecoveryEngine::new(product.size());
+        for (i, p) in projection_partitions(product).into_iter().enumerate() {
+            engine.add_machine(machines[i].name().to_string(), p).unwrap();
+        }
+        for (i, p) in sys.fusion().partitions.iter().enumerate() {
+            engine.add_machine(format!("F{i}"), p.clone()).unwrap();
+        }
+        let recovery = engine.recover(&reports).unwrap();
+        let expected = machines[0].run(events.iter()).index();
+        assert_eq!(recovery.machine_states[0], expected);
+
+        group.restore(0, StateId(recovery.machine_states[0]));
+        let reports = group.collect_reports();
+        assert_eq!(reports[0], MachineReport::State(expected));
+        let _ = group.shutdown();
+    }
+}

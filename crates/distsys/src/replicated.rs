@@ -1,0 +1,276 @@
+//! The replication baseline as a running system (for side-by-side
+//! comparison with [`crate::FusedSystem`]).
+//!
+//! Replication keeps `f` extra copies of every machine for crash faults and
+//! `2f` copies for Byzantine faults (Section 1 of the paper).  Each copy is
+//! an independent server consuming the same event stream; recovery of a
+//! machine consults only its own replica group (any survivor for crash
+//! faults, a majority for Byzantine faults).
+
+use fsm_dfsm::{Dfsm, Event, StateId};
+use fsm_fusion_core::{FaultModel, ReplicaSet};
+
+use crate::error::{DistsysError, Result};
+use crate::server::{Server, ServerStatus};
+use crate::system::SystemMetrics;
+use crate::workload::Workload;
+
+/// One machine plus its replicas.
+#[derive(Debug, Clone)]
+pub struct ReplicaGroup {
+    /// Index 0 is the primary; the rest are backups.
+    servers: Vec<Server>,
+    replica_set: ReplicaSet,
+}
+
+impl ReplicaGroup {
+    fn new(machine: Dfsm, f: usize, model: FaultModel) -> Self {
+        let copies = model.copies_per_machine(f);
+        let servers = (0..=copies).map(|_| Server::new(machine.clone())).collect();
+        ReplicaGroup {
+            servers,
+            replica_set: ReplicaSet::new(machine, f, model),
+        }
+    }
+
+    /// The servers in this group (primary first).
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    fn apply(&mut self, event: &Event) {
+        for s in &mut self.servers {
+            s.apply(event);
+        }
+    }
+
+    fn recover(&mut self) -> Result<StateId> {
+        let reports: Vec<Option<usize>> = self
+            .servers
+            .iter()
+            .map(|s| match s.status() {
+                ServerStatus::Crashed => None,
+                _ => Some(s.current_state().index()),
+            })
+            .collect();
+        let state = self.replica_set.recover(&reports)?;
+        for s in &mut self.servers {
+            s.restore(StateId(state));
+        }
+        Ok(StateId(state))
+    }
+}
+
+/// A replication-backed system of servers: the baseline the paper compares
+/// fusion against.
+#[derive(Debug, Clone)]
+pub struct ReplicatedSystem {
+    groups: Vec<ReplicaGroup>,
+    f: usize,
+    model: FaultModel,
+    metrics: SystemMetrics,
+}
+
+impl ReplicatedSystem {
+    /// Builds a replicated system tolerating `f` faults of the given model
+    /// *per replica group* (which is stronger than fusion's system-wide
+    /// budget — replication pays for that generality in state).
+    pub fn new(machines: &[Dfsm], f: usize, model: FaultModel) -> Result<Self> {
+        if machines.is_empty() {
+            return Err(DistsysError::NoMachines);
+        }
+        Ok(ReplicatedSystem {
+            groups: machines
+                .iter()
+                .map(|m| ReplicaGroup::new(m.clone(), f, model))
+                .collect(),
+            f,
+            model,
+            metrics: SystemMetrics::default(),
+        })
+    }
+
+    /// Number of original machines.
+    pub fn num_machines(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of backup servers across all groups (`n · f` or `n · 2f`).
+    pub fn num_backups(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.servers.len() - 1)
+            .sum()
+    }
+
+    /// Total number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.groups.iter().map(|g| g.servers.len()).sum()
+    }
+
+    /// The replica groups.
+    pub fn groups(&self) -> &[ReplicaGroup] {
+        &self.groups
+    }
+
+    /// Running metrics.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+
+    /// The backup state space: each backup copy of machine `i` contributes a
+    /// factor `|Mi|`, i.e. `∏ |Mi|^copies = (∏|Mi|)^copies`.
+    pub fn backup_state_space(&self) -> u128 {
+        let sizes: Vec<usize> = self
+            .groups
+            .iter()
+            .map(|g| g.replica_set.machine().size())
+            .collect();
+        fsm_fusion_core::replication_state_space(&sizes, self.model.copies_per_machine(self.f))
+    }
+
+    /// Broadcasts one event to every server in every group.
+    pub fn apply_event(&mut self, event: &Event) {
+        for g in &mut self.groups {
+            g.apply(event);
+        }
+        self.metrics.events_processed += 1;
+    }
+
+    /// Broadcasts a whole workload.
+    pub fn apply_workload(&mut self, workload: &Workload) {
+        for e in workload {
+            self.apply_event(e);
+        }
+    }
+
+    /// Crashes replica `replica` of machine `machine` (0 = the primary).
+    pub fn crash(&mut self, machine: usize, replica: usize) -> Result<()> {
+        self.check(machine, replica)?;
+        self.groups[machine].servers[replica].crash();
+        self.metrics.crashes_injected += 1;
+        Ok(())
+    }
+
+    /// Injects a Byzantine fault into replica `replica` of machine
+    /// `machine`, moving it to `state`.
+    pub fn corrupt(&mut self, machine: usize, replica: usize, state: StateId) -> Result<()> {
+        self.check(machine, replica)?;
+        let size = self.groups[machine].servers[replica].machine().size();
+        if state.index() >= size {
+            return Err(DistsysError::InvalidState {
+                server: replica,
+                state: state.index(),
+                size,
+            });
+        }
+        self.groups[machine].servers[replica].corrupt(state);
+        self.metrics.corruptions_injected += 1;
+        Ok(())
+    }
+
+    /// Recovers every replica group and returns the recovered primary state
+    /// of each machine.
+    pub fn recover(&mut self) -> Result<Vec<StateId>> {
+        let mut states = Vec::with_capacity(self.groups.len());
+        for g in &mut self.groups {
+            match g.recover() {
+                Ok(s) => states.push(s),
+                Err(e) => {
+                    self.metrics.failed_recoveries += 1;
+                    return Err(e);
+                }
+            }
+        }
+        self.metrics.recoveries += 1;
+        Ok(states)
+    }
+
+    /// The primary state of machine `i`.
+    pub fn primary_state(&self, i: usize) -> StateId {
+        self.groups[i].servers[0].current_state()
+    }
+
+    fn check(&self, machine: usize, replica: usize) -> Result<()> {
+        if machine >= self.groups.len() || replica >= self.groups[machine].servers.len() {
+            return Err(DistsysError::NoSuchServer {
+                server: replica,
+                count: self.groups.get(machine).map(|g| g.servers.len()).unwrap_or(0),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_machines::fig1_machines;
+
+    #[test]
+    fn replication_uses_f_copies_per_machine() {
+        let sys = ReplicatedSystem::new(&fig1_machines(), 2, FaultModel::Crash).unwrap();
+        assert_eq!(sys.num_machines(), 2);
+        assert_eq!(sys.num_backups(), 4);
+        assert_eq!(sys.num_servers(), 6);
+        assert_eq!(sys.backup_state_space(), 81); // (3*3)^2
+        assert_eq!(sys.groups().len(), 2);
+    }
+
+    #[test]
+    fn byzantine_replication_uses_2f_copies() {
+        let sys = ReplicatedSystem::new(&fig1_machines(), 1, FaultModel::Byzantine).unwrap();
+        assert_eq!(sys.num_backups(), 4);
+    }
+
+    #[test]
+    fn crash_recovery_copies_from_a_survivor() {
+        let mut sys = ReplicatedSystem::new(&fig1_machines(), 1, FaultModel::Crash).unwrap();
+        sys.apply_workload(&Workload::from_bits("00110"));
+        let before = sys.primary_state(0);
+        sys.crash(0, 0).unwrap();
+        let states = sys.recover().unwrap();
+        assert_eq!(states[0], before);
+        assert_eq!(sys.primary_state(0), before);
+        assert_eq!(sys.metrics().recoveries, 1);
+    }
+
+    #[test]
+    fn byzantine_recovery_outvotes_a_liar() {
+        let mut sys = ReplicatedSystem::new(&fig1_machines(), 1, FaultModel::Byzantine).unwrap();
+        sys.apply_workload(&Workload::from_bits("010"));
+        let truth = sys.primary_state(0);
+        let lie = StateId((truth.index() + 1) % 3);
+        sys.corrupt(0, 1, lie).unwrap();
+        let states = sys.recover().unwrap();
+        assert_eq!(states[0], truth);
+    }
+
+    #[test]
+    fn too_many_crashes_in_one_group_fail() {
+        let mut sys = ReplicatedSystem::new(&fig1_machines(), 1, FaultModel::Crash).unwrap();
+        sys.apply_workload(&Workload::from_bits("01"));
+        sys.crash(0, 0).unwrap();
+        sys.crash(0, 1).unwrap();
+        assert!(sys.recover().is_err());
+        assert_eq!(sys.metrics().failed_recoveries, 1);
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut sys = ReplicatedSystem::new(&fig1_machines(), 1, FaultModel::Crash).unwrap();
+        assert!(sys.crash(9, 0).is_err());
+        assert!(sys.crash(0, 9).is_err());
+        assert!(sys.corrupt(0, 0, StateId(99)).is_err());
+        assert!(ReplicatedSystem::new(&[], 1, FaultModel::Crash).is_err());
+    }
+
+    #[test]
+    fn fusion_backup_state_space_is_smaller_than_replication() {
+        // The headline comparison of the paper on the Fig. 1 counters.
+        let machines = fig1_machines();
+        let fused = crate::FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+        let replicated = ReplicatedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+        assert!(fused.fusion_state_space() < replicated.backup_state_space());
+    }
+}

@@ -1,0 +1,349 @@
+//! End-to-end scenarios from the paper's motivation sections.
+//!
+//! The introduction motivates fusion with a sensor network: `n` sensors each
+//! run a small DFSM (a mod-3 counter of changes to temperature, pressure,
+//! humidity, …).  Replication needs `n` extra sensors to tolerate one crash;
+//! fusion needs a *single* 3-state backup.  The conclusion scales the claim
+//! up: "to tolerate 5 crash faults among 1000 machines, replication will
+//! require 5000 extra machines [whereas fusion] may achieve this with just 5".
+//!
+//! [`SensorNetwork`] reproduces the scenario in two modes:
+//!
+//! * **exact** — for small `n`, the backup is produced by Algorithm 2 on the
+//!   reachable cross product (3ⁿ states), exactly as the library does for
+//!   any machine set;
+//! * **analytic** — for large `n` (the paper's 100-sensor network), building
+//!   a 3ⁿ-state product is pointless; the backup is the sum-mod-3 counter
+//!   over all sensor events, which is the machine Algorithm 2 finds in exact
+//!   mode (tests cross-check the two modes on small `n`), and single-sensor
+//!   recovery solves `backup − Σ others (mod 3)` directly.
+
+use fsm_dfsm::{Dfsm, Event, Executor, StateId};
+use fsm_fusion_core::FaultModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{DistsysError, Result};
+use crate::system::FusedSystem;
+use crate::workload::Workload;
+
+/// How the sensor-network backup is obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorBackupMode {
+    /// Run the full pipeline (cross product + Algorithm 2).  Practical for
+    /// roughly `n ≤ 8` sensors.
+    Exact,
+    /// Use the analytically known fusion (the sum-mod-3 counter over every
+    /// sensor's event) without building the 3ⁿ-state product.
+    Analytic,
+}
+
+/// A simulated sensor network of `n` mod-3 counters plus one fused backup.
+#[derive(Debug)]
+pub struct SensorNetwork {
+    /// Per-sensor event names (`sensor0`, `sensor1`, …).
+    events: Vec<Event>,
+    /// Sensor states (counts mod 3); `None` while crashed.
+    sensors: Vec<Option<usize>>,
+    /// The fused backup state: sum of all counts mod 3.
+    backup: usize,
+    mode: SensorBackupMode,
+    /// Exact-mode system (kept for cross-checking and recovery).
+    exact: Option<FusedSystem>,
+    events_processed: usize,
+}
+
+impl SensorNetwork {
+    /// The modulus of every sensor counter.
+    pub const MODULUS: usize = 3;
+
+    /// Creates a sensor network with `n` sensors.
+    pub fn new(n: usize, mode: SensorBackupMode) -> Result<Self> {
+        if n == 0 {
+            return Err(DistsysError::NoMachines);
+        }
+        let events: Vec<Event> = (0..n).map(|i| Event::new(format!("sensor{i}"))).collect();
+        let exact = match mode {
+            SensorBackupMode::Exact => {
+                let machines = Self::sensor_machines(n);
+                Some(FusedSystem::new(&machines, 1, FaultModel::Crash)?)
+            }
+            SensorBackupMode::Analytic => None,
+        };
+        Ok(SensorNetwork {
+            events,
+            sensors: vec![Some(0); n],
+            backup: 0,
+            mode,
+            exact,
+            events_processed: 0,
+        })
+    }
+
+    /// The DFSMs the sensors run (used by exact mode and by tests).
+    pub fn sensor_machines(n: usize) -> Vec<Dfsm> {
+        let alphabet: Vec<String> = (0..n).map(|i| format!("sensor{i}")).collect();
+        let alphabet_refs: Vec<&str> = alphabet.iter().map(|s| s.as_str()).collect();
+        (0..n)
+            .map(|i| {
+                fsm_machines::mod_counter(
+                    &format!("Sensor{i}"),
+                    Self::MODULUS,
+                    &format!("sensor{i}"),
+                    &alphabet_refs,
+                )
+            })
+            .collect()
+    }
+
+    /// Number of sensors.
+    pub fn num_sensors(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// The backup mode in use.
+    pub fn mode(&self) -> SensorBackupMode {
+        self.mode
+    }
+
+    /// Number of observations processed.
+    pub fn events_processed(&self) -> usize {
+        self.events_processed
+    }
+
+    /// The event name for sensor `i` (an observation on that sensor).
+    pub fn event_for(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+
+    /// Records one observation on sensor `i`.
+    pub fn observe(&mut self, i: usize) -> Result<()> {
+        if i >= self.sensors.len() {
+            return Err(DistsysError::NoSuchServer {
+                server: i,
+                count: self.sensors.len(),
+            });
+        }
+        if let Some(state) = self.sensors[i].as_mut() {
+            *state = (*state + 1) % Self::MODULUS;
+        }
+        self.backup = (self.backup + 1) % Self::MODULUS;
+        if let Some(sys) = self.exact.as_mut() {
+            let e = self.events[i].clone();
+            sys.apply_event(&e);
+        }
+        self.events_processed += 1;
+        Ok(())
+    }
+
+    /// Records a random observation sequence (uniform over sensors).
+    pub fn observe_randomly(&mut self, count: usize, seed: u64) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..count {
+            let i = rng.gen_range(0..self.sensors.len());
+            self.observe(i)?;
+        }
+        Ok(())
+    }
+
+    /// A workload of `count` random observations (for exact-mode systems or
+    /// external replay).
+    pub fn random_workload(&self, count: usize, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Workload::scripted(
+            (0..count).map(|_| self.events[rng.gen_range(0..self.events.len())].clone()),
+        )
+    }
+
+    /// The current state (count mod 3) of sensor `i`, if it is alive.
+    pub fn sensor_state(&self, i: usize) -> Option<usize> {
+        self.sensors[i]
+    }
+
+    /// The backup machine's state.
+    pub fn backup_state(&self) -> usize {
+        self.backup
+    }
+
+    /// Crashes sensor `i` (its count is lost).
+    pub fn crash_sensor(&mut self, i: usize) -> Result<()> {
+        if i >= self.sensors.len() {
+            return Err(DistsysError::NoSuchServer {
+                server: i,
+                count: self.sensors.len(),
+            });
+        }
+        self.sensors[i] = None;
+        if let Some(sys) = self.exact.as_mut() {
+            sys.crash(i)?;
+        }
+        Ok(())
+    }
+
+    /// Recovers every crashed sensor from the surviving sensors and the
+    /// fused backup, and returns the recovered states.  At most one sensor
+    /// may be crashed (the network is provisioned for a single fault, as in
+    /// the paper's example).
+    pub fn recover(&mut self) -> Result<Vec<usize>> {
+        let crashed: Vec<usize> = (0..self.sensors.len())
+            .filter(|&i| self.sensors[i].is_none())
+            .collect();
+        if crashed.len() > 1 {
+            return Err(DistsysError::Fusion(
+                fsm_fusion_core::FusionError::AmbiguousRecovery {
+                    candidates: crashed.clone(),
+                },
+            ));
+        }
+        if let Some(&victim) = crashed.first() {
+            let recovered = match self.mode {
+                SensorBackupMode::Analytic => {
+                    // backup = Σ counts (mod 3)  ⇒  missing = backup − Σ others.
+                    let others: usize = self
+                        .sensors
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != victim)
+                        .map(|(_, s)| s.expect("only one sensor crashed"))
+                        .sum();
+                    (self.backup + Self::MODULUS * self.sensors.len() - others) % Self::MODULUS
+                }
+                SensorBackupMode::Exact => {
+                    let sys = self.exact.as_mut().expect("exact mode keeps a system");
+                    let outcome = sys.recover()?;
+                    outcome.recovery.machine_states[victim]
+                }
+            };
+            self.sensors[victim] = Some(recovered);
+        }
+        Ok(self.sensors.iter().map(|s| s.expect("restored")).collect())
+    }
+
+    /// Backup state space used by fusion (a single 3-state machine) vs. the
+    /// replication baseline (`3ⁿ` for one crash fault), as the paper's
+    /// introduction argues.
+    pub fn backup_state_space_comparison(&self) -> (u128, u128) {
+        let fusion = Self::MODULUS as u128;
+        let replication = (Self::MODULUS as u128).saturating_pow(self.sensors.len() as u32);
+        (fusion, replication)
+    }
+
+    /// Verifies the internal consistency invariant: the backup equals the
+    /// sum of the (alive) sensor counts mod 3 whenever no sensor is crashed.
+    pub fn invariant_holds(&self) -> bool {
+        if self.sensors.iter().any(|s| s.is_none()) {
+            return true;
+        }
+        let total: usize = self.sensors.iter().map(|s| s.unwrap()).sum();
+        total % Self::MODULUS == self.backup
+    }
+}
+
+/// A reference oracle for scenario tests: replays a workload on a single
+/// machine and reports its final state (used to double-check scenario
+/// arithmetic against real DFSM execution).
+pub fn replay_oracle(machine: &Dfsm, workload: &Workload) -> StateId {
+    let mut ex = Executor::new(machine.clone());
+    ex.apply_all(workload.iter());
+    ex.current()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_sensor_network_recovers_a_crashed_sensor() {
+        let mut net = SensorNetwork::new(100, SensorBackupMode::Analytic).unwrap();
+        net.observe_randomly(10_000, 42).unwrap();
+        assert!(net.invariant_holds());
+        let truth = net.sensor_state(37).unwrap();
+        net.crash_sensor(37).unwrap();
+        assert_eq!(net.sensor_state(37), None);
+        let recovered = net.recover().unwrap();
+        assert_eq!(recovered[37], truth);
+        assert_eq!(net.sensor_state(37), Some(truth));
+        // The paper's headline saving: 3 states of backup vs 3^100.
+        let (fusion, replication) = net.backup_state_space_comparison();
+        assert_eq!(fusion, 3);
+        assert!(replication > 1u128 << 100);
+    }
+
+    #[test]
+    fn exact_and_analytic_modes_agree_on_small_networks() {
+        for seed in 0..5u64 {
+            let n = 4;
+            let mut exact = SensorNetwork::new(n, SensorBackupMode::Exact).unwrap();
+            let mut analytic = SensorNetwork::new(n, SensorBackupMode::Analytic).unwrap();
+            // Same observation sequence on both.
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                let i = rng.gen_range(0..n);
+                exact.observe(i).unwrap();
+                analytic.observe(i).unwrap();
+            }
+            let victim = (seed as usize) % n;
+            let truth = exact.sensor_state(victim).unwrap();
+            exact.crash_sensor(victim).unwrap();
+            analytic.crash_sensor(victim).unwrap();
+            assert_eq!(exact.recover().unwrap()[victim], truth, "seed {seed}");
+            assert_eq!(analytic.recover().unwrap()[victim], truth, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exact_mode_generates_a_three_state_backup() {
+        // Algorithm 2 finds the 3-state fused backup the paper promises for
+        // the sensor network, no matter how many sensors there are.
+        for n in [2usize, 3, 4] {
+            let net = SensorNetwork::new(n, SensorBackupMode::Exact).unwrap();
+            let sys = net.exact.as_ref().unwrap();
+            assert_eq!(sys.num_backups(), 1, "n = {n}");
+            assert_eq!(sys.fusion().machine_sizes(), vec![3], "n = {n}");
+        }
+    }
+
+    #[test]
+    fn two_crashes_exceed_the_budget() {
+        let mut net = SensorNetwork::new(10, SensorBackupMode::Analytic).unwrap();
+        net.observe_randomly(100, 1).unwrap();
+        net.crash_sensor(1).unwrap();
+        net.crash_sensor(2).unwrap();
+        assert!(net.recover().is_err());
+    }
+
+    #[test]
+    fn accessors_and_errors() {
+        let mut net = SensorNetwork::new(3, SensorBackupMode::Analytic).unwrap();
+        assert_eq!(net.num_sensors(), 3);
+        assert_eq!(net.mode(), SensorBackupMode::Analytic);
+        assert_eq!(net.event_for(1).name(), "sensor1");
+        assert!(net.observe(7).is_err());
+        assert!(net.crash_sensor(7).is_err());
+        assert!(SensorNetwork::new(0, SensorBackupMode::Analytic).is_err());
+        net.observe(0).unwrap();
+        assert_eq!(net.events_processed(), 1);
+        assert_eq!(net.backup_state(), 1);
+        // No crash: recover is a no-op returning all states.
+        assert_eq!(net.recover().unwrap(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn replay_oracle_matches_scenario_arithmetic() {
+        let n = 3;
+        let machines = SensorNetwork::sensor_machines(n);
+        let mut net = SensorNetwork::new(n, SensorBackupMode::Analytic).unwrap();
+        let w = net.random_workload(50, 9);
+        for e in &w {
+            let i: usize = e.name().trim_start_matches("sensor").parse().unwrap();
+            net.observe(i).unwrap();
+        }
+        for (i, m) in machines.iter().enumerate() {
+            assert_eq!(
+                replay_oracle(m, &w).index(),
+                net.sensor_state(i).unwrap(),
+                "sensor {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Servers: independently executing DFSMs with injectable faults.
+//!
+//! The paper's system model (Section 2) is a set of independent servers,
+//! each running one DFSM, all consuming the same ordered event stream.
+//! Faults affect only the *execution state* of a server: a crash erases it,
+//! a Byzantine fault silently replaces it with an arbitrary (wrong) state.
+//! The underlying machine description is assumed to survive on stable
+//! storage, which is why recovery only needs to reconstruct the current
+//! state.
+
+use fsm_dfsm::{Dfsm, Event, Executor, StateId};
+use fsm_fusion_core::MachineReport;
+
+/// The health of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerStatus {
+    /// Executing normally and reporting truthfully.
+    Healthy,
+    /// Crashed: the execution state is lost until recovery.
+    Crashed,
+    /// Byzantine: executing (and reporting) from a corrupted state.
+    Byzantine,
+}
+
+/// A server running one DFSM.
+#[derive(Debug, Clone)]
+pub struct Server {
+    name: String,
+    executor: Executor,
+    status: ServerStatus,
+    events_seen: usize,
+    faults_suffered: usize,
+}
+
+impl Server {
+    /// Creates a healthy server running `machine` from its initial state.
+    pub fn new(machine: Dfsm) -> Self {
+        Server {
+            name: machine.name().to_string(),
+            executor: Executor::new(machine),
+            status: ServerStatus::Healthy,
+            events_seen: 0,
+            faults_suffered: 0,
+        }
+    }
+
+    /// The server's (machine's) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The machine this server runs.
+    pub fn machine(&self) -> &Dfsm {
+        self.executor.machine()
+    }
+
+    /// Current health.
+    pub fn status(&self) -> ServerStatus {
+        self.status
+    }
+
+    /// Number of events delivered to this server (including while crashed —
+    /// the paper assumes the environment pauses during recovery, but the
+    /// counter records what was delivered regardless).
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Number of faults injected into this server so far.
+    pub fn faults_suffered(&self) -> usize {
+        self.faults_suffered
+    }
+
+    /// The current execution state.  Meaningless (but still defined) while
+    /// the server is crashed; corrupted while it is Byzantine.
+    pub fn current_state(&self) -> StateId {
+        self.executor.current()
+    }
+
+    /// Applies an event.  A crashed server ignores events (it has no state
+    /// to advance); healthy and Byzantine servers apply them normally —
+    /// a Byzantine server keeps executing from its corrupted state, which is
+    /// exactly how an undetected lie propagates.
+    pub fn apply(&mut self, event: &Event) {
+        self.events_seen += 1;
+        if self.status == ServerStatus::Crashed {
+            return;
+        }
+        self.executor.apply(event);
+    }
+
+    /// Crash the server: its execution state is lost.
+    pub fn crash(&mut self) {
+        self.status = ServerStatus::Crashed;
+        self.faults_suffered += 1;
+    }
+
+    /// Inject a Byzantine fault: silently move the server to an arbitrary
+    /// state.  Returns the state it was actually moved to.
+    pub fn corrupt(&mut self, state: StateId) -> StateId {
+        self.status = ServerStatus::Byzantine;
+        self.faults_suffered += 1;
+        self.executor.set_state(state);
+        state
+    }
+
+    /// What the server answers when the recovery protocol asks for its
+    /// state.  A crashed server reports [`MachineReport::Crashed`]; healthy
+    /// and Byzantine servers report their current (possibly corrupted)
+    /// state.
+    pub fn report(&self) -> MachineReport {
+        match self.status {
+            ServerStatus::Crashed => MachineReport::Crashed,
+            _ => MachineReport::State(self.executor.current().index()),
+        }
+    }
+
+    /// Restores the server to a known-good state (the outcome of recovery)
+    /// and marks it healthy again.
+    pub fn restore(&mut self, state: StateId) {
+        self.executor.set_state(state);
+        self.status = ServerStatus::Healthy;
+    }
+
+    /// Resets the server to the machine's initial state and healthy status.
+    pub fn reset(&mut self) {
+        self.executor.reset();
+        self.status = ServerStatus::Healthy;
+        self.events_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_machines::toggle_switch;
+
+    fn one() -> Event {
+        Event::new("1")
+    }
+
+    #[test]
+    fn healthy_server_tracks_machine_state() {
+        let mut s = Server::new(toggle_switch());
+        assert_eq!(s.status(), ServerStatus::Healthy);
+        s.apply(&one());
+        assert_eq!(s.current_state(), StateId(1));
+        assert_eq!(s.report(), MachineReport::State(1));
+        assert_eq!(s.events_seen(), 1);
+        assert_eq!(s.name(), "ToggleSwitch");
+        assert_eq!(s.machine().size(), 2);
+    }
+
+    #[test]
+    fn crashed_server_ignores_events_and_reports_crashed() {
+        let mut s = Server::new(toggle_switch());
+        s.apply(&one());
+        s.crash();
+        assert_eq!(s.status(), ServerStatus::Crashed);
+        assert_eq!(s.report(), MachineReport::Crashed);
+        s.apply(&one());
+        assert_eq!(s.faults_suffered(), 1);
+        // Restoring brings it back with the given state.
+        s.restore(StateId(0));
+        assert_eq!(s.status(), ServerStatus::Healthy);
+        assert_eq!(s.current_state(), StateId(0));
+    }
+
+    #[test]
+    fn byzantine_server_reports_corrupted_state() {
+        let mut s = Server::new(toggle_switch());
+        s.apply(&one()); // true state: on (1)
+        s.corrupt(StateId(0));
+        assert_eq!(s.status(), ServerStatus::Byzantine);
+        assert_eq!(s.report(), MachineReport::State(0));
+        // It keeps executing from the wrong state.
+        s.apply(&one());
+        assert_eq!(s.report(), MachineReport::State(1));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut s = Server::new(toggle_switch());
+        s.apply(&one());
+        s.crash();
+        s.reset();
+        assert_eq!(s.status(), ServerStatus::Healthy);
+        assert_eq!(s.current_state(), StateId(0));
+        assert_eq!(s.events_seen(), 0);
+    }
+}

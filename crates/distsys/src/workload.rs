@@ -1,0 +1,181 @@
+//! Event workloads: the "environment" of the paper's system model.
+//!
+//! Clients (the environment) send a totally ordered stream of events that is
+//! applied to every server.  This module generates such streams — scripted,
+//! uniformly random, or weighted — with seeded randomness so experiments are
+//! reproducible.
+
+use fsm_dfsm::{Alphabet, Dfsm, Event};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible event workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    events: Vec<Event>,
+}
+
+impl Workload {
+    /// A scripted workload from an explicit event sequence.
+    pub fn scripted<I, E>(events: I) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<Event>,
+    {
+        Workload {
+            events: events.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// A scripted workload from a string of single-character events
+    /// (convenient for the binary-alphabet machines: `"010110"`).
+    pub fn from_bits(bits: &str) -> Self {
+        Workload {
+            events: bits.chars().map(|c| Event::new(c.to_string())).collect(),
+        }
+    }
+
+    /// `length` events drawn uniformly from `alphabet` with the given seed.
+    pub fn uniform(alphabet: &Alphabet, length: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = (0..length)
+            .map(|_| {
+                let i = rng.gen_range(0..alphabet.len());
+                alphabet.events()[i].clone()
+            })
+            .collect();
+        Workload { events }
+    }
+
+    /// `length` events drawn uniformly from the union alphabet of the given
+    /// machines — the natural workload for a heterogeneous server group.
+    pub fn uniform_over_machines(machines: &[Dfsm], length: usize, seed: u64) -> Self {
+        let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
+        Self::uniform(&alphabet, length, seed)
+    }
+
+    /// `length` events drawn from `choices` with the given relative weights.
+    pub fn weighted(choices: &[(Event, u32)], length: usize, seed: u64) -> Self {
+        assert!(!choices.is_empty(), "weighted workload needs choices");
+        let total: u64 = choices.iter().map(|(_, w)| *w as u64).sum();
+        assert!(total > 0, "weights must not all be zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let events = (0..length)
+            .map(|_| {
+                let mut pick = rng.gen_range(0..total);
+                for (e, w) in choices {
+                    if pick < *w as u64 {
+                        return e.clone();
+                    }
+                    pick -= *w as u64;
+                }
+                choices.last().expect("non-empty").0.clone()
+            })
+            .collect();
+        Workload { events }
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterator over the events.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Concatenates two workloads.
+    pub fn chain(mut self, other: Workload) -> Workload {
+        self.events.extend(other.events);
+        self
+    }
+}
+
+impl<'a> IntoIterator for &'a Workload {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_machines::{mesi, zero_counter_mod3};
+
+    #[test]
+    fn scripted_and_bits_workloads() {
+        let w = Workload::scripted(["a", "b", "a"]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        let w = Workload::from_bits("0101");
+        assert_eq!(w.events()[1], Event::new("1"));
+        assert_eq!(w.iter().count(), 4);
+    }
+
+    #[test]
+    fn uniform_workload_is_reproducible_and_in_alphabet() {
+        let m = zero_counter_mod3();
+        let w1 = Workload::uniform(m.alphabet(), 100, 7);
+        let w2 = Workload::uniform(m.alphabet(), 100, 7);
+        assert_eq!(w1.events(), w2.events());
+        for e in &w1 {
+            assert!(m.alphabet().contains(e));
+        }
+        let w3 = Workload::uniform(m.alphabet(), 100, 8);
+        assert_ne!(w1.events(), w3.events());
+    }
+
+    #[test]
+    fn uniform_over_machines_uses_union_alphabet() {
+        let machines = vec![zero_counter_mod3(), mesi()];
+        let w = Workload::uniform_over_machines(&machines, 500, 1);
+        let mut saw_binary = false;
+        let mut saw_mesi = false;
+        for e in &w {
+            if e.name() == "0" || e.name() == "1" {
+                saw_binary = true;
+            }
+            if e.name().starts_with("pr_") || e.name().starts_with("bus_") {
+                saw_mesi = true;
+            }
+        }
+        assert!(saw_binary && saw_mesi);
+    }
+
+    #[test]
+    fn weighted_workload_respects_weights_roughly() {
+        let heavy = Event::new("heavy");
+        let light = Event::new("light");
+        let w = Workload::weighted(&[(heavy.clone(), 9), (light.clone(), 1)], 1000, 3);
+        let heavy_count = w.iter().filter(|e| **e == heavy).count();
+        assert!(heavy_count > 800, "expected ~900 heavy events, got {heavy_count}");
+        assert_eq!(w.len(), 1000);
+    }
+
+    #[test]
+    fn chain_concatenates() {
+        let w = Workload::from_bits("00").chain(Workload::from_bits("11"));
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.events()[3], Event::new("1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn weighted_rejects_zero_weights() {
+        Workload::weighted(&[(Event::new("x"), 0)], 10, 0);
+    }
+}

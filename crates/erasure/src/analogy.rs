@@ -1,0 +1,104 @@
+//! The machine ↔ code analogy of Section 3, made executable.
+//!
+//! Given a set of machines represented as block assignments over the states
+//! of `⊤` (each machine assigns every `⊤` state a block id — its own state),
+//! every `⊤` state induces a *code word*: the vector of block ids across the
+//! machines.  Two `⊤` states then differ in exactly as many positions as
+//! there are machines that distinguish them, so:
+//!
+//! > the fault-graph weight of edge `(ti, tj)` equals the Hamming distance
+//! > between the code words of `ti` and `tj`, and `dmin` equals the code's
+//! > minimum distance.
+//!
+//! The `fsm-fusion-core` crate does not depend on this crate; instead the
+//! integration tests and the `analogy` benchmark feed fusion partitions in
+//! as plain block assignments and check that both sides agree, which is the
+//! cross-validation the paper's analogy suggests.
+
+use crate::hamming::{hamming_distance, minimum_distance};
+
+/// Builds the code word of every `⊤` state from per-machine block
+/// assignments (`assignments[m][t]` = block of machine `m` when `⊤` is in
+/// state `t`).
+pub fn codewords(assignments: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    if assignments.is_empty() {
+        return Vec::new();
+    }
+    let n = assignments[0].len();
+    for a in assignments {
+        assert_eq!(a.len(), n, "all assignments must cover the same state set");
+    }
+    (0..n)
+        .map(|t| assignments.iter().map(|a| a[t]).collect())
+        .collect()
+}
+
+/// The Hamming distance between the code words of two `⊤` states — by the
+/// analogy, the fault-graph weight of that edge.
+pub fn state_distance(assignments: &[Vec<usize>], ti: usize, tj: usize) -> usize {
+    let wi: Vec<usize> = assignments.iter().map(|a| a[ti]).collect();
+    let wj: Vec<usize> = assignments.iter().map(|a| a[tj]).collect();
+    hamming_distance(&wi, &wj)
+}
+
+/// The minimum distance of the induced code — by the analogy, `dmin` of the
+/// machine set.  Returns `None` when there are fewer than two `⊤` states.
+pub fn code_minimum_distance(assignments: &[Vec<usize>]) -> Option<usize> {
+    let words = codewords(assignments);
+    minimum_distance(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 3 running example: ⊤ has 4 states; A = {t0,t3|t1|t2},
+    /// B = {t0|t1|t2,t3}, M1 = {t0,t2|t1|t3}, M2 = {t0|t1,t2|t3} expressed
+    /// as block assignments.
+    fn fig3_assignments() -> Vec<Vec<usize>> {
+        vec![
+            vec![0, 1, 2, 0], // A
+            vec![0, 1, 2, 2], // B
+            vec![0, 1, 0, 2], // M1
+            vec![0, 1, 1, 2], // M2
+        ]
+    }
+
+    #[test]
+    fn codewords_have_one_symbol_per_machine() {
+        let words = codewords(&fig3_assignments());
+        assert_eq!(words.len(), 4);
+        assert!(words.iter().all(|w| w.len() == 4));
+        assert_eq!(words[0], vec![0, 0, 0, 0]);
+        assert_eq!(words[3], vec![0, 2, 2, 2]);
+        assert!(codewords(&[]).is_empty());
+    }
+
+    #[test]
+    fn analogy_reproduces_fig4_weights() {
+        let a = fig3_assignments();
+        // With only A: weight(t0,t3) = 0, all other edges 1 (Fig. 4(i)).
+        let only_a = vec![a[0].clone()];
+        assert_eq!(state_distance(&only_a, 0, 3), 0);
+        assert_eq!(state_distance(&only_a, 0, 1), 1);
+        assert_eq!(code_minimum_distance(&only_a), Some(0));
+        // With A and B: dmin = 1 (Fig. 4(ii)).
+        let ab = vec![a[0].clone(), a[1].clone()];
+        assert_eq!(code_minimum_distance(&ab), Some(1));
+        // With all four machines: dmin = 3 (Fig. 4(iii)).
+        assert_eq!(code_minimum_distance(&a), Some(3));
+        assert_eq!(state_distance(&a, 1, 3), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(code_minimum_distance(&[vec![0]]), None);
+        assert_eq!(code_minimum_distance(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "same state set")]
+    fn mismatched_assignment_lengths_panic() {
+        codewords(&[vec![0, 1], vec![0, 1, 2]]);
+    }
+}

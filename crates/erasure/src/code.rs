@@ -1,0 +1,352 @@
+//! Small block codes used to make the paper's erasure-coding analogy
+//! concrete.
+//!
+//! * [`RepetitionCode`] — each data symbol is copied `n` times; the coding
+//!   analogue of replication.
+//! * [`ParityCode`] — one extra symbol equal to the sum of the data symbols
+//!   (mod alphabet size); the coding analogue of the `(n0 + n1) mod 3`
+//!   fusion machine of Fig. 1.
+//! * [`Hamming74`] — the classical [7,4] binary Hamming code, included as a
+//!   non-trivial code with minimum distance 3 (corrects one error /
+//!   recovers two erasures), matching the fault tolerance of the paper's
+//!   `{A, B, M1, M2}` example.
+
+use crate::hamming::minimum_distance;
+
+/// A block code over symbols of type `u8` (interpreted mod `q` for the
+/// q-ary codes).
+pub trait BlockCode {
+    /// Number of data symbols per block.
+    fn data_len(&self) -> usize;
+    /// Number of coded symbols per block.
+    fn code_len(&self) -> usize;
+    /// Encodes a block of [`BlockCode::data_len`] symbols.
+    fn encode(&self, data: &[u8]) -> Vec<u8>;
+    /// Decodes a received word in which missing (erased) symbols are `None`.
+    /// Returns the recovered data block, or `None` when recovery is
+    /// impossible.
+    fn decode_erasures(&self, received: &[Option<u8>]) -> Option<Vec<u8>>;
+
+    /// The code's minimum distance, computed by brute force over all code
+    /// words (fine for the tiny codes here).
+    fn min_distance(&self, alphabet: u8) -> usize {
+        let k = self.data_len();
+        let mut words = Vec::new();
+        let mut data = vec![0u8; k];
+        loop {
+            words.push(self.encode(&data));
+            // Increment data as a base-`alphabet` counter.
+            let mut i = 0;
+            loop {
+                if i == k {
+                    return minimum_distance(&words).unwrap_or(usize::MAX);
+                }
+                data[i] += 1;
+                if data[i] < alphabet {
+                    break;
+                }
+                data[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// The `n`-fold repetition code: the coding-theory analogue of keeping `n−1`
+/// replicas of a machine.
+#[derive(Debug, Clone)]
+pub struct RepetitionCode {
+    /// Total number of copies (including the original).
+    pub copies: usize,
+}
+
+impl BlockCode for RepetitionCode {
+    fn data_len(&self) -> usize {
+        1
+    }
+
+    fn code_len(&self) -> usize {
+        self.copies
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), 1);
+        vec![data[0]; self.copies]
+    }
+
+    fn decode_erasures(&self, received: &[Option<u8>]) -> Option<Vec<u8>> {
+        received
+            .iter()
+            .find_map(|s| s.map(|v| vec![v]))
+    }
+}
+
+/// A single-parity code over `Z_q`: `k` data symbols plus one check symbol
+/// equal to their sum mod `q`.  Any single erasure is recoverable — exactly
+/// how the fused `(n0 + n1) mod 3` counter recovers one crashed counter.
+#[derive(Debug, Clone)]
+pub struct ParityCode {
+    /// Number of data symbols.
+    pub data_symbols: usize,
+    /// Alphabet size `q`.
+    pub modulus: u8,
+}
+
+impl BlockCode for ParityCode {
+    fn data_len(&self) -> usize {
+        self.data_symbols
+    }
+
+    fn code_len(&self) -> usize {
+        self.data_symbols + 1
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.data_symbols);
+        let sum: u32 = data.iter().map(|&d| d as u32).sum();
+        let mut out = data.to_vec();
+        out.push((sum % self.modulus as u32) as u8);
+        out
+    }
+
+    fn decode_erasures(&self, received: &[Option<u8>]) -> Option<Vec<u8>> {
+        assert_eq!(received.len(), self.code_len());
+        let missing: Vec<usize> = (0..received.len())
+            .filter(|&i| received[i].is_none())
+            .collect();
+        match missing.len() {
+            0 => Some(received[..self.data_symbols]
+                .iter()
+                .map(|s| s.expect("checked"))
+                .collect()),
+            1 => {
+                let q = self.modulus as u32;
+                let idx = missing[0];
+                let known_sum: u32 = received
+                    .iter()
+                    .take(self.data_symbols)
+                    .flatten()
+                    .map(|&v| v as u32)
+                    .sum();
+                let mut data: Vec<u8> = Vec::with_capacity(self.data_symbols);
+                if idx == self.data_symbols {
+                    // Only the parity symbol is missing.
+                    for s in &received[..self.data_symbols] {
+                        data.push(s.expect("data symbols present"));
+                    }
+                } else {
+                    let parity = received[self.data_symbols].expect("parity present") as u32;
+                    let recovered = (parity + q * self.data_symbols as u32 - known_sum) % q;
+                    for (i, s) in received[..self.data_symbols].iter().enumerate() {
+                        data.push(if i == idx {
+                            recovered as u8
+                        } else {
+                            s.expect("present")
+                        });
+                    }
+                }
+                Some(data)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The binary [7,4] Hamming code (minimum distance 3).
+#[derive(Debug, Clone, Default)]
+pub struct Hamming74;
+
+impl Hamming74 {
+    /// Parity positions use the standard generator: p1 = d1⊕d2⊕d4,
+    /// p2 = d1⊕d3⊕d4, p3 = d2⊕d3⊕d4; code word layout
+    /// `[d1, d2, d3, d4, p1, p2, p3]`.
+    fn parities(data: &[u8]) -> [u8; 3] {
+        let d = |i: usize| data[i] & 1;
+        [
+            d(0) ^ d(1) ^ d(3),
+            d(0) ^ d(2) ^ d(3),
+            d(1) ^ d(2) ^ d(3),
+        ]
+    }
+
+    /// Decodes a (complete) received word, correcting up to one bit error.
+    pub fn decode_correcting(&self, received: &[u8]) -> Vec<u8> {
+        assert_eq!(received.len(), 7);
+        let mut word: Vec<u8> = received.iter().map(|&b| b & 1).collect();
+        let p = Self::parities(&word[..4]);
+        let syndrome = [
+            p[0] ^ word[4],
+            p[1] ^ word[5],
+            p[2] ^ word[6],
+        ];
+        // Map the syndrome to the offending position.
+        let flip = match syndrome {
+            [0, 0, 0] => None,
+            [1, 1, 1] => Some(3),
+            [1, 1, 0] => Some(0),
+            [1, 0, 1] => Some(1),
+            [0, 1, 1] => Some(2),
+            [1, 0, 0] => Some(4),
+            [0, 1, 0] => Some(5),
+            [0, 0, 1] => Some(6),
+            _ => unreachable!("syndrome bits are binary"),
+        };
+        if let Some(i) = flip {
+            word[i] ^= 1;
+        }
+        word[..4].to_vec()
+    }
+}
+
+impl BlockCode for Hamming74 {
+    fn data_len(&self) -> usize {
+        4
+    }
+
+    fn code_len(&self) -> usize {
+        7
+    }
+
+    fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), 4);
+        let mut out: Vec<u8> = data.iter().map(|&b| b & 1).collect();
+        out.extend_from_slice(&Self::parities(data));
+        out
+    }
+
+    fn decode_erasures(&self, received: &[Option<u8>]) -> Option<Vec<u8>> {
+        assert_eq!(received.len(), 7);
+        let erased: Vec<usize> = (0..7).filter(|&i| received[i].is_none()).collect();
+        if erased.len() > 2 {
+            return None;
+        }
+        // Brute-force the erased bits (at most 4 combinations) and keep the
+        // assignment whose re-encoding is consistent.
+        for guess in 0u8..(1 << erased.len()) {
+            let mut word: Vec<u8> = Vec::with_capacity(7);
+            for (i, s) in received.iter().enumerate() {
+                match s {
+                    Some(v) => word.push(v & 1),
+                    None => {
+                        let pos = erased.iter().position(|&e| e == i).expect("erased");
+                        word.push((guess >> pos) & 1);
+                    }
+                }
+            }
+            let reencoded = self.encode(&word[..4].to_vec());
+            if reencoded == word {
+                return Some(word[..4].to_vec());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_code_recovers_from_any_single_survivor() {
+        let code = RepetitionCode { copies: 3 };
+        let encoded = code.encode(&[7]);
+        assert_eq!(encoded, vec![7, 7, 7]);
+        assert_eq!(code.code_len(), 3);
+        assert_eq!(
+            code.decode_erasures(&[None, Some(7), None]),
+            Some(vec![7])
+        );
+        assert_eq!(code.decode_erasures(&[None, None, None]), None);
+        // Its distance equals the number of copies (over a binary alphabet).
+        assert_eq!(code.min_distance(2), 3);
+    }
+
+    #[test]
+    fn parity_code_recovers_any_single_erasure() {
+        let code = ParityCode {
+            data_symbols: 4,
+            modulus: 3,
+        };
+        let data = [1u8, 2, 0, 2];
+        let encoded = code.encode(&data);
+        assert_eq!(encoded.len(), 5);
+        assert_eq!(encoded[4], (1 + 2 + 0 + 2) % 3);
+        for erased in 0..5 {
+            let mut received: Vec<Option<u8>> = encoded.iter().map(|&v| Some(v)).collect();
+            received[erased] = None;
+            assert_eq!(
+                code.decode_erasures(&received),
+                Some(data.to_vec()),
+                "erased position {erased}"
+            );
+        }
+        // Two erasures are unrecoverable.
+        let mut received: Vec<Option<u8>> = encoded.iter().map(|&v| Some(v)).collect();
+        received[0] = None;
+        received[1] = None;
+        assert_eq!(code.decode_erasures(&received), None);
+        // Minimum distance 2 → tolerates exactly one erasure.
+        assert_eq!(code.min_distance(3), 2);
+    }
+
+    #[test]
+    fn parity_code_mirrors_fig1_fusion() {
+        // Two mod-3 "machines" (data symbols) plus the parity symbol is the
+        // coding-theory picture of {A, B, F1}: one crash anywhere can be
+        // undone.
+        let code = ParityCode {
+            data_symbols: 2,
+            modulus: 3,
+        };
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                let encoded = code.encode(&[a, b]);
+                let received = vec![None, Some(encoded[1]), Some(encoded[2])];
+                assert_eq!(code.decode_erasures(&received), Some(vec![a, b]));
+            }
+        }
+    }
+
+    #[test]
+    fn hamming74_roundtrip_and_single_error_correction() {
+        let code = Hamming74;
+        for value in 0u8..16 {
+            let data: Vec<u8> = (0..4).map(|i| (value >> i) & 1).collect();
+            let encoded = code.encode(&data);
+            assert_eq!(encoded.len(), 7);
+            // No error.
+            assert_eq!(code.decode_correcting(&encoded), data);
+            // Every single-bit error is corrected.
+            for flip in 0..7 {
+                let mut corrupted = encoded.clone();
+                corrupted[flip] ^= 1;
+                assert_eq!(code.decode_correcting(&corrupted), data, "flip {flip}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming74_recovers_up_to_two_erasures() {
+        let code = Hamming74;
+        let data = vec![1u8, 0, 1, 1];
+        let encoded = code.encode(&data);
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                let mut received: Vec<Option<u8>> = encoded.iter().map(|&v| Some(v)).collect();
+                received[i] = None;
+                received[j] = None;
+                assert_eq!(code.decode_erasures(&received), Some(data.clone()));
+            }
+        }
+        // Three erasures may be ambiguous.
+        let received = vec![None, None, None, Some(encoded[3]), Some(encoded[4]), Some(encoded[5]), Some(encoded[6])];
+        let _ = code.decode_erasures(&received); // must not panic
+    }
+
+    #[test]
+    fn hamming74_min_distance_is_three() {
+        assert_eq!(Hamming74.min_distance(2), 3);
+        assert_eq!(Hamming74.data_len(), 4);
+        assert_eq!(Hamming74.code_len(), 7);
+    }
+}

@@ -1,0 +1,97 @@
+//! Hamming distance and minimum-distance computations.
+//!
+//! Section 3 of the paper grounds fault graphs in classical coding theory:
+//! the states of the reachable cross product play the role of valid code
+//! words, and the weight of a fault-graph edge is the Hamming distance
+//! between the corresponding code words when each machine contributes one
+//! "symbol" (its own state).  These helpers make that analogy executable so
+//! tests and benches can cross-validate `dmin` against code distance.
+
+/// The Hamming distance between two equal-length symbol sequences: the
+/// number of positions where they differ.
+///
+/// Panics if the slices have different lengths (distances between words of
+/// different lengths are undefined).
+pub fn hamming_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    assert_eq!(a.len(), b.len(), "Hamming distance needs equal lengths");
+    a.iter().zip(b.iter()).filter(|(x, y)| x != y).count()
+}
+
+/// The Hamming weight of a binary word: the number of `true` positions.
+pub fn hamming_weight(a: &[bool]) -> usize {
+    a.iter().filter(|&&x| x).count()
+}
+
+/// The minimum pairwise Hamming distance of a set of equal-length words —
+/// the quantity that bounds how many erasures (`d − 1`) and errors
+/// (`⌊(d − 1)/2⌋`) a code can tolerate, exactly mirroring the paper's
+/// Theorems 1 and 2 for `dmin`.
+///
+/// Returns `None` for fewer than two words.
+pub fn minimum_distance<T: PartialEq>(words: &[Vec<T>]) -> Option<usize> {
+    if words.len() < 2 {
+        return None;
+    }
+    let mut min = usize::MAX;
+    for i in 0..words.len() {
+        for j in (i + 1)..words.len() {
+            min = min.min(hamming_distance(&words[i], &words[j]));
+        }
+    }
+    Some(min)
+}
+
+/// Erasure tolerance of a code with minimum distance `d`: `d − 1`
+/// (the analogue of Observation 1 for crash faults).
+pub fn erasures_tolerated(min_distance: usize) -> usize {
+    min_distance.saturating_sub(1)
+}
+
+/// Error tolerance of a code with minimum distance `d`: `⌊(d − 1)/2⌋`
+/// (the analogue of Observation 1 for Byzantine faults).
+pub fn errors_tolerated(min_distance: usize) -> usize {
+    min_distance.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_distance_counts_differences() {
+        assert_eq!(hamming_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(hamming_distance(&[1, 2, 3], &[1, 0, 3]), 1);
+        assert_eq!(hamming_distance(&[0u8; 4], &[1u8; 4]), 4);
+        assert_eq!(hamming_distance::<u8>(&[], &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_distance_requires_equal_lengths() {
+        hamming_distance(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn hamming_weight_counts_ones() {
+        assert_eq!(hamming_weight(&[true, false, true, true]), 3);
+        assert_eq!(hamming_weight(&[]), 0);
+    }
+
+    #[test]
+    fn minimum_distance_over_word_sets() {
+        let words = vec![vec![0, 0, 0], vec![1, 1, 0], vec![0, 1, 1]];
+        assert_eq!(minimum_distance(&words), Some(2));
+        assert_eq!(minimum_distance(&words[..1]), None);
+        let identical = vec![vec![1, 2], vec![1, 2]];
+        assert_eq!(minimum_distance(&identical), Some(0));
+    }
+
+    #[test]
+    fn tolerance_formulas_match_observation1() {
+        assert_eq!(erasures_tolerated(3), 2);
+        assert_eq!(errors_tolerated(3), 1);
+        assert_eq!(erasures_tolerated(0), 0);
+        assert_eq!(errors_tolerated(1), 0);
+        assert_eq!(errors_tolerated(5), 2);
+    }
+}

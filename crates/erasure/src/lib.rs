@@ -1,0 +1,31 @@
+//! # fsm-erasure — the coding-theory substrate of the paper's analogy
+//!
+//! Section 3 of *"A Fusion-based Approach for Tolerating Faults in Finite
+//! State Machines"* explains fault graphs through erasure codes: the states
+//! of the reachable cross product are the valid code words, each machine
+//! contributes one symbol, edge weights are Hamming distances and `dmin`
+//! plays the role of the code's minimum distance (erasures ↔ crash faults,
+//! errors ↔ Byzantine faults).
+//!
+//! This crate implements that substrate from scratch:
+//!
+//! * [`hamming`] — Hamming distance / weight and minimum-distance helpers.
+//! * [`code`] — tiny block codes: repetition (the analogue of replication),
+//!   single parity over `Z_q` (the analogue of the `(n0+n1) mod 3` fusion)
+//!   and the binary [7,4] Hamming code.
+//! * [`analogy`] — turning machine partitions into code words so `dmin` can
+//!   be cross-validated against code distance (used by the integration
+//!   tests and the `analogy` benchmark).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analogy;
+pub mod code;
+pub mod hamming;
+
+pub use analogy::{code_minimum_distance, codewords, state_distance};
+pub use code::{BlockCode, Hamming74, ParityCode, RepetitionCode};
+pub use hamming::{
+    erasures_tolerated, errors_tolerated, hamming_distance, hamming_weight, minimum_distance,
+};

@@ -1,0 +1,289 @@
+//! Closed partitions and quotient machines (Section 2.1).
+//!
+//! A partition `P` of the state set of a machine `T` is *closed* (a
+//! "substitution property" / SP partition) when every event maps each block
+//! of `P` into a single block.  A closed partition corresponds to a distinct
+//! machine: its states are the blocks of `P`, and its transition function is
+//! well defined precisely because `P` is closed.
+//!
+//! This module provides:
+//!
+//! * [`is_closed`] — check the closure property,
+//! * [`close`] — the finest closed partition coarser than (or equal to) a
+//!   given partition, the basic step Algorithm 2 uses when walking down the
+//!   closed partition lattice,
+//! * [`quotient_machine`] — materialize the DFSM corresponding to a closed
+//!   partition of `⊤`.
+
+use fsm_dfsm::{Dfsm, EventId, StateId, StateInfo};
+
+use crate::error::{FusionError, Result};
+use crate::partition::{Partition, UnionFind};
+
+/// Checks whether `partition` is closed with respect to `machine`'s
+/// transition function: for every event, the image of each block lies inside
+/// a single block.
+pub fn is_closed(machine: &Dfsm, partition: &Partition) -> bool {
+    check_closed(machine, partition).is_ok()
+}
+
+/// Like [`is_closed`] but reports the offending block and event.
+pub fn check_closed(machine: &Dfsm, partition: &Partition) -> Result<()> {
+    if partition.len() != machine.size() {
+        return Err(FusionError::PartitionSizeMismatch {
+            expected: machine.size(),
+            actual: partition.len(),
+        });
+    }
+    let k = machine.alphabet().len();
+    for e in 0..k {
+        // For each block, all successors must share a block.
+        let mut image_block: Vec<Option<usize>> = vec![None; partition.num_blocks()];
+        for x in 0..machine.size() {
+            let b = partition.block_of(x);
+            let succ = machine.next(StateId(x), EventId(e)).index();
+            let sb = partition.block_of(succ);
+            match image_block[b] {
+                None => image_block[b] = Some(sb),
+                Some(existing) if existing == sb => {}
+                Some(_) => {
+                    return Err(FusionError::NotClosed {
+                        block: b,
+                        event: machine
+                            .alphabet()
+                            .event(EventId(e))
+                            .map(|ev| ev.name().to_string())
+                            .unwrap_or_else(|| format!("e{e}")),
+                    })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes the finest *closed* partition that is coarser than or equal to
+/// `partition` — i.e. the largest machine (in the paper's order the
+/// *maximum* closed partition `≤` the given one) obtained by merging blocks
+/// until the substitution property holds.
+///
+/// This is the primitive used to compute lower covers: merge two blocks of a
+/// closed partition and re-close the result.
+pub fn close(machine: &Dfsm, partition: &Partition) -> Result<Partition> {
+    if partition.len() != machine.size() {
+        return Err(FusionError::PartitionSizeMismatch {
+            expected: machine.size(),
+            actual: partition.len(),
+        });
+    }
+    let n = machine.size();
+    let k = machine.alphabet().len();
+    let mut uf = UnionFind::new(n);
+    // Seed the union-find with the given partition.
+    {
+        let mut first_of_block: Vec<Option<usize>> = vec![None; partition.num_blocks()];
+        for x in 0..n {
+            let b = partition.block_of(x);
+            match first_of_block[b] {
+                None => first_of_block[b] = Some(x),
+                Some(y) => {
+                    uf.union(x, y);
+                }
+            }
+        }
+    }
+    // Iterate to a fixpoint: whenever two states share a class, their
+    // successors (per event) must share a class too.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for e in 0..k {
+            // Map from class representative to the representative of the
+            // successor class seen so far.
+            let mut succ_of_class: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::with_capacity(n);
+            for x in 0..n {
+                let cls = uf.find(x);
+                let succ = uf.find(machine.next(StateId(x), EventId(e)).index());
+                match succ_of_class.get(&cls) {
+                    None => {
+                        succ_of_class.insert(cls, succ);
+                    }
+                    Some(&existing) if existing == succ => {}
+                    Some(&existing) => {
+                        // The stored representative may have been merged
+                        // earlier in this pass; only count a real merge as a
+                        // change so the fixpoint loop terminates.
+                        if uf.union(existing, succ) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let closed = uf.into_partition();
+    debug_assert!(is_closed(machine, &closed));
+    debug_assert!(closed.le(partition));
+    Ok(closed)
+}
+
+/// Materializes the quotient DFSM corresponding to a closed partition of
+/// `top`.  Block `b` of the partition becomes state `b` of the quotient; the
+/// quotient's alphabet is the same as `top`'s; the initial state is the
+/// block containing `top`'s initial state.
+pub fn quotient_machine(top: &Dfsm, partition: &Partition, name: &str) -> Result<Dfsm> {
+    check_closed(top, partition)?;
+    let blocks = partition.blocks();
+    let states: Vec<StateInfo> = blocks
+        .iter()
+        .map(|b| {
+            let names: Vec<&str> = b.iter().map(|&x| top.state_name(StateId(x))).collect();
+            StateInfo::named(if names.len() == 1 {
+                names[0].to_string()
+            } else {
+                format!("{{{}}}", names.join(","))
+            })
+        })
+        .collect();
+    let k = top.alphabet().len();
+    let transitions: Vec<Vec<StateId>> = blocks
+        .iter()
+        .map(|b| {
+            let rep = b[0];
+            (0..k)
+                .map(|e| StateId(partition.block_of(top.next(StateId(rep), EventId(e)).index())))
+                .collect()
+        })
+        .collect();
+    let initial = StateId(partition.block_of(top.initial().index()));
+    let m = Dfsm::from_parts(
+        name.to_string(),
+        states,
+        top.alphabet().clone(),
+        transitions,
+        initial,
+    )?;
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::DfsmBuilder;
+
+    /// The 4-state machine used as `⊤` in the paper's Figures 2–5 (our
+    /// reconstruction): events 0 and 1 over states t0..t3.
+    fn top4() -> Dfsm {
+        let mut b = DfsmBuilder::new("top");
+        b.add_states(["t0", "t1", "t2", "t3"]);
+        b.set_initial("t0");
+        // event 0: t0→t1, t1→t2, t2→t1, t3→t1
+        b.add_transition("t0", "0", "t1");
+        b.add_transition("t1", "0", "t2");
+        b.add_transition("t2", "0", "t1");
+        b.add_transition("t3", "0", "t1");
+        // event 1: t0→t3, t1→t2, t2→t0, t3→t0
+        b.add_transition("t0", "1", "t3");
+        b.add_transition("t1", "1", "t2");
+        b.add_transition("t2", "1", "t0");
+        b.add_transition("t3", "1", "t0");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn singleton_and_single_block_partitions_are_closed() {
+        let t = top4();
+        assert!(is_closed(&t, &Partition::singletons(4)));
+        assert!(is_closed(&t, &Partition::single_block(4)));
+    }
+
+    #[test]
+    fn machine_a_partition_is_closed() {
+        // A = {t0,t3 | t1 | t2} (paper Fig. 3 / Fig. 5).
+        let t = top4();
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        assert!(is_closed(&t, &a));
+    }
+
+    #[test]
+    fn non_closed_partition_is_detected() {
+        // {t0,t1 | t2 | t3}: on event 0, block {t0,t1} maps to {t1,t2} which
+        // spans two blocks.
+        let t = top4();
+        let p = Partition::from_blocks(4, &[vec![0, 1], vec![2], vec![3]]).unwrap();
+        assert!(!is_closed(&t, &p));
+        let err = check_closed(&t, &p).unwrap_err();
+        assert!(matches!(err, FusionError::NotClosed { .. }));
+    }
+
+    #[test]
+    fn close_returns_finest_closed_coarsening() {
+        let t = top4();
+        // Start from merging t0 and t1; closure must also merge whatever is
+        // forced, and the result must be closed and ≤ the input.
+        let p = Partition::singletons(4).merge_elements(0, 1);
+        let c = close(&t, &p).unwrap();
+        assert!(is_closed(&t, &c));
+        assert!(c.le(&p));
+        assert!(c.same_block(0, 1));
+        // Closing an already-closed partition is the identity.
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        assert_eq!(close(&t, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_monotone() {
+        let t = top4();
+        for (x, y) in [(0usize, 1usize), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            let p = Partition::singletons(4).merge_elements(x, y);
+            let c1 = close(&t, &p).unwrap();
+            let c2 = close(&t, &c1).unwrap();
+            assert_eq!(c1, c2, "close must be idempotent");
+            assert!(c1.le(&p));
+        }
+    }
+
+    #[test]
+    fn quotient_machine_matches_partition_blocks() {
+        let t = top4();
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        let m = quotient_machine(&t, &a, "A").unwrap();
+        assert_eq!(m.size(), 3);
+        assert_eq!(m.alphabet().len(), 2);
+        // Simulation check: running any word on top and mapping through the
+        // partition equals running the word on the quotient.
+        let words: Vec<Vec<fsm_dfsm::Event>> = vec![
+            vec![],
+            vec!["0".into()],
+            vec!["0".into(), "1".into(), "1".into()],
+            vec!["1".into(), "0".into(), "0".into(), "1".into()],
+        ];
+        for w in words {
+            let t_state = t.run(w.iter());
+            let q_state = m.run(w.iter());
+            assert_eq!(a.block_of(t_state.index()), q_state.index());
+        }
+    }
+
+    #[test]
+    fn quotient_of_non_closed_partition_fails() {
+        let t = top4();
+        let p = Partition::from_blocks(4, &[vec![0, 1], vec![2], vec![3]]).unwrap();
+        assert!(quotient_machine(&t, &p, "bad").is_err());
+    }
+
+    #[test]
+    fn size_mismatch_is_reported() {
+        let t = top4();
+        let p = Partition::singletons(3);
+        assert!(matches!(
+            close(&t, &p),
+            Err(FusionError::PartitionSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            check_closed(&t, &p),
+            Err(FusionError::PartitionSizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,337 @@
+//! Fault graphs, distance and `dmin` (Section 3, Definitions 3–4,
+//! Theorems 1–2).
+//!
+//! The fault graph `G(⊤, M)` of a set of machines `M` (each `≤ ⊤`) is the
+//! complete weighted graph over the states of `⊤` in which the weight of
+//! edge `(ti, tj)` is the number of machines in `M` whose partition places
+//! `ti` and `tj` in different blocks.  The minimum edge weight `dmin`
+//! determines the fault tolerance of the set:
+//!
+//! * `f` crash faults can be tolerated iff `dmin > f` (Theorem 1),
+//! * `f` Byzantine faults can be tolerated iff `dmin > 2f` (Theorem 2).
+
+use crate::partition::Partition;
+
+/// The fault graph `G(⊤, M)` for machines represented as closed partitions
+/// of a `⊤` with `n` states.
+///
+/// Weights are stored in a flat upper-triangular matrix.  Machines can be
+/// added incrementally, which is what Algorithm 2 does as it grows the
+/// fusion set.
+#[derive(Debug, Clone)]
+pub struct FaultGraph {
+    n: usize,
+    /// Upper-triangular weights, indexed by [`FaultGraph::edge_index`].
+    weights: Vec<u32>,
+    /// Number of machines accumulated so far.
+    machines: usize,
+}
+
+impl FaultGraph {
+    /// Creates the fault graph over `n` states with no machines (all edge
+    /// weights zero).
+    pub fn new(n: usize) -> Self {
+        let edges = n.saturating_sub(1) * n / 2;
+        FaultGraph {
+            n,
+            weights: vec![0; edges],
+            machines: 0,
+        }
+    }
+
+    /// Builds a fault graph from a set of machine partitions.
+    pub fn from_partitions(n: usize, partitions: &[Partition]) -> Self {
+        let mut g = Self::new(n);
+        for p in partitions {
+            g.add_machine(p);
+        }
+        g
+    }
+
+    /// Number of `⊤` states (nodes).
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges in the complete graph.
+    pub fn num_edges(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of machines accumulated.
+    pub fn num_machines(&self) -> usize {
+        self.machines
+    }
+
+    fn edge_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        // Index of (i, j), i < j, in row-major upper-triangular order.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Adds a machine: every pair of states the partition separates gains
+    /// one unit of weight.
+    pub fn add_machine(&mut self, p: &Partition) {
+        assert_eq!(p.len(), self.n, "partition over wrong number of states");
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if p.separates(i, j) {
+                    let idx = self.edge_index(i, j);
+                    self.weights[idx] += 1;
+                }
+            }
+        }
+        self.machines += 1;
+    }
+
+    /// The distance `d(ti, tj)` between two states (Definition 4).
+    pub fn weight(&self, i: usize, j: usize) -> u32 {
+        if i == j {
+            return u32::MAX;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.weights[self.edge_index(a, b)]
+    }
+
+    /// The minimum edge weight `dmin`.  For a single-state `⊤` there are no
+    /// edges and no pair of states to confuse, so every fault count is
+    /// tolerated; we represent that as `u32::MAX`.
+    pub fn dmin(&self) -> u32 {
+        self.weights.iter().copied().min().unwrap_or(u32::MAX)
+    }
+
+    /// All edges whose weight equals `dmin` — the "weakest edges" Algorithm 2
+    /// must cover with every machine it adds.
+    pub fn weakest_edges(&self) -> Vec<(usize, usize)> {
+        let d = self.dmin();
+        if d == u32::MAX {
+            return Vec::new();
+        }
+        self.edges_with_weight(d)
+    }
+
+    /// All edges with exactly the given weight.
+    pub fn edges_with_weight(&self, w: u32) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.weights[self.edge_index(i, j)] == w {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// All edges with weight at most `w`.
+    pub fn edges_with_weight_at_most(&self, w: u32) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.weights[self.edge_index(i, j)] <= w {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Theorem 1: the machine set tolerates `f` crash faults iff
+    /// `dmin > f`.
+    pub fn tolerates_crash_faults(&self, f: usize) -> bool {
+        (self.dmin() as u128) > f as u128
+    }
+
+    /// Theorem 2: the machine set tolerates `f` Byzantine faults iff
+    /// `dmin > 2f`.
+    pub fn tolerates_byzantine_faults(&self, f: usize) -> bool {
+        (self.dmin() as u128) > 2 * f as u128
+    }
+
+    /// Observation 1: the maximum number of crash faults tolerated,
+    /// `dmin − 1`.
+    pub fn max_crash_faults(&self) -> usize {
+        let d = self.dmin();
+        if d == u32::MAX {
+            usize::MAX
+        } else {
+            (d as usize).saturating_sub(1)
+        }
+    }
+
+    /// Observation 1: the maximum number of Byzantine faults tolerated,
+    /// `(dmin − 1) / 2`.
+    pub fn max_byzantine_faults(&self) -> usize {
+        let d = self.dmin();
+        if d == u32::MAX {
+            usize::MAX
+        } else {
+            (d as usize).saturating_sub(1) / 2
+        }
+    }
+
+    /// Whether a candidate machine separates every one of the given edges.
+    /// Adding such a machine increases the weight of each of these edges by
+    /// one; when the edges are the weakest edges, this is exactly the
+    /// condition under which adding the machine increases `dmin`
+    /// (the test on line 6 of Algorithm 2).
+    pub fn covers_all(candidate: &Partition, edges: &[(usize, usize)]) -> bool {
+        edges.iter().all(|&(i, j)| candidate.separates(i, j))
+    }
+
+    /// Would adding `candidate` increase `dmin`?  Direct (slower) version of
+    /// the check used by Algorithm 2; kept for cross-validation in tests.
+    pub fn addition_increases_dmin(&self, candidate: &Partition) -> bool {
+        let mut g = self.clone();
+        g.add_machine(candidate);
+        g.dmin() > self.dmin()
+    }
+
+    /// A histogram of edge weights, useful for reports and for reproducing
+    /// the paper's Figure 4 numbers.
+    pub fn weight_histogram(&self) -> std::collections::BTreeMap<u32, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for &w in &self.weights {
+            *h.entry(w).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Partitions for the paper's Fig. 3 machines over ⊤ = {t0,t1,t2,t3}.
+    fn fig3_partitions() -> (Partition, Partition, Partition, Partition) {
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        let b = Partition::from_blocks(4, &[vec![0], vec![1], vec![2, 3]]).unwrap();
+        let m1 = Partition::from_blocks(4, &[vec![0, 2], vec![1], vec![3]]).unwrap();
+        let m2 = Partition::from_blocks(4, &[vec![0], vec![1, 2], vec![3]]).unwrap();
+        (a, b, m1, m2)
+    }
+
+    #[test]
+    fn fault_graph_of_single_machine_matches_fig4_i() {
+        // G({A}): edge (t0,t3) has weight 0, every other edge weight 1.
+        let (a, _, _, _) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a]);
+        assert_eq!(g.weight(0, 3), 0);
+        assert_eq!(g.weight(0, 1), 1);
+        assert_eq!(g.weight(1, 2), 1);
+        assert_eq!(g.weight(2, 3), 1);
+        assert_eq!(g.dmin(), 0);
+        assert_eq!(g.max_crash_faults(), 0);
+        assert_eq!(g.num_machines(), 1);
+    }
+
+    #[test]
+    fn fault_graph_of_a_and_b_has_dmin_one() {
+        // Fig. 4(ii): dmin({A,B}) = 1, so {A,B} cannot tolerate any fault.
+        let (a, b, _, _) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a, b]);
+        assert_eq!(g.dmin(), 1);
+        assert!(!g.tolerates_crash_faults(1));
+        assert!(g.tolerates_crash_faults(0));
+        assert_eq!(g.weight(0, 1), 2);
+        // The weakest edges include (t0,t3) (A cannot tell them apart) and
+        // (t2,t3) (B cannot tell them apart).
+        let weak = g.weakest_edges();
+        assert!(weak.contains(&(0, 3)));
+        assert!(weak.contains(&(2, 3)));
+    }
+
+    #[test]
+    fn adding_machines_increases_weights_monotonically() {
+        let (a, b, m1, m2) = fig3_partitions();
+        let mut g = FaultGraph::from_partitions(4, &[a.clone(), b.clone()]);
+        let before = g.dmin();
+        g.add_machine(&m1);
+        g.add_machine(&m2);
+        assert!(g.dmin() >= before);
+        assert_eq!(g.num_machines(), 4);
+    }
+
+    #[test]
+    fn fig4_iii_tolerates_two_crash_and_one_byzantine() {
+        // dmin({A,B,M1,M2}) = 3 in the paper.
+        let (a, b, m1, m2) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a, b, m1, m2]);
+        assert_eq!(g.dmin(), 3);
+        assert!(g.tolerates_crash_faults(2));
+        assert!(!g.tolerates_crash_faults(3));
+        assert_eq!(g.max_crash_faults(), 2);
+        assert_eq!(g.max_byzantine_faults(), 1);
+        assert!(g.tolerates_byzantine_faults(1));
+        assert!(!g.tolerates_byzantine_faults(2));
+    }
+
+    #[test]
+    fn covers_all_and_addition_increases_dmin_agree() {
+        let (a, b, m1, m2) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a.clone(), b.clone()]);
+        let weak = g.weakest_edges();
+        for candidate in [&a, &b, &m1, &m2] {
+            assert_eq!(
+                FaultGraph::covers_all(candidate, &weak),
+                g.addition_increases_dmin(candidate),
+                "candidate {candidate}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_machine_set_has_zero_weights() {
+        let g = FaultGraph::new(5);
+        assert_eq!(g.dmin(), 0);
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.weakest_edges().len(), 10);
+        assert_eq!(g.weight_histogram().get(&0), Some(&10));
+    }
+
+    #[test]
+    fn single_state_top_tolerates_everything() {
+        let g = FaultGraph::new(1);
+        assert_eq!(g.dmin(), u32::MAX);
+        assert!(g.tolerates_crash_faults(100));
+        assert!(g.tolerates_byzantine_faults(100));
+        assert!(g.weakest_edges().is_empty());
+    }
+
+    #[test]
+    fn weight_is_symmetric_and_diagonal_is_max() {
+        let (a, b, _, _) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a, b]);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    assert_eq!(g.weight(i, j), u32::MAX);
+                } else {
+                    assert_eq!(g.weight(i, j), g.weight(j, i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_with_weight_filters() {
+        let (a, _, _, _) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a]);
+        assert_eq!(g.edges_with_weight(0), vec![(0, 3)]);
+        assert_eq!(g.edges_with_weight(1).len(), 5);
+        assert_eq!(g.edges_with_weight_at_most(1).len(), 6);
+        let h = g.weight_histogram();
+        assert_eq!(h[&0], 1);
+        assert_eq!(h[&1], 5);
+    }
+
+    #[test]
+    fn theorem2_example_from_paper_text() {
+        // The paper's Section 3 example: {A,B,M1,M2} has dmin = 3, so it
+        // tolerates two crash faults but only one Byzantine fault.
+        let (a, b, m1, m2) = fig3_partitions();
+        let g = FaultGraph::from_partitions(4, &[a, b, m1, m2]);
+        assert_eq!(g.max_crash_faults(), 2);
+        assert_eq!(g.max_byzantine_faults(), 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Partitions of a state set (Section 2.1 of the paper).
+//!
+//! A partition of the state set of the top machine `⊤` groups its states
+//! into disjoint blocks.  Every machine that is less than or equal to `⊤`
+//! corresponds to a *closed* partition (see [`crate::closed`]); this module
+//! provides the partition data structure itself and the order relation the
+//! paper defines between machines.
+//!
+//! Ordering convention (Definition in Section 2.1): `P1 ≤ P2` iff every
+//! block of `P2` is contained in a block of `P1`; i.e. `P1` is the *coarser*
+//! (less informative) partition.  The top machine corresponds to the finest
+//! partition (all singletons) and the bottom machine `⊥` to the single-block
+//! partition.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{FusionError, Result};
+
+/// A partition of the set `{0, …, n-1}` into disjoint blocks.
+///
+/// Internally stored as a block index per element, with blocks numbered
+/// canonically by order of first occurrence, so two equal partitions always
+/// have identical representations (and `PartialEq`/`Hash` behave as set
+/// equality of the block structure).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Partition {
+    /// `block_of[x]` is the canonical block index of element `x`.
+    block_of: Vec<usize>,
+    /// Number of blocks.
+    num_blocks: usize,
+}
+
+impl Partition {
+    /// The finest partition: every element in its own block.  Corresponds to
+    /// the top machine `⊤` itself.
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            block_of: (0..n).collect(),
+            num_blocks: n,
+        }
+    }
+
+    /// The coarsest partition: all elements in one block.  Corresponds to
+    /// the bottom machine `⊥`.
+    pub fn single_block(n: usize) -> Self {
+        Partition {
+            block_of: vec![0; n.max(1)],
+            num_blocks: 1,
+        }
+    }
+
+    /// Builds a partition from an explicit block assignment
+    /// (`assignment[x]` = arbitrary label of the block containing `x`).
+    pub fn from_assignment(assignment: &[usize]) -> Self {
+        let mut canon: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut block_of = Vec::with_capacity(assignment.len());
+        for &label in assignment {
+            let next = canon.len();
+            block_of.push(*canon.entry(label).or_insert(next));
+        }
+        let num_blocks = canon.len();
+        Partition {
+            block_of,
+            num_blocks,
+        }
+    }
+
+    /// Builds a partition over `n` elements from explicit blocks.  The
+    /// blocks must be disjoint and cover `{0, …, n-1}` exactly.
+    pub fn from_blocks(n: usize, blocks: &[Vec<usize>]) -> Result<Self> {
+        let mut assignment = vec![usize::MAX; n];
+        for (b, block) in blocks.iter().enumerate() {
+            for &x in block {
+                if x >= n {
+                    return Err(FusionError::InvalidPartition(format!(
+                        "element {x} out of range 0..{n}"
+                    )));
+                }
+                if assignment[x] != usize::MAX {
+                    return Err(FusionError::InvalidPartition(format!(
+                        "element {x} appears in more than one block"
+                    )));
+                }
+                assignment[x] = b;
+            }
+        }
+        if let Some(x) = assignment.iter().position(|&b| b == usize::MAX) {
+            return Err(FusionError::InvalidPartition(format!(
+                "element {x} is not covered by any block"
+            )));
+        }
+        Ok(Self::from_assignment(&assignment))
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// Whether the partition is over an empty set.
+    pub fn is_empty(&self) -> bool {
+        self.block_of.is_empty()
+    }
+
+    /// Number of blocks.  This is the number of states of the machine the
+    /// partition corresponds to (`|M|` in the paper).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// The canonical block index of an element.
+    pub fn block_of(&self, x: usize) -> usize {
+        self.block_of[x]
+    }
+
+    /// The raw block assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.block_of
+    }
+
+    /// Whether two elements are in the same block.
+    pub fn same_block(&self, x: usize, y: usize) -> bool {
+        self.block_of[x] == self.block_of[y]
+    }
+
+    /// Whether the partition *separates* (distinguishes) two elements — the
+    /// property counted by fault-graph edge weights (Definition 3).
+    pub fn separates(&self, x: usize, y: usize) -> bool {
+        self.block_of[x] != self.block_of[y]
+    }
+
+    /// The blocks as explicit element lists, in canonical block order.
+    pub fn blocks(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_blocks];
+        for (x, &b) in self.block_of.iter().enumerate() {
+            out[b].push(x);
+        }
+        out
+    }
+
+    /// The elements of one block.
+    pub fn block(&self, b: usize) -> Vec<usize> {
+        self.block_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &bb)| bb == b)
+            .map(|(x, _)| x)
+            .collect()
+    }
+
+    /// Whether this is the finest (singleton) partition.
+    pub fn is_singletons(&self) -> bool {
+        self.num_blocks == self.len()
+    }
+
+    /// Whether this is the single-block partition.
+    pub fn is_single_block(&self) -> bool {
+        self.num_blocks <= 1
+    }
+
+    /// Paper order (Definition in Section 2.1): `self ≤ other` iff every
+    /// block of `other` is contained in a block of `self`, i.e. `other`
+    /// refines `self` (`self` is coarser or equal).
+    pub fn le(&self, other: &Partition) -> bool {
+        assert_eq!(self.len(), other.len(), "partitions over different sets");
+        // other refines self ⟺ whenever other puts x,y together, so does
+        // self.  Check via: for each block label of other, all members map
+        // to a single block of self.
+        let mut rep: Vec<Option<usize>> = vec![None; other.num_blocks];
+        for x in 0..self.len() {
+            let ob = other.block_of[x];
+            match rep[ob] {
+                None => rep[ob] = Some(self.block_of[x]),
+                Some(b) if b == self.block_of[x] => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Strict version of [`Partition::le`].
+    pub fn lt(&self, other: &Partition) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Whether the two partitions are incomparable in the paper's order.
+    pub fn incomparable(&self, other: &Partition) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+
+    /// Greatest lower bound in the machine order: the coarsest common
+    /// refinement is the *join* of machines; the meet (greatest machine less
+    /// than both) is the partition whose blocks are the connected components
+    /// of "same block in self OR same block in other".
+    pub fn meet(&self, other: &Partition) -> Partition {
+        assert_eq!(self.len(), other.len());
+        let n = self.len();
+        let mut uf = UnionFind::new(n);
+        // Union elements that share a block in either partition.
+        let mut first_in_self: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut first_in_other: BTreeMap<usize, usize> = BTreeMap::new();
+        for x in 0..n {
+            if let Some(&y) = first_in_self.get(&self.block_of[x]) {
+                uf.union(x, y);
+            } else {
+                first_in_self.insert(self.block_of[x], x);
+            }
+            if let Some(&y) = first_in_other.get(&other.block_of[x]) {
+                uf.union(x, y);
+            } else {
+                first_in_other.insert(other.block_of[x], x);
+            }
+        }
+        uf.into_partition()
+    }
+
+    /// Least upper bound in the machine order: blocks are the non-empty
+    /// intersections of blocks of `self` and `other` (the common
+    /// refinement).
+    pub fn join(&self, other: &Partition) -> Partition {
+        assert_eq!(self.len(), other.len());
+        let pairs: Vec<(usize, usize)> = (0..self.len())
+            .map(|x| (self.block_of[x], other.block_of[x]))
+            .collect();
+        let mut canon: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut assignment = Vec::with_capacity(self.len());
+        for p in pairs {
+            let next = canon.len();
+            assignment.push(*canon.entry(p).or_insert(next));
+        }
+        Partition::from_assignment(&assignment)
+    }
+
+    /// Returns a new partition with the blocks containing `x` and `y`
+    /// merged.
+    pub fn merge_elements(&self, x: usize, y: usize) -> Partition {
+        let bx = self.block_of[x];
+        let by = self.block_of[y];
+        if bx == by {
+            return self.clone();
+        }
+        let assignment: Vec<usize> = self
+            .block_of
+            .iter()
+            .map(|&b| if b == by { bx } else { b })
+            .collect();
+        Partition::from_assignment(&assignment)
+    }
+
+    /// Returns a new partition with two whole blocks merged.
+    pub fn merge_blocks(&self, b1: usize, b2: usize) -> Partition {
+        if b1 == b2 {
+            return self.clone();
+        }
+        let assignment: Vec<usize> = self
+            .block_of
+            .iter()
+            .map(|&b| if b == b2 { b1 } else { b })
+            .collect();
+        Partition::from_assignment(&assignment)
+    }
+}
+
+impl fmt::Debug for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Partition{}", self)
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let blocks = self.blocks();
+        write!(f, "{{")?;
+        for (i, b) in blocks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            let items: Vec<String> = b.iter().map(|x| x.to_string()).collect();
+            write!(f, "{}", items.join(","))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A small union-find used by partition closure operations.
+#[derive(Debug, Clone)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub(crate) fn union(&mut self, x: usize, y: usize) -> bool {
+        let rx = self.find(x);
+        let ry = self.find(y);
+        if rx == ry {
+            return false;
+        }
+        match self.rank[rx].cmp(&self.rank[ry]) {
+            std::cmp::Ordering::Less => self.parent[rx] = ry,
+            std::cmp::Ordering::Greater => self.parent[ry] = rx,
+            std::cmp::Ordering::Equal => {
+                self.parent[ry] = rx;
+                self.rank[rx] += 1;
+            }
+        }
+        true
+    }
+
+    pub(crate) fn into_partition(mut self) -> Partition {
+        let n = self.parent.len();
+        let assignment: Vec<usize> = (0..n).map(|x| self.find(x)).collect();
+        Partition::from_assignment(&assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_and_single_block() {
+        let fine = Partition::singletons(4);
+        let coarse = Partition::single_block(4);
+        assert_eq!(fine.num_blocks(), 4);
+        assert_eq!(coarse.num_blocks(), 1);
+        assert!(fine.is_singletons());
+        assert!(coarse.is_single_block());
+        // coarse ≤ fine in the paper's order (⊥ ≤ ⊤).
+        assert!(coarse.le(&fine));
+        assert!(!fine.le(&coarse));
+        assert!(coarse.lt(&fine));
+    }
+
+    #[test]
+    fn from_blocks_valid_and_invalid() {
+        let p = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        assert_eq!(p.num_blocks(), 3);
+        assert!(p.same_block(0, 3));
+        assert!(p.separates(0, 1));
+
+        assert!(Partition::from_blocks(3, &[vec![0, 1]]).is_err()); // missing 2
+        assert!(Partition::from_blocks(3, &[vec![0, 1], vec![1, 2]]).is_err()); // overlap
+        assert!(Partition::from_blocks(3, &[vec![0, 1, 5], vec![2]]).is_err()); // out of range
+    }
+
+    #[test]
+    fn canonical_form_is_order_independent() {
+        let p1 = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        let p2 = Partition::from_blocks(4, &[vec![2], vec![1], vec![3, 0]]).unwrap();
+        assert_eq!(p1, p2);
+        let p3 = Partition::from_assignment(&[7, 9, 2, 7]);
+        assert_eq!(p1, p3);
+    }
+
+    #[test]
+    fn le_matches_block_containment() {
+        // P1 = {0,3 | 1,2}  (coarser)   P2 = {0,3 | 1 | 2} (finer)
+        let p1 = Partition::from_blocks(4, &[vec![0, 3], vec![1, 2]]).unwrap();
+        let p2 = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        assert!(p1.le(&p2));
+        assert!(!p2.le(&p1));
+        assert!(p1.lt(&p2));
+        // Incomparable pair.
+        let q = Partition::from_blocks(4, &[vec![0, 1], vec![2, 3]]).unwrap();
+        assert!(q.incomparable(&p2));
+    }
+
+    #[test]
+    fn meet_and_join_are_lattice_operations() {
+        let p = Partition::from_blocks(4, &[vec![0, 1], vec![2], vec![3]]).unwrap();
+        let q = Partition::from_blocks(4, &[vec![1, 2], vec![0], vec![3]]).unwrap();
+        let meet = p.meet(&q);
+        let join = p.join(&q);
+        // meet ≤ p, q ≤ join.
+        assert!(meet.le(&p) && meet.le(&q));
+        assert!(p.le(&join) && q.le(&join));
+        // meet merges 0,1,2 transitively.
+        assert!(meet.same_block(0, 2));
+        assert!(meet.separates(0, 3));
+        // join here is the singleton partition.
+        assert!(join.is_singletons());
+    }
+
+    #[test]
+    fn merge_elements_and_blocks() {
+        let p = Partition::singletons(4);
+        let m = p.merge_elements(1, 3);
+        assert_eq!(m.num_blocks(), 3);
+        assert!(m.same_block(1, 3));
+        assert_eq!(p.merge_elements(2, 2), p);
+        let m2 = m.merge_blocks(m.block_of(0), m.block_of(1));
+        assert!(m2.same_block(0, 3));
+        assert_eq!(m.merge_blocks(0, 0), m);
+    }
+
+    #[test]
+    fn display_shows_blocks() {
+        let p = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        let s = format!("{p}");
+        assert!(s.contains("0,3"));
+        assert!(s.contains('|'));
+    }
+
+    #[test]
+    fn blocks_roundtrip() {
+        let p = Partition::from_blocks(5, &[vec![0, 2, 4], vec![1, 3]]).unwrap();
+        let blocks = p.blocks();
+        let q = Partition::from_blocks(5, &blocks).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(p.block(p.block_of(1)), vec![1, 3]);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        let p = uf.into_partition();
+        assert!(p.same_block(1, 2));
+        assert!(p.separates(0, 4));
+        assert_eq!(p.num_blocks(), 2);
+    }
+}

@@ -1,0 +1,421 @@
+//! Recovery from crash and Byzantine faults (Algorithm 3, Section 5.2).
+//!
+//! Every machine in the system (originals and fusions) corresponds to a
+//! closed partition of `⊤`, so its current state can be expressed as the
+//! *set of `⊤` states* in the matching block (the "set representation" of
+//! Algorithm 1).  Recovery collects these sets from the machines that can
+//! still report a state, counts for every `⊤` state in how many reported
+//! sets it appears, and picks the state with the maximum count (Algorithm 3).
+//!
+//! * With at most `f` **crash** faults in an `(f, m)`-fusion system the
+//!   maximum is unique and correct (Theorem 6).
+//! * With at most `⌊f/2⌋` **Byzantine** faults the true state still wins the
+//!   vote because it appears in every non-faulty machine's report.
+//!
+//! [`RecoveryEngine`] packages the partitions of a whole system and exposes
+//! typed recovery, fault detection and state translation helpers on top of
+//! the raw [`recover_top_state`] vote.
+
+use std::collections::BTreeSet;
+
+use fsm_dfsm::StateId;
+
+use crate::error::{FusionError, Result};
+use crate::partition::Partition;
+
+/// What a machine reports when the recovery protocol asks for its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineReport {
+    /// The machine crashed and lost its execution state.
+    Crashed,
+    /// The machine reports being in the given block of its own partition
+    /// (equivalently: in the machine state with this index).  A Byzantine
+    /// machine may report any block, not necessarily the true one.
+    State(usize),
+}
+
+impl MachineReport {
+    /// Whether the machine reported anything at all.
+    pub fn is_available(&self) -> bool {
+        matches!(self, MachineReport::State(_))
+    }
+}
+
+/// Outcome of a successful recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// The recovered state of the top machine.
+    pub top_state: usize,
+    /// The vote count for the winning state.
+    pub votes: usize,
+    /// Recovered state (block index) of every machine in the system, in the
+    /// order the partitions were registered.
+    pub machine_states: Vec<usize>,
+    /// Indices of machines whose report was inconsistent with the recovered
+    /// state — with crash-only faults this is empty; under Byzantine faults
+    /// these are the liars that were out-voted.
+    pub suspected_byzantine: Vec<usize>,
+}
+
+/// The raw Algorithm 3 vote: given the reported state sets (each a set of
+/// `⊤` state indices), count every `⊤` state and return the one with the
+/// maximum count.
+///
+/// Returns an error when no machine reported anything or when the maximum is
+/// not unique (which means more faults occurred than the system tolerates).
+pub fn recover_top_state(top_size: usize, reports: &[BTreeSet<usize>]) -> Result<usize> {
+    if reports.is_empty() {
+        return Err(FusionError::NothingToRecoverFrom);
+    }
+    let mut count = vec![0usize; top_size];
+    for set in reports {
+        for &t in set {
+            if t >= top_size {
+                return Err(FusionError::InvalidReport(format!(
+                    "top state {t} out of range 0..{top_size}"
+                )));
+            }
+            count[t] += 1;
+        }
+    }
+    let max = *count.iter().max().unwrap_or(&0);
+    if max == 0 {
+        return Err(FusionError::NothingToRecoverFrom);
+    }
+    let winners: Vec<usize> = (0..top_size).filter(|&t| count[t] == max).collect();
+    if winners.len() > 1 {
+        return Err(FusionError::AmbiguousRecovery {
+            candidates: winners,
+        });
+    }
+    Ok(winners[0])
+}
+
+/// A recovery engine for a fixed system of machines, each represented by its
+/// closed partition of `⊤`.
+///
+/// The machine order used when registering partitions is the order expected
+/// in [`RecoveryEngine::recover`]'s report slice; by convention the original
+/// machines come first and the fusion machines afterwards, but the engine
+/// does not care.
+#[derive(Debug, Clone)]
+pub struct RecoveryEngine {
+    top_size: usize,
+    partitions: Vec<Partition>,
+    names: Vec<String>,
+}
+
+impl RecoveryEngine {
+    /// Creates an engine for a `⊤` with `top_size` states.
+    pub fn new(top_size: usize) -> Self {
+        RecoveryEngine {
+            top_size,
+            partitions: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    /// Creates an engine and registers all partitions at once.
+    pub fn with_partitions(top_size: usize, partitions: &[Partition]) -> Result<Self> {
+        let mut e = Self::new(top_size);
+        for (i, p) in partitions.iter().enumerate() {
+            e.add_machine(format!("machine{i}"), p.clone())?;
+        }
+        Ok(e)
+    }
+
+    /// Registers a machine by name and partition.  Returns its index.
+    pub fn add_machine(&mut self, name: impl Into<String>, partition: Partition) -> Result<usize> {
+        if partition.len() != self.top_size {
+            return Err(FusionError::PartitionSizeMismatch {
+                expected: self.top_size,
+                actual: partition.len(),
+            });
+        }
+        self.partitions.push(partition);
+        self.names.push(name.into());
+        Ok(self.partitions.len() - 1)
+    }
+
+    /// Number of registered machines.
+    pub fn num_machines(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The registered partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// The registered machine names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The state (block index) machine `i` is in when `⊤` is in `top_state`.
+    pub fn machine_state_for_top(&self, i: usize, top_state: usize) -> usize {
+        self.partitions[i].block_of(top_state)
+    }
+
+    /// The set of `⊤` states consistent with machine `i` being in state
+    /// (block) `block`.
+    pub fn block_as_top_set(&self, i: usize, block: usize) -> BTreeSet<usize> {
+        self.partitions[i]
+            .blocks()
+            .get(block)
+            .map(|b| b.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Runs Algorithm 3 over a report from every machine (crashed machines
+    /// report [`MachineReport::Crashed`]) and reconstructs the state of the
+    /// whole system.
+    pub fn recover(&self, reports: &[MachineReport]) -> Result<Recovery> {
+        if reports.len() != self.partitions.len() {
+            return Err(FusionError::InvalidReport(format!(
+                "expected {} reports, got {}",
+                self.partitions.len(),
+                reports.len()
+            )));
+        }
+        let mut sets: Vec<BTreeSet<usize>> = Vec::new();
+        for (i, r) in reports.iter().enumerate() {
+            match r {
+                MachineReport::Crashed => {}
+                MachineReport::State(block) => {
+                    if *block >= self.partitions[i].num_blocks() {
+                        return Err(FusionError::InvalidReport(format!(
+                            "machine {} ({}) reported block {} but only has {} states",
+                            i,
+                            self.names[i],
+                            block,
+                            self.partitions[i].num_blocks()
+                        )));
+                    }
+                    sets.push(self.block_as_top_set(i, *block));
+                }
+            }
+        }
+        let top_state = recover_top_state(self.top_size, &sets)?;
+        let votes = sets.iter().filter(|s| s.contains(&top_state)).count();
+        let machine_states: Vec<usize> = (0..self.partitions.len())
+            .map(|i| self.machine_state_for_top(i, top_state))
+            .collect();
+        let suspected_byzantine: Vec<usize> = reports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                MachineReport::State(block) if *block != machine_states[i] => Some(i),
+                _ => None,
+            })
+            .collect();
+        Ok(Recovery {
+            top_state,
+            votes,
+            machine_states,
+            suspected_byzantine,
+        })
+    }
+
+    /// Convenience for crash-only scenarios: `states[i]` is `Some(block)`
+    /// for surviving machines and `None` for crashed ones.
+    pub fn recover_from_crashes(&self, states: &[Option<usize>]) -> Result<Recovery> {
+        let reports: Vec<MachineReport> = states
+            .iter()
+            .map(|s| match s {
+                Some(b) => MachineReport::State(*b),
+                None => MachineReport::Crashed,
+            })
+            .collect();
+        self.recover(&reports)
+    }
+
+    /// Translates a recovered `⊤` state into the state of machine `i`,
+    /// returning the [`StateId`] in the corresponding quotient machine.
+    pub fn translate(&self, i: usize, top_state: usize) -> StateId {
+        StateId(self.machine_state_for_top(i, top_state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Section 5.2: ⊤ with 4 states, machines
+    /// A = {t0,t3 | t1 | t2}, B = {t0 | t1 | t2,t3},
+    /// M1 = {t0,t2 | t1 | t3}, M2 = {t0 | t1,t2 | t3}
+    /// (an (2,2)-fusion system tolerating 2 crash / 1 Byzantine fault).
+    fn engine() -> RecoveryEngine {
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        let b = Partition::from_blocks(4, &[vec![0], vec![1], vec![2, 3]]).unwrap();
+        let m1 = Partition::from_blocks(4, &[vec![0, 2], vec![1], vec![3]]).unwrap();
+        let m2 = Partition::from_blocks(4, &[vec![0], vec![1, 2], vec![3]]).unwrap();
+        let mut e = RecoveryEngine::new(4);
+        e.add_machine("A", a).unwrap();
+        e.add_machine("B", b).unwrap();
+        e.add_machine("M1", m1).unwrap();
+        e.add_machine("M2", m2).unwrap();
+        e
+    }
+
+    #[test]
+    fn raw_vote_picks_unique_maximum() {
+        // Paper's example: top in t3, B and M1 crashed; A reports {t0,t3},
+        // M2 reports {t3} → t3 wins with 2 votes.
+        let reports = vec![
+            BTreeSet::from([0usize, 3]),
+            BTreeSet::from([3usize]),
+        ];
+        assert_eq!(recover_top_state(4, &reports).unwrap(), 3);
+    }
+
+    #[test]
+    fn raw_vote_detects_ambiguity_and_empty_input() {
+        let reports = vec![BTreeSet::from([0usize, 3])];
+        assert!(matches!(
+            recover_top_state(4, &reports),
+            Err(FusionError::AmbiguousRecovery { .. })
+        ));
+        assert!(matches!(
+            recover_top_state(4, &[]),
+            Err(FusionError::NothingToRecoverFrom)
+        ));
+        let empty_sets = vec![BTreeSet::new(), BTreeSet::new()];
+        assert!(recover_top_state(4, &empty_sets).is_err());
+        let bad = vec![BTreeSet::from([9usize])];
+        assert!(matches!(
+            recover_top_state(4, &bad),
+            Err(FusionError::InvalidReport(_))
+        ));
+    }
+
+    #[test]
+    fn crash_recovery_restores_every_machine_state() {
+        let e = engine();
+        // True top state: t3 → A in block 0 ({t0,t3}), B in block 2
+        // ({t2,t3}), M1 in block 2 ({t3}), M2 in block 2 ({t3}).
+        // Crash B and M1 (two crash faults, the maximum tolerated).
+        let reports = vec![
+            MachineReport::State(0),
+            MachineReport::Crashed,
+            MachineReport::Crashed,
+            MachineReport::State(2),
+        ];
+        let r = e.recover(&reports).unwrap();
+        assert_eq!(r.top_state, 3);
+        assert_eq!(r.machine_states, vec![0, 2, 2, 2]);
+        assert!(r.suspected_byzantine.is_empty());
+        assert_eq!(r.votes, 2);
+    }
+
+    #[test]
+    fn crash_recovery_via_option_api() {
+        let e = engine();
+        let r = e
+            .recover_from_crashes(&[Some(0), None, None, Some(2)])
+            .unwrap();
+        assert_eq!(r.top_state, 3);
+        assert_eq!(e.translate(1, r.top_state), StateId(2));
+    }
+
+    #[test]
+    fn byzantine_recovery_outvotes_a_single_liar() {
+        let e = engine();
+        // True top state t0: A block 0, B block 0, M1 block 0, M2 block 0.
+        // M1 lies and reports block 2 ({t3}).
+        let reports = vec![
+            MachineReport::State(0),
+            MachineReport::State(0),
+            MachineReport::State(2),
+            MachineReport::State(0),
+        ];
+        let r = e.recover(&reports).unwrap();
+        assert_eq!(r.top_state, 0);
+        assert_eq!(r.suspected_byzantine, vec![2]);
+    }
+
+    #[test]
+    fn paper_byzantine_example_with_b_lying() {
+        // Section 3's example: top in t3; B lies reporting {t0}; A, M1, M2
+        // report truthfully ({t0,t3}, {t3}, {t3}).
+        let e = engine();
+        let reports = vec![
+            MachineReport::State(0), // A: {t0,t3}
+            MachineReport::State(0), // B lies: {t0}
+            MachineReport::State(2), // M1: {t3}
+            MachineReport::State(2), // M2: {t3}
+        ];
+        let r = e.recover(&reports).unwrap();
+        assert_eq!(r.top_state, 3);
+        assert_eq!(r.suspected_byzantine, vec![1]);
+    }
+
+    #[test]
+    fn two_byzantine_faults_defeat_this_system() {
+        // The paper shows this system cannot tolerate two Byzantine faults:
+        // with top in t3 and both B and M1 lying towards t0, the vote picks
+        // the wrong state (t0) — recovery "succeeds" but incorrectly, or
+        // ties; either way the answer is not guaranteed to be t3.
+        let e = engine();
+        let reports = vec![
+            MachineReport::State(0), // A truthful: {t0,t3}
+            MachineReport::State(0), // B lies: {t0}
+            MachineReport::State(0), // M1 lies: {t0,t2}
+            MachineReport::State(2), // M2 truthful: {t3}
+        ];
+        let r = e.recover(&reports);
+        match r {
+            Ok(rec) => assert_ne!(rec.top_state, 3, "with 2 liars the vote is corrupted"),
+            Err(FusionError::AmbiguousRecovery { .. }) => {}
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn report_validation() {
+        let e = engine();
+        // Wrong number of reports.
+        assert!(e.recover(&[MachineReport::Crashed]).is_err());
+        // Block index out of range.
+        let reports = vec![
+            MachineReport::State(7),
+            MachineReport::Crashed,
+            MachineReport::Crashed,
+            MachineReport::Crashed,
+        ];
+        assert!(matches!(
+            e.recover(&reports),
+            Err(FusionError::InvalidReport(_))
+        ));
+        // Everything crashed.
+        let reports = vec![MachineReport::Crashed; 4];
+        assert!(matches!(
+            e.recover(&reports),
+            Err(FusionError::NothingToRecoverFrom)
+        ));
+    }
+
+    #[test]
+    fn engine_accessors() {
+        let e = engine();
+        assert_eq!(e.num_machines(), 4);
+        assert_eq!(e.names()[0], "A");
+        assert_eq!(e.partitions().len(), 4);
+        assert_eq!(e.block_as_top_set(0, 0), BTreeSet::from([0, 3]));
+        assert!(e.block_as_top_set(0, 9).is_empty());
+        assert_eq!(e.machine_state_for_top(1, 3), 2);
+        assert!(MachineReport::State(1).is_available());
+        assert!(!MachineReport::Crashed.is_available());
+    }
+
+    #[test]
+    fn with_partitions_constructor() {
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        let b = Partition::from_blocks(4, &[vec![0], vec![1], vec![2, 3]]).unwrap();
+        let e = RecoveryEngine::with_partitions(4, &[a, b]).unwrap();
+        assert_eq!(e.num_machines(), 2);
+        let bad = Partition::singletons(3);
+        let mut e2 = RecoveryEngine::new(4);
+        assert!(e2.add_machine("bad", bad).is_err());
+    }
+}

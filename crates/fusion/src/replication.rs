@@ -1,0 +1,291 @@
+//! The replication baseline (Sections 1 and 6).
+//!
+//! Traditional state-machine replication tolerates `f` crash faults by
+//! keeping `f` extra copies of every machine (`n · f` backups) and `f`
+//! Byzantine faults by keeping `2f` copies (`2 · n · f` backups).  The paper
+//! compares fusion against this baseline by total backup state space:
+//!
+//! * replication: `(∏ |Mi|)^f` for crash faults (the table's |Replication|
+//!   column),
+//! * fusion: `∏ |Fj|` over the generated backup machines.
+//!
+//! This module provides those accounting functions and a small replica-set
+//! model with its own recovery procedure, used by `fsm-distsys` to run the
+//! baseline side by side with fusion-based backups.
+
+use fsm_dfsm::Dfsm;
+
+use crate::error::{FusionError, Result};
+
+/// Which fault model the backups must tolerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Fail-stop faults: state is lost, machines never lie.
+    Crash,
+    /// Byzantine faults: machines may report arbitrary states.
+    Byzantine,
+}
+
+impl FaultModel {
+    /// The number of copies of each machine that replication needs to
+    /// tolerate `f` faults under this model (`f` for crash, `2f` for
+    /// Byzantine).
+    pub fn copies_per_machine(self, f: usize) -> usize {
+        match self {
+            FaultModel::Crash => f,
+            FaultModel::Byzantine => 2 * f,
+        }
+    }
+}
+
+/// Number of backup machines replication needs: `n · f` for crash faults,
+/// `2 · n · f` for Byzantine faults.
+pub fn replication_backup_count(n: usize, f: usize, model: FaultModel) -> usize {
+    n * model.copies_per_machine(f)
+}
+
+/// The replication state space as reported in the paper's results table:
+/// `(∏ |Mi|)^f` (crash-fault model).  Saturates at `u128::MAX` — the
+/// sensor-network scaling experiments push this quantity past 2¹²⁸.
+pub fn replication_state_space(machine_sizes: &[usize], f: usize) -> u128 {
+    let product: u128 = machine_sizes
+        .iter()
+        .fold(1u128, |acc, &s| acc.saturating_mul(s as u128));
+    product.saturating_pow(f as u32)
+}
+
+/// The fusion state space as reported in the paper's results table:
+/// `∏ |Fj|` over the generated backup machines (saturating).
+pub fn fusion_state_space(fusion_sizes: &[usize]) -> u128 {
+    fusion_sizes
+        .iter()
+        .fold(1u128, |acc, &s| acc.saturating_mul(s as u128))
+}
+
+/// Total number of backup *states* (sum, not product) — a secondary metric
+/// that is sometimes more intuitive than the paper's product-based one.
+pub fn replication_total_states(machine_sizes: &[usize], f: usize, model: FaultModel) -> u128 {
+    let per_copy: u128 = machine_sizes.iter().map(|&s| s as u128).sum();
+    per_copy * model.copies_per_machine(f) as u128
+}
+
+/// A replicated backup set for one machine: `copies` extra executions of the
+/// same DFSM, which (absent faults) are always in the same state as the
+/// primary.
+#[derive(Debug, Clone)]
+pub struct ReplicaSet {
+    machine: Dfsm,
+    copies: usize,
+    model: FaultModel,
+}
+
+impl ReplicaSet {
+    /// Creates a replica set able to tolerate `f` faults of the given model
+    /// affecting this machine and its copies.
+    pub fn new(machine: Dfsm, f: usize, model: FaultModel) -> Self {
+        ReplicaSet {
+            machine,
+            copies: model.copies_per_machine(f),
+            model,
+        }
+    }
+
+    /// The machine being replicated.
+    pub fn machine(&self) -> &Dfsm {
+        &self.machine
+    }
+
+    /// Number of backup copies.
+    pub fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// The fault model the set was provisioned for.
+    pub fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Recovers the primary's state from the reported states of the primary
+    /// and its copies (`None` = crashed).
+    ///
+    /// * Under [`FaultModel::Crash`], any surviving report is correct, so
+    ///   the first one wins.
+    /// * Under [`FaultModel::Byzantine`], a majority vote over the reports
+    ///   is required; ties or an empty report set are errors.
+    pub fn recover(&self, reports: &[Option<usize>]) -> Result<usize> {
+        let present: Vec<usize> = reports.iter().filter_map(|r| *r).collect();
+        if present.is_empty() {
+            return Err(FusionError::NothingToRecoverFrom);
+        }
+        for &s in &present {
+            if s >= self.machine.size() {
+                return Err(FusionError::InvalidReport(format!(
+                    "state {s} out of range for machine {}",
+                    self.machine.name()
+                )));
+            }
+        }
+        match self.model {
+            FaultModel::Crash => Ok(present[0]),
+            FaultModel::Byzantine => {
+                let mut counts = vec![0usize; self.machine.size()];
+                for &s in &present {
+                    counts[s] += 1;
+                }
+                let max = *counts.iter().max().unwrap();
+                let winners: Vec<usize> =
+                    (0..counts.len()).filter(|&s| counts[s] == max).collect();
+                if winners.len() == 1 {
+                    Ok(winners[0])
+                } else {
+                    Err(FusionError::AmbiguousRecovery {
+                        candidates: winners,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Side-by-side accounting of replication vs. fusion for one experiment —
+/// the row format of the paper's results table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupComparison {
+    /// Sizes of the original machines.
+    pub machine_sizes: Vec<usize>,
+    /// Number of crash faults to tolerate.
+    pub f: usize,
+    /// Size of the reachable cross product.
+    pub top_size: usize,
+    /// Sizes of the generated fusion machines.
+    pub fusion_sizes: Vec<usize>,
+}
+
+impl BackupComparison {
+    /// `(∏ |Mi|)^f`.
+    pub fn replication_state_space(&self) -> u128 {
+        replication_state_space(&self.machine_sizes, self.f)
+    }
+
+    /// `∏ |Fj|`.
+    pub fn fusion_state_space(&self) -> u128 {
+        fusion_state_space(&self.fusion_sizes)
+    }
+
+    /// Ratio of replication to fusion state space (how many times smaller
+    /// the fusion backup is); `None` when the fusion state space is zero
+    /// (never happens for non-empty fusions).
+    pub fn savings_factor(&self) -> Option<f64> {
+        let fusion = self.fusion_state_space();
+        if fusion == 0 {
+            None
+        } else {
+            Some(self.replication_state_space() as f64 / fusion as f64)
+        }
+    }
+
+    /// Number of backup machines used by replication (`n · f`).
+    pub fn replication_backup_machines(&self) -> usize {
+        replication_backup_count(self.machine_sizes.len(), self.f, FaultModel::Crash)
+    }
+
+    /// Number of backup machines used by fusion (`|F|`).
+    pub fn fusion_backup_machines(&self) -> usize {
+        self.fusion_sizes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::DfsmBuilder;
+
+    fn toggle() -> Dfsm {
+        let mut b = DfsmBuilder::new("toggle");
+        b.add_states(["off", "on"]);
+        b.set_initial("off");
+        b.add_transition("off", "press", "on");
+        b.add_transition("on", "press", "off");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn copies_and_backup_counts_match_paper() {
+        assert_eq!(FaultModel::Crash.copies_per_machine(2), 2);
+        assert_eq!(FaultModel::Byzantine.copies_per_machine(2), 4);
+        // "To tolerate two crash faults in three DFSMs, a replication based
+        // technique needs two copies of each ... resulting in six backups."
+        assert_eq!(replication_backup_count(3, 2, FaultModel::Crash), 6);
+        assert_eq!(replication_backup_count(3, 2, FaultModel::Byzantine), 12);
+    }
+
+    #[test]
+    fn state_space_formulas_match_table_rows() {
+        // Row 1 of the paper's table: machines of sizes 4, 3, 3, 8 with
+        // f = 2 give a replication state space of 82944.
+        assert_eq!(replication_state_space(&[4, 3, 3, 8], 2), 82944);
+        // Row 2: sizes 2,2,2,4,4 with f = 3 → 2097152.
+        assert_eq!(replication_state_space(&[2, 2, 2, 4, 4], 3), 2_097_152);
+        // Row 3: sizes 3,3,3,3,3 with f = 2 → 59049.
+        assert_eq!(replication_state_space(&[3, 3, 3, 3, 3], 2), 59_049);
+        // Row 4: sizes 4,11,3,3 with f = 1 → 396.
+        assert_eq!(replication_state_space(&[4, 11, 3, 3], 1), 396);
+        // Row 5: sizes 4,11,3,3 with f = 2 → 156816.
+        assert_eq!(replication_state_space(&[4, 11, 3, 3], 2), 156_816);
+        // Fusion column examples: [39, 39] → 1521, [85] → 85.
+        assert_eq!(fusion_state_space(&[39, 39]), 1521);
+        assert_eq!(fusion_state_space(&[85]), 85);
+        assert_eq!(fusion_state_space(&[]), 1);
+    }
+
+    #[test]
+    fn total_states_metric() {
+        assert_eq!(
+            replication_total_states(&[4, 3, 3, 8], 2, FaultModel::Crash),
+            36
+        );
+        assert_eq!(
+            replication_total_states(&[4, 3, 3, 8], 1, FaultModel::Byzantine),
+            36
+        );
+    }
+
+    #[test]
+    fn crash_replica_recovery_takes_any_survivor() {
+        let rs = ReplicaSet::new(toggle(), 2, FaultModel::Crash);
+        assert_eq!(rs.copies(), 2);
+        assert_eq!(rs.model(), FaultModel::Crash);
+        assert_eq!(rs.machine().name(), "toggle");
+        assert_eq!(rs.recover(&[None, Some(1), Some(1)]).unwrap(), 1);
+        assert!(rs.recover(&[None, None, None]).is_err());
+        assert!(rs.recover(&[Some(5)]).is_err());
+    }
+
+    #[test]
+    fn byzantine_replica_recovery_needs_majority() {
+        let rs = ReplicaSet::new(toggle(), 1, FaultModel::Byzantine);
+        assert_eq!(rs.copies(), 2);
+        // One liar among three reports is outvoted.
+        assert_eq!(rs.recover(&[Some(0), Some(1), Some(0)]).unwrap(), 0);
+        // A tie is ambiguous.
+        assert!(matches!(
+            rs.recover(&[Some(0), Some(1)]),
+            Err(FusionError::AmbiguousRecovery { .. })
+        ));
+    }
+
+    #[test]
+    fn comparison_struct_reports_savings() {
+        let cmp = BackupComparison {
+            machine_sizes: vec![3, 3],
+            f: 1,
+            top_size: 9,
+            fusion_sizes: vec![3],
+        };
+        assert_eq!(cmp.replication_state_space(), 9);
+        assert_eq!(cmp.fusion_state_space(), 3);
+        assert_eq!(cmp.savings_factor(), Some(3.0));
+        assert_eq!(cmp.replication_backup_machines(), 2);
+        assert_eq!(cmp.fusion_backup_machines(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Named machine sets, including the five rows of the paper's evaluation
+//! table (Section 6).
+//!
+//! The paper's table lists which machines make up each row but not their
+//! exact event encodings; the sizes of the individual machines are implied
+//! by the replication column (`(∏|Mi|)^f`).  The sets below use machines of
+//! exactly those sizes: MESI (4), TCP (11), mod-3 counters (3), parity
+//! checkers (2), toggle switch (2), pattern generator (4), 3-bit shift
+//! register (8), divider (3), and the Figure-2 machines A and B (3 each).
+
+use fsm_dfsm::Dfsm;
+
+use crate::counters::{one_counter_mod3, zero_counter_mod3};
+use crate::figures::{fig2_machine_a, fig2_machine_b};
+use crate::mesi::mesi;
+use crate::parity::{even_parity_checker, odd_parity_checker, toggle_switch};
+use crate::sequential::{divider, pattern_generator_4state, shift_register};
+use crate::tcp::tcp;
+
+/// A named machine set plus the fault count used for its table row.
+#[derive(Debug, Clone)]
+pub struct MachineSet {
+    /// The label used in the paper's table (e.g. "MESI, TCP, A, B").
+    pub label: String,
+    /// The machines, in table order.
+    pub machines: Vec<Dfsm>,
+    /// The number of crash faults the row tolerates.
+    pub f: usize,
+}
+
+impl MachineSet {
+    /// Sizes of the machines in the set.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.machines.iter().map(|m| m.size()).collect()
+    }
+
+    /// Product of the machine sizes (the basis of the replication column).
+    pub fn size_product(&self) -> u128 {
+        self.machines.iter().map(|m| m.size() as u128).product()
+    }
+}
+
+/// Table row 1: MESI, 1-Counter, 0-Counter, Shift Register; `f = 2`.
+pub fn table1_row1() -> MachineSet {
+    MachineSet {
+        label: "MESI, 1-Counter, 0-Counter, Shift Register".into(),
+        machines: vec![
+            mesi(),
+            one_counter_mod3(),
+            zero_counter_mod3(),
+            shift_register(3),
+        ],
+        f: 2,
+    }
+}
+
+/// Table row 2: Even Parity, Odd Parity Checker, Toggle Switch, Pattern
+/// Generator, MESI; `f = 3`.
+pub fn table1_row2() -> MachineSet {
+    MachineSet {
+        label: "Even Parity, Odd Parity, Toggle, Pattern Gen, MESI".into(),
+        machines: vec![
+            even_parity_checker(),
+            odd_parity_checker(),
+            toggle_switch(),
+            pattern_generator_4state(),
+            mesi(),
+        ],
+        f: 3,
+    }
+}
+
+/// Table row 3: 1-Counter, 0-Counter, Divider, A, B; `f = 2`.
+pub fn table1_row3() -> MachineSet {
+    MachineSet {
+        label: "1-Counter, 0-Counter, Divider, A, B".into(),
+        machines: vec![
+            one_counter_mod3(),
+            zero_counter_mod3(),
+            divider(3),
+            fig2_machine_a(),
+            fig2_machine_b(),
+        ],
+        f: 2,
+    }
+}
+
+/// Table row 4: MESI, TCP, A, B; `f = 1`.
+pub fn table1_row4() -> MachineSet {
+    MachineSet {
+        label: "MESI, TCP, A, B".into(),
+        machines: vec![mesi(), tcp(), fig2_machine_a(), fig2_machine_b()],
+        f: 1,
+    }
+}
+
+/// Table row 5: Pattern Generator, TCP, A, B; `f = 2`.
+pub fn table1_row5() -> MachineSet {
+    MachineSet {
+        label: "Pattern Generator, TCP, A, B".into(),
+        machines: vec![
+            pattern_generator_4state(),
+            tcp(),
+            fig2_machine_a(),
+            fig2_machine_b(),
+        ],
+        f: 2,
+    }
+}
+
+/// All five table rows, in order.
+pub fn table1_rows() -> Vec<MachineSet> {
+    vec![
+        table1_row1(),
+        table1_row2(),
+        table1_row3(),
+        table1_row4(),
+        table1_row5(),
+    ]
+}
+
+/// Looks up a machine from this crate's library by name (case-insensitive).
+/// Useful for CLI tools and examples.
+pub fn machine_by_name(name: &str) -> Option<Dfsm> {
+    match name.to_ascii_lowercase().as_str() {
+        "mesi" => Some(mesi()),
+        "tcp" => Some(tcp()),
+        "0-counter" | "zero-counter" => Some(zero_counter_mod3()),
+        "1-counter" | "one-counter" => Some(one_counter_mod3()),
+        "even-parity" => Some(even_parity_checker()),
+        "odd-parity" => Some(odd_parity_checker()),
+        "toggle" | "toggle-switch" => Some(toggle_switch()),
+        "pattern" | "pattern-generator" => Some(pattern_generator_4state()),
+        "shift-register" => Some(shift_register(3)),
+        "divider" => Some(divider(3)),
+        "a" | "fig2-a" => Some(fig2_machine_a()),
+        "b" | "fig2-b" => Some(fig2_machine_b()),
+        _ => None,
+    }
+}
+
+/// The names accepted by [`machine_by_name`], for help output.
+pub fn machine_names() -> Vec<&'static str> {
+    vec![
+        "mesi",
+        "tcp",
+        "0-counter",
+        "1-counter",
+        "even-parity",
+        "odd-parity",
+        "toggle",
+        "pattern-generator",
+        "shift-register",
+        "divider",
+        "a",
+        "b",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_have_the_sizes_implied_by_the_paper() {
+        // The replication column of the paper's table is (∏|Mi|)^f; check
+        // that our machine sizes reproduce the paper's products.
+        let rows = table1_rows();
+        assert_eq!(rows[0].sizes(), vec![4, 3, 3, 8]);
+        assert_eq!(rows[0].size_product(), 288);
+        assert_eq!(rows[0].f, 2);
+
+        assert_eq!(rows[1].sizes(), vec![2, 2, 2, 4, 4]);
+        assert_eq!(rows[1].size_product(), 128);
+        assert_eq!(rows[1].f, 3);
+
+        assert_eq!(rows[2].sizes(), vec![3, 3, 3, 3, 3]);
+        assert_eq!(rows[2].size_product(), 243);
+        assert_eq!(rows[2].f, 2);
+
+        assert_eq!(rows[3].sizes(), vec![4, 11, 3, 3]);
+        assert_eq!(rows[3].size_product(), 396);
+        assert_eq!(rows[3].f, 1);
+
+        assert_eq!(rows[4].sizes(), vec![4, 11, 3, 3]);
+        assert_eq!(rows[4].size_product(), 396);
+        assert_eq!(rows[4].f, 2);
+    }
+
+    #[test]
+    fn replication_column_matches_paper_exactly() {
+        // (∏|Mi|)^f for each row must equal the numbers printed in the
+        // paper: 82944, 2097152, 59049, 396, 156816.
+        let expected = [82_944u128, 2_097_152, 59_049, 396, 156_816];
+        for (row, &want) in table1_rows().iter().zip(expected.iter()) {
+            let got = row.size_product().pow(row.f as u32);
+            assert_eq!(got, want, "row `{}`", row.label);
+        }
+    }
+
+    #[test]
+    fn every_row_machine_is_valid_and_reachable() {
+        for row in table1_rows() {
+            for m in &row.machines {
+                assert!(m.validate().is_ok(), "{}", m.name());
+                assert!(m.all_reachable(), "{}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn machine_by_name_lookup() {
+        assert_eq!(machine_by_name("MESI").unwrap().size(), 4);
+        assert_eq!(machine_by_name("tcp").unwrap().size(), 11);
+        assert_eq!(machine_by_name("shift-register").unwrap().size(), 8);
+        assert!(machine_by_name("nonexistent").is_none());
+        for name in machine_names() {
+            assert!(machine_by_name(name).is_some(), "{name}");
+        }
+    }
+}

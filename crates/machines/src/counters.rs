@@ -1,0 +1,223 @@
+//! Modulo counters (the paper's Figure 1 and several table rows).
+//!
+//! A *mod-k event counter* counts occurrences of one particular event modulo
+//! `k`, ignoring (self-looping on) every other event in its alphabet.  The
+//! paper's Figure 1 uses a mod-3 counter of `0`s (machine `A`) and a mod-3
+//! counter of `1`s (machine `B`); their hand-derived fusions are the
+//! `(n0 + n1) mod 3` and `(n0 − n1) mod 3` counters, which this module also
+//! provides for cross-checking the generator.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+/// Builds a mod-`modulus` counter named `name` that counts occurrences of
+/// `counted_event`.  Every event in `alphabet` is part of the machine's
+/// alphabet; events other than `counted_event` self-loop.
+///
+/// State `i` means "`counted_event` has been seen `i (mod modulus)` times".
+pub fn mod_counter(name: &str, modulus: usize, counted_event: &str, alphabet: &[&str]) -> Dfsm {
+    assert!(modulus >= 1, "a counter needs at least one state");
+    let mut b = DfsmBuilder::new(name);
+    for i in 0..modulus {
+        b.add_state_with_output(format!("{name}{i}"), i.to_string());
+    }
+    b.set_initial(format!("{name}0"));
+    for i in 0..modulus {
+        for &ev in alphabet {
+            let target = if ev == counted_event {
+                (i + 1) % modulus
+            } else {
+                i
+            };
+            b.add_transition(format!("{name}{i}"), ev, format!("{name}{target}"));
+        }
+    }
+    if !alphabet.contains(&counted_event) {
+        for i in 0..modulus {
+            b.add_transition(
+                format!("{name}{i}"),
+                counted_event,
+                format!("{name}{}", (i + 1) % modulus),
+            );
+        }
+    }
+    b.build().expect("counter construction is always valid")
+}
+
+/// The paper's machine `A`: a mod-3 counter of `0` events over the binary
+/// alphabet (Fig. 1(i)).
+pub fn zero_counter_mod3() -> Dfsm {
+    mod_counter("0-Counter", 3, "0", &["0", "1"])
+}
+
+/// The paper's machine `B`: a mod-3 counter of `1` events over the binary
+/// alphabet (Fig. 1(ii)).
+pub fn one_counter_mod3() -> Dfsm {
+    mod_counter("1-Counter", 3, "1", &["0", "1"])
+}
+
+/// A mod-`modulus` counter of `0` events over the binary alphabet.
+pub fn zero_counter(modulus: usize) -> Dfsm {
+    mod_counter("0-Counter", modulus, "0", &["0", "1"])
+}
+
+/// A mod-`modulus` counter of `1` events over the binary alphabet.
+pub fn one_counter(modulus: usize) -> Dfsm {
+    mod_counter("1-Counter", modulus, "1", &["0", "1"])
+}
+
+/// The `(n0 + n1) mod k` counter — the fusion machine `F1` of Fig. 1(iv)
+/// when `k = 3`.  It advances on *both* binary events.
+pub fn sum_counter(modulus: usize) -> Dfsm {
+    let mut b = DfsmBuilder::new("SumCounter");
+    for i in 0..modulus {
+        b.add_state_with_output(format!("f{i}"), i.to_string());
+    }
+    b.set_initial("f0");
+    for i in 0..modulus {
+        for ev in ["0", "1"] {
+            b.add_transition(format!("f{i}"), ev, format!("f{}", (i + 1) % modulus));
+        }
+    }
+    b.build().expect("sum counter construction is always valid")
+}
+
+/// The `(n0 − n1) mod k` counter — the fusion machine `F2` of Fig. 1(v)
+/// when `k = 3`.  It advances on `0` events and retreats on `1` events.
+pub fn difference_counter(modulus: usize) -> Dfsm {
+    let mut b = DfsmBuilder::new("DiffCounter");
+    for i in 0..modulus {
+        b.add_state_with_output(format!("g{i}"), i.to_string());
+    }
+    b.set_initial("g0");
+    for i in 0..modulus {
+        b.add_transition(format!("g{i}"), "0", format!("g{}", (i + 1) % modulus));
+        b.add_transition(
+            format!("g{i}"),
+            "1",
+            format!("g{}", (i + modulus - 1) % modulus),
+        );
+    }
+    b.build()
+        .expect("difference counter construction is always valid")
+}
+
+/// A generic event counter over an arbitrary alphabet, counting every event
+/// whose name is in `counted` (useful for sensor-network style workloads
+/// where a sensor counts a class of observations).
+pub fn multi_event_counter(name: &str, modulus: usize, counted: &[&str], alphabet: &[&str]) -> Dfsm {
+    let mut b = DfsmBuilder::new(name);
+    for i in 0..modulus {
+        b.add_state_with_output(format!("{name}{i}"), i.to_string());
+    }
+    b.set_initial(format!("{name}0"));
+    for i in 0..modulus {
+        for &ev in alphabet {
+            let target = if counted.contains(&ev) {
+                (i + 1) % modulus
+            } else {
+                i
+            };
+            b.add_transition(format!("{name}{i}"), ev, format!("{name}{target}"));
+        }
+    }
+    b.build().expect("counter construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::Event;
+
+    fn word(s: &str) -> Vec<Event> {
+        s.chars().map(|c| Event::new(c.to_string())).collect()
+    }
+
+    #[test]
+    fn zero_counter_counts_zeros_mod3() {
+        let m = zero_counter_mod3();
+        assert_eq!(m.size(), 3);
+        // 4 zeros, 2 ones → state index 1.
+        let w = word("001010");
+        assert_eq!(m.run(w.iter()).index(), 4 % 3);
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn one_counter_counts_ones_mod3() {
+        let m = one_counter_mod3();
+        let w = word("0110111");
+        assert_eq!(m.run(w.iter()).index(), 5 % 3);
+    }
+
+    #[test]
+    fn sum_counter_counts_all_events() {
+        let m = sum_counter(3);
+        let w = word("0101101");
+        assert_eq!(m.run(w.iter()).index(), 7 % 3);
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn difference_counter_tracks_n0_minus_n1() {
+        let m = difference_counter(3);
+        // n0 = 2, n1 = 4 → (2 - 4) mod 3 = 1.
+        let w = word("011011");
+        assert_eq!(m.run(w.iter()).index(), 1);
+    }
+
+    #[test]
+    fn fusion_identity_holds_pointwise() {
+        // For every word, state(A) + state(B) ≡ state(F1) (mod 3) and
+        // state(A) − state(B) ≡ state(F2) (mod 3): the algebra behind Fig. 1.
+        let a = zero_counter_mod3();
+        let b = one_counter_mod3();
+        let f1 = sum_counter(3);
+        let f2 = difference_counter(3);
+        for w in ["", "0", "1", "0101", "111000111", "0011010110"] {
+            let w = word(w);
+            let sa = a.run(w.iter()).index();
+            let sb = b.run(w.iter()).index();
+            assert_eq!((sa + sb) % 3, f1.run(w.iter()).index(), "word {w:?}");
+            assert_eq!((sa + 3 - sb) % 3, f2.run(w.iter()).index(), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn generic_mod_counter_respects_modulus() {
+        for k in 1..6 {
+            let m = mod_counter("c", k, "x", &["x", "y"]);
+            assert_eq!(m.size(), k);
+            let w: Vec<Event> = std::iter::repeat(Event::new("x")).take(2 * k + 1).collect();
+            assert_eq!(m.run(w.iter()).index(), 1 % k);
+        }
+    }
+
+    #[test]
+    fn counted_event_added_to_alphabet_if_missing() {
+        let m = mod_counter("c", 4, "tick", &["noise"]);
+        assert!(m.alphabet().contains(&Event::new("tick")));
+        assert!(m.alphabet().contains(&Event::new("noise")));
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn multi_event_counter_counts_selected_events() {
+        let m = multi_event_counter("heat", 3, &["hot", "warm"], &["hot", "warm", "cold"]);
+        let w: Vec<Event> = ["hot", "cold", "warm", "hot"]
+            .iter()
+            .map(|s| Event::new(*s))
+            .collect();
+        assert_eq!(m.run(w.iter()).index(), 3 % 3);
+    }
+
+    #[test]
+    fn outputs_label_the_count() {
+        let m = zero_counter_mod3();
+        for i in 0..3 {
+            assert_eq!(
+                m.states()[i].output.as_deref(),
+                Some(i.to_string().as_str())
+            );
+        }
+    }
+}

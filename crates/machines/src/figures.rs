@@ -1,0 +1,167 @@
+//! The concrete machines of the paper's running examples (Figures 1–5).
+//!
+//! * Figure 1: the mod-3 counters `A` (0-counter) and `B` (1-counter), their
+//!   9-state reachable cross product, and the hand-derived fusions
+//!   `F1 = (n0 + n1) mod 3` and `F2 = (n0 − n1) mod 3`.
+//! * Figures 2/3/5: two 3-state machines `A` and `B` whose reachable cross
+//!   product has only 4 states, giving a small closed-partition lattice.
+//!   The paper's drawing is not fully specified in the text, so this is a
+//!   faithful reconstruction with the same headline properties: `|A| = |B| =
+//!   3`, `|R({A,B})| = 4`, machine `A`'s set representation is
+//!   `{t0,t3}, {t1}, {t2}` (Fig. 5), and `dmin({A,B}) = 1`.
+//!
+//! The exact machines are exposed so tests, examples and the `figures`
+//! binary can reproduce the paper's walk-through numbers.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+use crate::counters::{difference_counter, one_counter_mod3, sum_counter, zero_counter_mod3};
+
+/// Figure 1(i): machine `A`, the mod-3 counter of `0` events.
+pub fn fig1_machine_a() -> Dfsm {
+    zero_counter_mod3().renamed("A")
+}
+
+/// Figure 1(ii): machine `B`, the mod-3 counter of `1` events.
+pub fn fig1_machine_b() -> Dfsm {
+    one_counter_mod3().renamed("B")
+}
+
+/// Figure 1(iv): the fusion `F1`, counting `(n0 + n1) mod 3`.
+pub fn fig1_fusion_f1() -> Dfsm {
+    sum_counter(3).renamed("F1")
+}
+
+/// Figure 1(v): the fusion `F2`, counting `(n0 − n1) mod 3`.
+pub fn fig1_fusion_f2() -> Dfsm {
+    difference_counter(3).renamed("F2")
+}
+
+/// Both Figure 1 original machines, in order.
+pub fn fig1_machines() -> Vec<Dfsm> {
+    vec![fig1_machine_a(), fig1_machine_b()]
+}
+
+/// Figure 2(i): machine `A` of the small lattice example — three states
+/// `a0, a1, a2` over the binary alphabet.
+pub fn fig2_machine_a() -> Dfsm {
+    let mut b = DfsmBuilder::new("A");
+    b.add_states(["a0", "a1", "a2"]);
+    b.set_initial("a0");
+    // event 0: a0→a1, a1→a2, a2→a1
+    b.add_transition("a0", "0", "a1");
+    b.add_transition("a1", "0", "a2");
+    b.add_transition("a2", "0", "a1");
+    // event 1: a0→a0, a1→a2, a2→a0
+    b.add_transition("a0", "1", "a0");
+    b.add_transition("a1", "1", "a2");
+    b.add_transition("a2", "1", "a0");
+    b.build().expect("fig2 machine A construction is always valid")
+}
+
+/// Figure 2(ii): machine `B` of the small lattice example — three states
+/// `b0, b1, b2` over the binary alphabet.
+pub fn fig2_machine_b() -> Dfsm {
+    let mut b = DfsmBuilder::new("B");
+    b.add_states(["b0", "b1", "b2"]);
+    b.set_initial("b0");
+    // event 0: b0→b1, b1→b2, b2→b1
+    b.add_transition("b0", "0", "b1");
+    b.add_transition("b1", "0", "b2");
+    b.add_transition("b2", "0", "b1");
+    // event 1: b0→b2, b1→b2, b2→b0
+    b.add_transition("b0", "1", "b2");
+    b.add_transition("b1", "1", "b2");
+    b.add_transition("b2", "1", "b0");
+    b.build().expect("fig2 machine B construction is always valid")
+}
+
+/// Both Figure 2 machines, in order.
+pub fn fig2_machines() -> Vec<Dfsm> {
+    vec![fig2_machine_a(), fig2_machine_b()]
+}
+
+/// The 4-state reachable cross product of the Figure 2 machines, built
+/// directly (Figure 2(iii) / the `⊤` of Figure 3), with states named
+/// `t0..t3` as in the paper's lattice figure.
+pub fn fig3_top() -> Dfsm {
+    let mut b = DfsmBuilder::new("top");
+    b.add_states(["t0", "t1", "t2", "t3"]);
+    b.set_initial("t0");
+    b.add_transition("t0", "0", "t1");
+    b.add_transition("t1", "0", "t2");
+    b.add_transition("t2", "0", "t1");
+    b.add_transition("t3", "0", "t1");
+    b.add_transition("t0", "1", "t3");
+    b.add_transition("t1", "1", "t2");
+    b.add_transition("t2", "1", "t0");
+    b.add_transition("t3", "1", "t0");
+    b.build().expect("fig3 top construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::{are_isomorphic, Event, ReachableProduct};
+
+    fn word(s: &str) -> Vec<Event> {
+        s.chars().map(|c| Event::new(c.to_string())).collect()
+    }
+
+    #[test]
+    fn fig1_cross_product_has_nine_states() {
+        let p = ReachableProduct::new(&fig1_machines()).unwrap();
+        assert_eq!(p.size(), 9);
+    }
+
+    #[test]
+    fn fig1_fusions_satisfy_their_defining_identities() {
+        let a = fig1_machine_a();
+        let b = fig1_machine_b();
+        let f1 = fig1_fusion_f1();
+        let f2 = fig1_fusion_f2();
+        for w in ["", "0", "1", "0110", "000111000", "10101101"] {
+            let w = word(w);
+            let sa = a.run(w.iter()).index();
+            let sb = b.run(w.iter()).index();
+            assert_eq!(f1.run(w.iter()).index(), (sa + sb) % 3);
+            assert_eq!(f2.run(w.iter()).index(), (sa + 3 - sb) % 3);
+        }
+    }
+
+    #[test]
+    fn fig2_cross_product_has_four_states() {
+        let machines = fig2_machines();
+        let p = ReachableProduct::new(&machines).unwrap();
+        assert_eq!(p.size(), 4, "Fig. 2 reports a 4-state reachable product");
+        // And it is isomorphic to the hand-written fig3_top.
+        assert!(are_isomorphic(p.top(), &fig3_top()));
+    }
+
+    #[test]
+    fn fig5_set_representation_of_a() {
+        // Fig. 5: states a0, a1, a2 of A are represented by the sets
+        // {t0,t3}, {t1}, {t2} of top states.
+        let machines = fig2_machines();
+        let p = ReachableProduct::new(&machines).unwrap();
+        // Identify which product states correspond to t0..t3 of fig3_top by
+        // the isomorphism, then check the projection of A groups them as
+        // {t0,t3},{t1},{t2}.
+        let iso = fsm_dfsm::isomorphism(&fig3_top(), p.top()).unwrap();
+        let a_of = |t: usize| p.component_state(iso[t], 0).index();
+        assert_eq!(a_of(0), a_of(3));
+        assert_ne!(a_of(0), a_of(1));
+        assert_ne!(a_of(0), a_of(2));
+        assert_ne!(a_of(1), a_of(2));
+    }
+
+    #[test]
+    fn fig2_machines_are_fully_reachable_and_small() {
+        for m in fig2_machines() {
+            assert_eq!(m.size(), 3);
+            assert!(m.all_reachable());
+            assert_eq!(m.alphabet().len(), 2);
+        }
+        assert!(fig3_top().all_reachable());
+    }
+}

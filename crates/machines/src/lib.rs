@@ -1,0 +1,59 @@
+//! # fsm-machines — the DFSM library used by the paper's evaluation
+//!
+//! Concrete deterministic finite state machines for the fusion-based
+//! fault-tolerance reproduction:
+//!
+//! * [`counters`] — mod-k counters of `0`/`1` events (Fig. 1), plus the
+//!   hand-derived sum/difference fusions.
+//! * [`parity`] — even/odd parity checkers and the toggle switch.
+//! * [`sequential`] — shift registers, binary dividers and the KMP pattern
+//!   detector (the table's "pattern generator").
+//! * [`mesi`] — the MESI cache-coherence protocol.
+//! * [`tcp`] — the RFC 793 TCP connection state machine.
+//! * [`protocols`] — further controllers used as workloads: traffic light,
+//!   elevator, vending machine, stop-and-wait ARQ, sliding window, token
+//!   ring.
+//! * [`figures`] — the exact machines of the paper's Figures 1–5.
+//! * [`random`] — seeded random DFSM generation for property tests and
+//!   scaling benchmarks.
+//! * [`catalog`] — the five machine sets of the paper's results table and a
+//!   by-name machine registry.
+//!
+//! All machines follow the paper's system model: total transition functions,
+//! every state reachable from the initial state, and events outside a
+//! machine's alphabet ignored.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod counters;
+pub mod figures;
+pub mod mesi;
+pub mod parity;
+pub mod protocols;
+pub mod random;
+pub mod sequential;
+pub mod tcp;
+
+pub use catalog::{machine_by_name, machine_names, table1_rows, MachineSet};
+pub use counters::{
+    difference_counter, mod_counter, multi_event_counter, one_counter, one_counter_mod3,
+    sum_counter, zero_counter, zero_counter_mod3,
+};
+pub use figures::{
+    fig1_fusion_f1, fig1_fusion_f2, fig1_machine_a, fig1_machine_b, fig1_machines,
+    fig2_machine_a, fig2_machine_b, fig2_machines, fig3_top,
+};
+pub use mesi::{mesi, mesi_named, MESI_EVENTS};
+pub use parity::{
+    even_parity_checker, odd_parity_checker, parity_checker_for_event, toggle_switch,
+    toggle_switch_for_event,
+};
+pub use protocols::{
+    elevator, sliding_window_tracker, stop_and_wait_sender, token_ring_station, traffic_light,
+    vending_machine,
+};
+pub use random::{random_dfsm, random_machine_family, RandomDfsmConfig};
+pub use sequential::{divider, pattern_detector, pattern_generator_4state, shift_register};
+pub use tcp::{tcp, tcp_named, TCP_EVENTS};

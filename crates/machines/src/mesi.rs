@@ -1,0 +1,147 @@
+//! The MESI cache-coherence protocol as a DFSM (used throughout the paper's
+//! evaluation table).
+//!
+//! A single cache line is in one of four states — Modified, Exclusive,
+//! Shared, Invalid — and reacts to four events:
+//!
+//! | event     | meaning                                            |
+//! |-----------|----------------------------------------------------|
+//! | `pr_rd`   | the local processor reads the line                 |
+//! | `pr_wr`   | the local processor writes the line                |
+//! | `bus_rd`  | another cache reads the line (snooped bus read)    |
+//! | `bus_rdx` | another cache writes / requests exclusive ownership |
+//!
+//! The transition table is the textbook one (reads of an uncached line are
+//! assumed to find no other sharer and install the line Exclusive; a snooped
+//! `bus_rdx` always invalidates).  The paper does not publish its exact MESI
+//! encoding, so this standard version is our substitution — it has the same
+//! four states the table reports.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+/// The names of the four MESI events, in a canonical order.
+pub const MESI_EVENTS: [&str; 4] = ["pr_rd", "pr_wr", "bus_rd", "bus_rdx"];
+
+/// Builds the 4-state MESI cache line controller.
+pub fn mesi() -> Dfsm {
+    let mut b = DfsmBuilder::new("MESI");
+    b.add_state_with_output("I", "invalid");
+    b.add_state_with_output("E", "exclusive");
+    b.add_state_with_output("S", "shared");
+    b.add_state_with_output("M", "modified");
+    b.set_initial("I");
+
+    // Invalid
+    b.add_transition("I", "pr_rd", "E"); // read miss, no sharers → Exclusive
+    b.add_transition("I", "pr_wr", "M"); // write miss → Modified
+    b.add_transition("I", "bus_rd", "I");
+    b.add_transition("I", "bus_rdx", "I");
+
+    // Exclusive
+    b.add_transition("E", "pr_rd", "E");
+    b.add_transition("E", "pr_wr", "M"); // silent upgrade
+    b.add_transition("E", "bus_rd", "S"); // another reader appears
+    b.add_transition("E", "bus_rdx", "I");
+
+    // Shared
+    b.add_transition("S", "pr_rd", "S");
+    b.add_transition("S", "pr_wr", "M"); // upgrade (invalidate others)
+    b.add_transition("S", "bus_rd", "S");
+    b.add_transition("S", "bus_rdx", "I");
+
+    // Modified
+    b.add_transition("M", "pr_rd", "M");
+    b.add_transition("M", "pr_wr", "M");
+    b.add_transition("M", "bus_rd", "S"); // write back, keep shared copy
+    b.add_transition("M", "bus_rdx", "I"); // write back and invalidate
+
+    b.build().expect("MESI construction is always valid")
+}
+
+/// A MESI controller whose events are renamed with a per-cache suffix (e.g.
+/// `pr_rd@core0`), so several caches can coexist in one system without
+/// sharing events.
+pub fn mesi_named(instance: &str) -> Dfsm {
+    let mut b = DfsmBuilder::new(format!("MESI-{instance}"));
+    let base = mesi();
+    for s in base.states() {
+        b.add_state_info(s.clone());
+    }
+    b.set_initial("I");
+    for s in base.state_ids() {
+        for (e, ev) in base.alphabet().iter() {
+            let t = base.next(s, e);
+            b.add_transition(
+                base.state_name(s),
+                format!("{}@{}", ev.name(), instance),
+                base.state_name(t),
+            );
+        }
+    }
+    b.build().expect("renamed MESI construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::Event;
+
+    fn ev(name: &str) -> Event {
+        Event::new(name)
+    }
+
+    #[test]
+    fn mesi_has_four_states_and_four_events() {
+        let m = mesi();
+        assert_eq!(m.size(), 4);
+        assert_eq!(m.alphabet().len(), 4);
+        assert!(m.all_reachable());
+        assert_eq!(m.state_name(m.initial()), "I");
+    }
+
+    #[test]
+    fn read_miss_installs_exclusive_then_write_upgrades() {
+        let m = mesi();
+        let s = m.run([ev("pr_rd")].iter());
+        assert_eq!(m.state_name(s), "E");
+        let s = m.run([ev("pr_rd"), ev("pr_wr")].iter());
+        assert_eq!(m.state_name(s), "M");
+    }
+
+    #[test]
+    fn snooped_read_downgrades_modified_to_shared() {
+        let m = mesi();
+        let s = m.run([ev("pr_wr"), ev("bus_rd")].iter());
+        assert_eq!(m.state_name(s), "S");
+    }
+
+    #[test]
+    fn snooped_rdx_invalidates_from_every_state() {
+        let m = mesi();
+        for prefix in [vec![], vec![ev("pr_rd")], vec![ev("pr_wr")], vec![ev("pr_rd"), ev("bus_rd")]] {
+            let mut word = prefix.clone();
+            word.push(ev("bus_rdx"));
+            let s = m.run(word.iter());
+            assert_eq!(m.state_name(s), "I", "prefix {prefix:?}");
+        }
+    }
+
+    #[test]
+    fn shared_state_stays_shared_on_reads() {
+        let m = mesi();
+        let s = m.run([ev("pr_rd"), ev("bus_rd"), ev("pr_rd"), ev("bus_rd")].iter());
+        assert_eq!(m.state_name(s), "S");
+    }
+
+    #[test]
+    fn named_instance_uses_suffixed_events() {
+        let m = mesi_named("core0");
+        assert_eq!(m.size(), 4);
+        assert!(m.alphabet().contains(&ev("pr_rd@core0")));
+        assert!(!m.alphabet().contains(&ev("pr_rd")));
+        // Unsuffixed events are ignored.
+        assert_eq!(m.run([ev("pr_rd")].iter()), m.initial());
+        let s = m.run([ev("pr_wr@core0")].iter());
+        assert_eq!(m.state_name(s), "M");
+    }
+}

@@ -1,0 +1,190 @@
+//! Parity checkers and the toggle switch (table row 2 of the paper).
+//!
+//! * The **even parity checker** tracks whether the number of `1` events
+//!   seen so far is even (accepting/output state) or odd.
+//! * The **odd parity checker** is its complement: it reports the opposite
+//!   output, which makes it informationally equivalent but structurally a
+//!   distinct DFSM — exactly the kind of redundancy fusion exploits.
+//! * The **toggle switch** flips between `off` and `on` whenever its toggle
+//!   event occurs.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+/// Even parity checker over the binary alphabet: output "1" (accept) when an
+/// even number of `1`s has been seen.
+pub fn even_parity_checker() -> Dfsm {
+    parity_checker("EvenParity", true)
+}
+
+/// Odd parity checker over the binary alphabet: output "1" (accept) when an
+/// odd number of `1`s has been seen.
+pub fn odd_parity_checker() -> Dfsm {
+    parity_checker("OddParity", false)
+}
+
+fn parity_checker(name: &str, accept_even: bool) -> Dfsm {
+    let mut b = DfsmBuilder::new(name);
+    let even_out = if accept_even { "1" } else { "0" };
+    let odd_out = if accept_even { "0" } else { "1" };
+    b.add_state_with_output("even", even_out);
+    b.add_state_with_output("odd", odd_out);
+    b.set_initial("even");
+    b.add_transition("even", "1", "odd");
+    b.add_transition("odd", "1", "even");
+    b.add_transition("even", "0", "even");
+    b.add_transition("odd", "0", "odd");
+    b.build().expect("parity checker construction is always valid")
+}
+
+/// A parity checker over an arbitrary event (rather than the binary `1`).
+pub fn parity_checker_for_event(name: &str, event: &str, alphabet: &[&str]) -> Dfsm {
+    let mut b = DfsmBuilder::new(name);
+    b.add_state_with_output("even", "even");
+    b.add_state_with_output("odd", "odd");
+    b.set_initial("even");
+    for &ev in alphabet {
+        if ev == event {
+            b.add_transition("even", ev, "odd");
+            b.add_transition("odd", ev, "even");
+        } else {
+            b.add_transition("even", ev, "even");
+            b.add_transition("odd", ev, "odd");
+        }
+    }
+    if !alphabet.contains(&event) {
+        b.add_transition("even", event, "odd");
+        b.add_transition("odd", event, "even");
+    }
+    b.build().expect("parity checker construction is always valid")
+}
+
+/// The toggle switch: two states, flips on every `1` event, ignores `0`
+/// (over the shared binary alphabet, so it composes with the other
+/// table-row machines).
+pub fn toggle_switch() -> Dfsm {
+    let mut b = DfsmBuilder::new("ToggleSwitch");
+    b.add_state_with_output("off", "off");
+    b.add_state_with_output("on", "on");
+    b.set_initial("off");
+    b.add_transition("off", "1", "on");
+    b.add_transition("on", "1", "off");
+    b.add_transition("off", "0", "off");
+    b.add_transition("on", "0", "on");
+    b.build().expect("toggle switch construction is always valid")
+}
+
+/// A toggle switch driven by a dedicated event name (e.g. `"press"`),
+/// ignoring everything else in `alphabet`.
+pub fn toggle_switch_for_event(event: &str, alphabet: &[&str]) -> Dfsm {
+    let mut b = DfsmBuilder::new("ToggleSwitch");
+    b.add_state_with_output("off", "off");
+    b.add_state_with_output("on", "on");
+    b.set_initial("off");
+    for &ev in alphabet {
+        if ev == event {
+            b.add_transition("off", ev, "on");
+            b.add_transition("on", ev, "off");
+        } else {
+            b.add_transition("off", ev, "off");
+            b.add_transition("on", ev, "on");
+        }
+    }
+    if !alphabet.contains(&event) {
+        b.add_transition("off", event, "on");
+        b.add_transition("on", event, "off");
+    }
+    b.build().expect("toggle switch construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::Event;
+
+    fn word(s: &str) -> Vec<Event> {
+        s.chars().map(|c| Event::new(c.to_string())).collect()
+    }
+
+    #[test]
+    fn even_parity_tracks_ones() {
+        let m = even_parity_checker();
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.run(word("0110").iter()), m.initial()); // 2 ones → even
+        assert_ne!(m.run(word("0100").iter()), m.initial()); // 1 one → odd
+    }
+
+    #[test]
+    fn even_and_odd_checkers_disagree_on_output_but_agree_on_state() {
+        let even = even_parity_checker();
+        let odd = odd_parity_checker();
+        for w in ["", "1", "10", "111", "010101"] {
+            let w = word(w);
+            let se = even.run(w.iter());
+            let so = odd.run(w.iter());
+            // Structurally the two machines walk in lock step...
+            assert_eq!(se.index(), so.index());
+            // ...but their outputs are complementary.
+            assert_ne!(
+                even.states()[se.index()].output,
+                odd.states()[so.index()].output
+            );
+        }
+    }
+
+    #[test]
+    fn toggle_switch_flips_on_ones_only() {
+        let m = toggle_switch();
+        assert_eq!(m.run(word("0000").iter()).index(), 0);
+        assert_eq!(m.run(word("0100").iter()).index(), 1);
+        assert_eq!(m.run(word("1100").iter()).index(), 0);
+    }
+
+    #[test]
+    fn toggle_and_parity_are_informationally_equivalent() {
+        // The toggle switch's state always equals the parity of 1s — this is
+        // why their reachable cross product is small and fusion saves space.
+        let t = toggle_switch();
+        let p = even_parity_checker();
+        for w in ["", "1", "1101", "000111"] {
+            let w = word(w);
+            assert_eq!(t.run(w.iter()).index(), p.run(w.iter()).index());
+        }
+    }
+
+    #[test]
+    fn parity_checker_for_custom_event() {
+        let m = parity_checker_for_event("p", "ping", &["ping", "pong"]);
+        let w: Vec<Event> = ["ping", "pong", "ping", "ping"]
+            .iter()
+            .map(|s| Event::new(*s))
+            .collect();
+        assert_eq!(m.run(w.iter()).index(), 1); // 3 pings → odd
+        let m2 = parity_checker_for_event("p", "tick", &["other"]);
+        assert!(m2.alphabet().contains(&Event::new("tick")));
+    }
+
+    #[test]
+    fn toggle_for_custom_event() {
+        let m = toggle_switch_for_event("press", &["press", "noise"]);
+        let w: Vec<Event> = ["press", "noise", "press", "press"]
+            .iter()
+            .map(|s| Event::new(*s))
+            .collect();
+        assert_eq!(m.run(w.iter()).index(), 1);
+        let m2 = toggle_switch_for_event("flip", &[]);
+        assert_eq!(m2.alphabet().len(), 1);
+    }
+
+    #[test]
+    fn all_machines_are_fully_reachable() {
+        for m in [
+            even_parity_checker(),
+            odd_parity_checker(),
+            toggle_switch(),
+            parity_checker_for_event("p", "e", &["e", "f"]),
+            toggle_switch_for_event("t", &["t", "u"]),
+        ] {
+            assert!(m.all_reachable(), "{} has unreachable states", m.name());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Additional protocol and controller machines.
+//!
+//! The paper's evaluation uses "many practical DFSMs"; beyond the table's
+//! own machines (MESI, TCP, counters, …) this module provides further
+//! real-world controllers that are useful as fusion workloads in examples,
+//! property tests and the scaling benchmarks: a traffic light, an elevator
+//! controller, a vending machine, a stop-and-wait ARQ sender, and a
+//! sliding-window sequence tracker.  All follow the crate's conventions:
+//! total transition functions, every state reachable, events outside the
+//! alphabet ignored.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+/// A three-phase traffic light cycling Red → Green → Yellow → Red on a
+/// `tick` event, with an `emergency` event that forces Red from any phase.
+pub fn traffic_light() -> Dfsm {
+    let mut b = DfsmBuilder::new("TrafficLight");
+    b.add_states(["Red", "Green", "Yellow"]);
+    b.set_initial("Red");
+    b.add_transition("Red", "tick", "Green");
+    b.add_transition("Green", "tick", "Yellow");
+    b.add_transition("Yellow", "tick", "Red");
+    for s in ["Red", "Green", "Yellow"] {
+        b.add_transition(s, "emergency", "Red");
+    }
+    b.build().expect("traffic light construction is always valid")
+}
+
+/// An elevator controller for `floors` floors: `up` and `down` move one
+/// floor (saturating at the ends), `reset` returns to the ground floor.
+pub fn elevator(floors: usize) -> Dfsm {
+    assert!(floors >= 2, "an elevator needs at least two floors");
+    let mut b = DfsmBuilder::new("Elevator");
+    for i in 0..floors {
+        b.add_state_with_output(format!("floor{i}"), i.to_string());
+    }
+    b.set_initial("floor0");
+    for i in 0..floors {
+        let up = (i + 1).min(floors - 1);
+        let down = i.saturating_sub(1);
+        b.add_transition(format!("floor{i}"), "up", format!("floor{up}"));
+        b.add_transition(format!("floor{i}"), "down", format!("floor{down}"));
+        b.add_transition(format!("floor{i}"), "reset", "floor0");
+    }
+    b.build().expect("elevator construction is always valid")
+}
+
+/// A vending machine accepting nickels and dimes up to `price` (in cents,
+/// multiple of 5): inserting coins accumulates credit (saturating at the
+/// price), `vend` dispenses and resets when the credit suffices (otherwise
+/// it is ignored), `refund` always resets.
+pub fn vending_machine(price_cents: usize) -> Dfsm {
+    assert!(
+        price_cents >= 5 && price_cents % 5 == 0,
+        "price must be a positive multiple of 5 cents"
+    );
+    let steps = price_cents / 5;
+    let mut b = DfsmBuilder::new("VendingMachine");
+    for i in 0..=steps {
+        b.add_state_with_output(format!("credit{}", i * 5), (i * 5).to_string());
+    }
+    b.set_initial("credit0");
+    for i in 0..=steps {
+        let nickel = (i + 1).min(steps);
+        let dime = (i + 2).min(steps);
+        b.add_transition(format!("credit{}", i * 5), "nickel", format!("credit{}", nickel * 5));
+        b.add_transition(format!("credit{}", i * 5), "dime", format!("credit{}", dime * 5));
+        b.add_transition(format!("credit{}", i * 5), "refund", "credit0");
+        let vend_target = if i == steps { "credit0".to_string() } else { format!("credit{}", i * 5) };
+        b.add_transition(format!("credit{}", i * 5), "vend", vend_target);
+    }
+    b.build().expect("vending machine construction is always valid")
+}
+
+/// A stop-and-wait ARQ sender with a 1-bit sequence number: it alternates
+/// between "ready to send frame 0/1" and "waiting for ack 0/1"; the right
+/// ack advances the sequence number, the wrong ack or a timeout leaves it
+/// waiting (it would retransmit).
+pub fn stop_and_wait_sender() -> Dfsm {
+    let mut b = DfsmBuilder::new("StopAndWaitSender");
+    b.complete_missing_with_self_loops();
+    b.add_states(["ready0", "wait0", "ready1", "wait1"]);
+    b.set_initial("ready0");
+    for ev in ["send", "ack0", "ack1", "timeout"] {
+        b.add_event(ev);
+    }
+    b.add_transition("ready0", "send", "wait0");
+    b.add_transition("wait0", "ack0", "ready1");
+    b.add_transition("ready1", "send", "wait1");
+    b.add_transition("wait1", "ack1", "ready0");
+    // Wrong acks and timeouts self-loop (the builder fills them in).
+    b.build().expect("stop-and-wait construction is always valid")
+}
+
+/// A sliding-window sequence tracker: it records the next expected sequence
+/// number modulo `window`, advancing on `deliver`, staying put on
+/// `duplicate`, and resynchronizing to 0 on `resync`.
+pub fn sliding_window_tracker(window: usize) -> Dfsm {
+    assert!(window >= 2, "a sliding window needs at least two sequence numbers");
+    let mut b = DfsmBuilder::new("SlidingWindow");
+    for i in 0..window {
+        b.add_state_with_output(format!("expect{i}"), i.to_string());
+    }
+    b.set_initial("expect0");
+    for i in 0..window {
+        b.add_transition(format!("expect{i}"), "deliver", format!("expect{}", (i + 1) % window));
+        b.add_transition(format!("expect{i}"), "duplicate", format!("expect{i}"));
+        b.add_transition(format!("expect{i}"), "resync", "expect0");
+    }
+    b.build().expect("sliding window construction is always valid")
+}
+
+/// A token-ring station: it is either `idle`, `has_token`, or `transmitting`;
+/// `token_arrives` grants the token, `start_tx` begins transmitting (only
+/// with the token), `release` passes the token on from either active state.
+pub fn token_ring_station() -> Dfsm {
+    let mut b = DfsmBuilder::new("TokenRingStation");
+    b.complete_missing_with_self_loops();
+    b.add_states(["idle", "has_token", "transmitting"]);
+    b.set_initial("idle");
+    for ev in ["token_arrives", "start_tx", "release"] {
+        b.add_event(ev);
+    }
+    b.add_transition("idle", "token_arrives", "has_token");
+    b.add_transition("has_token", "start_tx", "transmitting");
+    b.add_transition("has_token", "release", "idle");
+    b.add_transition("transmitting", "release", "idle");
+    b.build().expect("token ring construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::Event;
+    use fsm_fusion_core_test_support::*;
+
+    /// Minimal local test support so these tests don't depend on the fusion
+    /// crate (which would create a dependency cycle).
+    mod fsm_fusion_core_test_support {
+        use fsm_dfsm::{Dfsm, Event};
+        pub fn run(m: &Dfsm, events: &[&str]) -> String {
+            let events: Vec<Event> = events.iter().map(|e| Event::new(*e)).collect();
+            m.state_name(m.run(events.iter())).to_string()
+        }
+    }
+
+    #[test]
+    fn traffic_light_cycles_and_handles_emergency() {
+        let m = traffic_light();
+        assert_eq!(m.size(), 3);
+        assert_eq!(run(&m, &["tick"]), "Green");
+        assert_eq!(run(&m, &["tick", "tick"]), "Yellow");
+        assert_eq!(run(&m, &["tick", "tick", "tick"]), "Red");
+        assert_eq!(run(&m, &["tick", "emergency"]), "Red");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn elevator_moves_between_floors_saturating() {
+        let m = elevator(4);
+        assert_eq!(m.size(), 4);
+        assert_eq!(run(&m, &["up", "up"]), "floor2");
+        assert_eq!(run(&m, &["up", "up", "up", "up", "up"]), "floor3");
+        assert_eq!(run(&m, &["down"]), "floor0");
+        assert_eq!(run(&m, &["up", "up", "reset"]), "floor0");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two floors")]
+    fn elevator_rejects_single_floor() {
+        elevator(1);
+    }
+
+    #[test]
+    fn vending_machine_accumulates_and_vends() {
+        let m = vending_machine(25);
+        assert_eq!(m.size(), 6); // 0,5,10,15,20,25
+        assert_eq!(run(&m, &["dime", "dime"]), "credit20");
+        // Not enough credit: vend is ignored.
+        assert_eq!(run(&m, &["dime", "vend"]), "credit10");
+        // Enough credit: vend resets.
+        assert_eq!(run(&m, &["dime", "dime", "nickel", "vend"]), "credit0");
+        // Credit saturates at the price.
+        assert_eq!(run(&m, &["dime", "dime", "dime", "dime"]), "credit25");
+        assert_eq!(run(&m, &["dime", "refund"]), "credit0");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn stop_and_wait_alternates_sequence_numbers() {
+        let m = stop_and_wait_sender();
+        assert_eq!(m.size(), 4);
+        assert_eq!(run(&m, &["send"]), "wait0");
+        assert_eq!(run(&m, &["send", "ack1"]), "wait0"); // wrong ack ignored
+        assert_eq!(run(&m, &["send", "timeout"]), "wait0"); // retransmit
+        assert_eq!(run(&m, &["send", "ack0"]), "ready1");
+        assert_eq!(run(&m, &["send", "ack0", "send", "ack1"]), "ready0");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn sliding_window_tracks_expected_sequence() {
+        let m = sliding_window_tracker(8);
+        assert_eq!(m.size(), 8);
+        let deliveries = vec!["deliver"; 11];
+        assert_eq!(run(&m, &deliveries), "expect3");
+        assert_eq!(run(&m, &["deliver", "duplicate", "deliver"]), "expect2");
+        assert_eq!(run(&m, &["deliver", "deliver", "resync"]), "expect0");
+    }
+
+    #[test]
+    fn token_ring_station_lifecycle() {
+        let m = token_ring_station();
+        assert_eq!(run(&m, &["token_arrives"]), "has_token");
+        assert_eq!(run(&m, &["start_tx"]), "idle"); // cannot transmit without the token
+        assert_eq!(run(&m, &["token_arrives", "start_tx"]), "transmitting");
+        assert_eq!(run(&m, &["token_arrives", "start_tx", "release"]), "idle");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn protocol_machines_compose_into_a_fusable_set() {
+        // Sanity: the protocol machines can be composed into one reachable
+        // cross product (they use disjoint alphabets, so the product is the
+        // full product) — the fusion crate's integration tests use them as
+        // workloads.
+        let machines = vec![
+            traffic_light(),
+            stop_and_wait_sender(),
+            token_ring_station(),
+        ];
+        let product = fsm_dfsm::ReachableProduct::new(&machines).unwrap();
+        assert_eq!(product.size(), 3 * 4 * 3);
+        // Events of one machine do not move the others.
+        let s = product.top().run([Event::new("tick")].iter());
+        assert_eq!(product.component_state(s, 1), machines[1].initial());
+        assert_eq!(product.component_state(s, 2), machines[2].initial());
+    }
+}

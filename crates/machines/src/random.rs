@@ -1,0 +1,186 @@
+//! Random DFSM generation for stress tests, property tests and scaling
+//! benchmarks.
+//!
+//! The generator guarantees the paper's model assumptions: every state is
+//! reachable from the initial state (a random spanning tree is laid down
+//! first) and the transition function is total over the requested alphabet.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for random machine generation.
+#[derive(Debug, Clone)]
+pub struct RandomDfsmConfig {
+    /// Number of states.
+    pub states: usize,
+    /// Event names forming the alphabet.
+    pub alphabet: Vec<String>,
+    /// RNG seed, so benchmarks and tests are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RandomDfsmConfig {
+    fn default() -> Self {
+        RandomDfsmConfig {
+            states: 5,
+            alphabet: vec!["0".to_string(), "1".to_string()],
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random DFSM according to the configuration.
+///
+/// Construction: states `s0..s{n-1}`; state `si` (for `i > 0`) is first
+/// attached to a uniformly random earlier state by a uniformly random event
+/// (this spanning tree makes every state reachable); every remaining
+/// `(state, event)` pair then receives a uniformly random target.
+pub fn random_dfsm(name: &str, config: &RandomDfsmConfig) -> Dfsm {
+    assert!(config.states >= 1, "need at least one state");
+    assert!(!config.alphabet.is_empty(), "need at least one event");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.states;
+    let k = config.alphabet.len();
+
+    // chosen[s][e] = Some(target).
+    let mut chosen: Vec<Vec<Option<usize>>> = vec![vec![None; k]; n];
+    // Spanning tree: attach each state i>0 to a random earlier state that
+    // still has a free (state, event) slot, so no previous attachment is
+    // overwritten.  Such a state always exists: the i states before i have
+    // i·k slots and only i−1 of them are used.
+    for i in 1..n {
+        let candidates: Vec<usize> = (0..i)
+            .filter(|&p| chosen[p].iter().any(|slot| slot.is_none()))
+            .collect();
+        let parent = candidates[rng.gen_range(0..candidates.len())];
+        let free: Vec<usize> = (0..k).filter(|&e| chosen[parent][e].is_none()).collect();
+        let slot = free[rng.gen_range(0..free.len())];
+        chosen[parent][slot] = Some(i);
+    }
+    // Fill the rest randomly.
+    for row in chosen.iter_mut() {
+        for slot in row.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(rng.gen_range(0..n));
+            }
+        }
+    }
+
+    let mut b = DfsmBuilder::new(name);
+    for i in 0..n {
+        b.add_state(format!("s{i}"));
+    }
+    b.set_initial("s0");
+    for (s, row) in chosen.iter().enumerate() {
+        for (e, target) in row.iter().enumerate() {
+            b.add_transition(
+                format!("s{s}"),
+                config.alphabet[e].as_str(),
+                format!("s{}", target.expect("filled above")),
+            );
+        }
+    }
+    let m = b.build().expect("random DFSM construction is always valid");
+    debug_assert!(m.all_reachable());
+    m
+}
+
+/// Generates a family of `count` random machines over a shared alphabet,
+/// with sizes drawn from `size_range`, for use as a fusion workload.
+pub fn random_machine_family(
+    count: usize,
+    size_range: std::ops::RangeInclusive<usize>,
+    alphabet: &[&str],
+    seed: u64,
+) -> Vec<Dfsm> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let states = rng.gen_range(size_range.clone());
+            let config = RandomDfsmConfig {
+                states,
+                alphabet: alphabet.iter().map(|s| s.to_string()).collect(),
+                seed: rng.gen(),
+            };
+            random_dfsm(&format!("R{i}"), &config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dfsm_is_reachable_and_total() {
+        for seed in 0..20u64 {
+            let config = RandomDfsmConfig {
+                states: 12,
+                alphabet: vec!["a".into(), "b".into(), "c".into()],
+                seed,
+            };
+            let m = random_dfsm("r", &config);
+            assert_eq!(m.size(), 12);
+            assert_eq!(m.alphabet().len(), 3);
+            assert!(m.all_reachable(), "seed {seed}");
+            assert!(m.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn same_seed_gives_same_machine() {
+        let config = RandomDfsmConfig::default();
+        let m1 = random_dfsm("r", &config);
+        let m2 = random_dfsm("r", &config);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let a = random_dfsm(
+            "r",
+            &RandomDfsmConfig {
+                states: 8,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = random_dfsm(
+            "r",
+            &RandomDfsmConfig {
+                states: 8,
+                seed: 2,
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_state_machine() {
+        let m = random_dfsm(
+            "tiny",
+            &RandomDfsmConfig {
+                states: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.size(), 1);
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn family_has_requested_count_and_shared_alphabet() {
+        let family = random_machine_family(4, 2..=5, &["x", "y"], 7);
+        assert_eq!(family.len(), 4);
+        for m in &family {
+            assert!(m.size() >= 2 && m.size() <= 5);
+            assert_eq!(m.alphabet().len(), 2);
+            assert!(m.all_reachable());
+        }
+        // Reproducible.
+        let family2 = random_machine_family(4, 2..=5, &["x", "y"], 7);
+        assert_eq!(family, family2);
+    }
+}

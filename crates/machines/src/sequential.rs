@@ -1,0 +1,219 @@
+//! Sequential-logic machines used in the paper's evaluation table: shift
+//! registers, binary dividers and pattern detectors ("pattern generator" in
+//! the table).
+//!
+//! All of them consume the shared binary alphabet `{"0", "1"}`, so they
+//! compose with the counters and parity checkers to form the table's
+//! machine sets.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+/// A `bits`-wide shift register over the binary alphabet.  The state is the
+/// last `bits` input bits (most recent bit in the least-significant
+/// position); there are `2^bits` states.  The paper's first table row uses a
+/// 3-bit register (8 states).
+pub fn shift_register(bits: usize) -> Dfsm {
+    assert!(
+        (1..=16).contains(&bits),
+        "shift register width must be between 1 and 16 bits"
+    );
+    let size = 1usize << bits;
+    let mask = size - 1;
+    let mut b = DfsmBuilder::new("ShiftRegister");
+    for v in 0..size {
+        b.add_state_with_output(format!("r{v:0width$b}", width = bits), v.to_string());
+    }
+    b.set_initial(format!("r{:0width$b}", 0, width = bits));
+    for v in 0..size {
+        for bit in 0..2usize {
+            let next = ((v << 1) | bit) & mask;
+            b.add_transition(
+                format!("r{v:0width$b}", width = bits),
+                bit.to_string(),
+                format!("r{next:0width$b}", width = bits),
+            );
+        }
+    }
+    b.build().expect("shift register construction is always valid")
+}
+
+/// A divisibility checker ("Divider" in the table): reads a binary number
+/// most-significant-bit first and tracks its value modulo `divisor`
+/// (`divisor` states).  State `i` means "the bits read so far are ≡ i (mod
+/// divisor)"; the new state on bit `b` is `(2i + b) mod divisor`.
+pub fn divider(divisor: usize) -> Dfsm {
+    assert!(divisor >= 1, "divider needs a positive divisor");
+    let mut b = DfsmBuilder::new("Divider");
+    for i in 0..divisor {
+        b.add_state_with_output(format!("d{i}"), i.to_string());
+    }
+    b.set_initial("d0");
+    for i in 0..divisor {
+        for bit in 0..2usize {
+            let next = (2 * i + bit) % divisor;
+            b.add_transition(format!("d{i}"), bit.to_string(), format!("d{next}"));
+        }
+    }
+    b.build().expect("divider construction is always valid")
+}
+
+/// A pattern detector over the binary alphabet (the table's "Pattern
+/// Generator"): a Knuth–Morris–Pratt prefix automaton that tracks the
+/// longest prefix of `pattern` matching a suffix of the input.  It has
+/// `pattern.len() + 1` states; the `match` state is entered exactly when the
+/// last `pattern.len()` bits spell the pattern, and scanning continues from
+/// the appropriate prefix afterwards (overlapping matches are reported).
+///
+/// The paper's table row needs a 4-state pattern machine, which
+/// [`pattern_generator_4state`] provides (pattern `101`).
+pub fn pattern_detector(pattern: &str) -> Dfsm {
+    assert!(
+        !pattern.is_empty() && pattern.chars().all(|c| c == '0' || c == '1'),
+        "pattern must be a non-empty binary string"
+    );
+    let pat: Vec<u8> = pattern.bytes().map(|b| b - b'0').collect();
+    let m = pat.len();
+    // failure[i] = length of the longest proper prefix of pat[..i] that is
+    // also a suffix.
+    let mut failure = vec![0usize; m + 1];
+    for i in 1..m {
+        let mut j = failure[i];
+        while j > 0 && pat[i] != pat[j] {
+            j = failure[j];
+        }
+        if pat[i] == pat[j] {
+            j += 1;
+        }
+        failure[i + 1] = j;
+    }
+    let kmp_next = |state: usize, bit: u8| -> usize {
+        let mut s = state;
+        loop {
+            if s < m && pat[s] == bit {
+                return s + 1;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = failure[s];
+        }
+    };
+
+    let num_states = m + 1;
+    let mut b = DfsmBuilder::new("PatternGenerator");
+    for i in 0..num_states {
+        let name = if i == m { "match".to_string() } else { format!("p{i}") };
+        b.add_state_with_output(name, i.to_string());
+    }
+    b.set_initial("p0");
+    for i in 0..num_states {
+        let from = if i == m { "match".to_string() } else { format!("p{i}") };
+        for bit in 0..2u8 {
+            let next = kmp_next(i, bit);
+            let to = if next == m {
+                "match".to_string()
+            } else {
+                format!("p{next}")
+            };
+            b.add_transition(from.clone(), bit.to_string(), to);
+        }
+    }
+    b.build().expect("pattern detector construction is always valid")
+}
+
+/// The 4-state pattern machine used in the paper's table rows 2 and 5:
+/// a detector for the pattern `101` (3 prefix states plus the match state).
+pub fn pattern_generator_4state() -> Dfsm {
+    pattern_detector("101").renamed("PatternGenerator")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::Event;
+
+    fn word(s: &str) -> Vec<Event> {
+        s.chars().map(|c| Event::new(c.to_string())).collect()
+    }
+
+    #[test]
+    fn shift_register_tracks_last_bits() {
+        let m = shift_register(3);
+        assert_eq!(m.size(), 8);
+        // Feed 10110; last 3 bits = 110 = 6.
+        let s = m.run(word("10110").iter());
+        assert_eq!(m.states()[s.index()].output.as_deref(), Some("6"));
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn shift_register_width_one() {
+        let m = shift_register(1);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.run(word("0101").iter()).index() % 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 16")]
+    fn shift_register_rejects_zero_width() {
+        shift_register(0);
+    }
+
+    #[test]
+    fn divider_computes_value_mod_divisor() {
+        let m = divider(3);
+        assert_eq!(m.size(), 3);
+        // 1101 (binary) = 13; 13 mod 3 = 1.
+        let s = m.run(word("1101").iter());
+        assert_eq!(s.index(), 1);
+        // 10100 = 20; 20 mod 3 = 2.
+        assert_eq!(m.run(word("10100").iter()).index(), 2);
+    }
+
+    #[test]
+    fn divider_by_larger_numbers() {
+        for d in [2usize, 5, 7] {
+            let m = divider(d);
+            assert_eq!(m.size(), d);
+            // 110111 = 55.
+            assert_eq!(m.run(word("110111").iter()).index(), 55 % d);
+        }
+    }
+
+    #[test]
+    fn pattern_detector_finds_101() {
+        let m = pattern_detector("101");
+        assert_eq!(m.size(), 4);
+        let s = m.run(word("00101").iter());
+        assert_eq!(m.state_name(s), "match");
+        // Not matched yet.
+        let s = m.run(word("0010").iter());
+        assert_ne!(m.state_name(s), "match");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn pattern_detector_prefix_tracking_is_kmp_correct() {
+        let m = pattern_detector("1101");
+        assert_eq!(m.size(), 5);
+        // After "11011" the longest prefix of 1101 matching a suffix is "11"
+        // (length 2) because the match at position 4 consumed the text and
+        // the automaton continues from the failure state.
+        let trace = m.trace_from(m.initial(), word("11011").iter());
+        assert_eq!(m.state_name(trace[4]), "match");
+    }
+
+    #[test]
+    fn four_state_pattern_generator_matches_table_size() {
+        let m = pattern_generator_4state();
+        assert_eq!(m.size(), 4);
+        assert_eq!(m.name(), "PatternGenerator");
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary string")]
+    fn pattern_detector_rejects_non_binary() {
+        pattern_detector("10a");
+    }
+}

@@ -1,0 +1,228 @@
+//! The TCP connection state machine (RFC 793 figure 6) as a DFSM, one of
+//! the "practical DFSMs" the paper evaluates.
+//!
+//! The machine has the classical 11 states (CLOSED, LISTEN, SYN_SENT,
+//! SYN_RCVD, ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2, CLOSE_WAIT, CLOSING,
+//! LAST_ACK, TIME_WAIT) and is driven by connection-management events:
+//! application calls (`active_open`, `passive_open`, `close`, `send`),
+//! segment arrivals (`recv_syn`, `recv_syn_ack`, `recv_ack`, `recv_fin`,
+//! `recv_rst`) and the 2MSL `timeout`.
+//!
+//! The paper does not publish its exact encoding; this is the textbook
+//! diagram with two pragmatic choices documented inline: events that do not
+//! apply in a state leave the state unchanged (self-loop), and `recv_rst`
+//! aborts any synchronized or connecting state back to CLOSED.
+
+use fsm_dfsm::{Dfsm, DfsmBuilder};
+
+/// The TCP event names, in a canonical order.
+pub const TCP_EVENTS: [&str; 10] = [
+    "active_open",
+    "passive_open",
+    "send",
+    "close",
+    "recv_syn",
+    "recv_syn_ack",
+    "recv_ack",
+    "recv_fin",
+    "recv_rst",
+    "timeout",
+];
+
+/// Builds the 11-state TCP connection DFSM.
+pub fn tcp() -> Dfsm {
+    let mut b = DfsmBuilder::new("TCP");
+    // Self-loop on every unhandled (state, event) pair: TCP ignores (or at
+    // most resends) segments that do not advance the connection state.
+    b.complete_missing_with_self_loops();
+    for s in [
+        "CLOSED",
+        "LISTEN",
+        "SYN_SENT",
+        "SYN_RCVD",
+        "ESTABLISHED",
+        "FIN_WAIT_1",
+        "FIN_WAIT_2",
+        "CLOSE_WAIT",
+        "CLOSING",
+        "LAST_ACK",
+        "TIME_WAIT",
+    ] {
+        b.add_state(s);
+    }
+    b.set_initial("CLOSED");
+    for ev in TCP_EVENTS {
+        b.add_event(ev);
+    }
+
+    // Connection establishment.
+    b.add_transition("CLOSED", "active_open", "SYN_SENT");
+    b.add_transition("CLOSED", "passive_open", "LISTEN");
+    b.add_transition("LISTEN", "recv_syn", "SYN_RCVD");
+    b.add_transition("LISTEN", "send", "SYN_SENT"); // send data on a listening socket
+    b.add_transition("LISTEN", "close", "CLOSED");
+    b.add_transition("SYN_SENT", "recv_syn", "SYN_RCVD"); // simultaneous open
+    b.add_transition("SYN_SENT", "recv_syn_ack", "ESTABLISHED");
+    b.add_transition("SYN_SENT", "close", "CLOSED");
+    b.add_transition("SYN_RCVD", "recv_ack", "ESTABLISHED");
+    b.add_transition("SYN_RCVD", "close", "FIN_WAIT_1");
+
+    // Data transfer / teardown initiated locally.
+    b.add_transition("ESTABLISHED", "close", "FIN_WAIT_1");
+    b.add_transition("ESTABLISHED", "recv_fin", "CLOSE_WAIT");
+    b.add_transition("FIN_WAIT_1", "recv_ack", "FIN_WAIT_2");
+    b.add_transition("FIN_WAIT_1", "recv_fin", "CLOSING"); // simultaneous close
+    b.add_transition("FIN_WAIT_2", "recv_fin", "TIME_WAIT");
+    b.add_transition("CLOSING", "recv_ack", "TIME_WAIT");
+    b.add_transition("TIME_WAIT", "timeout", "CLOSED");
+
+    // Teardown initiated remotely.
+    b.add_transition("CLOSE_WAIT", "close", "LAST_ACK");
+    b.add_transition("LAST_ACK", "recv_ack", "CLOSED");
+
+    // Reset handling: abort to CLOSED from any non-trivial state.
+    for s in [
+        "LISTEN",
+        "SYN_SENT",
+        "SYN_RCVD",
+        "ESTABLISHED",
+        "FIN_WAIT_1",
+        "FIN_WAIT_2",
+        "CLOSE_WAIT",
+        "CLOSING",
+        "LAST_ACK",
+        "TIME_WAIT",
+    ] {
+        b.add_transition(s, "recv_rst", "CLOSED");
+    }
+
+    b.build().expect("TCP construction is always valid")
+}
+
+/// A TCP machine whose events carry a per-connection suffix, so several
+/// connections can coexist in one system without sharing events.
+pub fn tcp_named(instance: &str) -> Dfsm {
+    let base = tcp();
+    let mut b = DfsmBuilder::new(format!("TCP-{instance}"));
+    for s in base.states() {
+        b.add_state_info(s.clone());
+    }
+    b.set_initial("CLOSED");
+    for s in base.state_ids() {
+        for (e, ev) in base.alphabet().iter() {
+            let t = base.next(s, e);
+            b.add_transition(
+                base.state_name(s),
+                format!("{}@{}", ev.name(), instance),
+                base.state_name(t),
+            );
+        }
+    }
+    b.build().expect("renamed TCP construction is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::Event;
+
+    fn ev(name: &str) -> Event {
+        Event::new(name)
+    }
+
+    fn run(m: &Dfsm, events: &[&str]) -> String {
+        let events: Vec<Event> = events.iter().map(|e| ev(e)).collect();
+        m.state_name(m.run(events.iter())).to_string()
+    }
+
+    #[test]
+    fn tcp_has_eleven_states() {
+        let m = tcp();
+        assert_eq!(m.size(), 11);
+        assert_eq!(m.alphabet().len(), 10);
+        assert!(m.all_reachable());
+    }
+
+    #[test]
+    fn three_way_handshake_client() {
+        let m = tcp();
+        assert_eq!(run(&m, &["active_open"]), "SYN_SENT");
+        assert_eq!(run(&m, &["active_open", "recv_syn_ack"]), "ESTABLISHED");
+    }
+
+    #[test]
+    fn three_way_handshake_server() {
+        let m = tcp();
+        assert_eq!(
+            run(&m, &["passive_open", "recv_syn", "recv_ack"]),
+            "ESTABLISHED"
+        );
+    }
+
+    #[test]
+    fn active_close_goes_through_fin_wait_and_time_wait() {
+        let m = tcp();
+        let establish = ["active_open", "recv_syn_ack"];
+        let mut seq: Vec<&str> = establish.to_vec();
+        seq.extend(["close", "recv_ack", "recv_fin", "timeout"]);
+        assert_eq!(run(&m, &seq), "CLOSED");
+        // Intermediate checkpoints.
+        let mut seq: Vec<&str> = establish.to_vec();
+        seq.push("close");
+        assert_eq!(run(&m, &seq), "FIN_WAIT_1");
+        seq.push("recv_ack");
+        assert_eq!(run(&m, &seq), "FIN_WAIT_2");
+        seq.push("recv_fin");
+        assert_eq!(run(&m, &seq), "TIME_WAIT");
+    }
+
+    #[test]
+    fn passive_close_goes_through_close_wait_and_last_ack() {
+        let m = tcp();
+        assert_eq!(
+            run(
+                &m,
+                &["passive_open", "recv_syn", "recv_ack", "recv_fin", "close", "recv_ack"]
+            ),
+            "CLOSED"
+        );
+    }
+
+    #[test]
+    fn simultaneous_close_goes_through_closing() {
+        let m = tcp();
+        assert_eq!(
+            run(
+                &m,
+                &["active_open", "recv_syn_ack", "close", "recv_fin"]
+            ),
+            "CLOSING"
+        );
+    }
+
+    #[test]
+    fn reset_aborts_to_closed() {
+        let m = tcp();
+        assert_eq!(run(&m, &["active_open", "recv_rst"]), "CLOSED");
+        assert_eq!(
+            run(&m, &["passive_open", "recv_syn", "recv_ack", "recv_rst"]),
+            "CLOSED"
+        );
+    }
+
+    #[test]
+    fn irrelevant_events_self_loop() {
+        let m = tcp();
+        assert_eq!(run(&m, &["recv_fin"]), "CLOSED");
+        assert_eq!(run(&m, &["active_open", "timeout"]), "SYN_SENT");
+    }
+
+    #[test]
+    fn named_instance_isolates_events() {
+        let m = tcp_named("conn1");
+        assert!(m.alphabet().contains(&ev("close@conn1")));
+        assert_eq!(m.run([ev("active_open")].iter()), m.initial());
+        let s = m.run([ev("active_open@conn1")].iter());
+        assert_eq!(m.state_name(s), "SYN_SENT");
+    }
+}

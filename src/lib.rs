@@ -1,0 +1,76 @@
+//! # fsm-fusion — fusion-based fault tolerance for finite state machines
+//!
+//! An open-source Rust reproduction of *"A Fusion-based Approach for
+//! Tolerating Faults in Finite State Machines"* (Vinit Ogale, Bharath
+//! Balasubramanian, Vijay K. Garg; IPDPS 2009).
+//!
+//! This facade crate re-exports the whole workspace so applications can use
+//! a single dependency:
+//!
+//! * [`dfsm`] — the DFSM substrate (machines, builders, execution, the
+//!   reachable cross product).
+//! * [`fusion`] — the paper's contribution: closed partition lattices,
+//!   fault graphs, `(f, m)`-fusion generation (Algorithm 2) and recovery
+//!   (Algorithm 3).
+//! * [`machines`] — the machine library used by the paper's evaluation
+//!   (MESI, TCP, counters, parity checkers, shift registers, dividers,
+//!   pattern detectors) plus random machine generation.
+//! * [`distsys`] — the simulated distributed system: servers, workloads,
+//!   fault injection, fusion-backed and replicated recovery, the
+//!   sensor-network scenario and a threaded runner.
+//! * [`erasure`] — the coding-theory analogy substrate (Hamming distances,
+//!   repetition/parity/Hamming codes).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fsm_fusion::prelude::*;
+//!
+//! // The two mod-3 counters of the paper's Figure 1, plus one generated
+//! // backup, tolerate one crash fault.
+//! let machines = fsm_fusion::machines::fig1_machines();
+//! let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+//! system.apply_workload(&Workload::from_bits("0110100101"));
+//!
+//! system.crash(0).unwrap();
+//! let outcome = system.recover().unwrap();
+//! assert!(outcome.matches_oracle);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fsm_dfsm as dfsm;
+pub use fsm_distsys as distsys;
+pub use fsm_erasure as erasure;
+pub use fsm_fusion_core as fusion;
+pub use fsm_machines as machines;
+
+/// The most commonly used types, importable with one `use`.
+pub mod prelude {
+    pub use fsm_dfsm::{Dfsm, DfsmBuilder, Event, Executor, ReachableProduct, StateId};
+    pub use fsm_distsys::{
+        FaultPlan, FusedSystem, ReplicatedSystem, SensorBackupMode, SensorNetwork, Workload,
+    };
+    pub use fsm_fusion_core::{
+        generate_fusion, generate_fusion_for_machines, FaultGraph, FaultModel, FusionReport,
+        MachineReport, Partition, RecoveryEngine,
+    };
+    pub use fsm_machines::{table1_rows, MachineSet};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let machines = crate::machines::fig1_machines();
+        let (product, fusion) = generate_fusion_for_machines(&machines, 1).unwrap();
+        assert_eq!(product.size(), 9);
+        assert_eq!(fusion.machine_sizes(), vec![3]);
+        let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+        system.apply_workload(&Workload::from_bits("01"));
+        assert!(system.consistent_with_oracle());
+    }
+}
