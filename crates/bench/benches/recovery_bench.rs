@@ -41,9 +41,10 @@ fn bench_algorithm3_vote(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(5));
     for count in [2usize, 3, 4, 5] {
         let (engine, reports) = engine_for(count);
-        group.bench_function(format!("vote_n{count}_top{}", 3usize.pow(count as u32)), |b| {
-            b.iter(|| engine.recover(&reports).unwrap())
-        });
+        group.bench_function(
+            format!("vote_n{count}_top{}", 3usize.pow(count as u32)),
+            |b| b.iter(|| engine.recover(&reports).unwrap()),
+        );
     }
     group.finish();
 }

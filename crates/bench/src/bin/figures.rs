@@ -11,9 +11,7 @@ use fsm_fusion_core::{
     basis, enumerate_lattice, generate_fusion, projection_partitions, set_representation,
     FaultGraph,
 };
-use fsm_machines::{
-    fig1_fusion_f1, fig1_fusion_f2, fig1_machines, fig2_machines, fig3_top,
-};
+use fsm_machines::{fig1_fusion_f1, fig1_fusion_f2, fig1_machines, fig2_machines, fig3_top};
 
 fn main() {
     let which: Vec<String> = std::env::args().skip(1).collect();
@@ -98,7 +96,10 @@ fn fig3() {
         println!("  #{i}: {} blocks   {}", p.num_blocks(), p);
     }
     let b = basis(&top).unwrap();
-    println!("Basis (lower cover of top): {} machines (paper: A, B, M1, M2).", b.len());
+    println!(
+        "Basis (lower cover of top): {} machines (paper: A, B, M1, M2).",
+        b.len()
+    );
     println!("Hasse edges: {:?}\n", lattice.hasse_edges());
 }
 
@@ -117,8 +118,14 @@ fn fig4() {
             g.max_byzantine_faults()
         );
     };
-    report("G({A})        ", &FaultGraph::from_partitions(4, std::slice::from_ref(&a)));
-    report("G({A,B})      ", &FaultGraph::from_partitions(4, &[a.clone(), b.clone()]));
+    report(
+        "G({A})        ",
+        &FaultGraph::from_partitions(4, std::slice::from_ref(&a)),
+    );
+    report(
+        "G({A,B})      ",
+        &FaultGraph::from_partitions(4, &[a.clone(), b.clone()]),
+    );
     let fusion = generate_fusion(&top, &[a.clone(), b.clone()], 2).unwrap();
     let mut all = vec![a.clone(), b.clone()];
     all.extend(fusion.partitions.iter().cloned());

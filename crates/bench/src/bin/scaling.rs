@@ -16,8 +16,7 @@ use fsm_bench::counter_family;
 use fsm_dfsm::ReachableProduct;
 use fsm_distsys::{SensorBackupMode, SensorNetwork};
 use fsm_fusion_core::{
-    generate_fusion, projection_partitions, replication_state_space, MachineReport,
-    RecoveryEngine,
+    generate_fusion, projection_partitions, replication_state_space, MachineReport, RecoveryEngine,
 };
 
 fn main() {
@@ -28,7 +27,10 @@ fn main() {
 
 fn generation_scaling() {
     println!("== Algorithm 2 generation time vs |top| (f = 1) ==");
-    println!("{:>10} {:>8} {:>12} {:>16}", "machines", "|top|", "backup", "time (ms)");
+    println!(
+        "{:>10} {:>8} {:>12} {:>16}",
+        "machines", "|top|", "backup", "time (ms)"
+    );
     for count in 2..=6usize {
         let machines = counter_family(count, 3);
         let product = ReachableProduct::new(&machines).unwrap();

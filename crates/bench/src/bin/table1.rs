@@ -9,7 +9,9 @@ use fsm_bench::{measure_row, paper_table, render_table, table_rows};
 
 fn main() {
     println!("Reproducing the evaluation table of");
-    println!("\"A Fusion-based Approach for Tolerating Faults in Finite State Machines\" (IPDPS 2009)\n");
+    println!(
+        "\"A Fusion-based Approach for Tolerating Faults in Finite State Machines\" (IPDPS 2009)\n"
+    );
 
     let rows = table_rows();
     let mut reports = Vec::new();

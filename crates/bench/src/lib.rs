@@ -31,14 +31,7 @@ pub fn counter_family(count: usize, modulus: usize) -> Vec<Dfsm> {
     let alphabet: Vec<String> = (0..count).map(|i| format!("e{i}")).collect();
     let alphabet_refs: Vec<&str> = alphabet.iter().map(|s| s.as_str()).collect();
     (0..count)
-        .map(|i| {
-            mod_counter(
-                &format!("C{i}"),
-                modulus,
-                &format!("e{i}"),
-                &alphabet_refs,
-            )
-        })
+        .map(|i| mod_counter(&format!("C{i}"), modulus, &format!("e{i}"), &alphabet_refs))
         .collect()
 }
 
@@ -79,11 +72,41 @@ pub struct PaperRow {
 /// The paper's table, row by row.
 pub fn paper_table() -> Vec<PaperRow> {
     vec![
-        PaperRow { f: 2, top: 87, backups: "[39 39]", replication: 82_944, fusion: 1521 },
-        PaperRow { f: 3, top: 64, backups: "[32 32 32]", replication: 2_097_152, fusion: 32_768 },
-        PaperRow { f: 2, top: 82, backups: "[18 28]", replication: 59_049, fusion: 504 },
-        PaperRow { f: 1, top: 131, backups: "[85]", replication: 396, fusion: 85 },
-        PaperRow { f: 2, top: 56, backups: "[44 56]", replication: 156_816, fusion: 2464 },
+        PaperRow {
+            f: 2,
+            top: 87,
+            backups: "[39 39]",
+            replication: 82_944,
+            fusion: 1521,
+        },
+        PaperRow {
+            f: 3,
+            top: 64,
+            backups: "[32 32 32]",
+            replication: 2_097_152,
+            fusion: 32_768,
+        },
+        PaperRow {
+            f: 2,
+            top: 82,
+            backups: "[18 28]",
+            replication: 59_049,
+            fusion: 504,
+        },
+        PaperRow {
+            f: 1,
+            top: 131,
+            backups: "[85]",
+            replication: 396,
+            fusion: 85,
+        },
+        PaperRow {
+            f: 2,
+            top: 56,
+            backups: "[44 56]",
+            replication: 156_816,
+            fusion: 2464,
+        },
     ]
 }
 

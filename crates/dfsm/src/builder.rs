@@ -85,7 +85,8 @@ impl DfsmBuilder {
     /// Adds a state from full metadata.
     pub fn add_state_info(&mut self, info: StateInfo) -> StateId {
         if let Some(&existing) = self.state_index.get(&info.name) {
-            self.errors.push(DfsmError::DuplicateState(info.name.clone()));
+            self.errors
+                .push(DfsmError::DuplicateState(info.name.clone()));
             return existing;
         }
         let id = StateId(self.states.len());
@@ -172,7 +173,9 @@ impl DfsmBuilder {
         let event = event.into();
         let ev_id = self.alphabet.insert(event);
         for s in 0..self.states.len() {
-            self.transitions.entry((s, ev_id.index())).or_insert(StateId(s));
+            self.transitions
+                .entry((s, ev_id.index()))
+                .or_insert(StateId(s));
         }
         self
     }

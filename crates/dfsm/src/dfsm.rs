@@ -137,10 +137,7 @@ impl Dfsm {
 
     /// Looks up a state id by name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.states
-            .iter()
-            .position(|s| s.name == name)
-            .map(StateId)
+        self.states.iter().position(|s| s.name == name).map(StateId)
     }
 
     /// The event alphabet `Σ`.
@@ -276,7 +273,10 @@ impl Dfsm {
                 }
             }
         }
-        let states: Vec<StateInfo> = order.iter().map(|&s| self.states[s.index()].clone()).collect();
+        let states: Vec<StateInfo> = order
+            .iter()
+            .map(|&s| self.states[s.index()].clone())
+            .collect();
         let transitions: Vec<Vec<StateId>> = order
             .iter()
             .map(|&s| {
@@ -378,7 +378,7 @@ mod tests {
         let m = mod3_counter();
         let tick = Event::new("tick");
         let noise = Event::new("noise");
-        let seq = vec![
+        let seq = [
             tick.clone(),
             noise.clone(),
             tick.clone(),
@@ -394,7 +394,7 @@ mod tests {
     fn trace_has_one_more_entry_than_events() {
         let m = mod3_counter();
         let tick = Event::new("tick");
-        let seq = vec![tick.clone(), tick.clone()];
+        let seq = [tick.clone(), tick.clone()];
         let trace = m.trace_from(m.initial(), seq.iter());
         assert_eq!(trace, vec![StateId(0), StateId(1), StateId(2)]);
     }

@@ -139,10 +139,7 @@ impl Alphabet {
 
     /// Iterates over `(EventId, &Event)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (EventId, &Event)> {
-        self.events
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (EventId(i), e))
+        self.events.iter().enumerate().map(|(i, e)| (EventId(i), e))
     }
 
     /// All events in id order.

@@ -75,7 +75,7 @@ pub fn isomorphism(a: &Dfsm, b: &Dfsm) -> Option<Vec<StateId>> {
     // Every state of a must have been visited (machines are assumed
     // reachable); otherwise the mapping is partial and we refuse to call the
     // machines isomorphic.
-    if visited != n || map.iter().any(|&m| m == usize::MAX) {
+    if visited != n || map.contains(&usize::MAX) {
         return None;
     }
     Some(map.into_iter().map(StateId).collect())

@@ -187,7 +187,12 @@ mod tests {
             vec![],
             vec![Event::new("1")],
             vec![Event::new("1"), Event::new("0"), Event::new("1")],
-            vec![Event::new("0"), Event::new("1"), Event::new("1"), Event::new("1")],
+            vec![
+                Event::new("0"),
+                Event::new("1"),
+                Event::new("1"),
+                Event::new("1"),
+            ],
         ];
         for w in words {
             let orig = m.run(w.iter());

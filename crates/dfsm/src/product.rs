@@ -155,10 +155,7 @@ impl ReachableProduct {
 
     /// The full (not necessarily reachable) state-space size `∏ |Ai|`.
     pub fn full_product_size(&self) -> u128 {
-        self.components
-            .iter()
-            .map(|m| m.size() as u128)
-            .product()
+        self.components.iter().map(|m| m.size() as u128).product()
     }
 
     /// Groups product states by the state of component `i`: the result has
@@ -268,7 +265,7 @@ mod tests {
     #[test]
     fn single_machine_product_is_isomorphic_copy() {
         let a = counter("a", "0", 4);
-        let p = ReachableProduct::new(&[a.clone()]).unwrap();
+        let p = ReachableProduct::new(std::slice::from_ref(&a)).unwrap();
         assert_eq!(p.size(), a.size());
         assert_eq!(p.top().alphabet().len(), 1);
     }

@@ -241,7 +241,10 @@ mod tests {
         all_machines.extend(sys.fusion().machines.iter().cloned());
         let group = ParallelServerGroup::spawn(&all_machines);
 
-        let events: Vec<Event> = "011010011".chars().map(|c| Event::new(c.to_string())).collect();
+        let events: Vec<Event> = "011010011"
+            .chars()
+            .map(|c| Event::new(c.to_string()))
+            .collect();
         group.apply_all(events.iter());
         group.crash(0);
 
@@ -251,7 +254,9 @@ mod tests {
         let product = sys.product();
         let mut engine = RecoveryEngine::new(product.size());
         for (i, p) in projection_partitions(product).into_iter().enumerate() {
-            engine.add_machine(machines[i].name().to_string(), p).unwrap();
+            engine
+                .add_machine(machines[i].name().to_string(), p)
+                .unwrap();
         }
         for (i, p) in sys.fusion().partitions.iter().enumerate() {
             engine.add_machine(format!("F{i}"), p.clone()).unwrap();

@@ -97,10 +97,7 @@ impl ReplicatedSystem {
 
     /// Number of backup servers across all groups (`n · f` or `n · 2f`).
     pub fn num_backups(&self) -> usize {
-        self.groups
-            .iter()
-            .map(|g| g.servers.len() - 1)
-            .sum()
+        self.groups.iter().map(|g| g.servers.len() - 1).sum()
     }
 
     /// Total number of servers.
@@ -195,7 +192,11 @@ impl ReplicatedSystem {
         if machine >= self.groups.len() || replica >= self.groups[machine].servers.len() {
             return Err(DistsysError::NoSuchServer {
                 server: replica,
-                count: self.groups.get(machine).map(|g| g.servers.len()).unwrap_or(0),
+                count: self
+                    .groups
+                    .get(machine)
+                    .map(|g| g.servers.len())
+                    .unwrap_or(0),
             });
         }
         Ok(())

@@ -282,9 +282,7 @@ impl FusedSystem {
             .enumerate()
             .map(|(i, s)| match s.report() {
                 MachineReport::Crashed => MachineReport::Crashed,
-                MachineReport::State(state) => {
-                    MachineReport::State(self.block_of_state[i][state])
-                }
+                MachineReport::State(state) => MachineReport::State(self.block_of_state[i][state]),
             })
             .collect()
     }

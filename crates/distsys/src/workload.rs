@@ -162,7 +162,10 @@ mod tests {
         let light = Event::new("light");
         let w = Workload::weighted(&[(heavy.clone(), 9), (light.clone(), 1)], 1000, 3);
         let heavy_count = w.iter().filter(|e| **e == heavy).count();
-        assert!(heavy_count > 800, "expected ~900 heavy events, got {heavy_count}");
+        assert!(
+            heavy_count > 800,
+            "expected ~900 heavy events, got {heavy_count}"
+        );
         assert_eq!(w.len(), 1000);
     }
 

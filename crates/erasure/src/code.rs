@@ -75,9 +75,7 @@ impl BlockCode for RepetitionCode {
     }
 
     fn decode_erasures(&self, received: &[Option<u8>]) -> Option<Vec<u8>> {
-        received
-            .iter()
-            .find_map(|s| s.map(|v| vec![v]))
+        received.iter().find_map(|s| s.map(|v| vec![v]))
     }
 }
 
@@ -115,10 +113,12 @@ impl BlockCode for ParityCode {
             .filter(|&i| received[i].is_none())
             .collect();
         match missing.len() {
-            0 => Some(received[..self.data_symbols]
-                .iter()
-                .map(|s| s.expect("checked"))
-                .collect()),
+            0 => Some(
+                received[..self.data_symbols]
+                    .iter()
+                    .map(|s| s.expect("checked"))
+                    .collect(),
+            ),
             1 => {
                 let q = self.modulus as u32;
                 let idx = missing[0];
@@ -162,11 +162,7 @@ impl Hamming74 {
     /// `[d1, d2, d3, d4, p1, p2, p3]`.
     fn parities(data: &[u8]) -> [u8; 3] {
         let d = |i: usize| data[i] & 1;
-        [
-            d(0) ^ d(1) ^ d(3),
-            d(0) ^ d(2) ^ d(3),
-            d(1) ^ d(2) ^ d(3),
-        ]
+        [d(0) ^ d(1) ^ d(3), d(0) ^ d(2) ^ d(3), d(1) ^ d(2) ^ d(3)]
     }
 
     /// Decodes a (complete) received word, correcting up to one bit error.
@@ -174,11 +170,7 @@ impl Hamming74 {
         assert_eq!(received.len(), 7);
         let mut word: Vec<u8> = received.iter().map(|&b| b & 1).collect();
         let p = Self::parities(&word[..4]);
-        let syndrome = [
-            p[0] ^ word[4],
-            p[1] ^ word[5],
-            p[2] ^ word[6],
-        ];
+        let syndrome = [p[0] ^ word[4], p[1] ^ word[5], p[2] ^ word[6]];
         // Map the syndrome to the offending position.
         let flip = match syndrome {
             [0, 0, 0] => None,
@@ -233,7 +225,7 @@ impl BlockCode for Hamming74 {
                     }
                 }
             }
-            let reencoded = self.encode(&word[..4].to_vec());
+            let reencoded = self.encode(&word[..4]);
             if reencoded == word {
                 return Some(word[..4].to_vec());
             }
@@ -252,10 +244,7 @@ mod tests {
         let encoded = code.encode(&[7]);
         assert_eq!(encoded, vec![7, 7, 7]);
         assert_eq!(code.code_len(), 3);
-        assert_eq!(
-            code.decode_erasures(&[None, Some(7), None]),
-            Some(vec![7])
-        );
+        assert_eq!(code.decode_erasures(&[None, Some(7), None]), Some(vec![7]));
         assert_eq!(code.decode_erasures(&[None, None, None]), None);
         // Its distance equals the number of copies (over a binary alphabet).
         assert_eq!(code.min_distance(2), 3);
@@ -270,7 +259,8 @@ mod tests {
         let data = [1u8, 2, 0, 2];
         let encoded = code.encode(&data);
         assert_eq!(encoded.len(), 5);
-        assert_eq!(encoded[4], (1 + 2 + 0 + 2) % 3);
+        // Parity symbol is the data sum mod 3: (1 + 2 + 0 + 2) % 3 = 2.
+        assert_eq!(encoded[4], 2);
         for erased in 0..5 {
             let mut received: Vec<Option<u8>> = encoded.iter().map(|&v| Some(v)).collect();
             received[erased] = None;
@@ -339,7 +329,15 @@ mod tests {
             }
         }
         // Three erasures may be ambiguous.
-        let received = vec![None, None, None, Some(encoded[3]), Some(encoded[4]), Some(encoded[5]), Some(encoded[6])];
+        let received = vec![
+            None,
+            None,
+            None,
+            Some(encoded[3]),
+            Some(encoded[4]),
+            Some(encoded[5]),
+            Some(encoded[6]),
+        ];
         let _ = code.decode_erasures(&received); // must not panic
     }
 

@@ -87,7 +87,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = FusionError::NoFusionExists { f: 3, m: 1, dmin: 1 };
+        let e = FusionError::NoFusionExists {
+            f: 3,
+            m: 1,
+            dmin: 1,
+        };
         let s = e.to_string();
         assert!(s.contains("(3,1)"));
         let e = FusionError::AmbiguousRecovery {

@@ -20,10 +20,10 @@ use std::time::Instant;
 
 use fsm_dfsm::{Dfsm, ReachableProduct};
 
+use crate::closed::close;
 use crate::closed::quotient_machine;
 use crate::error::Result;
 use crate::fault_graph::FaultGraph;
-use crate::closed::close;
 use crate::partition::Partition;
 use crate::set_repr::projection_partitions;
 
@@ -85,11 +85,7 @@ impl FusionGeneration {
 
 /// Algorithm 2 over partitions: generates the smallest set of closed
 /// partitions `F` of `top` such that `dmin(originals ∪ F) > f`.
-pub fn generate_fusion(
-    top: &Dfsm,
-    originals: &[Partition],
-    f: usize,
-) -> Result<FusionGeneration> {
+pub fn generate_fusion(top: &Dfsm, originals: &[Partition], f: usize) -> Result<FusionGeneration> {
     let start = Instant::now();
     let n = top.size();
     let mut graph = FaultGraph::from_partitions(n, originals);
@@ -236,8 +232,9 @@ mod tests {
             let mut assignment = Vec::new();
             for t in 0..product.size() {
                 let tuple = product.tuple(fsm_dfsm::StateId(t));
-                assignment
-                    .push(((tuple[0].index() as i32 - tuple[1].index() as i32).rem_euclid(3)) as usize);
+                assignment.push(
+                    ((tuple[0].index() as i32 - tuple[1].index() as i32).rem_euclid(3)) as usize,
+                );
             }
             Partition::from_assignment(&assignment)
         };
@@ -285,7 +282,8 @@ mod tests {
         let a = counter("a", "0", 3);
         let b = counter("b", "1", 3);
         for f in 1..=3 {
-            let (product, fusion) = generate_fusion_for_machines(&[a.clone(), b.clone()], f).unwrap();
+            let (product, fusion) =
+                generate_fusion_for_machines(&[a.clone(), b.clone()], f).unwrap();
             let originals = projection_partitions(&product);
             let dmin = FaultGraph::from_partitions(product.size(), &originals).dmin() as usize;
             let expected = (f + 1).saturating_sub(dmin);

@@ -139,11 +139,7 @@ pub fn enumerate_lattice(top: &Dfsm, limit: usize) -> Result<ClosedPartitionLatt
     // meaningful.
     seen.insert(Partition::single_block(top.size()));
     let mut elements: Vec<Partition> = seen.into_iter().collect();
-    elements.sort_by(|a, b| {
-        b.num_blocks()
-            .cmp(&a.num_blocks())
-            .then_with(|| a.cmp(b))
-    });
+    elements.sort_by(|a, b| b.num_blocks().cmp(&a.num_blocks()).then_with(|| a.cmp(b)));
     Ok(ClosedPartitionLattice {
         elements,
         truncated,
@@ -182,16 +178,8 @@ mod tests {
         b.set_initial("t00");
         for i in 0..3 {
             for j in 0..3 {
-                b.add_transition(
-                    format!("t{i}{j}"),
-                    "0",
-                    format!("t{}{}", (i + 1) % 3, j),
-                );
-                b.add_transition(
-                    format!("t{i}{j}"),
-                    "1",
-                    format!("t{}{}", i, (j + 1) % 3),
-                );
+                b.add_transition(format!("t{i}{j}"), "0", format!("t{}{}", (i + 1) % 3, j));
+                b.add_transition(format!("t{i}{j}"), "1", format!("t{}{}", i, (j + 1) % 3));
             }
         }
         b.build().unwrap()

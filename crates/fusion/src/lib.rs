@@ -88,7 +88,9 @@ pub mod theory;
 pub use closed::{check_closed, close, is_closed, quotient_machine};
 pub use error::{FusionError, Result};
 pub use fault_graph::FaultGraph;
-pub use generate::{generate_fusion, generate_fusion_for_machines, FusionGeneration, GenerationStats};
+pub use generate::{
+    generate_fusion, generate_fusion_for_machines, FusionGeneration, GenerationStats,
+};
 pub use lattice::{basis, enumerate_lattice, lower_cover, ClosedPartitionLattice};
 pub use partition::Partition;
 pub use recovery::{recover_top_state, MachineReport, Recovery, RecoveryEngine};

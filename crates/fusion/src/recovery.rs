@@ -262,10 +262,7 @@ mod tests {
     fn raw_vote_picks_unique_maximum() {
         // Paper's example: top in t3, B and M1 crashed; A reports {t0,t3},
         // M2 reports {t3} → t3 wins with 2 votes.
-        let reports = vec![
-            BTreeSet::from([0usize, 3]),
-            BTreeSet::from([3usize]),
-        ];
+        let reports = vec![BTreeSet::from([0usize, 3]), BTreeSet::from([3usize])];
         assert_eq!(recover_top_state(4, &reports).unwrap(), 3);
     }
 

@@ -133,8 +133,7 @@ impl ReplicaSet {
                     counts[s] += 1;
                 }
                 let max = *counts.iter().max().unwrap();
-                let winners: Vec<usize> =
-                    (0..counts.len()).filter(|&s| counts[s] == max).collect();
+                let winners: Vec<usize> = (0..counts.len()).filter(|&s| counts[s] == max).collect();
                 if winners.len() == 1 {
                     Ok(winners[0])
                 } else {

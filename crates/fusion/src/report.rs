@@ -87,7 +87,13 @@ impl FusionReport {
     pub fn table_header() -> String {
         format!(
             "{:<42} {:>2} {:>6} {:>18} {:>14} {:>12} {:>9}",
-            "Original Machines", "f", "|Top|", "|Backup Machines|", "|Replication|", "|Fusion|", "time(ms)"
+            "Original Machines",
+            "f",
+            "|Top|",
+            "|Backup Machines|",
+            "|Replication|",
+            "|Fusion|",
+            "time(ms)"
         )
     }
 }

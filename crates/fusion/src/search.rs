@@ -64,6 +64,7 @@ pub fn exhaustive_minimum_fusion(
 
     // Depth-first search over combinations (with repetition allowed — two
     // copies of the same machine are a legal fusion, e.g. plain replication).
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         candidates: &[Partition],
         start: usize,
@@ -144,7 +145,11 @@ mod tests {
         }
         b.set_initial(format!("{name}0"));
         for i in 0..k {
-            b.add_transition(format!("{name}{i}"), event, format!("{name}{}", (i + 1) % k));
+            b.add_transition(
+                format!("{name}{i}"),
+                event,
+                format!("{name}{}", (i + 1) % k),
+            );
         }
         b.add_self_loops(if event == "0" { "1" } else { "0" });
         b.build().unwrap()
@@ -206,14 +211,28 @@ mod tests {
         let exact_min = exhaustive_minimum_fusion(product.top(), &originals, 1, m_min, 10_000)
             .unwrap()
             .unwrap();
-        let exact_more =
-            exhaustive_minimum_fusion(product.top(), &originals, 1, m_min + 1, 10_000)
-                .unwrap()
-                .unwrap();
-        assert!(is_fusion(product.size(), &originals, &exact_more.partitions, 1));
+        let exact_more = exhaustive_minimum_fusion(product.top(), &originals, 1, m_min + 1, 10_000)
+            .unwrap()
+            .unwrap();
+        assert!(is_fusion(
+            product.size(),
+            &originals,
+            &exact_more.partitions,
+            1
+        ));
         // The largest machine with m+1 backups is never larger than with m.
-        let max_min = exact_min.partitions.iter().map(|p| p.num_blocks()).max().unwrap();
-        let max_more = exact_more.partitions.iter().map(|p| p.num_blocks()).max().unwrap();
+        let max_min = exact_min
+            .partitions
+            .iter()
+            .map(|p| p.num_blocks())
+            .max()
+            .unwrap();
+        let max_more = exact_more
+            .partitions
+            .iter()
+            .map(|p| p.num_blocks())
+            .max()
+            .unwrap();
         assert!(max_more <= max_min);
     }
 

@@ -118,13 +118,15 @@ pub fn set_representations(top: &Dfsm, machines: &[Dfsm]) -> Result<Vec<Partitio
 pub fn format_set_representation(top: &Dfsm, a: &Dfsm, partition: &Partition) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "set representation of {} over {}:", a.name(), top.name());
+    let _ = writeln!(
+        out,
+        "set representation of {} over {}:",
+        a.name(),
+        top.name()
+    );
     let blocks = partition.blocks();
     for (b, block) in blocks.iter().enumerate() {
-        let tops: Vec<&str> = block
-            .iter()
-            .map(|&t| top.state_name(StateId(t)))
-            .collect();
+        let tops: Vec<&str> = block.iter().map(|&t| top.state_name(StateId(t))).collect();
         // Block indices are canonical (by first occurrence in top order),
         // which need not match a's own state numbering; report both.
         let _ = writeln!(out, "  block {b}: {{{}}}", tops.join(", "));

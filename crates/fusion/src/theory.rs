@@ -206,7 +206,7 @@ mod tests {
         // {M1, M2} is a (2,2)-fusion.
         assert!(is_fusion(4, &originals, &[m1.clone(), m2.clone()], 2));
         // {M1} alone is a (1,1)-fusion but not a (2,1)-fusion.
-        assert!(is_fusion(4, &originals, &[m1.clone()], 1));
+        assert!(is_fusion(4, &originals, std::slice::from_ref(&m1), 1));
         assert!(!is_fusion(4, &originals, &[m1], 2));
         // The empty set is a (0,0)-fusion (dmin = 1 > 0).
         assert!(is_fusion(4, &originals, &[], 0));
@@ -284,10 +284,16 @@ mod tests {
             &[m1.clone(), top.clone()]
         ));
         // Different sizes are incomparable.
-        assert!(!fusion_less_than(&[m1.clone()], &[m1.clone(), top]));
+        assert!(!fusion_less_than(
+            std::slice::from_ref(&m1),
+            &[m1.clone(), top]
+        ));
         // Incomparable machines make incomparable singleton fusions.
         let other = Partition::from_blocks(4, &[vec![1, 3], vec![0], vec![2]]).unwrap();
-        assert!(!fusion_less_than(&[m1.clone()], &[other.clone()]));
+        assert!(!fusion_less_than(
+            std::slice::from_ref(&m1),
+            std::slice::from_ref(&other)
+        ));
         assert!(!fusion_less_than(&[other], &[m1]));
     }
 

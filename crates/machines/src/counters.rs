@@ -104,7 +104,12 @@ pub fn difference_counter(modulus: usize) -> Dfsm {
 /// A generic event counter over an arbitrary alphabet, counting every event
 /// whose name is in `counted` (useful for sensor-network style workloads
 /// where a sensor counts a class of observations).
-pub fn multi_event_counter(name: &str, modulus: usize, counted: &[&str], alphabet: &[&str]) -> Dfsm {
+pub fn multi_event_counter(
+    name: &str,
+    modulus: usize,
+    counted: &[&str],
+    alphabet: &[&str],
+) -> Dfsm {
     let mut b = DfsmBuilder::new(name);
     for i in 0..modulus {
         b.add_state_with_output(format!("{name}{i}"), i.to_string());

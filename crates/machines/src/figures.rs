@@ -56,7 +56,8 @@ pub fn fig2_machine_a() -> Dfsm {
     b.add_transition("a0", "1", "a0");
     b.add_transition("a1", "1", "a2");
     b.add_transition("a2", "1", "a0");
-    b.build().expect("fig2 machine A construction is always valid")
+    b.build()
+        .expect("fig2 machine A construction is always valid")
 }
 
 /// Figure 2(ii): machine `B` of the small lattice example — three states
@@ -73,7 +74,8 @@ pub fn fig2_machine_b() -> Dfsm {
     b.add_transition("b0", "1", "b2");
     b.add_transition("b1", "1", "b2");
     b.add_transition("b2", "1", "b0");
-    b.build().expect("fig2 machine B construction is always valid")
+    b.build()
+        .expect("fig2 machine B construction is always valid")
 }
 
 /// Both Figure 2 machines, in order.

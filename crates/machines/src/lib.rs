@@ -42,8 +42,8 @@ pub use counters::{
     sum_counter, zero_counter, zero_counter_mod3,
 };
 pub use figures::{
-    fig1_fusion_f1, fig1_fusion_f2, fig1_machine_a, fig1_machine_b, fig1_machines,
-    fig2_machine_a, fig2_machine_b, fig2_machines, fig3_top,
+    fig1_fusion_f1, fig1_fusion_f2, fig1_machine_a, fig1_machine_b, fig1_machines, fig2_machine_a,
+    fig2_machine_b, fig2_machines, fig3_top,
 };
 pub use mesi::{mesi, mesi_named, MESI_EVENTS};
 pub use parity::{

@@ -78,7 +78,8 @@ pub fn mesi_named(instance: &str) -> Dfsm {
             );
         }
     }
-    b.build().expect("renamed MESI construction is always valid")
+    b.build()
+        .expect("renamed MESI construction is always valid")
 }
 
 #[cfg(test)]
@@ -118,7 +119,12 @@ mod tests {
     #[test]
     fn snooped_rdx_invalidates_from_every_state() {
         let m = mesi();
-        for prefix in [vec![], vec![ev("pr_rd")], vec![ev("pr_wr")], vec![ev("pr_rd"), ev("bus_rd")]] {
+        for prefix in [
+            vec![],
+            vec![ev("pr_rd")],
+            vec![ev("pr_wr")],
+            vec![ev("pr_rd"), ev("bus_rd")],
+        ] {
             let mut word = prefix.clone();
             word.push(ev("bus_rdx"));
             let s = m.run(word.iter());

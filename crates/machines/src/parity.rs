@@ -33,7 +33,8 @@ fn parity_checker(name: &str, accept_even: bool) -> Dfsm {
     b.add_transition("odd", "1", "even");
     b.add_transition("even", "0", "even");
     b.add_transition("odd", "0", "odd");
-    b.build().expect("parity checker construction is always valid")
+    b.build()
+        .expect("parity checker construction is always valid")
 }
 
 /// A parity checker over an arbitrary event (rather than the binary `1`).
@@ -55,7 +56,8 @@ pub fn parity_checker_for_event(name: &str, event: &str, alphabet: &[&str]) -> D
         b.add_transition("even", event, "odd");
         b.add_transition("odd", event, "even");
     }
-    b.build().expect("parity checker construction is always valid")
+    b.build()
+        .expect("parity checker construction is always valid")
 }
 
 /// The toggle switch: two states, flips on every `1` event, ignores `0`
@@ -70,7 +72,8 @@ pub fn toggle_switch() -> Dfsm {
     b.add_transition("on", "1", "off");
     b.add_transition("off", "0", "off");
     b.add_transition("on", "0", "on");
-    b.build().expect("toggle switch construction is always valid")
+    b.build()
+        .expect("toggle switch construction is always valid")
 }
 
 /// A toggle switch driven by a dedicated event name (e.g. `"press"`),
@@ -93,7 +96,8 @@ pub fn toggle_switch_for_event(event: &str, alphabet: &[&str]) -> Dfsm {
         b.add_transition("off", event, "on");
         b.add_transition("on", event, "off");
     }
-    b.build().expect("toggle switch construction is always valid")
+    b.build()
+        .expect("toggle switch construction is always valid")
 }
 
 #[cfg(test)]

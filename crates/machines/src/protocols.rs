@@ -23,7 +23,8 @@ pub fn traffic_light() -> Dfsm {
     for s in ["Red", "Green", "Yellow"] {
         b.add_transition(s, "emergency", "Red");
     }
-    b.build().expect("traffic light construction is always valid")
+    b.build()
+        .expect("traffic light construction is always valid")
 }
 
 /// An elevator controller for `floors` floors: `up` and `down` move one
@@ -63,13 +64,26 @@ pub fn vending_machine(price_cents: usize) -> Dfsm {
     for i in 0..=steps {
         let nickel = (i + 1).min(steps);
         let dime = (i + 2).min(steps);
-        b.add_transition(format!("credit{}", i * 5), "nickel", format!("credit{}", nickel * 5));
-        b.add_transition(format!("credit{}", i * 5), "dime", format!("credit{}", dime * 5));
+        b.add_transition(
+            format!("credit{}", i * 5),
+            "nickel",
+            format!("credit{}", nickel * 5),
+        );
+        b.add_transition(
+            format!("credit{}", i * 5),
+            "dime",
+            format!("credit{}", dime * 5),
+        );
         b.add_transition(format!("credit{}", i * 5), "refund", "credit0");
-        let vend_target = if i == steps { "credit0".to_string() } else { format!("credit{}", i * 5) };
+        let vend_target = if i == steps {
+            "credit0".to_string()
+        } else {
+            format!("credit{}", i * 5)
+        };
         b.add_transition(format!("credit{}", i * 5), "vend", vend_target);
     }
-    b.build().expect("vending machine construction is always valid")
+    b.build()
+        .expect("vending machine construction is always valid")
 }
 
 /// A stop-and-wait ARQ sender with a 1-bit sequence number: it alternates
@@ -89,25 +103,34 @@ pub fn stop_and_wait_sender() -> Dfsm {
     b.add_transition("ready1", "send", "wait1");
     b.add_transition("wait1", "ack1", "ready0");
     // Wrong acks and timeouts self-loop (the builder fills them in).
-    b.build().expect("stop-and-wait construction is always valid")
+    b.build()
+        .expect("stop-and-wait construction is always valid")
 }
 
 /// A sliding-window sequence tracker: it records the next expected sequence
 /// number modulo `window`, advancing on `deliver`, staying put on
 /// `duplicate`, and resynchronizing to 0 on `resync`.
 pub fn sliding_window_tracker(window: usize) -> Dfsm {
-    assert!(window >= 2, "a sliding window needs at least two sequence numbers");
+    assert!(
+        window >= 2,
+        "a sliding window needs at least two sequence numbers"
+    );
     let mut b = DfsmBuilder::new("SlidingWindow");
     for i in 0..window {
         b.add_state_with_output(format!("expect{i}"), i.to_string());
     }
     b.set_initial("expect0");
     for i in 0..window {
-        b.add_transition(format!("expect{i}"), "deliver", format!("expect{}", (i + 1) % window));
+        b.add_transition(
+            format!("expect{i}"),
+            "deliver",
+            format!("expect{}", (i + 1) % window),
+        );
         b.add_transition(format!("expect{i}"), "duplicate", format!("expect{i}"));
         b.add_transition(format!("expect{i}"), "resync", "expect0");
     }
-    b.build().expect("sliding window construction is always valid")
+    b.build()
+        .expect("sliding window construction is always valid")
 }
 
 /// A token-ring station: it is either `idle`, `has_token`, or `transmitting`;

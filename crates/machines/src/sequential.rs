@@ -34,7 +34,8 @@ pub fn shift_register(bits: usize) -> Dfsm {
             );
         }
     }
-    b.build().expect("shift register construction is always valid")
+    b.build()
+        .expect("shift register construction is always valid")
 }
 
 /// A divisibility checker ("Divider" in the table): reads a binary number
@@ -102,12 +103,20 @@ pub fn pattern_detector(pattern: &str) -> Dfsm {
     let num_states = m + 1;
     let mut b = DfsmBuilder::new("PatternGenerator");
     for i in 0..num_states {
-        let name = if i == m { "match".to_string() } else { format!("p{i}") };
+        let name = if i == m {
+            "match".to_string()
+        } else {
+            format!("p{i}")
+        };
         b.add_state_with_output(name, i.to_string());
     }
     b.set_initial("p0");
     for i in 0..num_states {
-        let from = if i == m { "match".to_string() } else { format!("p{i}") };
+        let from = if i == m {
+            "match".to_string()
+        } else {
+            format!("p{i}")
+        };
         for bit in 0..2u8 {
             let next = kmp_next(i, bit);
             let to = if next == m {
@@ -118,7 +127,8 @@ pub fn pattern_detector(pattern: &str) -> Dfsm {
             b.add_transition(from.clone(), bit.to_string(), to);
         }
     }
-    b.build().expect("pattern detector construction is always valid")
+    b.build()
+        .expect("pattern detector construction is always valid")
 }
 
 /// The 4-state pattern machine used in the paper's table rows 2 and 5:

@@ -182,7 +182,14 @@ mod tests {
         assert_eq!(
             run(
                 &m,
-                &["passive_open", "recv_syn", "recv_ack", "recv_fin", "close", "recv_ack"]
+                &[
+                    "passive_open",
+                    "recv_syn",
+                    "recv_ack",
+                    "recv_fin",
+                    "close",
+                    "recv_ack"
+                ]
             ),
             "CLOSED"
         );
@@ -192,10 +199,7 @@ mod tests {
     fn simultaneous_close_goes_through_closing() {
         let m = tcp();
         assert_eq!(
-            run(
-                &m,
-                &["active_open", "recv_syn_ack", "close", "recv_fin"]
-            ),
+            run(&m, &["active_open", "recv_syn_ack", "close", "recv_fin"]),
             "CLOSING"
         );
     }

@@ -12,8 +12,8 @@ use fsm_fusion::prelude::*;
 
 fn main() {
     let machines = fsm_fusion::machines::fig1_machines();
-    let mut system = FusedSystem::new(&machines, 1, FaultModel::Byzantine)
-        .expect("fusion generation succeeds");
+    let mut system =
+        FusedSystem::new(&machines, 1, FaultModel::Byzantine).expect("fusion generation succeeds");
     println!(
         "Provisioned for 1 Byzantine fault: {} original machines + {} backups (dmin target > 2).",
         system.num_originals(),
@@ -26,7 +26,9 @@ fn main() {
     // One machine silently corrupts its state.
     let liar = 1;
     let truth = system.server(liar).current_state();
-    let forged = system.corrupt_differently(liar).expect("machine has >1 state");
+    let forged = system
+        .corrupt_differently(liar)
+        .expect("machine has >1 state");
     println!(
         "\nMachine {} lies: true state {}, reported state {}.",
         system.server(liar).name(),
@@ -46,11 +48,15 @@ fn main() {
 
     // Now exceed the budget: two liars in a system provisioned for one.
     println!("\n-- exceeding the budget: two simultaneous liars --");
-    let mut overloaded = FusedSystem::new(&machines, 1, FaultModel::Byzantine)
-        .expect("fusion generation succeeds");
+    let mut overloaded =
+        FusedSystem::new(&machines, 1, FaultModel::Byzantine).expect("fusion generation succeeds");
     overloaded.apply_workload(&workload);
-    overloaded.corrupt_differently(0).expect("machine has >1 state");
-    overloaded.corrupt_differently(1).expect("machine has >1 state");
+    overloaded
+        .corrupt_differently(0)
+        .expect("machine has >1 state");
+    overloaded
+        .corrupt_differently(1)
+        .expect("machine has >1 state");
     match overloaded.recover() {
         Ok(outcome) if outcome.matches_oracle => {
             println!("Recovery happened to pick the right state (the liars were not coordinated).")

@@ -29,7 +29,10 @@ fn main() {
     for (i, p) in lattice.elements.iter().enumerate() {
         println!("  #{i}: {} blocks  {}", p.num_blocks(), p);
     }
-    println!("Hasse edges (coarser -> finer): {:?}", lattice.hasse_edges());
+    println!(
+        "Hasse edges (coarser -> finer): {:?}",
+        lattice.hasse_edges()
+    );
 
     let b = basis(&top).expect("basis of a valid machine");
     println!("\nBasis (lower cover of top): {} machines", b.len());
@@ -43,12 +46,20 @@ fn main() {
     let b_part = set_representation(&top, &machines[1]).expect("B <= top");
     let g_a = FaultGraph::from_partitions(top.size(), std::slice::from_ref(&a_part));
     let g_ab = FaultGraph::from_partitions(top.size(), &[a_part.clone(), b_part.clone()]);
-    println!("G({{A}}):    dmin = {}, weight histogram {:?}", g_a.dmin(), g_a.weight_histogram());
-    println!("G({{A,B}}):  dmin = {}, weight histogram {:?}", g_ab.dmin(), g_ab.weight_histogram());
+    println!(
+        "G({{A}}):    dmin = {}, weight histogram {:?}",
+        g_a.dmin(),
+        g_a.weight_histogram()
+    );
+    println!(
+        "G({{A,B}}):  dmin = {}, weight histogram {:?}",
+        g_ab.dmin(),
+        g_ab.weight_histogram()
+    );
 
     // Generate a (2,2)-fusion as the paper does with {M1, M2}.
-    let fusion = generate_fusion(&top, &[a_part.clone(), b_part.clone()], 2)
-        .expect("a (2,2)-fusion exists");
+    let fusion =
+        generate_fusion(&top, &[a_part.clone(), b_part.clone()], 2).expect("a (2,2)-fusion exists");
     let mut all = vec![a_part.clone(), b_part.clone()];
     all.extend(fusion.partitions.iter().cloned());
     let g_all = FaultGraph::from_partitions(top.size(), &all);

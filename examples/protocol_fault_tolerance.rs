@@ -12,12 +12,17 @@ fn main() {
     let machines = vec![mesi(), tcp(), fig2_machine_a(), fig2_machine_b()];
     println!("Machines:");
     for m in &machines {
-        println!("  {:<4} {} states, {} events", m.name(), m.size(), m.alphabet().len());
+        println!(
+            "  {:<4} {} states, {} events",
+            m.name(),
+            m.size(),
+            m.alphabet().len()
+        );
     }
 
     // Tolerate one crash fault across the whole group.
-    let mut fused = FusedSystem::new(&machines, 1, FaultModel::Crash)
-        .expect("fusion generation succeeds");
+    let mut fused =
+        FusedSystem::new(&machines, 1, FaultModel::Crash).expect("fusion generation succeeds");
     let mut replicated = ReplicatedSystem::new(&machines, 1, FaultModel::Crash)
         .expect("replication always succeeds");
 
@@ -38,11 +43,14 @@ fn main() {
     replicated.apply_workload(&workload);
 
     println!("\nAfter {} events:", workload.len());
-    for i in 0..machines.len() {
+    for (i, machine) in machines.iter().enumerate() {
         println!(
             "  {:<4} state = {}",
-            machines[i].name(),
-            fused.server(i).machine().state_name(fused.server(i).current_state())
+            machine.name(),
+            fused
+                .server(i)
+                .machine()
+                .state_name(fused.server(i).current_state())
         );
     }
 

@@ -12,8 +12,8 @@ fn main() {
     // Analytic mode: the fused backup is the sum-mod-3 counter over every
     // sensor's events (the machine Algorithm 2 finds for small networks —
     // see the exact-mode cross-check below).
-    let mut network = SensorNetwork::new(SENSORS, SensorBackupMode::Analytic)
-        .expect("non-empty network");
+    let mut network =
+        SensorNetwork::new(SENSORS, SensorBackupMode::Analytic).expect("non-empty network");
     network
         .observe_randomly(OBSERVATIONS, 2024)
         .expect("observations only touch existing sensors");
@@ -26,7 +26,9 @@ fn main() {
 
     // A sensor dies; the month's count would be lost without a backup.
     let victim = 42;
-    let truth = network.sensor_state(victim).expect("alive before the crash");
+    let truth = network
+        .sensor_state(victim)
+        .expect("alive before the crash");
     network.crash_sensor(victim).expect("sensor exists");
     println!("\n!! sensor {victim} crashed (its count mod 3 was {truth})");
 

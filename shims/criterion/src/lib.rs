@@ -1,0 +1,271 @@
+//! Offline stand-in for the subset of
+//! [`criterion` 0.5](https://docs.rs/criterion/0.5) used by this workspace.
+//!
+//! Two modes, selected from the command line exactly like upstream:
+//!
+//! * `--test` (CI smoke mode): every benchmark body runs **once**, untimed.
+//!   `cargo bench -- --test` therefore catches harness rot cheaply.
+//! * default (bench mode): each benchmark runs a short warm-up followed by a
+//!   bounded measurement loop and prints the mean wall-clock time per
+//!   iteration. The statistics are far simpler than upstream criterion's
+//!   (no outlier analysis, no HTML reports) but directionally useful.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup cost. The shim runs every
+/// variant identically (setup before each timed batch of one routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-create the input on every iteration.
+    PerIteration,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// Explicit iteration count.
+    NumIterations(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Run each benchmark body once, untimed (`--test`).
+    Smoke,
+    /// Measure and report a mean time per iteration.
+    Measure,
+}
+
+fn mode_from_args() -> Mode {
+    // `cargo bench` invokes the harness with `--bench`; `cargo bench --
+    // --test` appends `--test`. All other flags are accepted and ignored.
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Smoke
+    } else {
+        Mode::Measure
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` target functions.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Returns `self` unchanged; CLI parsing already happened in
+    /// [`Criterion::default`]. Present for upstream signature compatibility.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mode = self.mode;
+        run_one(mode, &name.into(), Duration::from_secs(3), f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim's measurement loop is
+    /// bounded by time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility; the shim warms up for a fixed
+    /// fraction of the measurement time.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the measurement loop for each benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        run_one(self.criterion.mode, &id, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, id: &str, measurement_time: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        mode,
+        measurement_time,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    match mode {
+        Mode::Smoke => println!("{id}: ok (smoke)"),
+        Mode::Measure => {
+            if bencher.iters == 0 {
+                println!("{id}: no iterations recorded");
+            } else {
+                let mean = bencher.elapsed.as_nanos() / u128::from(bencher.iters);
+                println!("{id}: {mean} ns/iter (n = {})", bencher.iters);
+            }
+        }
+    }
+}
+
+/// Drives the benchmark body; handed to `bench_function` closures.
+pub struct Bencher {
+    mode: Mode,
+    measurement_time: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly (once in smoke mode) and records timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Runs `setup` untimed before each timed call of `routine`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+                self.iters = 1;
+            }
+            Mode::Measure => {
+                // Warm up for ~1/10 of the measurement budget.
+                let warmup_deadline = Instant::now() + self.measurement_time / 10;
+                while Instant::now() < warmup_deadline {
+                    black_box(routine(setup()));
+                }
+                let deadline = Instant::now() + self.measurement_time;
+                while Instant::now() < deadline {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    self.elapsed += start.elapsed();
+                    self.iters += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Declares a function `$name` that runs each `$target(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` to run each `criterion_group!`-declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut count = 0;
+        let mut bencher = Bencher {
+            mode: Mode::Smoke,
+            measurement_time: Duration::from_secs(1),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(bencher.iters, 1);
+    }
+
+    #[test]
+    fn measure_mode_records_iterations() {
+        let mut bencher = Bencher {
+            mode: Mode::Measure,
+            measurement_time: Duration::from_millis(20),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput);
+        assert!(bencher.iters > 0);
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut criterion = Criterion { mode: Mode::Smoke };
+        let mut ran = 0;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.sample_size(10).warm_up_time(Duration::from_secs(1));
+            group.measurement_time(Duration::from_secs(1));
+            group.bench_function("a", |b| b.iter(|| ran += 1));
+            group.finish();
+        }
+        assert_eq!(ran, 1);
+    }
+}

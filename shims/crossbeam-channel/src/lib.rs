@@ -1,0 +1,143 @@
+//! Offline stand-in for the subset of
+//! [`crossbeam-channel`](https://docs.rs/crossbeam-channel) used by this
+//! workspace, implemented over `std::sync::mpsc`.
+//!
+//! Provides [`unbounded`], a clonable [`Sender`], and a [`Receiver`] with
+//! `recv`/`try_recv`. (The upstream `Receiver` is also clonable; this shim's
+//! is not, which is sufficient for the workspace's single-consumer use.)
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+/// The sending half of a channel. Clonable; disconnects when all clones and
+/// queued messages are gone.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, failing only if the receiver has been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+    }
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Returns a pending message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries the
+/// unsent message.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message was queued.
+    Empty,
+    /// No message was queued and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_roundtrip_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h1 = thread::spawn(move || tx.send(1).unwrap());
+        let h2 = thread::spawn(move || tx2.send(2).unwrap());
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

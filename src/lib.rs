@@ -28,7 +28,7 @@
 //!
 //! // The two mod-3 counters of the paper's Figure 1, plus one generated
 //! // backup, tolerate one crash fault.
-//! let machines = fsm_fusion::machines::fig1_machines();
+//! let machines = fig1_machines();
 //! let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
 //! system.apply_workload(&Workload::from_bits("0110100101"));
 //!
@@ -56,7 +56,7 @@ pub mod prelude {
         generate_fusion, generate_fusion_for_machines, FaultGraph, FaultModel, FusionReport,
         MachineReport, Partition, RecoveryEngine,
     };
-    pub use fsm_machines::{table1_rows, MachineSet};
+    pub use fsm_machines::{fig1_machines, table1_rows, MachineSet};
 }
 
 #[cfg(test)]

@@ -70,7 +70,11 @@ fn parallel_group_agrees_with_sequential_system() {
     for (i, report) in reports.iter().enumerate() {
         match report {
             MachineReport::State(s) => {
-                assert_eq!(*s, sequential.server(i).current_state().index(), "server {i}")
+                assert_eq!(
+                    *s,
+                    sequential.server(i).current_state().index(),
+                    "server {i}"
+                )
             }
             MachineReport::Crashed => panic!("no faults were injected"),
         }
@@ -99,11 +103,14 @@ fn parallel_recovery_with_engine_matches_oracle() {
     // Machine-state → block translation tables for the originals.
     let mut block_of_state: Vec<Vec<usize>> = Vec::new();
     for (i, p) in partitions.iter().enumerate() {
-        engine.add_machine(machines[i].name().to_string(), p.clone()).unwrap();
+        engine
+            .add_machine(machines[i].name().to_string(), p.clone())
+            .unwrap();
         let mut table = vec![0usize; machines[i].size()];
         for t in 0..product.size() {
-            table[product.component_state(fsm_fusion::dfsm::StateId(t), i).index()] =
-                p.block_of(t);
+            table[product
+                .component_state(fsm_fusion::dfsm::StateId(t), i)
+                .index()] = p.block_of(t);
         }
         block_of_state.push(table);
     }

@@ -3,8 +3,7 @@
 
 use fsm_fusion::dfsm::are_isomorphic;
 use fsm_fusion::fusion::{
-    basis, enumerate_lattice, generate_fusion, is_closed, set_representation, FaultGraph,
-    Partition,
+    basis, enumerate_lattice, generate_fusion, is_closed, set_representation, FaultGraph, Partition,
 };
 use fsm_fusion::machines::{
     fig1_fusion_f1, fig1_fusion_f2, fig1_machines, fig2_machines, fig3_top,

@@ -1,0 +1,77 @@
+//! Guards the facade's public API surface: the `prelude` must keep exposing
+//! the quickstart types, and the README/doctest scenario must keep working
+//! as a plain integration test.
+//!
+//! If a refactor renames or drops a re-export, this file fails to compile —
+//! which is the point: it turns silent API breakage into a red CI run.
+
+use fsm_fusion::prelude::*;
+
+/// Every quickstart name must be importable from the prelude alone.
+///
+/// The let-bindings pin the *path*, not behaviour; each one is a name the
+/// README or rustdoc examples reference.
+#[test]
+fn prelude_exposes_quickstart_surface() {
+    // Types usable in signatures straight from the prelude.
+    fn _takes_system(_: &FusedSystem) {}
+    fn _takes_workload(_: &Workload) {}
+    fn _takes_fault_model(_: FaultModel) {}
+    fn _takes_machine(_: &Dfsm) {}
+    fn _takes_product(_: &ReachableProduct) {}
+    fn _takes_partition(_: &Partition) {}
+    fn _takes_fault_graph(_: &FaultGraph) {}
+    fn _takes_replicated(_: &ReplicatedSystem) {}
+
+    // Constructors / functions reachable without naming a sub-crate.
+    let machines = fig1_machines();
+    assert_eq!(machines.len(), 2);
+    let workload = Workload::from_bits("0110");
+    assert_eq!(workload.len(), 4);
+    let _ = FaultModel::Crash;
+    let _ = FaultModel::Byzantine;
+    let rows = table1_rows();
+    assert!(!rows.is_empty());
+}
+
+/// The `src/lib.rs` doctest scenario, as a plain test: crash one of the
+/// Figure 1 mod-3 counters, recover, and match the oracle.
+#[test]
+fn quickstart_scenario_recovers_from_crash() {
+    let machines = fig1_machines();
+    let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+    system.apply_workload(&Workload::from_bits("0110100101"));
+
+    system.crash(0).unwrap();
+    let outcome = system.recover().unwrap();
+    assert!(outcome.matches_oracle);
+
+    // Recovery restored the exact pre-crash state: 5 zeros mod 3 = 2.
+    assert_eq!(system.server(0).current_state().index(), 2);
+}
+
+/// The same scenario under the Byzantine fault model: a lying server is
+/// detected and corrected.
+#[test]
+fn quickstart_scenario_corrects_byzantine_lie() {
+    let machines = fig1_machines();
+    let mut system = FusedSystem::new(&machines, 1, FaultModel::Byzantine).unwrap();
+    system.apply_workload(&Workload::from_bits("0110100101"));
+
+    let truth = system.server(0).current_state();
+    system.corrupt_differently(0).unwrap();
+    let outcome = system.recover().unwrap();
+    assert!(outcome.matches_oracle);
+    assert_eq!(system.server(0).current_state(), truth);
+    assert!(outcome.recovery.suspected_byzantine.contains(&0));
+}
+
+/// Generation via the prelude: one backup machine of 3 states suffices for
+/// one crash fault over the Figure 1 pair (the paper's headline example).
+#[test]
+fn prelude_generation_matches_paper_headline() {
+    let machines = fig1_machines();
+    let (product, fusion) = generate_fusion_for_machines(&machines, 1).unwrap();
+    assert_eq!(product.size(), 9);
+    assert_eq!(fusion.machine_sizes(), vec![3]);
+}

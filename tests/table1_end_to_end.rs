@@ -10,8 +10,8 @@
 //! budget — is asserted here.  EXPERIMENTS.md records the measured values
 //! next to the paper's.
 
-use fsm_fusion::prelude::*;
 use fsm_fusion::fusion::{minimum_backup_count, projection_partitions, FusionReport};
+use fsm_fusion::prelude::*;
 
 fn paper_replication_column() -> [u128; 5] {
     [82_944, 2_097_152, 59_049, 396, 156_816]
@@ -53,8 +53,8 @@ fn backup_machine_count_matches_the_minimum_from_theorem_4() {
         let product = ReachableProduct::new(&row.machines).expect("valid machines");
         let originals = projection_partitions(&product);
         let expected = minimum_backup_count(product.size(), &originals, row.f);
-        let (_, fusion) = generate_fusion_for_machines(&row.machines, row.f)
-            .expect("fusion generation succeeds");
+        let (_, fusion) =
+            generate_fusion_for_machines(&row.machines, row.f).expect("fusion generation succeeds");
         assert_eq!(
             fusion.len(),
             expected,
@@ -128,7 +128,12 @@ fn byzantine_recovery_round_trip_for_rows_with_enough_distance() {
             .expect("byzantine faults within the budget");
         assert!(outcome.matches_oracle, "row `{}`", row.label);
         for (i, expected) in truth.iter().enumerate() {
-            assert_eq!(system.server(i).current_state(), *expected, "row `{}`", row.label);
+            assert_eq!(
+                system.server(i).current_state(),
+                *expected,
+                "row `{}`",
+                row.label
+            );
         }
     }
 }
@@ -154,10 +159,16 @@ fn fused_and_replicated_systems_recover_identical_states() {
         let fused_outcome = fused.recover().expect("within budget");
         let replicated_states = replicated.recover().expect("within budget");
         assert!(fused_outcome.matches_oracle, "row `{}`", row.label);
-        for i in 0..row.machines.len() {
+        assert_eq!(
+            replicated_states.len(),
+            row.machines.len(),
+            "row `{}`: one recovered state per machine",
+            row.label
+        );
+        for (i, &replicated_state) in replicated_states.iter().enumerate() {
             assert_eq!(
                 fused.server(i).current_state(),
-                replicated_states[i],
+                replicated_state,
                 "row `{}`, machine {i}",
                 row.label
             );

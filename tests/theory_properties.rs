@@ -6,9 +6,9 @@
 //! paper's definitions and theorems hold.
 
 use fsm_fusion::fusion::{
-    close, fusion_exists, generate_fusion, is_closed, is_fusion, lower_cover,
-    minimum_backup_count, projection_partitions, quotient_machine, set_representation,
-    subset_theorem_holds, FaultGraph, Partition,
+    close, fusion_exists, generate_fusion, is_closed, is_fusion, lower_cover, minimum_backup_count,
+    projection_partitions, quotient_machine, set_representation, subset_theorem_holds, FaultGraph,
+    Partition,
 };
 use fsm_fusion::machines::{random_dfsm, RandomDfsmConfig};
 use fsm_fusion::prelude::*;
@@ -101,7 +101,7 @@ proptest! {
         prop_assert!(is_fusion(n, &originals, &fusion.partitions, f));
         prop_assert_eq!(fusion.len(), minimum_backup_count(n, &originals, f));
         prop_assert!(fusion_exists(n, &originals, f, fusion.len()));
-        if fusion.len() > 0 {
+        if !fusion.is_empty() {
             prop_assert!(!fusion_exists(n, &originals, f, fusion.len() - 1));
         }
         // Every generated machine is a closed partition of ⊤ and its
