@@ -8,9 +8,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fsm_bench::counter_family;
 use fsm_dfsm::ReachableProduct;
 use fsm_erasure::code_minimum_distance;
+use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::{projection_partitions, FaultGraph};
 
 fn bench_dmin_vs_code_distance(c: &mut Criterion) {

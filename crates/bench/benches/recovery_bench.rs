@@ -8,9 +8,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fsm_bench::counter_family;
 use fsm_dfsm::ReachableProduct;
 use fsm_distsys::{FusedSystem, ReplicatedSystem, Workload};
+use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::{
     generate_fusion, projection_partitions, FaultModel, MachineReport, RecoveryEngine,
 };

@@ -6,9 +6,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fsm_bench::counter_family;
 use fsm_dfsm::ReachableProduct;
 use fsm_distsys::{SensorBackupMode, SensorNetwork};
+use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::{generate_fusion, projection_partitions};
 
 fn bench_generation_vs_top_size(c: &mut Criterion) {

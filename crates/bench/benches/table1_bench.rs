@@ -9,7 +9,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use fsm_bench::table_rows;
+use fsm_fusion_bench::table_rows;
 use fsm_fusion_core::generate_fusion_for_machines;
 
 fn bench_table1(c: &mut Criterion) {

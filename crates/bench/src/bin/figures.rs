@@ -3,7 +3,7 @@
 //! the closed partition lattice, the fault graphs and the set
 //! representation.
 //!
-//! Run with: `cargo run --release -p fsm-bench --bin figures [-- fig1|fig2|fig3|fig4|fig5]`
+//! Run with: `cargo run --release -p fsm-fusion-bench --bin figures [-- fig1|fig2|fig3|fig4|fig5]`
 //! (no argument prints every figure).
 
 use fsm_dfsm::ReachableProduct;

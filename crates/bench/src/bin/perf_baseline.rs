@@ -1,0 +1,414 @@
+//! Machine-readable perf baseline for the fusion hot paths.
+//!
+//! Run with: `cargo run --release -p fsm-fusion-bench --bin perf_baseline`
+//!
+//! Times the partition operations, the fault-graph build and the
+//! Algorithm-2 search at several `⊤` state counts with small fixed
+//! iteration counts, and emits `BENCH_fusion.json` (see README.md for the
+//! format).  Every optimized kernel is measured next to its pre-refactor
+//! element-scan twin (`*_scan`, from `fsm_fusion_core::reference`), and the
+//! JSON records the speedup ratios.
+//!
+//! Flags:
+//!
+//! * `--out <file>` — where to write the JSON (default `BENCH_fusion.json`
+//!   in the current directory).
+//! * `--check <file>` — compare against a previously committed baseline and
+//!   exit non-zero if any shared op regressed more than 2× *after
+//!   normalizing by the calibration op*, which cancels out absolute machine
+//!   speed so the committed numbers stay meaningful on different hardware.
+//!
+//! Refresh the committed baseline locally with:
+//! `cargo run --release -p fsm-fusion-bench --bin perf_baseline -- --out BENCH_fusion.json`
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fsm_dfsm::ReachableProduct;
+use fsm_fusion_bench::counter_family;
+use fsm_fusion_core::reference;
+use fsm_fusion_core::{generate_fusion, projection_partitions, FaultGraph, Partition};
+
+/// Regression threshold for `--check`: calibration-normalized ns/op may grow
+/// by at most this factor before the run fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// The op every other measurement is normalized by in `--check` mode: a
+/// fixed chunk of pure integer work whose duration tracks the machine's
+/// scalar speed.
+const CALIBRATION_OP: &str = "calibration_splitmix64_1m";
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A deterministic pseudo-random partition of `n` elements into at most
+/// `max_blocks` blocks.
+fn random_partition(n: usize, max_blocks: usize, rng: &mut SplitMix64) -> Partition {
+    let assignment: Vec<usize> = (0..n).map(|_| (rng.next() as usize) % max_blocks).collect();
+    Partition::from_assignment(&assignment)
+}
+
+/// One warm-up call, then three timed rounds of `iters` calls each; returns
+/// the *minimum* round's ns per call.  Min-of-k discards scheduler stalls
+/// and frequency-scaling hiccups, which matters on shared CI runners where
+/// a single slow round would otherwise look like a regression.
+fn bench<T>(iters: u64, mut f: impl FnMut() -> T) -> f64 {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+struct Measurement {
+    name: &'static str,
+    ns_per_op: f64,
+    iters: u64,
+}
+
+fn measure_all() -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, iters: u64, ns: f64| {
+        println!("{name:<36} {:>14.1} ns/op   ({iters} iters)", ns);
+        out.push(Measurement {
+            name,
+            ns_per_op: ns,
+            iters,
+        });
+    };
+
+    // Calibration: fixed pure-integer work, used by --check to normalize
+    // away absolute machine speed.
+    {
+        let iters = 50;
+        let ns = bench(iters, || {
+            let mut rng = SplitMix64(0xDEAD_BEEF);
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next());
+            }
+            acc
+        });
+        push(CALIBRATION_OP, iters, ns);
+    }
+
+    // Partition operations over a pool of pseudo-random partitions of an
+    // 81-element set (the mid-size Algorithm-2 workload below).
+    let n = 81;
+    let mut rng = SplitMix64(42);
+    let pool: Vec<Partition> = (0..32).map(|_| random_partition(n, 9, &mut rng)).collect();
+    let pairs: Vec<(&Partition, &Partition)> = (0..pool.len())
+        .map(|i| (&pool[i], &pool[(i * 7 + 1) % pool.len()]))
+        .collect();
+    let bit_pool: Vec<_> = pool.iter().map(|p| p.to_bitset()).collect();
+
+    {
+        let mut i = 0;
+        let iters = 20_000;
+        let ns = bench(iters, || {
+            let (p, q) = pairs[i % pairs.len()];
+            i += 1;
+            p.le(q) || q.le(p)
+        });
+        push("partition_le_n81", iters, ns);
+        let mut i = 0;
+        let ns = bench(iters, || {
+            let (p, q) = pairs[i % pairs.len()];
+            i += 1;
+            reference::le_scan(p, q) || reference::le_scan(q, p)
+        });
+        push("partition_le_scan_n81", iters, ns);
+        let mut i = 0;
+        let iters = 50_000;
+        let ns = bench(iters, || {
+            let p = &bit_pool[i % bit_pool.len()];
+            let q = &bit_pool[(i * 7 + 1) % bit_pool.len()];
+            i += 1;
+            p.le(q) || q.le(p)
+        });
+        push("bitset_le_n81", iters, ns);
+    }
+    {
+        let mut i = 0;
+        let iters = 5_000;
+        let ns = bench(iters, || {
+            let (p, q) = pairs[i % pairs.len()];
+            i += 1;
+            p.meet(q)
+        });
+        push("partition_meet_n81", iters, ns);
+        let mut i = 0;
+        let ns = bench(iters, || {
+            let (p, q) = pairs[i % pairs.len()];
+            i += 1;
+            reference::meet_scan(p, q)
+        });
+        push("partition_meet_scan_n81", iters, ns);
+    }
+    {
+        let mut i = 0;
+        let iters = 10_000;
+        let ns = bench(iters, || {
+            let (p, q) = pairs[i % pairs.len()];
+            i += 1;
+            p.join(q)
+        });
+        push("partition_join_n81", iters, ns);
+        let mut i = 0;
+        let ns = bench(iters, || {
+            let (p, q) = pairs[i % pairs.len()];
+            i += 1;
+            reference::join_scan(p, q)
+        });
+        push("partition_join_scan_n81", iters, ns);
+    }
+
+    // Fault-graph build: 24 machines over 81 states, word-at-a-time vs. the
+    // per-pair element scan.
+    {
+        let machines: Vec<Partition> = pool.iter().take(24).cloned().collect();
+        let iters = 200;
+        let ns = bench(iters, || FaultGraph::from_partitions(n, &machines));
+        push("fault_graph_build_n81_m24", iters, ns);
+        let ns = bench(iters, || {
+            let mut g = FaultGraph::new(n);
+            for p in &machines {
+                g.add_machine_scan(p);
+            }
+            g
+        });
+        push("fault_graph_build_scan_n81_m24", iters, ns);
+    }
+
+    // Algorithm-2 search on the scaling workload (disjoint mod-3 counter
+    // families; |⊤| = 3^count), optimized kernel vs. the pre-refactor
+    // element-scan implementation.
+    for (count, iters, scan_iters) in [(3usize, 200u64, 50u64), (4, 50, 20), (5, 20, 5), (6, 5, 2)]
+    {
+        let machines = counter_family(count, 3);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let originals = projection_partitions(&product);
+        let top = product.top();
+        let size = product.size();
+        let name: &'static str = match size {
+            27 => "alg2_search_n27_f2",
+            81 => "alg2_search_n81_f2",
+            243 => "alg2_search_n243_f2",
+            729 => "alg2_search_n729_f2",
+            _ => unreachable!("unexpected product size {size}"),
+        };
+        let ns = bench(iters, || generate_fusion(top, &originals, 2).unwrap());
+        push(name, iters, ns);
+        let scan_name: &'static str = match size {
+            27 => "alg2_search_scan_n27_f2",
+            81 => "alg2_search_scan_n81_f2",
+            243 => "alg2_search_scan_n243_f2",
+            729 => "alg2_search_scan_n729_f2",
+            _ => unreachable!(),
+        };
+        let ns = bench(scan_iters, || {
+            reference::generate_fusion_scan(top, &originals, 2).unwrap()
+        });
+        push(scan_name, scan_iters, ns);
+    }
+
+    out
+}
+
+/// Speedup ratios of each optimized op against its `_scan` twin.
+fn speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for m in ops {
+        if let Some(rest) = m.name.find("_scan") {
+            let fast_name = format!("{}{}", &m.name[..rest], &m.name[rest + 5..]);
+            if let Some(fast) = ops.iter().find(|o| o.name == fast_name) {
+                out.push((fast_name, m.ns_per_op / fast.ns_per_op));
+            }
+        }
+    }
+    out
+}
+
+fn render_json(ops: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"fsm-fusion-perf-baseline/v1\",\n");
+    s.push_str("  \"ops\": {\n");
+    for (i, m) in ops.iter().enumerate() {
+        let comma = if i + 1 == ops.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    \"{}\": {{ \"ns_per_op\": {:.1}, \"iters\": {} }}{}",
+            m.name, m.ns_per_op, m.iters, comma
+        );
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"speedup_vs_scan\": {\n");
+    let ratios = speedups(ops);
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Parses the `"ops"` section of a baseline file written by
+/// [`render_json`]: one `"name": {{ "ns_per_op": <float>, ... }}` per line.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('"') || !line.contains("\"ns_per_op\":") {
+            continue;
+        }
+        let Some(name_end) = line[1..].find('"') else {
+            continue;
+        };
+        let name = line[1..1 + name_end].to_string();
+        let Some(pos) = line.find("\"ns_per_op\":") else {
+            continue;
+        };
+        let rest = line[pos + "\"ns_per_op\":".len()..].trim_start();
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Compares fresh measurements against a committed baseline, normalizing by
+/// the calibration op so different machines compare work, not clock speed.
+/// Returns the list of regressed op names.
+fn check(fresh: &[Measurement], baseline: &[(String, f64)]) -> Vec<String> {
+    let fresh_cal = fresh
+        .iter()
+        .find(|m| m.name == CALIBRATION_OP)
+        .map(|m| m.ns_per_op);
+    let base_cal = baseline
+        .iter()
+        .find(|(n, _)| n == CALIBRATION_OP)
+        .map(|(_, v)| *v);
+    let (Some(fresh_cal), Some(base_cal)) = (fresh_cal, base_cal) else {
+        eprintln!("warning: calibration op missing; comparing raw ns/op");
+        return check_raw(fresh, baseline, 1.0, 1.0);
+    };
+    check_raw(fresh, baseline, fresh_cal, base_cal)
+}
+
+fn check_raw(
+    fresh: &[Measurement],
+    baseline: &[(String, f64)],
+    fresh_cal: f64,
+    base_cal: f64,
+) -> Vec<String> {
+    let mut regressed = Vec::new();
+    for m in fresh {
+        // The calibration op is the normalizer, and the `_scan` reference
+        // ops exist only to document speedups — neither gates the build.
+        if m.name == CALIBRATION_OP || m.name.contains("_scan") {
+            continue;
+        }
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
+            continue; // newly added op: no baseline yet
+        };
+        let fresh_norm = m.ns_per_op / fresh_cal;
+        let base_norm = base / base_cal;
+        let ratio = fresh_norm / base_norm;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            regressed.push(m.name.to_string());
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "check {:<36} {:>6.2}x vs baseline   {}",
+            m.name, ratio, verdict
+        );
+    }
+    regressed
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_fusion.json");
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => {
+                    eprintln!("--check needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`; use [--out FILE] [--check FILE]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let ops = measure_all();
+    for (name, ratio) in speedups(&ops) {
+        println!("speedup {name:<34} {ratio:>6.2}x vs element scan");
+    }
+
+    let mut failed = false;
+    if let Some(path) = check_path {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let regressed = check(&ops, &parse_baseline(&text));
+                if regressed.is_empty() {
+                    println!("check passed: no op regressed more than {REGRESSION_FACTOR}x");
+                } else {
+                    eprintln!("perf regression (> {REGRESSION_FACTOR}x): {regressed:?}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let json = render_json(&ops);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path}");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -8,13 +8,13 @@
 //!   and Section 7 claims: 1 backup for 100 sensors, 5 backups for 1000
 //!   machines vs. 5000 for replication).
 //!
-//! Run with: `cargo run --release -p fsm-bench --bin scaling`
+//! Run with: `cargo run --release -p fsm-fusion-bench --bin scaling`
 
 use std::time::Instant;
 
-use fsm_bench::counter_family;
 use fsm_dfsm::ReachableProduct;
 use fsm_distsys::{SensorBackupMode, SensorNetwork};
+use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::{
     generate_fusion, projection_partitions, replication_state_space, MachineReport, RecoveryEngine,
 };

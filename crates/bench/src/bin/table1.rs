@@ -3,9 +3,9 @@
 //! generated backup machines, and the replication vs. fusion state spaces —
 //! printed next to the paper's own numbers.
 //!
-//! Run with: `cargo run --release -p fsm-bench --bin table1`
+//! Run with: `cargo run --release -p fsm-fusion-bench --bin table1`
 
-use fsm_bench::{measure_row, paper_table, render_table, table_rows};
+use fsm_fusion_bench::{measure_row, paper_table, render_table, table_rows};
 
 fn main() {
     println!("Reproducing the evaluation table of");

@@ -6,7 +6,7 @@
 //! * [`ParityCode`] — one extra symbol equal to the sum of the data symbols
 //!   (mod alphabet size); the coding analogue of the `(n0 + n1) mod 3`
 //!   fusion machine of Fig. 1.
-//! * [`Hamming74`] — the classical [7,4] binary Hamming code, included as a
+//! * [`Hamming74`] — the classical \[7,4\] binary Hamming code, included as a
 //!   non-trivial code with minimum distance 3 (corrects one error /
 //!   recovers two erasures), matching the fault tolerance of the paper's
 //!   `{A, B, M1, M2}` example.
@@ -152,7 +152,7 @@ impl BlockCode for ParityCode {
     }
 }
 
-/// The binary [7,4] Hamming code (minimum distance 3).
+/// The binary \[7,4\] Hamming code (minimum distance 3).
 #[derive(Debug, Clone, Default)]
 pub struct Hamming74;
 

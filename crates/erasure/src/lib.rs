@@ -12,7 +12,7 @@
 //! * [`hamming`] — Hamming distance / weight and minimum-distance helpers.
 //! * [`code`] — tiny block codes: repetition (the analogue of replication),
 //!   single parity over `Z_q` (the analogue of the `(n0+n1) mod 3` fusion)
-//!   and the binary [7,4] Hamming code.
+//!   and the binary \[7,4\] Hamming code.
 //! * [`analogy`] — turning machine partitions into code words so `dmin` can
 //!   be cross-validated against code distance (used by the integration
 //!   tests and the `analogy` benchmark).

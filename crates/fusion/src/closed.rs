@@ -12,6 +12,10 @@
 //! * [`close`] — the finest closed partition coarser than (or equal to) a
 //!   given partition, the basic step Algorithm 2 uses when walking down the
 //!   closed partition lattice,
+//! * [`ClosureKernel`] — a reusable closure engine that caches the machine's
+//!   transition table in flat arrays; Algorithm 2 and lattice enumeration
+//!   score thousands of candidate merges against the same machine, and the
+//!   kernel makes each of those closures a map-free fixpoint pass,
 //! * [`quotient_machine`] — materialize the DFSM corresponding to a closed
 //!   partition of `⊤`.
 
@@ -19,6 +23,150 @@ use fsm_dfsm::{Dfsm, EventId, StateId, StateInfo};
 
 use crate::error::{FusionError, Result};
 use crate::partition::{Partition, UnionFind};
+
+/// Shared guard: the partition must cover exactly the machine's states.
+pub(crate) fn check_partition_size(machine: &Dfsm, partition: &Partition) -> Result<()> {
+    if partition.len() != machine.size() {
+        return Err(FusionError::PartitionSizeMismatch {
+            expected: machine.size(),
+            actual: partition.len(),
+        });
+    }
+    Ok(())
+}
+
+/// A reusable closure engine over one machine's transition function.
+///
+/// Construction copies the transition table into one flat `u32` array
+/// (`succ[e · n + x]` is the successor of state `x` on event `e`); every
+/// subsequent [`ClosureKernel::close`] / [`ClosureKernel::close_merged`]
+/// call is then a union-find fixpoint over flat arrays, with no per-call
+/// hash or tree maps.  Algorithm 2's inner loop
+/// ([`crate::generate_fusion`]) and lattice enumeration
+/// ([`crate::lattice`]) build the kernel once and score every candidate
+/// block merge through it.
+#[derive(Debug, Clone)]
+pub struct ClosureKernel {
+    n: usize,
+    k: usize,
+    /// `succ[e * n + x]` = index of the successor of state `x` on event `e`.
+    succ: Vec<u32>,
+}
+
+impl ClosureKernel {
+    /// Builds the kernel for `machine`, caching its transition table.
+    pub fn new(machine: &Dfsm) -> Self {
+        let n = machine.size();
+        let k = machine.alphabet().len();
+        let mut succ = Vec::with_capacity(n * k);
+        for e in 0..k {
+            for x in 0..n {
+                succ.push(machine.next(StateId(x), EventId(e)).index() as u32);
+            }
+        }
+        ClosureKernel { n, k, succ }
+    }
+
+    /// Number of states of the underlying machine.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of events of the underlying machine.
+    pub fn num_events(&self) -> usize {
+        self.k
+    }
+
+    /// The finest closed partition coarser than or equal to `partition`
+    /// (see [`close`]).
+    pub fn close(&self, partition: &Partition) -> Result<Partition> {
+        // Equal block indices make close_merged's extra merge a no-op.
+        self.close_merged(partition, 0, 0)
+    }
+
+    /// The finest closed partition coarser than or equal to `partition`
+    /// with blocks `b1` and `b2` merged — Algorithm 2's candidate step,
+    /// without materializing the intermediate merged partition.
+    pub fn close_merged(&self, partition: &Partition, b1: usize, b2: usize) -> Result<Partition> {
+        if partition.len() != self.n {
+            return Err(FusionError::PartitionSizeMismatch {
+                expected: self.n,
+                actual: partition.len(),
+            });
+        }
+        let mut uf = UnionFind::new(self.n);
+        let mut first_of_block = vec![usize::MAX; partition.num_blocks()];
+        for x in 0..self.n {
+            let b = partition.block_of(x);
+            if first_of_block[b] == usize::MAX {
+                first_of_block[b] = x;
+            } else {
+                uf.union(x, first_of_block[b]);
+            }
+        }
+        if b1 != b2 && first_of_block[b1] != usize::MAX && first_of_block[b2] != usize::MAX {
+            uf.union(first_of_block[b1], first_of_block[b2]);
+        }
+        Ok(self.close_seeded(uf))
+    }
+
+    /// Runs the substitution-property fixpoint on a pre-seeded union-find:
+    /// whenever two states share a class, their successors per event must
+    /// share a class too.  The per-event class→successor-class map is a
+    /// flat sentinel table reset between events.
+    fn close_seeded(&self, mut uf: UnionFind) -> Partition {
+        let n = self.n;
+        let mut succ_of_class = vec![usize::MAX; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for e in 0..self.k {
+                let succ = &self.succ[e * n..(e + 1) * n];
+                for entry in succ_of_class.iter_mut() {
+                    *entry = usize::MAX;
+                }
+                for (x, &sx) in succ.iter().enumerate() {
+                    let cls = uf.find(x);
+                    let s = uf.find(sx as usize);
+                    let existing = succ_of_class[cls];
+                    if existing == usize::MAX {
+                        succ_of_class[cls] = s;
+                    } else if existing != s && uf.union(existing, s) {
+                        // The stored representative may have been merged
+                        // earlier in this pass; only a real merge counts as
+                        // a change so the fixpoint loop terminates.
+                        changed = true;
+                    }
+                }
+            }
+        }
+        uf.into_partition()
+    }
+
+    /// Whether `partition` is closed under the cached transition function.
+    pub fn is_closed(&self, partition: &Partition) -> bool {
+        if partition.len() != self.n {
+            return false;
+        }
+        let mut image_block = vec![usize::MAX; partition.num_blocks()];
+        for e in 0..self.k {
+            let succ = &self.succ[e * self.n..(e + 1) * self.n];
+            for entry in image_block.iter_mut() {
+                *entry = usize::MAX;
+            }
+            for (x, &sx) in succ.iter().enumerate() {
+                let b = partition.block_of(x);
+                let sb = partition.block_of(sx as usize);
+                if image_block[b] == usize::MAX {
+                    image_block[b] = sb;
+                } else if image_block[b] != sb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
 
 /// Checks whether `partition` is closed with respect to `machine`'s
 /// transition function: for every event, the image of each block lies inside
@@ -29,12 +177,7 @@ pub fn is_closed(machine: &Dfsm, partition: &Partition) -> bool {
 
 /// Like [`is_closed`] but reports the offending block and event.
 pub fn check_closed(machine: &Dfsm, partition: &Partition) -> Result<()> {
-    if partition.len() != machine.size() {
-        return Err(FusionError::PartitionSizeMismatch {
-            expected: machine.size(),
-            actual: partition.len(),
-        });
-    }
+    check_partition_size(machine, partition)?;
     let k = machine.alphabet().len();
     for e in 0..k {
         // For each block, all successors must share a block.
@@ -69,60 +212,13 @@ pub fn check_closed(machine: &Dfsm, partition: &Partition) -> Result<()> {
 ///
 /// This is the primitive used to compute lower covers: merge two blocks of a
 /// closed partition and re-close the result.
+///
+/// One-shot form of [`ClosureKernel::close`]; callers that close many
+/// partitions against the same machine should build a [`ClosureKernel`]
+/// once instead.  The original `HashMap`-based fixpoint is preserved as
+/// [`crate::reference::close_scan`].
 pub fn close(machine: &Dfsm, partition: &Partition) -> Result<Partition> {
-    if partition.len() != machine.size() {
-        return Err(FusionError::PartitionSizeMismatch {
-            expected: machine.size(),
-            actual: partition.len(),
-        });
-    }
-    let n = machine.size();
-    let k = machine.alphabet().len();
-    let mut uf = UnionFind::new(n);
-    // Seed the union-find with the given partition.
-    {
-        let mut first_of_block: Vec<Option<usize>> = vec![None; partition.num_blocks()];
-        for x in 0..n {
-            let b = partition.block_of(x);
-            match first_of_block[b] {
-                None => first_of_block[b] = Some(x),
-                Some(y) => {
-                    uf.union(x, y);
-                }
-            }
-        }
-    }
-    // Iterate to a fixpoint: whenever two states share a class, their
-    // successors (per event) must share a class too.
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for e in 0..k {
-            // Map from class representative to the representative of the
-            // successor class seen so far.
-            let mut succ_of_class: std::collections::HashMap<usize, usize> =
-                std::collections::HashMap::with_capacity(n);
-            for x in 0..n {
-                let cls = uf.find(x);
-                let succ = uf.find(machine.next(StateId(x), EventId(e)).index());
-                match succ_of_class.get(&cls) {
-                    None => {
-                        succ_of_class.insert(cls, succ);
-                    }
-                    Some(&existing) if existing == succ => {}
-                    Some(&existing) => {
-                        // The stored representative may have been merged
-                        // earlier in this pass; only count a real merge as a
-                        // change so the fixpoint loop terminates.
-                        if uf.union(existing, succ) {
-                            changed = true;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let closed = uf.into_partition();
+    let closed = ClosureKernel::new(machine).close(partition)?;
     debug_assert!(is_closed(machine, &closed));
     debug_assert!(closed.le(partition));
     Ok(closed)
@@ -134,7 +230,7 @@ pub fn close(machine: &Dfsm, partition: &Partition) -> Result<Partition> {
 /// block containing `top`'s initial state.
 pub fn quotient_machine(top: &Dfsm, partition: &Partition, name: &str) -> Result<Dfsm> {
     check_closed(top, partition)?;
-    let blocks = partition.blocks();
+    let blocks = partition.block_groups();
     let states: Vec<StateInfo> = blocks
         .iter()
         .map(|b| {
@@ -242,6 +338,38 @@ mod tests {
             assert_eq!(c1, c2, "close must be idempotent");
             assert!(c1.le(&p));
         }
+    }
+
+    #[test]
+    fn closure_kernel_matches_one_shot_close() {
+        let t = top4();
+        let kernel = ClosureKernel::new(&t);
+        assert_eq!(kernel.num_states(), 4);
+        assert_eq!(kernel.num_events(), 2);
+        for (x, y) in [(0usize, 1usize), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            let p = Partition::singletons(4).merge_elements(x, y);
+            assert_eq!(kernel.close(&p).unwrap(), close(&t, &p).unwrap());
+        }
+        // close_merged ≡ merge_blocks + close, without the intermediate.
+        let a = Partition::from_blocks(4, &[vec![0, 3], vec![1], vec![2]]).unwrap();
+        for b1 in 0..a.num_blocks() {
+            for b2 in (b1 + 1)..a.num_blocks() {
+                assert_eq!(
+                    kernel.close_merged(&a, b1, b2).unwrap(),
+                    close(&t, &a.merge_blocks(b1, b2)).unwrap()
+                );
+            }
+        }
+        // is_closed agreement, including the non-closed case.
+        let bad = Partition::from_blocks(4, &[vec![0, 1], vec![2], vec![3]]).unwrap();
+        assert!(kernel.is_closed(&a));
+        assert!(!kernel.is_closed(&bad));
+        // Size mismatches are rejected, not asserted.
+        assert!(kernel.close(&Partition::singletons(3)).is_err());
+        assert!(kernel
+            .close_merged(&Partition::singletons(3), 0, 1)
+            .is_err());
+        assert!(!kernel.is_closed(&Partition::singletons(3)));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! * `f` crash faults can be tolerated iff `dmin > f` (Theorem 1),
 //! * `f` Byzantine faults can be tolerated iff `dmin > 2f` (Theorem 2).
 
+use crate::bitset::{words_for, BitsetPartition, WORD_BITS};
 use crate::partition::Partition;
 
 /// The fault graph `G(⊤, M)` for machines represented as closed partitions
@@ -71,7 +72,58 @@ impl FaultGraph {
 
     /// Adds a machine: every pair of states the partition separates gains
     /// one unit of weight.
+    ///
+    /// Converts the partition to its bitset-block form and updates weights
+    /// word-at-a-time; see [`FaultGraph::add_machine_bitset`].  The original
+    /// per-pair element scan is preserved as
+    /// [`FaultGraph::add_machine_scan`].
     pub fn add_machine(&mut self, p: &Partition) {
+        assert_eq!(p.len(), self.n, "partition over wrong number of states");
+        self.add_machine_bitset(&BitsetPartition::from_partition(p));
+    }
+
+    /// Adds a machine given as a pre-converted [`BitsetPartition`] — the
+    /// fast path for scoring loops that add the same candidate partitions to
+    /// many graph clones (e.g. [`crate::exhaustive_minimum_fusion`]).
+    ///
+    /// For every state `i` the set of states `j > i` that the machine
+    /// separates from `i` is the *complement* of `i`'s block row, so the
+    /// update walks `!row` word-at-a-time and bumps exactly the edges whose
+    /// weight grows (the per-`i` edge range `(i, i+1..n)` is contiguous in
+    /// the upper-triangular layout).
+    pub fn add_machine_bitset(&mut self, p: &BitsetPartition) {
+        assert_eq!(p.len(), self.n, "partition over wrong number of states");
+        let n = self.n;
+        let words = words_for(n);
+        let mut base = 0usize;
+        for i in 0..n.saturating_sub(1) {
+            let row = p.block_row(p.block_of(i));
+            let lane = &mut self.weights[base..base + (n - i - 1)];
+            let start = i + 1;
+            for (w, &word) in row.iter().enumerate().skip(start / WORD_BITS) {
+                let mut mask = !word;
+                if w == start / WORD_BITS {
+                    mask &= !0u64 << (start % WORD_BITS);
+                }
+                if w == words - 1 && n % WORD_BITS != 0 {
+                    mask &= (1u64 << (n % WORD_BITS)) - 1;
+                }
+                while mask != 0 {
+                    let j = w * WORD_BITS + mask.trailing_zeros() as usize;
+                    lane[j - start] += 1;
+                    mask &= mask - 1;
+                }
+            }
+            base += n - i - 1;
+        }
+        self.machines += 1;
+    }
+
+    /// The pre-refactor element scan: every `(i, j)` pair tested with
+    /// [`Partition::separates`].  Kept for cross-validation (property tests)
+    /// and as the `fault_graph_build_scan` baseline in `BENCH_fusion.json`;
+    /// use [`FaultGraph::add_machine`] everywhere else.
+    pub fn add_machine_scan(&mut self, p: &Partition) {
         assert_eq!(p.len(), self.n, "partition over wrong number of states");
         for i in 0..self.n {
             for j in (i + 1)..self.n {
@@ -323,6 +375,30 @@ mod tests {
         let h = g.weight_histogram();
         assert_eq!(h[&0], 1);
         assert_eq!(h[&1], 5);
+    }
+
+    #[test]
+    fn bitset_add_machine_matches_scan_across_word_boundaries() {
+        // 70 states spans two u64 words; mod-3 blocks interleave across the
+        // boundary, exercising the first/last-word masking.
+        let n = 70;
+        let assignment: Vec<usize> = (0..n).map(|x| x % 3).collect();
+        let p = Partition::from_assignment(&assignment);
+        let singles = Partition::singletons(n);
+        let mut word = FaultGraph::new(n);
+        word.add_machine(&p);
+        word.add_machine_bitset(&singles.to_bitset());
+        let mut scan = FaultGraph::new(n);
+        scan.add_machine_scan(&p);
+        scan.add_machine_scan(&singles);
+        assert_eq!(word.num_machines(), scan.num_machines());
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(word.weight(i, j), scan.weight(i, j), "edge ({i},{j})");
+            }
+        }
+        assert_eq!(word.dmin(), scan.dmin());
+        assert_eq!(word.weight_histogram(), scan.weight_histogram());
     }
 
     #[test]

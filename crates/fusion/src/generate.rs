@@ -20,8 +20,8 @@ use std::time::Instant;
 
 use fsm_dfsm::{Dfsm, ReachableProduct};
 
-use crate::closed::close;
 use crate::closed::quotient_machine;
+use crate::closed::ClosureKernel;
 use crate::error::Result;
 use crate::fault_graph::FaultGraph;
 use crate::partition::Partition;
@@ -85,9 +85,16 @@ impl FusionGeneration {
 
 /// Algorithm 2 over partitions: generates the smallest set of closed
 /// partitions `F` of `top` such that `dmin(originals ∪ F) > f`.
+///
+/// The candidate-scoring loop runs through a [`ClosureKernel`] built once
+/// per call (flat transition tables, map-free closure fixpoints) and the
+/// fault graph updates word-at-a-time through the bitset kernel; the
+/// pre-refactor element-scan version is preserved as
+/// [`crate::reference::generate_fusion_scan`].
 pub fn generate_fusion(top: &Dfsm, originals: &[Partition], f: usize) -> Result<FusionGeneration> {
     let start = Instant::now();
     let n = top.size();
+    let kernel = ClosureKernel::new(top);
     let mut graph = FaultGraph::from_partitions(n, originals);
     let mut stats = GenerationStats {
         initial_dmin: graph.dmin(),
@@ -127,7 +134,7 @@ pub fn generate_fusion(top: &Dfsm, originals: &[Partition], f: usize) -> Result<
             for b1 in 0..k {
                 for b2 in (b1 + 1)..k {
                     stats.candidates_examined += 1;
-                    let candidate = close(top, &current.merge_blocks(b1, b2))?;
+                    let candidate = kernel.close_merged(&current, b1, b2)?;
                     if FaultGraph::covers_all(&candidate, &weakest) {
                         current = candidate;
                         continue 'descend;

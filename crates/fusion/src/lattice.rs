@@ -12,25 +12,34 @@ use std::collections::BTreeSet;
 
 use fsm_dfsm::Dfsm;
 
-use crate::closed::{close, is_closed};
+use crate::bitset::BitsetPartition;
+use crate::closed::{is_closed, ClosureKernel};
 use crate::error::Result;
 use crate::partition::Partition;
 
 /// Computes the lower cover of a closed partition `p` of `top`: the maximal
 /// closed partitions strictly less than `p`.
 ///
+/// One-shot form of [`lower_cover_with`]; enumeration loops should build a
+/// [`ClosureKernel`] once and reuse it.
+pub fn lower_cover(top: &Dfsm, p: &Partition) -> Result<Vec<Partition>> {
+    debug_assert!(is_closed(top, p));
+    lower_cover_with(&ClosureKernel::new(top), p)
+}
+
+/// Computes the lower cover of `p` through a pre-built [`ClosureKernel`].
+///
 /// Every closed partition strictly below `p` merges at least two blocks of
 /// `p`; closing each pairwise block merge therefore produces a set of
 /// candidates that contains the whole lower cover, from which non-maximal
-/// and duplicate candidates are removed.
-pub fn lower_cover(top: &Dfsm, p: &Partition) -> Result<Vec<Partition>> {
-    debug_assert!(is_closed(top, p));
+/// and duplicate candidates are removed.  The maximality filter converts
+/// each candidate to bitset form once and compares word-at-a-time.
+pub fn lower_cover_with(kernel: &ClosureKernel, p: &Partition) -> Result<Vec<Partition>> {
     let k = p.num_blocks();
     let mut candidates: BTreeSet<Partition> = BTreeSet::new();
     for b1 in 0..k {
         for b2 in (b1 + 1)..k {
-            let merged = p.merge_blocks(b1, b2);
-            let closed = close(top, &merged)?;
+            let closed = kernel.close_merged(p, b1, b2)?;
             if &closed != p {
                 candidates.insert(closed);
             }
@@ -39,14 +48,15 @@ pub fn lower_cover(top: &Dfsm, p: &Partition) -> Result<Vec<Partition>> {
     // Keep only the maximal candidates: q is dropped if some other
     // candidate q' satisfies q < q' (q' is strictly finer, i.e. closer to p).
     let all: Vec<Partition> = candidates.into_iter().collect();
+    let bits: Vec<BitsetPartition> = all.iter().map(BitsetPartition::from_partition).collect();
     let mut maximal = Vec::new();
-    'outer: for (i, q) in all.iter().enumerate() {
-        for (j, other) in all.iter().enumerate() {
+    'outer: for (i, q) in bits.iter().enumerate() {
+        for (j, other) in bits.iter().enumerate() {
             if i != j && q.lt(other) {
                 continue 'outer;
             }
         }
-        maximal.push(q.clone());
+        maximal.push(all[i].clone());
     }
     Ok(maximal)
 }
@@ -96,15 +106,21 @@ impl ClosedPartitionLattice {
     /// `finer` covers `coarser` when `coarser < finer` with nothing in
     /// between.
     pub fn hasse_edges(&self) -> Vec<(usize, usize)> {
+        // Convert every element once; the O(L²·L) covering check then runs
+        // entirely on word-level subset tests.
+        let bits: Vec<BitsetPartition> = self
+            .elements
+            .iter()
+            .map(BitsetPartition::from_partition)
+            .collect();
         let mut edges = Vec::new();
-        for (i, p) in self.elements.iter().enumerate() {
-            for (j, q) in self.elements.iter().enumerate() {
+        for (i, p) in bits.iter().enumerate() {
+            for (j, q) in bits.iter().enumerate() {
                 if i == j || !p.lt(q) {
                     continue;
                 }
                 // p < q; check there is no r strictly between.
-                let between = self
-                    .elements
+                let between = bits
                     .iter()
                     .enumerate()
                     .any(|(k, r)| k != i && k != j && p.lt(r) && r.lt(q));
@@ -120,12 +136,13 @@ impl ClosedPartitionLattice {
 /// Enumerates every closed partition of `top` by breadth-first descent from
 /// the singleton partition, stopping after `limit` elements.
 pub fn enumerate_lattice(top: &Dfsm, limit: usize) -> Result<ClosedPartitionLattice> {
+    let kernel = ClosureKernel::new(top);
     let mut seen: BTreeSet<Partition> = BTreeSet::new();
     let mut frontier: Vec<Partition> = vec![Partition::singletons(top.size())];
     seen.insert(frontier[0].clone());
     let mut truncated = false;
     'explore: while let Some(p) = frontier.pop() {
-        for q in lower_cover(top, &p)? {
+        for q in lower_cover_with(&kernel, &p)? {
             if seen.len() >= limit {
                 truncated = true;
                 break 'explore;
@@ -238,7 +255,9 @@ mod tests {
             for q in &lattice.elements {
                 let m = p.meet(q);
                 assert!(
-                    lattice.elements.contains(&close(&t, &m).unwrap()),
+                    lattice
+                        .elements
+                        .contains(&crate::closed::close(&t, &m).unwrap()),
                     "meet closure must stay inside the lattice"
                 );
             }

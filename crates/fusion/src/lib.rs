@@ -13,6 +13,9 @@
 //! * [`Partition`] and [`closed`] — closed (substitution-property)
 //!   partitions of the reachable cross product `⊤` and the machine order
 //!   (§2.1).
+//! * [`bitset`] — the `u64`-word block representation
+//!   ([`BitsetPartition`]) behind the partition/fault-graph hot paths, with
+//!   the original element scans preserved in [`mod@reference`].
 //! * [`lattice`] — lower covers and the closed partition lattice (§2.1,
 //!   Fig. 3).
 //! * [`FaultGraph`] — the fault graph `G(⊤, M)`, distances, `dmin`, and the
@@ -72,6 +75,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitset;
 pub mod closed;
 mod error;
 pub mod fault_graph;
@@ -79,20 +83,24 @@ pub mod generate;
 pub mod lattice;
 pub mod partition;
 pub mod recovery;
+pub mod reference;
 pub mod replication;
 pub mod report;
 pub mod search;
 pub mod set_repr;
 pub mod theory;
 
-pub use closed::{check_closed, close, is_closed, quotient_machine};
+pub use bitset::{BitsetPartition, BlockMatrix};
+pub use closed::{check_closed, close, is_closed, quotient_machine, ClosureKernel};
 pub use error::{FusionError, Result};
 pub use fault_graph::FaultGraph;
 pub use generate::{
     generate_fusion, generate_fusion_for_machines, FusionGeneration, GenerationStats,
 };
-pub use lattice::{basis, enumerate_lattice, lower_cover, ClosedPartitionLattice};
-pub use partition::Partition;
+pub use lattice::{
+    basis, enumerate_lattice, lower_cover, lower_cover_with, ClosedPartitionLattice,
+};
+pub use partition::{BlockGroups, Partition};
 pub use recovery::{recover_top_state, MachineReport, Recovery, RecoveryEngine};
 pub use replication::{
     fusion_state_space, replication_backup_count, replication_state_space, BackupComparison,

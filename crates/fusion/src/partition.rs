@@ -11,10 +11,17 @@
 //! (less informative) partition.  The top machine corresponds to the finest
 //! partition (all singletons) and the bottom machine `⊥` to the single-block
 //! partition.
+//!
+//! `Partition` is the canonical element-indexed form used across the public
+//! API; the word-level bitset form used by the hot paths lives in
+//! [`crate::bitset`] (see [`Partition::to_bitset`]).  The operations here
+//! are map-free single passes; the original `BTreeMap`-based element scans
+//! are preserved in [`crate::reference`] for cross-validation.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::bitset::{join_assignments, BitsetPartition};
 use crate::error::{FusionError, Result};
 
 /// A partition of the set `{0, …, n-1}` into disjoint blocks.
@@ -52,14 +59,56 @@ impl Partition {
 
     /// Builds a partition from an explicit block assignment
     /// (`assignment[x]` = arbitrary label of the block containing `x`).
+    ///
+    /// Labels bounded by a small multiple of the element count (the common
+    /// case: block indices, union-find roots) are canonicalized through a
+    /// dense relabel table in one pass; arbitrary sparse labels fall back to
+    /// a `BTreeMap`.
     pub fn from_assignment(assignment: &[usize]) -> Self {
-        let mut canon: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut block_of = Vec::with_capacity(assignment.len());
-        for &label in assignment {
-            let next = canon.len();
-            block_of.push(*canon.entry(label).or_insert(next));
+        let n = assignment.len();
+        let max_label = match assignment.iter().copied().max() {
+            None => {
+                return Partition {
+                    block_of: Vec::new(),
+                    num_blocks: 0,
+                }
+            }
+            Some(m) => m,
+        };
+        let mut block_of = Vec::with_capacity(n);
+        let mut num_blocks = 0usize;
+        if max_label < 4 * n {
+            let mut table = vec![usize::MAX; max_label + 1];
+            for &label in assignment {
+                if table[label] == usize::MAX {
+                    table[label] = num_blocks;
+                    num_blocks += 1;
+                }
+                block_of.push(table[label]);
+            }
+        } else {
+            let mut canon: BTreeMap<usize, usize> = BTreeMap::new();
+            for &label in assignment {
+                let next = canon.len();
+                block_of.push(*canon.entry(label).or_insert(next));
+            }
+            num_blocks = canon.len();
         }
-        let num_blocks = canon.len();
+        Partition {
+            block_of,
+            num_blocks,
+        }
+    }
+
+    /// Builds directly from an assignment that is already canonical
+    /// (first-occurrence ordered labels `0..num_blocks`).  Callers must
+    /// uphold the invariant; debug builds verify it.
+    pub(crate) fn from_canonical_parts(block_of: Vec<usize>, num_blocks: usize) -> Self {
+        debug_assert_eq!(
+            Partition::from_assignment(&block_of).block_of,
+            block_of,
+            "assignment is not canonical"
+        );
         Partition {
             block_of,
             num_blocks,
@@ -130,23 +179,61 @@ impl Partition {
         self.block_of[x] != self.block_of[y]
     }
 
-    /// The blocks as explicit element lists, in canonical block order.
-    pub fn blocks(&self) -> Vec<Vec<usize>> {
-        let mut out = vec![Vec::new(); self.num_blocks];
-        for (x, &b) in self.block_of.iter().enumerate() {
-            out[b].push(x);
+    /// Converts to the word-level bitset form used by the hot paths
+    /// ([`crate::bitset::BitsetPartition`]).  Convert once, compare many
+    /// times.
+    pub fn to_bitset(&self) -> BitsetPartition {
+        BitsetPartition::from_partition(self)
+    }
+
+    /// The blocks in compressed (CSR) layout: two flat allocations instead
+    /// of the `Vec<Vec<usize>>` that [`Partition::blocks`] builds.  Use this
+    /// (or [`Partition::iter_block`]) whenever only block membership is
+    /// needed.
+    pub fn block_groups(&self) -> BlockGroups {
+        let mut counts = vec![0usize; self.num_blocks];
+        for &b in &self.block_of {
+            counts[b] += 1;
         }
-        out
+        // offsets[b] is the start of block b; one extra entry marks the end.
+        let mut offsets = Vec::with_capacity(self.num_blocks + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..self.num_blocks].to_vec();
+        let mut elements = vec![0usize; self.block_of.len()];
+        for (x, &b) in self.block_of.iter().enumerate() {
+            elements[cursor[b]] = x;
+            cursor[b] += 1;
+        }
+        BlockGroups { offsets, elements }
+    }
+
+    /// The blocks as explicit element lists, in canonical block order.
+    ///
+    /// Allocates one `Vec` per block; callers that only need membership
+    /// should prefer [`Partition::block_groups`] or
+    /// [`Partition::iter_block`].
+    pub fn blocks(&self) -> Vec<Vec<usize>> {
+        let groups = self.block_groups();
+        groups.iter().map(|b| b.to_vec()).collect()
+    }
+
+    /// Iterator over the elements of one block, without allocating.
+    pub fn iter_block(&self, b: usize) -> impl Iterator<Item = usize> + '_ {
+        self.block_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &bb)| bb == b)
+            .map(|(x, _)| x)
     }
 
     /// The elements of one block.
     pub fn block(&self, b: usize) -> Vec<usize> {
-        self.block_of
-            .iter()
-            .enumerate()
-            .filter(|(_, &bb)| bb == b)
-            .map(|(x, _)| x)
-            .collect()
+        self.iter_block(b).collect()
     }
 
     /// Whether this is the finest (singleton) partition.
@@ -162,18 +249,22 @@ impl Partition {
     /// Paper order (Definition in Section 2.1): `self ≤ other` iff every
     /// block of `other` is contained in a block of `self`, i.e. `other`
     /// refines `self` (`self` is coarser or equal).
+    ///
+    /// One sentinel-table pass over the elements.  For amortized use (one
+    /// partition compared against many) prefer converting to
+    /// [`BitsetPartition`] once and using its word-at-a-time
+    /// [`BitsetPartition::le`].
     pub fn le(&self, other: &Partition) -> bool {
         assert_eq!(self.len(), other.len(), "partitions over different sets");
         // other refines self ⟺ whenever other puts x,y together, so does
         // self.  Check via: for each block label of other, all members map
         // to a single block of self.
-        let mut rep: Vec<Option<usize>> = vec![None; other.num_blocks];
-        for x in 0..self.len() {
-            let ob = other.block_of[x];
-            match rep[ob] {
-                None => rep[ob] = Some(self.block_of[x]),
-                Some(b) if b == self.block_of[x] => {}
-                Some(_) => return false,
+        let mut rep: Vec<usize> = vec![usize::MAX; other.num_blocks];
+        for (&sb, &ob) in self.block_of.iter().zip(&other.block_of) {
+            if rep[ob] == usize::MAX {
+                rep[ob] = sb;
+            } else if rep[ob] != sb {
+                return false;
             }
         }
         true
@@ -197,19 +288,22 @@ impl Partition {
         assert_eq!(self.len(), other.len());
         let n = self.len();
         let mut uf = UnionFind::new(n);
-        // Union elements that share a block in either partition.
-        let mut first_in_self: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut first_in_other: BTreeMap<usize, usize> = BTreeMap::new();
+        // Union elements that share a block in either partition, tracking
+        // the first element seen per block in flat tables.
+        let mut first_in_self = vec![usize::MAX; self.num_blocks];
+        let mut first_in_other = vec![usize::MAX; other.num_blocks];
         for x in 0..n {
-            if let Some(&y) = first_in_self.get(&self.block_of[x]) {
-                uf.union(x, y);
+            let sb = self.block_of[x];
+            if first_in_self[sb] == usize::MAX {
+                first_in_self[sb] = x;
             } else {
-                first_in_self.insert(self.block_of[x], x);
+                uf.union(x, first_in_self[sb]);
             }
-            if let Some(&y) = first_in_other.get(&other.block_of[x]) {
-                uf.union(x, y);
+            let ob = other.block_of[x];
+            if first_in_other[ob] == usize::MAX {
+                first_in_other[ob] = x;
             } else {
-                first_in_other.insert(other.block_of[x], x);
+                uf.union(x, first_in_other[ob]);
             }
         }
         uf.into_partition()
@@ -220,16 +314,11 @@ impl Partition {
     /// refinement).
     pub fn join(&self, other: &Partition) -> Partition {
         assert_eq!(self.len(), other.len());
-        let pairs: Vec<(usize, usize)> = (0..self.len())
-            .map(|x| (self.block_of[x], other.block_of[x]))
-            .collect();
-        let mut canon: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-        let mut assignment = Vec::with_capacity(self.len());
-        for p in pairs {
-            let next = canon.len();
-            assignment.push(*canon.entry(p).or_insert(next));
-        }
-        Partition::from_assignment(&assignment)
+        let (assignment, num_blocks) =
+            join_assignments(self.len(), self.num_blocks, other.num_blocks, |x| {
+                (self.block_of[x], other.block_of[x])
+            });
+        Partition::from_canonical_parts(assignment, num_blocks)
     }
 
     /// Returns a new partition with the blocks containing `x` and `y`
@@ -270,9 +359,9 @@ impl fmt::Debug for Partition {
 
 impl fmt::Display for Partition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let blocks = self.blocks();
+        let groups = self.block_groups();
         write!(f, "{{")?;
-        for (i, b) in blocks.iter().enumerate() {
+        for (i, b) in groups.iter().enumerate() {
             if i > 0 {
                 write!(f, " | ")?;
             }
@@ -283,7 +372,43 @@ impl fmt::Display for Partition {
     }
 }
 
+/// The blocks of a partition in compressed sparse row (CSR) layout: a flat
+/// element array plus per-block offsets.  Built once by
+/// [`Partition::block_groups`]; every block is then a slice view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockGroups {
+    /// `offsets[b]..offsets[b + 1]` is the range of block `b` in `elements`.
+    offsets: Vec<usize>,
+    /// Elements grouped by block, each block in increasing element order.
+    elements: Vec<usize>,
+}
+
+impl BlockGroups {
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The elements of block `b`, in increasing order.
+    pub fn block(&self, b: usize) -> &[usize] {
+        &self.elements[self.offsets[b]..self.offsets[b + 1]]
+    }
+
+    /// Iterator over all blocks, in canonical block order.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        (0..self.len()).map(|b| self.block(b))
+    }
+}
+
 /// A small union-find used by partition closure operations.
+///
+/// `find` uses iterative path halving, so deep merge chains cannot overflow
+/// the stack and the hot closure loops stay allocation-free.
 #[derive(Debug, Clone)]
 pub(crate) struct UnionFind {
     parent: Vec<usize>,
@@ -298,12 +423,12 @@ impl UnionFind {
         }
     }
 
-    pub(crate) fn find(&mut self, x: usize) -> usize {
-        if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
-            self.parent[x] = root;
+    pub(crate) fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
         }
-        self.parent[x]
+        x
     }
 
     pub(crate) fn union(&mut self, x: usize, y: usize) -> bool {
@@ -323,10 +448,27 @@ impl UnionFind {
         true
     }
 
-    pub(crate) fn into_partition(mut self) -> Partition {
+    /// The canonical (first-occurrence ordered) assignment of the current
+    /// components, plus the component count.
+    pub(crate) fn canonical_assignment(&mut self) -> (Vec<usize>, usize) {
         let n = self.parent.len();
-        let assignment: Vec<usize> = (0..n).map(|x| self.find(x)).collect();
-        Partition::from_assignment(&assignment)
+        let mut label_of_root = vec![usize::MAX; n];
+        let mut assignment = Vec::with_capacity(n);
+        let mut num_blocks = 0usize;
+        for x in 0..n {
+            let r = self.find(x);
+            if label_of_root[r] == usize::MAX {
+                label_of_root[r] = num_blocks;
+                num_blocks += 1;
+            }
+            assignment.push(label_of_root[r]);
+        }
+        (assignment, num_blocks)
+    }
+
+    pub(crate) fn into_partition(mut self) -> Partition {
+        let (assignment, num_blocks) = self.canonical_assignment();
+        Partition::from_canonical_parts(assignment, num_blocks)
     }
 }
 
@@ -367,6 +509,17 @@ mod tests {
         assert_eq!(p1, p2);
         let p3 = Partition::from_assignment(&[7, 9, 2, 7]);
         assert_eq!(p1, p3);
+    }
+
+    #[test]
+    fn from_assignment_sparse_labels_fall_back() {
+        // Labels far above 4n exercise the BTreeMap fallback; canonical form
+        // must be identical to the dense path.
+        let sparse = Partition::from_assignment(&[1_000_000, 99, 1_000_000, 7]);
+        let dense = Partition::from_assignment(&[0, 1, 0, 2]);
+        assert_eq!(sparse, dense);
+        assert_eq!(Partition::from_assignment(&[]).len(), 0);
+        assert_eq!(Partition::from_assignment(&[]).num_blocks(), 0);
     }
 
     #[test]
@@ -425,6 +578,32 @@ mod tests {
         let q = Partition::from_blocks(5, &blocks).unwrap();
         assert_eq!(p, q);
         assert_eq!(p.block(p.block_of(1)), vec![1, 3]);
+    }
+
+    #[test]
+    fn block_groups_match_blocks() {
+        let p = Partition::from_blocks(6, &[vec![0, 2, 4], vec![1, 3], vec![5]]).unwrap();
+        let groups = p.block_groups();
+        assert_eq!(groups.len(), 3);
+        assert!(!groups.is_empty());
+        let from_groups: Vec<Vec<usize>> = groups.iter().map(|b| b.to_vec()).collect();
+        assert_eq!(from_groups, p.blocks());
+        assert_eq!(groups.block(1), &[1, 3]);
+        assert_eq!(
+            p.iter_block(0).collect::<Vec<_>>(),
+            groups.block(0).to_vec()
+        );
+        // Out-of-range block indices simply yield nothing from iter_block.
+        assert_eq!(p.iter_block(17).count(), 0);
+    }
+
+    #[test]
+    fn bitset_conversion_roundtrips() {
+        let p = Partition::from_blocks(5, &[vec![0, 2, 4], vec![1, 3]]).unwrap();
+        let bits = p.to_bitset();
+        assert_eq!(bits.to_partition(), p);
+        assert_eq!(BitsetPartition::from(&p).to_partition(), p);
+        assert_eq!(Partition::from(&bits), p);
     }
 
     #[test]

@@ -158,13 +158,9 @@ impl RecoveryEngine {
     }
 
     /// The set of `⊤` states consistent with machine `i` being in state
-    /// (block) `block`.
+    /// (block) `block`.  Out-of-range blocks yield the empty set.
     pub fn block_as_top_set(&self, i: usize, block: usize) -> BTreeSet<usize> {
-        self.partitions[i]
-            .blocks()
-            .get(block)
-            .map(|b| b.iter().copied().collect())
-            .unwrap_or_default()
+        self.partitions[i].iter_block(block).collect()
     }
 
     /// Runs Algorithm 3 over a report from every machine (crashed machines

@@ -1,0 +1,217 @@
+//! Element-scan reference implementations of the partition / fault-graph
+//! hot paths.
+//!
+//! The optimized kernels in [`crate::partition`], [`crate::bitset`],
+//! [`crate::fault_graph`] and [`crate::closed`] replace per-element scans
+//! (and the `BTreeMap`/`HashMap` canonicalization they leaned on) with flat
+//! arrays and `u64`-word bitset blocks.  This module preserves the original
+//! element-scan implementations verbatim so that
+//!
+//! * property tests can assert the optimized paths agree with them on random
+//!   partitions (see `tests/bitset_properties.rs`), and
+//! * the `perf_baseline` benchmark binary can measure the speedup of the
+//!   bitset kernel against the exact pre-refactor code (the
+//!   `*_scan` entries in `BENCH_fusion.json`).
+//!
+//! Nothing here is used on a hot path; everything is `O(n²)`-ish scans with
+//! tree/hash maps, exactly as the first version of this crate shipped them.
+
+use std::collections::BTreeMap;
+
+use fsm_dfsm::{Dfsm, EventId, StateId};
+
+use crate::error::Result;
+use crate::fault_graph::FaultGraph;
+use crate::generate::{FusionGeneration, GenerationStats};
+use crate::partition::{Partition, UnionFind};
+
+/// Pre-refactor [`Partition::from_assignment`]: canonicalizes labels with a
+/// `BTreeMap` instead of the dense relabel table the optimized version uses.
+pub fn from_assignment_scan(assignment: &[usize]) -> Partition {
+    let mut canon: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut canonical = Vec::with_capacity(assignment.len());
+    for &label in assignment {
+        let next = canon.len();
+        canonical.push(*canon.entry(label).or_insert(next));
+    }
+    // The canonical labels are already first-occurrence ordered, so the
+    // constructor (whatever its internals) cannot change them.
+    Partition::from_assignment(&canonical)
+}
+
+/// Pre-refactor [`Partition::le`]: one `Vec<Option<usize>>` representative
+/// per block of `other`, checked element by element.
+pub fn le_scan(p: &Partition, other: &Partition) -> bool {
+    assert_eq!(p.len(), other.len(), "partitions over different sets");
+    let mut rep: Vec<Option<usize>> = vec![None; other.num_blocks()];
+    for x in 0..p.len() {
+        let ob = other.block_of(x);
+        match rep[ob] {
+            None => rep[ob] = Some(p.block_of(x)),
+            Some(b) if b == p.block_of(x) => {}
+            Some(_) => return false,
+        }
+    }
+    true
+}
+
+/// Pre-refactor [`Partition::meet`]: union-find seeded through two
+/// `BTreeMap`s of first-seen block representatives.
+pub fn meet_scan(p: &Partition, other: &Partition) -> Partition {
+    assert_eq!(p.len(), other.len());
+    let n = p.len();
+    let mut uf = UnionFind::new(n);
+    let mut first_in_self: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut first_in_other: BTreeMap<usize, usize> = BTreeMap::new();
+    for x in 0..n {
+        if let Some(&y) = first_in_self.get(&p.block_of(x)) {
+            uf.union(x, y);
+        } else {
+            first_in_self.insert(p.block_of(x), x);
+        }
+        if let Some(&y) = first_in_other.get(&other.block_of(x)) {
+            uf.union(x, y);
+        } else {
+            first_in_other.insert(other.block_of(x), x);
+        }
+    }
+    uf.into_partition()
+}
+
+/// Pre-refactor [`Partition::join`]: block-index pairs canonicalized through
+/// a `BTreeMap`.
+pub fn join_scan(p: &Partition, other: &Partition) -> Partition {
+    assert_eq!(p.len(), other.len());
+    let pairs: Vec<(usize, usize)> = (0..p.len())
+        .map(|x| (p.block_of(x), other.block_of(x)))
+        .collect();
+    let mut canon: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut assignment = Vec::with_capacity(p.len());
+    for pair in pairs {
+        let next = canon.len();
+        assignment.push(*canon.entry(pair).or_insert(next));
+    }
+    from_assignment_scan(&assignment)
+}
+
+/// Pre-refactor [`crate::close`]: fixpoint iteration with a per-event
+/// `HashMap` from class representative to successor-class representative.
+pub fn close_scan(machine: &Dfsm, partition: &Partition) -> Result<Partition> {
+    crate::closed::check_partition_size(machine, partition)?;
+    let n = machine.size();
+    let k = machine.alphabet().len();
+    let mut uf = UnionFind::new(n);
+    // Seed the union-find with the given partition.
+    {
+        let mut first_of_block: Vec<Option<usize>> = vec![None; partition.num_blocks()];
+        for x in 0..n {
+            let b = partition.block_of(x);
+            match first_of_block[b] {
+                None => first_of_block[b] = Some(x),
+                Some(y) => {
+                    uf.union(x, y);
+                }
+            }
+        }
+    }
+    // Iterate to a fixpoint: whenever two states share a class, their
+    // successors (per event) must share a class too.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for e in 0..k {
+            let mut succ_of_class: std::collections::HashMap<usize, usize> =
+                std::collections::HashMap::with_capacity(n);
+            for x in 0..n {
+                let cls = uf.find(x);
+                let succ = uf.find(machine.next(StateId(x), EventId(e)).index());
+                match succ_of_class.get(&cls) {
+                    None => {
+                        succ_of_class.insert(cls, succ);
+                    }
+                    Some(&existing) if existing == succ => {}
+                    Some(&existing) => {
+                        if uf.union(existing, succ) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(uf.into_partition())
+}
+
+/// Pre-refactor Algorithm 2 ([`crate::generate_fusion`]): the same greedy
+/// lattice descent, but scoring every candidate with [`close_scan`] and
+/// updating the fault graph with [`FaultGraph::add_machine_scan`].
+pub fn generate_fusion_scan(
+    top: &Dfsm,
+    originals: &[Partition],
+    f: usize,
+) -> Result<FusionGeneration> {
+    let start = std::time::Instant::now();
+    let n = top.size();
+    let mut graph = FaultGraph::new(n);
+    for p in originals {
+        graph.add_machine_scan(p);
+    }
+    let mut stats = GenerationStats {
+        initial_dmin: graph.dmin(),
+        ..Default::default()
+    };
+    let mut partitions: Vec<Partition> = Vec::new();
+    while !graph.tolerates_crash_faults(f) {
+        let weakest = graph.weakest_edges();
+        debug_assert!(!weakest.is_empty());
+        let mut current = Partition::singletons(n);
+        'descend: loop {
+            stats.descent_steps += 1;
+            let k = current.num_blocks();
+            for b1 in 0..k {
+                for b2 in (b1 + 1)..k {
+                    stats.candidates_examined += 1;
+                    let candidate = close_scan(top, &current.merge_blocks(b1, b2))?;
+                    if FaultGraph::covers_all(&candidate, &weakest) {
+                        current = candidate;
+                        continue 'descend;
+                    }
+                }
+            }
+            break;
+        }
+        graph.add_machine_scan(&current);
+        partitions.push(current);
+        stats.outer_iterations += 1;
+    }
+    stats.final_dmin = graph.dmin();
+    stats.elapsed_micros = start.elapsed().as_micros();
+    let machines: Result<Vec<Dfsm>> = partitions
+        .iter()
+        .enumerate()
+        .map(|(i, p)| crate::closed::quotient_machine(top, p, &format!("F{}", i + 1)))
+        .collect();
+    Ok(FusionGeneration {
+        partitions,
+        machines: machines?,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_implementations_match_small_examples() {
+        let p = Partition::from_blocks(4, &[vec![0, 1], vec![2], vec![3]]).unwrap();
+        let q = Partition::from_blocks(4, &[vec![1, 2], vec![0], vec![3]]).unwrap();
+        assert_eq!(le_scan(&p, &q), p.le(&q));
+        assert_eq!(meet_scan(&p, &q), p.meet(&q));
+        assert_eq!(join_scan(&p, &q), p.join(&q));
+        assert_eq!(
+            from_assignment_scan(&[7, 9, 2, 7]),
+            Partition::from_assignment(&[7, 9, 2, 7])
+        );
+    }
+}

@@ -16,6 +16,7 @@
 
 use fsm_dfsm::Dfsm;
 
+use crate::bitset::BitsetPartition;
 use crate::error::Result;
 use crate::fault_graph::FaultGraph;
 use crate::lattice::enumerate_lattice;
@@ -54,12 +55,18 @@ pub fn exhaustive_minimum_fusion(
     let n = top.size();
     let lattice = enumerate_lattice(top, lattice_limit)?;
     // Sort candidates by block count so the depth-first search finds small
-    // state spaces early and can prune aggressively.
+    // state spaces early and can prune aggressively.  Each candidate is
+    // converted to its bitset form once; the DFS then updates fault-graph
+    // clones word-at-a-time instead of re-scanning every state pair.
     let mut candidates: Vec<Partition> = lattice.elements.clone();
     candidates.sort_by_key(|p| p.num_blocks());
+    let bitsets: Vec<BitsetPartition> = candidates
+        .iter()
+        .map(BitsetPartition::from_partition)
+        .collect();
 
     let base = FaultGraph::from_partitions(n, originals);
-    let mut best: Option<(u128, Vec<Partition>)> = None;
+    let mut best: Option<(u128, Vec<usize>)> = None;
     let mut examined = 0usize;
 
     // Depth-first search over combinations (with repetition allowed — two
@@ -67,17 +74,18 @@ pub fn exhaustive_minimum_fusion(
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         candidates: &[Partition],
+        bitsets: &[BitsetPartition],
         start: usize,
-        chosen: &mut Vec<Partition>,
+        chosen: &mut Vec<usize>,
         graph: &FaultGraph,
         m: usize,
         f: usize,
-        best: &mut Option<(u128, Vec<Partition>)>,
+        best: &mut Option<(u128, Vec<usize>)>,
         examined: &mut usize,
     ) {
-        let current_space: u128 = chosen
-            .iter()
-            .fold(1u128, |acc, p| acc.saturating_mul(p.num_blocks() as u128));
+        let current_space: u128 = chosen.iter().fold(1u128, |acc, &i| {
+            acc.saturating_mul(candidates[i].num_blocks() as u128)
+        });
         if let Some((best_space, _)) = best {
             if current_space >= *best_space {
                 return; // cannot improve
@@ -100,11 +108,10 @@ pub fn exhaustive_minimum_fusion(
             return;
         }
         for i in start..candidates.len() {
-            let p = &candidates[i];
-            chosen.push(p.clone());
+            chosen.push(i);
             let mut g = graph.clone();
-            g.add_machine(p);
-            dfs(candidates, i, chosen, &g, m, f, best, examined);
+            g.add_machine_bitset(&bitsets[i]);
+            dfs(candidates, bitsets, i, chosen, &g, m, f, best, examined);
             chosen.pop();
         }
     }
@@ -112,6 +119,7 @@ pub fn exhaustive_minimum_fusion(
     let mut chosen = Vec::new();
     dfs(
         &candidates,
+        &bitsets,
         0,
         &mut chosen,
         &base,
@@ -121,8 +129,8 @@ pub fn exhaustive_minimum_fusion(
         &mut examined,
     );
 
-    Ok(best.map(|(state_space, partitions)| ExhaustiveSearch {
-        partitions,
+    Ok(best.map(|(state_space, indices)| ExhaustiveSearch {
+        partitions: indices.iter().map(|&i| candidates[i].clone()).collect(),
         state_space,
         lattice_size: lattice.len(),
         combinations_examined: examined,

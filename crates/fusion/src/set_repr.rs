@@ -124,8 +124,8 @@ pub fn format_set_representation(top: &Dfsm, a: &Dfsm, partition: &Partition) ->
         a.name(),
         top.name()
     );
-    let blocks = partition.blocks();
-    for (b, block) in blocks.iter().enumerate() {
+    let groups = partition.block_groups();
+    for (b, block) in groups.iter().enumerate() {
         let tops: Vec<&str> = block.iter().map(|&t| top.state_name(StateId(t))).collect();
         // Block indices are canonical (by first occurrence in top order),
         // which need not match a's own state numbering; report both.

@@ -8,8 +8,8 @@
 //! * [`parity`] — even/odd parity checkers and the toggle switch.
 //! * [`sequential`] — shift registers, binary dividers and the KMP pattern
 //!   detector (the table's "pattern generator").
-//! * [`mesi`] — the MESI cache-coherence protocol.
-//! * [`tcp`] — the RFC 793 TCP connection state machine.
+//! * [`mod@mesi`] — the MESI cache-coherence protocol.
+//! * [`mod@tcp`] — the RFC 793 TCP connection state machine.
 //! * [`protocols`] — further controllers used as workloads: traffic light,
 //!   elevator, vending machine, stop-and-wait ARQ, sliding window, token
 //!   ring.

@@ -53,8 +53,8 @@ pub mod prelude {
         FaultPlan, FusedSystem, ReplicatedSystem, SensorBackupMode, SensorNetwork, Workload,
     };
     pub use fsm_fusion_core::{
-        generate_fusion, generate_fusion_for_machines, FaultGraph, FaultModel, FusionReport,
-        MachineReport, Partition, RecoveryEngine,
+        generate_fusion, generate_fusion_for_machines, BitsetPartition, FaultGraph, FaultModel,
+        FusionReport, MachineReport, Partition, RecoveryEngine,
     };
     pub use fsm_machines::{fig1_machines, table1_rows, MachineSet};
 }
