@@ -16,6 +16,12 @@ pub enum DistsysError {
         state: usize,
         size: usize,
     },
+    /// Report collection gave up on servers whose threads died (or stayed
+    /// unresponsive past the collection deadline) without reporting.
+    MissingReports {
+        /// Indices of the servers that never reported.
+        servers: Vec<usize>,
+    },
     /// An error from the fusion layer (generation or recovery).
     Fusion(fsm_fusion_core::FusionError),
     /// An error from the DFSM layer.
@@ -36,6 +42,10 @@ impl fmt::Display for DistsysError {
             } => write!(
                 f,
                 "state {state} is out of range for server {server} (machine has {size} states)"
+            ),
+            DistsysError::MissingReports { servers } => write!(
+                f,
+                "servers {servers:?} never reported (thread dead or unresponsive)"
             ),
             DistsysError::Fusion(e) => write!(f, "fusion error: {e}"),
             DistsysError::Dfsm(e) => write!(f, "dfsm error: {e}"),
@@ -85,5 +95,10 @@ mod tests {
             count: 3,
         };
         assert!(e.to_string().contains('5'));
+        let e = DistsysError::MissingReports {
+            servers: vec![0, 2],
+        };
+        assert!(e.to_string().contains("[0, 2]"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

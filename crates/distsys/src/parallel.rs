@@ -10,12 +10,27 @@
 //! queues and a shared response channel for reports.
 
 use std::thread;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fsm_dfsm::{Dfsm, Event, StateId};
 use fsm_fusion_core::MachineReport;
 
+use crate::error::{DistsysError, Result};
 use crate::server::Server;
+
+/// How often [`ParallelServerGroup::collect_reports`] re-checks the
+/// liveness of servers that have not reported yet.
+const REPORT_POLL: Duration = Duration::from_millis(20);
+
+/// Hard ceiling on one report collection: even a server thread that is
+/// alive but wedged cannot block the caller past this.  This deliberately
+/// narrows the pre-fix contract (which blocked forever): a healthy server
+/// that cannot drain its backlog within the deadline is reported missing,
+/// and its late answer is discarded by the generation filter.  The ceiling
+/// is sized orders of magnitude above any broadcast backlog the workloads
+/// here produce, so only a genuinely wedged (or dead) thread hits it.
+const REPORT_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Commands sent to a server thread.
 enum Command {
@@ -27,8 +42,8 @@ enum Command {
     Corrupt(StateId),
     /// Restore the server to the given state (post-recovery).
     Restore(StateId),
-    /// Ask for a state report.
-    Report,
+    /// Ask for a state report for the given collection generation.
+    Report(u64),
     /// Shut the thread down.
     Stop,
 }
@@ -49,8 +64,12 @@ struct ServerHandle {
 /// with [`ParallelServerGroup::restore`].
 pub struct ParallelServerGroup {
     handles: Vec<ServerHandle>,
-    reports: Receiver<(usize, MachineReport)>,
-    report_sender: Sender<(usize, MachineReport)>,
+    reports: Receiver<(usize, u64, MachineReport)>,
+    report_sender: Sender<(usize, u64, MachineReport)>,
+    /// Current report-collection generation; replies tagged with an older
+    /// generation are stale (a previous collection gave up on them) and are
+    /// discarded on receipt.
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl ParallelServerGroup {
@@ -74,8 +93,8 @@ impl ParallelServerGroup {
                                 server.corrupt(s);
                             }
                             Command::Restore(s) => server.restore(s),
-                            Command::Report => {
-                                let _ = report_tx.send((index, server.report()));
+                            Command::Report(generation) => {
+                                let _ = report_tx.send((index, generation, server.report()));
                             }
                             Command::Stop => break,
                         }
@@ -92,6 +111,7 @@ impl ParallelServerGroup {
             handles,
             reports,
             report_sender,
+            generation: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -138,40 +158,73 @@ impl ParallelServerGroup {
     /// synchronization point of the recovery protocol: it waits until every
     /// server has answered, which also guarantees all previously broadcast
     /// events have been applied (commands are processed in order).
-    pub fn collect_reports(&self) -> Vec<MachineReport> {
+    ///
+    /// A server whose thread has died (e.g. panicked in `Server::apply`)
+    /// can never answer; the group's own clone of the report sender keeps
+    /// the channel open, so a plain blocking `recv` would wait forever.
+    /// Instead the drain polls with a timeout and re-checks the join
+    /// handles of the servers still outstanding: once every missing server's
+    /// thread is finished — or the overall deadline passes — collection
+    /// gives up and returns [`DistsysError::MissingReports`] naming them.
+    /// Each collection runs under a fresh generation tag, so a reply that
+    /// arrives *after* its collection gave up (a slow-but-alive server) is
+    /// recognized as stale and discarded by the next collection instead of
+    /// being mistaken for its answer.
+    pub fn collect_reports(&self) -> Result<Vec<MachineReport>> {
+        let generation = self
+            .generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
         for h in &self.handles {
-            let _ = h.commands.send(Command::Report);
+            // A send to a dead server's queue fails; its absence is
+            // detected below rather than here, so the one error path covers
+            // threads that die before *and* after the request lands.
+            let _ = h.commands.send(Command::Report(generation));
         }
-        let mut out: Vec<Option<MachineReport>> = vec![None; self.handles.len()];
+        let n = self.handles.len();
+        let mut out: Vec<Option<MachineReport>> = vec![None; n];
         let mut received = 0;
-        while received < self.handles.len() {
-            let (i, r) = self
-                .reports
-                .recv()
-                .expect("server threads outlive the group");
-            if out[i].is_none() {
-                received += 1;
+        let start = Instant::now();
+        while received < n {
+            match self.reports.recv_timeout(REPORT_POLL) {
+                Ok((_, gen, _)) if gen != generation => {
+                    // Stale reply from a collection that already gave up.
+                }
+                Ok((i, _, r)) => {
+                    if out[i].is_none() {
+                        received += 1;
+                    }
+                    out[i] = Some(r);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    let missing: Vec<usize> = (0..n).filter(|&i| out[i].is_none()).collect();
+                    let all_dead = missing.iter().all(|&i| {
+                        self.handles[i]
+                            .join
+                            .as_ref()
+                            .map_or(true, |j| j.is_finished())
+                    });
+                    if all_dead || start.elapsed() >= REPORT_DEADLINE {
+                        return Err(DistsysError::MissingReports { servers: missing });
+                    }
+                }
             }
-            out[i] = Some(r);
         }
-        out.into_iter().map(|r| r.expect("all received")).collect()
+        Ok(out.into_iter().map(|r| r.expect("all received")).collect())
     }
 
     /// Stops all threads and returns the final `Server` values (for
-    /// inspection in tests).
+    /// inspection in tests).  Servers whose threads panicked have no final
+    /// value and are omitted, matching the recoverable-error contract of
+    /// [`ParallelServerGroup::collect_reports`] — a caller that handled
+    /// [`DistsysError::MissingReports`] can still tear the group down.
     pub fn shutdown(mut self) -> Vec<Server> {
         self.handles
             .iter()
             .for_each(|h| drop(h.commands.send(Command::Stop)));
         self.handles
             .iter_mut()
-            .map(|h| {
-                h.join
-                    .take()
-                    .expect("joined once")
-                    .join()
-                    .expect("server thread panicked")
-            })
+            .filter_map(|h| h.join.take().expect("joined once").join().ok())
             .collect()
     }
 }
@@ -206,7 +259,7 @@ mod tests {
         assert!(!group.is_empty());
         let events: Vec<Event> = "00110".chars().map(|c| Event::new(c.to_string())).collect();
         group.apply_all(events.iter());
-        let reports = group.collect_reports();
+        let reports = group.collect_reports().unwrap();
         // 3 zeros → 0-counter at 0; 2 ones → 1-counter at 2.
         assert_eq!(reports[0], MachineReport::State(0));
         assert_eq!(reports[1], MachineReport::State(2));
@@ -222,7 +275,7 @@ mod tests {
         let word = "0101101001";
         let events: Vec<Event> = word.chars().map(|c| Event::new(c.to_string())).collect();
         group.apply_all(events.iter());
-        let reports = group.collect_reports();
+        let reports = group.collect_reports().unwrap();
         for (i, m) in machines.iter().enumerate() {
             let expected = m.run(events.iter()).index();
             assert_eq!(reports[i], MachineReport::State(expected));
@@ -248,7 +301,7 @@ mod tests {
         group.apply_all(events.iter());
         group.crash(0);
 
-        let reports = group.collect_reports();
+        let reports = group.collect_reports().unwrap();
         assert_eq!(reports[0], MachineReport::Crashed);
 
         let product = sys.product();
@@ -266,8 +319,56 @@ mod tests {
         assert_eq!(recovery.machine_states[0], expected);
 
         group.restore(0, StateId(recovery.machine_states[0]));
-        let reports = group.collect_reports();
+        let reports = group.collect_reports().unwrap();
         assert_eq!(reports[0], MachineReport::State(expected));
         let _ = group.shutdown();
+    }
+
+    #[test]
+    fn collect_reports_errors_when_a_server_thread_dies() {
+        // Regression test for the report-collection deadlock: the group
+        // holds its own clone of the report sender, so before the liveness
+        // tracking a dead server thread made `collect_reports` block on
+        // `recv` forever.  Kill server 0's *thread* out-of-band (not the
+        // modeled crash fault, which still answers) and the collection must
+        // return an error naming it.
+        let machines = fig1_machines();
+        let group = ParallelServerGroup::spawn(&machines);
+        group.apply_event(&Event::new("0"));
+        let _ = group.handles[0].commands.send(Command::Stop);
+        match group.collect_reports() {
+            Err(crate::DistsysError::MissingReports { servers }) => {
+                assert_eq!(servers, vec![0])
+            }
+            other => panic!("expected MissingReports, got {other:?}"),
+        }
+        // The surviving servers still shut down cleanly and the dead
+        // thread's final state is still collectable.
+        let servers = group.shutdown();
+        assert_eq!(servers.len(), 2);
+        assert_eq!(servers[1].events_seen(), 1);
+    }
+
+    #[test]
+    fn collect_reports_errors_when_a_server_thread_panics() {
+        // Same deadlock through the panic path the issue describes: the
+        // thread dies mid-command rather than exiting its loop.  Restoring
+        // to an out-of-range state makes the next event application panic
+        // inside server 1's thread (out-of-bounds transition lookup).
+        let machines = fig1_machines();
+        let group = ParallelServerGroup::spawn(&machines);
+        group.restore(1, StateId(usize::MAX));
+        group.apply_event(&Event::new("1"));
+        match group.collect_reports() {
+            Err(crate::DistsysError::MissingReports { servers }) => {
+                assert_eq!(servers, vec![1])
+            }
+            other => panic!("expected MissingReports, got {other:?}"),
+        }
+        // Shutdown after a panicked thread must not panic the caller: the
+        // dead server simply has no final value.
+        let servers = group.shutdown();
+        assert_eq!(servers.len(), 1);
+        assert_eq!(servers[0].name(), machines[0].name());
     }
 }

@@ -9,6 +9,36 @@
 //!
 //! * `f` crash faults can be tolerated iff `dmin > f` (Theorem 1),
 //! * `f` Byzantine faults can be tolerated iff `dmin > 2f` (Theorem 2).
+//!
+//! ## Incremental `dmin` maintenance
+//!
+//! Algorithm 2 interleaves machine additions with `dmin` /
+//! weakest-edge queries, and the exhaustive search
+//! ([`crate::exhaustive_minimum_fusion`]) queries `dmin` at every node of
+//! its combination tree.  Rescanning all `n(n-1)/2` edges per query is the
+//! dominant query cost at scale, so the graph maintains, *in the same
+//! word-level pass that updates the edge weights*:
+//!
+//! * a weight histogram (`hist[w]` = number of edges of weight `w`), two
+//!   in-cache array updates per incremented edge,
+//! * the cached minimum weight, advanced over emptied histogram slots
+//!   (weights only grow), making `dmin` `O(1)`.
+//!
+//! On top of the cached minimum, [`FaultGraph::weakest_edges`] is a single
+//! filtered pass (the pre-refactor version scanned once for `dmin` and
+//! again for the edges at that weight) and [`FaultGraph::speculate`]
+//! answers "would adding this machine increase `dmin`?" in one pass without
+//! materializing a graph copy.  Per-weight *edge buckets* (append an edge
+//! to `bucket[w]` when its weight reaches `w`) would make those two queries
+//! `O(|weakest|)` instead of `O(E)`, but the bucket pushes cost more in the
+//! add path than the queries save — Algorithm 2 adds machines `E` edge
+//! increments at a time and reads the weakest set once per outer iteration
+//! — so the histogram-only design wins end to end.  The pre-refactor full
+//! scans are preserved as [`FaultGraph::dmin_scan`] /
+//! [`FaultGraph::weakest_edges_scan`] /
+//! [`FaultGraph::addition_increases_dmin_scan`] for cross-validation
+//! (`tests/parallel_properties.rs`) and for the `fault_graph_incremental_*`
+//! baselines in `BENCH_fusion.json`.
 
 use crate::bitset::{words_for, BitsetPartition, WORD_BITS};
 use crate::partition::Partition;
@@ -18,14 +48,23 @@ use crate::partition::Partition;
 ///
 /// Weights are stored in a flat upper-triangular matrix.  Machines can be
 /// added incrementally, which is what Algorithm 2 does as it grows the
-/// fusion set.
+/// fusion set; a weight histogram and the cached minimum are maintained
+/// alongside the weights (see the module docs), so [`FaultGraph::dmin`] is
+/// `O(1)` and [`FaultGraph::weakest_edges`] / [`FaultGraph::speculate`] are
+/// single passes instead of scan pairs or graph copies.
 #[derive(Debug, Clone)]
 pub struct FaultGraph {
     n: usize,
-    /// Upper-triangular weights, indexed by [`FaultGraph::edge_index`].
+    /// Upper-triangular weights, indexed by `edge_index`.
     weights: Vec<u32>,
     /// Number of machines accumulated so far.
     machines: usize,
+    /// `hist[w]` = number of edges with weight exactly `w`
+    /// (`hist.len() == machines + 1`; a weight can never exceed the number
+    /// of machines).
+    hist: Vec<usize>,
+    /// Cached minimum edge weight; `u32::MAX` when the graph has no edges.
+    min_weight: u32,
 }
 
 impl FaultGraph {
@@ -37,15 +76,30 @@ impl FaultGraph {
             n,
             weights: vec![0; edges],
             machines: 0,
+            hist: vec![edges],
+            min_weight: if edges == 0 { u32::MAX } else { 0 },
         }
     }
 
     /// Builds a fault graph from a set of machine partitions.
+    ///
+    /// Bulk path: the per-add tracker maintenance is skipped and the
+    /// histogram is rebuilt once at the end, so building from `m`
+    /// partitions costs the `m` weight passes plus a single `O(E)` tracker
+    /// pass.
     pub fn from_partitions(n: usize, partitions: &[Partition]) -> Self {
-        let mut g = Self::new(n);
+        let edges = n.saturating_sub(1) * n / 2;
+        let mut g = FaultGraph {
+            n,
+            weights: vec![0; edges],
+            machines: 0,
+            hist: Vec::new(),
+            min_weight: u32::MAX,
+        };
         for p in partitions {
-            g.add_machine(p);
+            g.add_machine_bitset_impl(&BitsetPartition::from_partition(p), false);
         }
+        g.rebuild_trackers();
         g
     }
 
@@ -90,15 +144,23 @@ impl FaultGraph {
     /// separates from `i` is the *complement* of `i`'s block row, so the
     /// update walks `!row` word-at-a-time and bumps exactly the edges whose
     /// weight grows (the per-`i` edge range `(i, i+1..n)` is contiguous in
-    /// the upper-triangular layout).
+    /// the upper-triangular layout).  The weight histogram and cached
+    /// `dmin` are maintained in the same pass.
     pub fn add_machine_bitset(&mut self, p: &BitsetPartition) {
+        self.add_machine_bitset_impl(p, true);
+    }
+
+    fn add_machine_bitset_impl(&mut self, p: &BitsetPartition, track: bool) {
         assert_eq!(p.len(), self.n, "partition over wrong number of states");
         let n = self.n;
         let words = words_for(n);
+        if track {
+            // One more machine: weights may now reach `machines + 1`.
+            self.hist.push(0);
+        }
         let mut base = 0usize;
         for i in 0..n.saturating_sub(1) {
             let row = p.block_row(p.block_of(i));
-            let lane = &mut self.weights[base..base + (n - i - 1)];
             let start = i + 1;
             for (w, &word) in row.iter().enumerate().skip(start / WORD_BITS) {
                 let mut mask = !word;
@@ -110,19 +172,30 @@ impl FaultGraph {
                 }
                 while mask != 0 {
                     let j = w * WORD_BITS + mask.trailing_zeros() as usize;
-                    lane[j - start] += 1;
+                    let idx = base + (j - start);
+                    let old = self.weights[idx];
+                    self.weights[idx] = old + 1;
+                    if track {
+                        self.hist[old as usize] -= 1;
+                        self.hist[old as usize + 1] += 1;
+                    }
                     mask &= mask - 1;
                 }
             }
             base += n - i - 1;
         }
         self.machines += 1;
+        if track {
+            self.advance_min_weight();
+        }
     }
 
     /// The pre-refactor element scan: every `(i, j)` pair tested with
     /// [`Partition::separates`].  Kept for cross-validation (property tests)
     /// and as the `fault_graph_build_scan` baseline in `BENCH_fusion.json`;
-    /// use [`FaultGraph::add_machine`] everywhere else.
+    /// use [`FaultGraph::add_machine`] everywhere else.  Faithful to its
+    /// pre-refactor behavior, it leaves the incremental trackers to a full
+    /// rebuild pass instead of maintaining them inline.
     pub fn add_machine_scan(&mut self, p: &Partition) {
         assert_eq!(p.len(), self.n, "partition over wrong number of states");
         for i in 0..self.n {
@@ -134,6 +207,33 @@ impl FaultGraph {
             }
         }
         self.machines += 1;
+        self.rebuild_trackers();
+    }
+
+    /// Rebuilds the histogram and cached `dmin` from the raw weights in one
+    /// `O(E + m)` pass.
+    fn rebuild_trackers(&mut self) {
+        self.hist = vec![0; self.machines + 1];
+        let mut min = u32::MAX;
+        for &w in &self.weights {
+            self.hist[w as usize] += 1;
+            min = min.min(w);
+        }
+        self.min_weight = min;
+    }
+
+    /// Advances the cached minimum past emptied histogram slots (weights
+    /// only grow, so the minimum never moves back down).
+    fn advance_min_weight(&mut self) {
+        if self.weights.is_empty() {
+            self.min_weight = u32::MAX;
+            return;
+        }
+        let mut d = self.min_weight as usize;
+        while self.hist[d] == 0 {
+            d += 1;
+        }
+        self.min_weight = d as u32;
     }
 
     /// The distance `d(ti, tj)` between two states (Definition 4).
@@ -145,17 +245,39 @@ impl FaultGraph {
         self.weights[self.edge_index(a, b)]
     }
 
-    /// The minimum edge weight `dmin`.  For a single-state `⊤` there are no
-    /// edges and no pair of states to confuse, so every fault count is
-    /// tolerated; we represent that as `u32::MAX`.
+    /// The minimum edge weight `dmin`, from the incrementally maintained
+    /// tracker — `O(1)`.  For a single-state `⊤` there are no edges and no
+    /// pair of states to confuse, so every fault count is tolerated; we
+    /// represent that as `u32::MAX`.
     pub fn dmin(&self) -> u32 {
+        self.min_weight
+    }
+
+    /// The pre-refactor `dmin`: a full scan over every edge weight.  Kept
+    /// for cross-validation and as the `fault_graph_incremental_dmin_scan`
+    /// baseline; use [`FaultGraph::dmin`] everywhere else.
+    pub fn dmin_scan(&self) -> u32 {
         self.weights.iter().copied().min().unwrap_or(u32::MAX)
     }
 
     /// All edges whose weight equals `dmin` — the "weakest edges" Algorithm 2
-    /// must cover with every machine it adds.
+    /// must cover with every machine it adds.  One filtered pass against the
+    /// cached minimum (the pre-refactor version scanned every edge twice:
+    /// once for `dmin`, once for the edges at that weight); the result is in
+    /// row-major order, matching the scan.
     pub fn weakest_edges(&self) -> Vec<(usize, usize)> {
-        let d = self.dmin();
+        if self.min_weight == u32::MAX {
+            return Vec::new();
+        }
+        self.edges_with_weight(self.min_weight)
+    }
+
+    /// The pre-refactor weakest-edge computation: one full scan for `dmin`
+    /// and a second for the edges at that weight.  Kept for cross-validation
+    /// and as the `fault_graph_incremental_weakest_scan` baseline; use
+    /// [`FaultGraph::weakest_edges`] everywhere else.
+    pub fn weakest_edges_scan(&self) -> Vec<(usize, usize)> {
+        let d = self.dmin_scan();
         if d == u32::MAX {
             return Vec::new();
         }
@@ -231,22 +353,78 @@ impl FaultGraph {
         edges.iter().all(|&(i, j)| candidate.separates(i, j))
     }
 
-    /// Would adding `candidate` increase `dmin`?  Direct (slower) version of
-    /// the check used by Algorithm 2; kept for cross-validation in tests.
+    /// Would adding `candidate` increase `dmin`?
+    ///
+    /// Answered from the incremental tracker without materializing a graph
+    /// copy: `dmin` grows iff the candidate separates every current weakest
+    /// edge (weights move by at most one per added machine), so the check
+    /// is one early-exiting pass over the weights instead of the
+    /// clone + word-level add + full rescan of
+    /// [`FaultGraph::addition_increases_dmin_scan`].
+    pub fn speculate(&self, candidate: &Partition) -> bool {
+        assert_eq!(
+            candidate.len(),
+            self.n,
+            "partition over wrong number of states"
+        );
+        self.speculate_with(|i, j| candidate.separates(i, j))
+    }
+
+    /// [`FaultGraph::speculate`] for a pre-converted [`BitsetPartition`]
+    /// candidate.
+    pub fn speculate_bitset(&self, candidate: &BitsetPartition) -> bool {
+        assert_eq!(
+            candidate.len(),
+            self.n,
+            "partition over wrong number of states"
+        );
+        self.speculate_with(|i, j| candidate.separates(i, j))
+    }
+
+    fn speculate_with(&self, separates: impl Fn(usize, usize) -> bool) -> bool {
+        if self.min_weight == u32::MAX {
+            // No edges: dmin is already maximal and cannot increase.
+            return false;
+        }
+        let d = self.min_weight;
+        let mut idx = 0usize;
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if self.weights[idx] == d && !separates(i, j) {
+                    return false;
+                }
+                idx += 1;
+            }
+        }
+        true
+    }
+
+    /// Would adding `candidate` increase `dmin`?  Tracker-backed; see
+    /// [`FaultGraph::speculate`].
     pub fn addition_increases_dmin(&self, candidate: &Partition) -> bool {
+        self.speculate(candidate)
+    }
+
+    /// The pre-refactor direct check: clone the graph, add the machine,
+    /// compare `dmin`.  Kept for cross-validation and as the
+    /// `fault_graph_incremental_speculate_scan` baseline; use
+    /// [`FaultGraph::speculate`] everywhere else.
+    pub fn addition_increases_dmin_scan(&self, candidate: &Partition) -> bool {
         let mut g = self.clone();
         g.add_machine(candidate);
-        g.dmin() > self.dmin()
+        g.dmin_scan() > self.dmin_scan()
     }
 
     /// A histogram of edge weights, useful for reports and for reproducing
-    /// the paper's Figure 4 numbers.
+    /// the paper's Figure 4 numbers.  Read from the incrementally
+    /// maintained tracker (`O(machines)`), not a rescan of the weights.
     pub fn weight_histogram(&self) -> std::collections::BTreeMap<u32, usize> {
-        let mut h = std::collections::BTreeMap::new();
-        for &w in &self.weights {
-            *h.entry(w).or_insert(0) += 1;
-        }
-        h
+        self.hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count > 0)
+            .map(|(w, &count)| (w as u32, count))
+            .collect()
     }
 }
 
@@ -319,14 +497,26 @@ mod tests {
     }
 
     #[test]
-    fn covers_all_and_addition_increases_dmin_agree() {
+    fn covers_all_and_speculate_agree_with_clone_based_check() {
         let (a, b, m1, m2) = fig3_partitions();
         let g = FaultGraph::from_partitions(4, &[a.clone(), b.clone()]);
         let weak = g.weakest_edges();
         for candidate in [&a, &b, &m1, &m2] {
+            let direct = g.addition_increases_dmin_scan(candidate);
             assert_eq!(
                 FaultGraph::covers_all(candidate, &weak),
+                direct,
+                "candidate {candidate}"
+            );
+            assert_eq!(g.speculate(candidate), direct, "candidate {candidate}");
+            assert_eq!(
+                g.speculate_bitset(&candidate.to_bitset()),
+                direct,
+                "candidate {candidate}"
+            );
+            assert_eq!(
                 g.addition_increases_dmin(candidate),
+                direct,
                 "candidate {candidate}"
             );
         }
@@ -348,6 +538,8 @@ mod tests {
         assert!(g.tolerates_crash_faults(100));
         assert!(g.tolerates_byzantine_faults(100));
         assert!(g.weakest_edges().is_empty());
+        // With no edges, dmin is already maximal: speculation is negative.
+        assert!(!g.speculate(&Partition::singletons(1)));
     }
 
     #[test]
@@ -399,6 +591,28 @@ mod tests {
         }
         assert_eq!(word.dmin(), scan.dmin());
         assert_eq!(word.weight_histogram(), scan.weight_histogram());
+    }
+
+    #[test]
+    fn incremental_trackers_match_full_scans() {
+        // Interleave tracked adds and queries; the cached dmin and bucketed
+        // weakest edges must match the full rescans at every step.
+        let n = 70;
+        let machines: Vec<Partition> = (0..4)
+            .map(|k| {
+                Partition::from_assignment(&(0..n).map(|x| (x + k) % (k + 2)).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut g = FaultGraph::new(n);
+        for p in &machines {
+            g.add_machine(p);
+            assert_eq!(g.dmin(), g.dmin_scan());
+            assert_eq!(g.weakest_edges(), g.weakest_edges_scan());
+        }
+        // And after a bulk build.
+        let bulk = FaultGraph::from_partitions(n, &machines);
+        assert_eq!(bulk.dmin(), g.dmin());
+        assert_eq!(bulk.weakest_edges(), g.weakest_edges());
     }
 
     #[test]

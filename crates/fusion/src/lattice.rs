@@ -7,6 +7,15 @@
 //! module implements lower covers, the basis of the lattice (the lower cover
 //! of `⊤`) and, for small machines, full lattice enumeration (used to
 //! reproduce the paper's Figure 3 and in tests).
+//!
+//! Lower-cover computation closes every pairwise block merge of `p` — the
+//! same independent candidate evaluations Algorithm 2's descent performs —
+//! so it can fan out over the crossbeam-channel worker pool too:
+//! [`lower_cover_par`] / [`enumerate_lattice_par`] take an explicit worker
+//! count, and [`enumerate_lattice`] consults `FSM_FUSION_WORKERS`
+//! ([`crate::par::configured_workers`]) like [`crate::generate_fusion`]
+//! does.  Pooled and sequential paths return identical, canonically sorted
+//! results.
 
 use std::collections::BTreeSet;
 
@@ -15,6 +24,7 @@ use fsm_dfsm::Dfsm;
 use crate::bitset::BitsetPartition;
 use crate::closed::{is_closed, ClosureKernel};
 use crate::error::Result;
+use crate::par::{configured_workers, MergePool};
 use crate::partition::Partition;
 
 /// Computes the lower cover of a closed partition `p` of `top`: the maximal
@@ -35,13 +45,47 @@ pub fn lower_cover(top: &Dfsm, p: &Partition) -> Result<Vec<Partition>> {
 /// and duplicate candidates are removed.  The maximality filter converts
 /// each candidate to bitset form once and compares word-at-a-time.
 pub fn lower_cover_with(kernel: &ClosureKernel, p: &Partition) -> Result<Vec<Partition>> {
+    lower_cover_impl(kernel, p, None)
+}
+
+/// [`lower_cover`] with the pairwise merges closed in parallel over
+/// `workers` threads.  Returns exactly the sequential result (the candidate
+/// set is deduplicated and sorted canonically either way).
+pub fn lower_cover_par(top: &Dfsm, p: &Partition, workers: usize) -> Result<Vec<Partition>> {
+    debug_assert!(is_closed(top, p));
+    let kernel = ClosureKernel::new(top);
+    let mut pool = MergePool::spawn(&kernel, workers);
+    lower_cover_impl(&kernel, p, Some(&mut pool))
+}
+
+/// Shared lower-cover body: closes every pairwise merge (through the pool
+/// when one is given), then filters to the maximal candidates.
+fn lower_cover_impl(
+    kernel: &ClosureKernel,
+    p: &Partition,
+    pool: Option<&mut MergePool>,
+) -> Result<Vec<Partition>> {
     let k = p.num_blocks();
     let mut candidates: BTreeSet<Partition> = BTreeSet::new();
-    for b1 in 0..k {
-        for b2 in (b1 + 1)..k {
-            let closed = kernel.close_merged(p, b1, b2)?;
-            if &closed != p {
-                candidates.insert(closed);
+    match pool {
+        Some(pool) => {
+            let pairs: Vec<(usize, usize)> = (0..k)
+                .flat_map(|b1| ((b1 + 1)..k).map(move |b2| (b1, b2)))
+                .collect();
+            for closed in pool.close_merges(p, &pairs)? {
+                if &closed != p {
+                    candidates.insert(closed);
+                }
+            }
+        }
+        None => {
+            for b1 in 0..k {
+                for b2 in (b1 + 1)..k {
+                    let closed = kernel.close_merged(p, b1, b2)?;
+                    if &closed != p {
+                        candidates.insert(closed);
+                    }
+                }
             }
         }
     }
@@ -135,14 +179,46 @@ impl ClosedPartitionLattice {
 
 /// Enumerates every closed partition of `top` by breadth-first descent from
 /// the singleton partition, stopping after `limit` elements.
+///
+/// Consults `FSM_FUSION_WORKERS` ([`configured_workers`]): with more than
+/// one worker requested the lower covers are closed through a shared
+/// `par::MergePool`, producing the identical lattice.
 pub fn enumerate_lattice(top: &Dfsm, limit: usize) -> Result<ClosedPartitionLattice> {
     let kernel = ClosureKernel::new(top);
+    match configured_workers() {
+        w if w > 1 => {
+            let mut pool = MergePool::spawn(&kernel, w);
+            enumerate_lattice_impl(top, &kernel, limit, Some(&mut pool))
+        }
+        _ => enumerate_lattice_impl(top, &kernel, limit, None),
+    }
+}
+
+/// [`enumerate_lattice`] with every lower cover's pairwise merges closed in
+/// parallel over `workers` threads (one pool shared across the whole
+/// enumeration).
+pub fn enumerate_lattice_par(
+    top: &Dfsm,
+    limit: usize,
+    workers: usize,
+) -> Result<ClosedPartitionLattice> {
+    let kernel = ClosureKernel::new(top);
+    let mut pool = MergePool::spawn(&kernel, workers);
+    enumerate_lattice_impl(top, &kernel, limit, Some(&mut pool))
+}
+
+fn enumerate_lattice_impl(
+    top: &Dfsm,
+    kernel: &ClosureKernel,
+    limit: usize,
+    mut pool: Option<&mut MergePool>,
+) -> Result<ClosedPartitionLattice> {
     let mut seen: BTreeSet<Partition> = BTreeSet::new();
     let mut frontier: Vec<Partition> = vec![Partition::singletons(top.size())];
     seen.insert(frontier[0].clone());
     let mut truncated = false;
     'explore: while let Some(p) = frontier.pop() {
-        for q in lower_cover_with(&kernel, &p)? {
+        for q in lower_cover_impl(kernel, &p, pool.as_deref_mut())? {
             if seen.len() >= limit {
                 truncated = true;
                 break 'explore;

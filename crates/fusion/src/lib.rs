@@ -23,7 +23,9 @@
 //! * [`set_repr`] — Algorithm 1: the set representation of machine states
 //!   (§5, Fig. 5).
 //! * [`generate_fusion`] — Algorithm 2: minimal fusion generation (§5.1,
-//!   Theorem 5).
+//!   Theorem 5), with a sequential engine ([`generate_fusion_seq`]) and a
+//!   crossbeam-backed parallel engine ([`generate_fusion_par`], module
+//!   [`mod@par`]) pinned to produce identical fusions.
 //! * [`RecoveryEngine`] — Algorithm 3: vote-based recovery from crash and
 //!   Byzantine faults (§5.2, Theorem 6).
 //! * [`theory`] — executable forms of Definitions 5–6 and Theorems 3–5.
@@ -81,6 +83,7 @@ mod error;
 pub mod fault_graph;
 pub mod generate;
 pub mod lattice;
+pub mod par;
 pub mod partition;
 pub mod recovery;
 pub mod reference;
@@ -95,11 +98,14 @@ pub use closed::{check_closed, close, is_closed, quotient_machine, ClosureKernel
 pub use error::{FusionError, Result};
 pub use fault_graph::FaultGraph;
 pub use generate::{
-    generate_fusion, generate_fusion_for_machines, FusionGeneration, GenerationStats,
+    generate_fusion, generate_fusion_for_machines, generate_fusion_par, generate_fusion_seq,
+    FusionGeneration, GenerationStats,
 };
 pub use lattice::{
-    basis, enumerate_lattice, lower_cover, lower_cover_with, ClosedPartitionLattice,
+    basis, enumerate_lattice, enumerate_lattice_par, lower_cover, lower_cover_par,
+    lower_cover_with, ClosedPartitionLattice,
 };
+pub use par::configured_workers;
 pub use partition::{BlockGroups, Partition};
 pub use recovery::{recover_top_state, MachineReport, Recovery, RecoveryEngine};
 pub use replication::{

@@ -1,0 +1,342 @@
+//! Crossbeam-channel worker pool for parallel candidate-merge evaluation.
+//!
+//! Algorithm 2's inner loop and lattice lower-cover computation both score
+//! candidate block merges of a partition against one fixed machine: close
+//! the merge with the [`ClosureKernel`], then (for Algorithm 2) test whether
+//! the closed candidate still separates every weakest edge of the current
+//! fault graph.  Each evaluation is independent, so the crate-internal
+//! `MergePool` fans them out over a fixed set of worker threads connected
+//! by `crossbeam-channel` queues — one command channel per worker plus a
+//! shared result channel, the same spawn/command pattern as
+//! `fsm_distsys::ParallelServerGroup`.
+//!
+//! The pool preserves the *sequential semantics* of the descent: callers
+//! submit candidates in batches tagged with their position in the
+//! sequential enumeration order, and `MergePool::eval_batch` returns the
+//! covering candidate with the smallest position, so a parallel caller
+//! commits to exactly the merge the sequential loop would have taken
+//! (`tests/parallel_properties.rs` pins
+//! [`crate::generate_fusion_par`] to [`crate::generate_fusion_seq`] this
+//! way).
+//!
+//! Worker count is an explicit knob on the `*_par` entry points; the
+//! plain entry points ([`crate::generate_fusion`],
+//! [`crate::enumerate_lattice`]) consult [`configured_workers`] — the
+//! `FSM_FUSION_WORKERS` environment variable — so a whole test suite or
+//! deployment can opt into the parallel engine without code changes.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use crate::closed::ClosureKernel;
+use crate::error::{FusionError, Result};
+use crate::fault_graph::FaultGraph;
+use crate::partition::Partition;
+
+/// Worker count requested through the `FSM_FUSION_WORKERS` environment
+/// variable: unset, empty, `0` or `1` select the sequential paths, `auto`
+/// selects [`std::thread::available_parallelism`], and any other number is
+/// used as given.  Unparseable values fall back to sequential.
+pub fn configured_workers() -> usize {
+    match std::env::var("FSM_FUSION_WORKERS") {
+        Ok(v) => parse_workers(&v),
+        Err(_) => 1,
+    }
+}
+
+/// The `FSM_FUSION_WORKERS` value convention, as a pure function so the
+/// parsing rules are testable without mutating the process environment.
+fn parse_workers(value: &str) -> usize {
+    match value.trim() {
+        "" | "0" | "1" => 1,
+        "auto" => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        s => s.parse().unwrap_or(1),
+    }
+}
+
+/// A candidate merge: close blocks `b1`/`b2` of `current`, then test the
+/// closure against `weakest` (empty `weakest` accepts every closure — the
+/// lower-cover use).  `idx` is the candidate's position in the caller's
+/// sequential enumeration order and is echoed back with the result.
+struct Job {
+    idx: usize,
+    current: Arc<Partition>,
+    b1: usize,
+    b2: usize,
+    weakest: Arc<Vec<(usize, usize)>>,
+}
+
+/// `(idx, closure outcome)`: `Ok(Some(p))` when the closed merge covers
+/// every weakest edge, `Ok(None)` when it does not.
+type JobResult = (usize, Result<Option<Partition>>);
+
+struct Worker {
+    /// `Some` while the pool is live; taken (dropped) on shutdown so the
+    /// worker's `recv` loop ends.
+    jobs: Option<Sender<Job>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A pool of worker threads evaluating candidate merges against one
+/// [`ClosureKernel`].
+///
+/// Spawned once per search (Algorithm 2 call or lattice enumeration) and
+/// reused across every descent level, so thread start-up is paid once, not
+/// per candidate.  Dropping the pool closes the command channels and joins
+/// the workers.
+pub(crate) struct MergePool {
+    workers: Vec<Worker>,
+    results: Receiver<JobResult>,
+    next: usize,
+}
+
+impl MergePool {
+    /// Spawns `workers` threads (at least one), each owning a clone of the
+    /// kernel's flat transition table.
+    pub(crate) fn spawn(kernel: &ClosureKernel, workers: usize) -> Self {
+        let (result_tx, results) = unbounded::<JobResult>();
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let (jobs_tx, jobs_rx) = unbounded::<Job>();
+                let kernel = kernel.clone();
+                let result_tx = result_tx.clone();
+                let join = std::thread::spawn(move || {
+                    while let Ok(job) = jobs_rx.recv() {
+                        let res = kernel.close_merged(&job.current, job.b1, job.b2).map(|c| {
+                            if job.weakest.is_empty() || FaultGraph::covers_all(&c, &job.weakest) {
+                                Some(c)
+                            } else {
+                                None
+                            }
+                        });
+                        if result_tx.send((job.idx, res)).is_err() {
+                            break;
+                        }
+                    }
+                });
+                Worker {
+                    jobs: Some(jobs_tx),
+                    join: Some(join),
+                }
+            })
+            .collect();
+        MergePool {
+            workers,
+            results,
+            next: 0,
+        }
+    }
+
+    /// A batch size that keeps every worker busy while bounding the
+    /// overshoot past an early covering candidate.
+    pub(crate) fn batch_size(&self) -> usize {
+        (self.workers.len() * 2).max(4)
+    }
+
+    fn submit(&mut self, job: Job) {
+        let w = self.next % self.workers.len();
+        self.next = self.next.wrapping_add(1);
+        self.workers[w]
+            .jobs
+            .as_ref()
+            .expect("merge pool not shut down")
+            .send(job)
+            .expect("merge pool worker thread alive");
+    }
+
+    /// Evaluates one batch of candidate merges `(idx, b1, b2)` of `current`
+    /// and returns the covering candidate with the smallest `idx`, or `None`
+    /// when no candidate in the batch covers all of `weakest`.
+    ///
+    /// The whole batch is always drained before returning, so no stale
+    /// results leak into the next call.
+    pub(crate) fn eval_batch(
+        &mut self,
+        current: &Arc<Partition>,
+        weakest: &Arc<Vec<(usize, usize)>>,
+        batch: &[(usize, usize, usize)],
+    ) -> Result<Option<(usize, Partition)>> {
+        for &(idx, b1, b2) in batch {
+            self.submit(Job {
+                idx,
+                current: Arc::clone(current),
+                b1,
+                b2,
+                weakest: Arc::clone(weakest),
+            });
+        }
+        let mut best: Option<(usize, Partition)> = None;
+        let mut first_err: Option<FusionError> = None;
+        for _ in 0..batch.len() {
+            let (idx, res) = self.results.recv().expect("merge pool worker thread alive");
+            match res {
+                Ok(Some(candidate)) => {
+                    if best.as_ref().map_or(true, |(b, _)| idx < *b) {
+                        best = Some((idx, candidate));
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => first_err = Some(e),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(best),
+        }
+    }
+
+    /// Closes every merge `(b1, b2)` of `p` in parallel and returns the
+    /// closures in input order — the lower-cover fan-out.
+    pub(crate) fn close_merges(
+        &mut self,
+        p: &Partition,
+        pairs: &[(usize, usize)],
+    ) -> Result<Vec<Partition>> {
+        let current = Arc::new(p.clone());
+        let accept_all = Arc::new(Vec::new());
+        for (idx, &(b1, b2)) in pairs.iter().enumerate() {
+            self.submit(Job {
+                idx,
+                current: Arc::clone(&current),
+                b1,
+                b2,
+                weakest: Arc::clone(&accept_all),
+            });
+        }
+        let mut out: Vec<Option<Partition>> = vec![None; pairs.len()];
+        let mut first_err: Option<FusionError> = None;
+        for _ in 0..pairs.len() {
+            let (idx, res) = self.results.recv().expect("merge pool worker thread alive");
+            match res {
+                Ok(candidate) => out[idx] = candidate,
+                Err(e) => first_err = Some(e),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(out
+            .into_iter()
+            .map(|c| c.expect("empty weakest set accepts every closure"))
+            .collect())
+    }
+}
+
+impl Drop for MergePool {
+    fn drop(&mut self) {
+        // Dropping the command senders ends each worker's recv loop.
+        for w in &mut self.workers {
+            w.jobs = None;
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsm_dfsm::DfsmBuilder;
+
+    /// Reconstruction of the paper's Fig. 2/3 top machine (4 states).
+    fn top4() -> fsm_dfsm::Dfsm {
+        let mut b = DfsmBuilder::new("top");
+        b.add_states(["t0", "t1", "t2", "t3"]);
+        b.set_initial("t0");
+        b.add_transition("t0", "0", "t1");
+        b.add_transition("t1", "0", "t2");
+        b.add_transition("t2", "0", "t1");
+        b.add_transition("t3", "0", "t1");
+        b.add_transition("t0", "1", "t3");
+        b.add_transition("t1", "1", "t2");
+        b.add_transition("t2", "1", "t0");
+        b.add_transition("t3", "1", "t0");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn eval_batch_returns_the_sequentially_first_covering_candidate() {
+        let top = top4();
+        let kernel = ClosureKernel::new(&top);
+        let mut pool = MergePool::spawn(&kernel, 3);
+        assert!(pool.batch_size() >= 4);
+        let current = Arc::new(Partition::singletons(4));
+        // Weakest edge (1, 2): a covering candidate must keep t1 and t2
+        // apart.
+        let weakest = Arc::new(vec![(1usize, 2usize)]);
+        let k = 4;
+        let batch: Vec<(usize, usize, usize)> = (0..k)
+            .flat_map(|b1| ((b1 + 1)..k).map(move |b2| (b1, b2)))
+            .enumerate()
+            .map(|(idx, (b1, b2))| (idx, b1, b2))
+            .collect();
+        let hit = pool
+            .eval_batch(&current, &weakest, &batch)
+            .unwrap()
+            .expect("some merge covers (1,2)");
+        // Sequential reference: first merge whose closure separates 1 and 2.
+        let seq = batch
+            .iter()
+            .find_map(|&(idx, b1, b2)| {
+                let c = kernel.close_merged(&current, b1, b2).unwrap();
+                c.separates(1, 2).then_some((idx, c))
+            })
+            .unwrap();
+        assert_eq!(hit, seq);
+    }
+
+    #[test]
+    fn close_merges_matches_direct_closures_in_order() {
+        let top = top4();
+        let kernel = ClosureKernel::new(&top);
+        let mut pool = MergePool::spawn(&kernel, 2);
+        let p = Partition::singletons(4);
+        let pairs: Vec<(usize, usize)> = (0..4)
+            .flat_map(|b1| ((b1 + 1)..4).map(move |b2| (b1, b2)))
+            .collect();
+        let pooled = pool.close_merges(&p, &pairs).unwrap();
+        let direct: Vec<Partition> = pairs
+            .iter()
+            .map(|&(b1, b2)| kernel.close_merged(&p, b1, b2).unwrap())
+            .collect();
+        assert_eq!(pooled, direct);
+    }
+
+    #[test]
+    fn size_mismatch_errors_propagate_out_of_the_pool() {
+        let top = top4();
+        let kernel = ClosureKernel::new(&top);
+        let mut pool = MergePool::spawn(&kernel, 2);
+        let wrong = Arc::new(Partition::singletons(3));
+        let weakest = Arc::new(Vec::new());
+        let err = pool.eval_batch(&wrong, &weakest, &[(0, 0, 1)]);
+        assert!(err.is_err());
+        // The pool stays usable after an error.
+        let ok = pool
+            .eval_batch(&Arc::new(Partition::singletons(4)), &weakest, &[(0, 0, 1)])
+            .unwrap();
+        assert!(ok.is_some());
+    }
+
+    #[test]
+    fn parse_workers_follows_the_env_convention() {
+        // The parser is a pure function, so the rules are testable without
+        // mutating the process environment (other tests in this binary run
+        // concurrently).
+        for sequential in ["", " ", "0", "1", " 1 ", "garbage", "-3", "2.5"] {
+            assert_eq!(parse_workers(sequential), 1, "value {sequential:?}");
+        }
+        assert_eq!(parse_workers("2"), 2);
+        assert_eq!(parse_workers(" 16 "), 16);
+        assert!(parse_workers("auto") >= 1);
+        // And the env-reading wrapper stays callable.
+        assert!(configured_workers() >= 1);
+    }
+}

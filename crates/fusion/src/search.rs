@@ -107,7 +107,16 @@ pub fn exhaustive_minimum_fusion(
         if (graph.dmin() as u128).saturating_add(remaining) <= f as u128 {
             return;
         }
+        // With one pick left and dmin sitting exactly at f, only a machine
+        // that raises dmin can complete a fusion; the incremental tracker
+        // answers that with one early-exiting pass (`speculate`), skipping
+        // the graph clone + word-level add + full rescan for every hopeless
+        // candidate.
+        let last_pick_must_raise = remaining == 1 && graph.dmin() as u128 == f as u128;
         for i in start..candidates.len() {
+            if last_pick_must_raise && !graph.speculate_bitset(&bitsets[i]) {
+                continue;
+            }
             chosen.push(i);
             let mut g = graph.clone();
             g.add_machine_bitset(&bitsets[i]);

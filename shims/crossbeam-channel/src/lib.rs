@@ -3,14 +3,16 @@
 //! workspace, implemented over `std::sync::mpsc`.
 //!
 //! Provides [`unbounded`], a clonable [`Sender`], and a [`Receiver`] with
-//! `recv`/`try_recv`. (The upstream `Receiver` is also clonable; this shim's
-//! is not, which is sufficient for the workspace's single-consumer use.)
+//! `recv`/`try_recv`/`recv_timeout`. (The upstream `Receiver` is also
+//! clonable; this shim's is not, which is sufficient for the workspace's
+//! single-consumer use.)
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::sync::mpsc;
+use std::time::Duration;
 
 /// Creates an unbounded channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -49,6 +51,14 @@ impl<T> Receiver<T> {
         self.0.try_recv().map_err(|e| match e {
             mpsc::TryRecvError::Empty => TryRecvError::Empty,
             mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Blocks for at most `timeout` waiting for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
         })
     }
 }
@@ -99,6 +109,26 @@ impl fmt::Display for TryRecvError {
     }
 }
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// No message was queued and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on a channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +169,21 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers_then_disconnects() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 }

@@ -66,7 +66,7 @@ fn parallel_group_agrees_with_sequential_system() {
     sequential.apply_workload(&workload);
     parallel.apply_all(workload.iter());
 
-    let reports = parallel.collect_reports();
+    let reports = parallel.collect_reports().expect("all servers report");
     for (i, report) in reports.iter().enumerate() {
         match report {
             MachineReport::State(s) => {
@@ -121,6 +121,7 @@ fn parallel_recovery_with_engine_matches_oracle() {
 
     let reports: Vec<MachineReport> = group
         .collect_reports()
+        .expect("all servers report")
         .into_iter()
         .enumerate()
         .map(|(i, r)| match r {

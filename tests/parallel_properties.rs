@@ -1,0 +1,138 @@
+//! Property tests pinning the incremental fault-graph trackers and the
+//! parallel Algorithm-2 engine to their reference implementations.
+//!
+//! PR 2 established the pattern for the bitset kernels
+//! (`tests/bitset_properties.rs`: optimized path vs. preserved element
+//! scan); this suite extends it to the two new fast paths:
+//!
+//! * the incrementally maintained `dmin` / weakest-edge / speculation
+//!   queries of `FaultGraph` against the full-rescan `*_scan` twins, under
+//!   arbitrary interleavings of machine additions and queries,
+//! * the crossbeam-backed parallel descent (`generate_fusion_par`) against
+//!   the sequential engine (`generate_fusion_seq`), which must produce the
+//!   same fusion machines *and* the same search statistics (everything but
+//!   wall-clock time), and the pooled lattice enumeration against the
+//!   sequential one.
+
+use fsm_fusion::fusion::{
+    enumerate_lattice, enumerate_lattice_par, generate_fusion_par, generate_fusion_seq,
+    lower_cover, lower_cover_par, FaultGraph, Partition,
+};
+use fsm_fusion::machines::{random_dfsm, RandomDfsmConfig};
+use fsm_fusion::prelude::*;
+use proptest::prelude::*;
+
+/// Deterministic SplitMix64, so failures reproduce from the case inputs.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A pseudo-random partition of `n` elements into at most `max_blocks`
+/// blocks.
+fn random_partition(seed: u64, n: usize, max_blocks: usize) -> Partition {
+    let mut state = seed;
+    let assignment: Vec<usize> = (0..n)
+        .map(|_| (splitmix(&mut state) as usize) % max_blocks)
+        .collect();
+    Partition::from_assignment(&assignment)
+}
+
+/// A small random machine pair over the shared binary alphabet, as used by
+/// the bitset property tests.
+fn machine_family(seed: u64) -> Vec<Dfsm> {
+    (0..2)
+        .map(|i| {
+            random_dfsm(
+                &format!("M{i}"),
+                &RandomDfsmConfig {
+                    states: 2 + ((seed as usize + 3 * i) % 3),
+                    alphabet: vec!["0".into(), "1".into()],
+                    seed: seed.wrapping_add(i as u64 * 7919),
+                },
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incremental `dmin` / weakest-edge / speculation queries agree with
+    /// the full rescans at every step of an interleaved add/query sequence,
+    /// and a bulk build agrees with the same machines added one at a time.
+    #[test]
+    fn incremental_trackers_agree_with_rescans(
+        seed in 0u64..100_000,
+        n in 2usize..120,
+        blocks in 1usize..9,
+        adds in 1usize..6,
+    ) {
+        let machines: Vec<Partition> = (0..adds)
+            .map(|i| random_partition(seed.wrapping_add(i as u64 * 101), n, blocks))
+            .collect();
+        let mut g = FaultGraph::new(n);
+        prop_assert_eq!(g.dmin(), g.dmin_scan());
+        for (step, p) in machines.iter().enumerate() {
+            g.add_machine(p);
+            prop_assert_eq!(g.dmin(), g.dmin_scan());
+            prop_assert_eq!(g.weakest_edges(), g.weakest_edges_scan());
+            // Speculation against a fresh random candidate and against a
+            // machine already in the graph.
+            let candidate = random_partition(seed ^ ((step as u64) << 7), n, blocks);
+            for c in [&candidate, p] {
+                prop_assert_eq!(g.speculate(c), g.addition_increases_dmin_scan(c));
+                prop_assert_eq!(g.speculate(c), g.speculate_bitset(&c.to_bitset()));
+            }
+        }
+        let bulk = FaultGraph::from_partitions(n, &machines);
+        prop_assert_eq!(bulk.dmin(), g.dmin());
+        prop_assert_eq!(bulk.weakest_edges(), g.weakest_edges());
+        prop_assert_eq!(bulk.weight_histogram(), g.weight_histogram());
+    }
+
+    /// The parallel descent returns exactly the sequential engine's fusion:
+    /// same partitions, same machines, same statistics (except wall-clock
+    /// time), for every worker count.
+    #[test]
+    fn parallel_descent_matches_sequential(
+        seed in 0u64..50_000,
+        f in 1usize..3,
+        workers in 1usize..5,
+    ) {
+        let machines = machine_family(seed);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let originals = fsm_fusion::fusion::projection_partitions(&product);
+        let seq = generate_fusion_seq(product.top(), &originals, f).unwrap();
+        let par = generate_fusion_par(product.top(), &originals, f, workers).unwrap();
+        prop_assert_eq!(&par.partitions, &seq.partitions);
+        prop_assert_eq!(par.machine_sizes(), seq.machine_sizes());
+        prop_assert_eq!(par.state_space(), seq.state_space());
+        prop_assert_eq!(par.stats.initial_dmin, seq.stats.initial_dmin);
+        prop_assert_eq!(par.stats.final_dmin, seq.stats.final_dmin);
+        prop_assert_eq!(par.stats.outer_iterations, seq.stats.outer_iterations);
+        prop_assert_eq!(par.stats.descent_steps, seq.stats.descent_steps);
+        prop_assert_eq!(par.stats.candidates_examined, seq.stats.candidates_examined);
+    }
+
+    /// Pooled lower covers and lattice enumeration return exactly the
+    /// sequential results.
+    #[test]
+    fn parallel_lattice_matches_sequential(seed in 0u64..50_000, workers in 2usize..4) {
+        let machines = machine_family(seed);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let top = product.top();
+        let top_partition = Partition::singletons(top.size());
+        prop_assert_eq!(
+            lower_cover_par(top, &top_partition, workers).unwrap(),
+            lower_cover(top, &top_partition).unwrap()
+        );
+        let seq = enumerate_lattice(top, 500).unwrap();
+        let par = enumerate_lattice_par(top, 500, workers).unwrap();
+        prop_assert_eq!(par.elements, seq.elements);
+        prop_assert_eq!(par.truncated, seq.truncated);
+    }
+}
