@@ -3,12 +3,16 @@
 //! Run with: `cargo run --release -p fsm-fusion-bench --bin perf_baseline`
 //!
 //! Times the partition operations, the fault-graph build, the incremental
-//! fault-graph trackers and the Algorithm-2 search (sequential and parallel
-//! engines) at several `⊤` state counts with small fixed iteration counts,
-//! and emits `BENCH_fusion.json` (see README.md for the format).  Every
-//! optimized kernel is measured next to its pre-refactor element-scan twin
-//! (`*_scan`, from `fsm_fusion_core::reference`) and every `_par` op next
-//! to its sequential twin, and the JSON records both speedup ratio sets.
+//! fault-graph trackers, the Algorithm-2 search (sequential and parallel
+//! engines) at several `⊤` state counts and the reachable-product
+//! construction (packed sequential, packed parallel, reference) with small
+//! fixed iteration counts, and emits `BENCH_fusion.json` (see README.md for
+//! the format).  Every optimized kernel is measured next to its
+//! pre-refactor twin (`*_scan`, from `fsm_fusion_core::reference` or the
+//! tuple-keyed `ReachableProduct::new_reference`), every `_par` op next to
+//! its sequential twin, and the persistent-pool engine
+//! (`alg2_search_pooled_*`) next to its per-search-spawn twin
+//! (`alg2_search_spawn_*`); the JSON records all three speedup ratio sets.
 //! Each figure is the median of five rounds of at least [`MIN_ITERS`]
 //! iterations, so one scheduler hiccup on a shared runner cannot fake (or
 //! hide) a regression.
@@ -34,7 +38,8 @@ use fsm_dfsm::ReachableProduct;
 use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
-    generate_fusion_par, generate_fusion_seq, projection_partitions, FaultGraph, Partition,
+    generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
+    FaultGraph, Partition,
 };
 
 /// Regression threshold for `--check`: calibration-normalized ns/op may grow
@@ -313,6 +318,50 @@ fn measure_all() -> Vec<Measurement> {
         push(scan_name, scan_iters, ns);
     }
 
+    // Reachable-product construction at |⊤| = 729: the packed mixed-radix
+    // builder (sequential and frontier-chunked parallel) against the
+    // preserved tuple-keyed reference BFS (the `_scan` twin).  Explicit
+    // worker counts, so an exported FSM_FUSION_WORKERS cannot change what
+    // the op names mean.
+    {
+        let machines = counter_family(6, 3);
+        let iters = 50;
+        let ns = bench(iters, || {
+            ReachableProduct::with_workers(&machines, 1).unwrap()
+        });
+        push("product_build_n729", iters, ns);
+        let ns = bench(iters, || {
+            ReachableProduct::with_workers(&machines, PAR_WORKERS).unwrap()
+        });
+        push("product_build_par_n729", iters, ns);
+        let ns = bench(iters, || {
+            ReachableProduct::new_reference(&machines).unwrap()
+        });
+        push("product_build_scan_n729", iters, ns);
+    }
+
+    // Pool amortization at |⊤| = 81 — the size where thread start-up used
+    // to cancel the parallel engine's win: the persistent-pool engine (warm
+    // after the bench harness's warm-up call) against the same engine
+    // forced to spawn and join a fresh pool per search.  The `_spawn` op is
+    // a documentation twin like the `_scan` ops (thread start-up latency is
+    // too scheduler-dependent to gate).
+    {
+        let machines = counter_family(4, 3);
+        let product = ReachableProduct::with_workers(&machines, 1).unwrap();
+        let originals = projection_partitions(&product);
+        let top = product.top();
+        let iters = 50;
+        let ns = bench(iters, || {
+            generate_fusion_par(top, &originals, 2, PAR_WORKERS).unwrap()
+        });
+        push("alg2_search_pooled_n81_f2", iters, ns);
+        let ns = bench(iters, || {
+            generate_fusion_par_spawn(top, &originals, 2, PAR_WORKERS).unwrap()
+        });
+        push("alg2_search_spawn_n81_f2", iters, ns);
+    }
+
     out
 }
 
@@ -344,6 +393,21 @@ fn par_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
     out
 }
 
+/// Speedup ratios of each `_pooled` op against its `_spawn` twin — how much
+/// the persistent worker pool saves over per-search thread start-up.
+fn pooled_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for m in ops {
+        if let Some(rest) = m.name.find("_pooled") {
+            let spawn_name = format!("{}_spawn{}", &m.name[..rest], &m.name[rest + 7..]);
+            if let Some(spawn) = ops.iter().find(|o| o.name == spawn_name) {
+                out.push((m.name.to_string(), spawn.ns_per_op / m.ns_per_op));
+            }
+        }
+    }
+    out
+}
+
 fn render_json(ops: &[Measurement]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -367,6 +431,13 @@ fn render_json(ops: &[Measurement]) -> String {
     s.push_str("  },\n");
     s.push_str("  \"speedup_par_vs_seq\": {\n");
     let ratios = par_speedups(ops);
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"speedup_pooled_vs_spawn\": {\n");
+    let ratios = pooled_speedups(ops);
     for (i, (name, ratio)) in ratios.iter().enumerate() {
         let comma = if i + 1 == ratios.len() { "" } else { "," };
         let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
@@ -430,9 +501,11 @@ fn check_raw(
 ) -> Vec<String> {
     let mut regressed = Vec::new();
     for m in fresh {
-        // The calibration op is the normalizer, and the `_scan` reference
-        // ops exist only to document speedups — neither gates the build.
-        if m.name == CALIBRATION_OP || m.name.contains("_scan") {
+        // The calibration op is the normalizer, and the `_scan` / `_spawn`
+        // reference ops exist only to document speedups (thread start-up in
+        // particular is too scheduler-dependent to gate) — none of them
+        // gate the build.
+        if m.name == CALIBRATION_OP || m.name.contains("_scan") || m.name.contains("_spawn") {
             continue;
         }
         let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
@@ -463,7 +536,7 @@ fn check_raw(
     // Tracked ops must keep being measured: a baseline op that silently
     // vanishes from the fresh run would otherwise bypass the gate forever.
     for (name, _) in baseline {
-        if name == CALIBRATION_OP || name.contains("_scan") {
+        if name == CALIBRATION_OP || name.contains("_scan") || name.contains("_spawn") {
             continue;
         }
         if !fresh.iter().any(|m| m.name == *name) {
@@ -507,6 +580,9 @@ fn main() -> ExitCode {
     }
     for (name, ratio) in par_speedups(&ops) {
         println!("speedup {name:<34} {ratio:>6.2}x vs sequential engine");
+    }
+    for (name, ratio) in pooled_speedups(&ops) {
+        println!("speedup {name:<34} {ratio:>6.2}x vs per-search pool spawn");
     }
 
     let mut failed = false;

@@ -75,6 +75,7 @@ mod isomorphism;
 mod minimize;
 mod product;
 mod state;
+mod workers;
 
 pub use builder::DfsmBuilder;
 pub use dfsm::Dfsm;
@@ -86,3 +87,4 @@ pub use isomorphism::{are_isomorphic, isomorphism};
 pub use minimize::{minimize_by_labels, minimize_by_output, Minimized};
 pub use product::ReachableProduct;
 pub use state::{StateId, StateInfo};
+pub use workers::configured_workers;

@@ -11,6 +11,33 @@
 //! order, so knowing the state of `⊤` determines the state of every input
 //! machine; the fusion algorithms in `fsm-fusion-core` operate on quotients
 //! of `⊤`.
+//!
+//! ## Packed construction
+//!
+//! Building `⊤` is itself a hot path at scale (it dominates the pipeline
+//! before Algorithm 2 even starts), so the BFS interns states through a
+//! **packed mixed-radix `u64` key** — tuple `(s1, …, sn)` becomes
+//! `Σ si · stride_i` with `stride_i = ∏_{j<i} |Sj|` — instead of hashing a
+//! heap-allocated `Vec<StateId>` per visited edge:
+//!
+//! * when the *full* product `∏ |Si|` is small, the interner is a dense
+//!   `u32` table indexed directly by the key (one array read per edge);
+//! * otherwise it is a `HashMap<u64, u32>` — still allocation-free per
+//!   lookup;
+//! * only when `∏ |Si|` overflows `u64` does construction fall back to the
+//!   original tuple-keyed map, preserved as
+//!   [`ReachableProduct::new_reference`].
+//!
+//! Per-event successors are pre-resolved into flat per-machine tables of
+//! *stride-multiplied* entries, so expanding one state is `|Σ| · n`
+//! additions with no per-pop tuple clone.  With `FSM_FUSION_WORKERS` (or an
+//! explicit [`ReachableProduct::with_workers`] count) the BFS runs
+//! level-synchronized: large frontiers are chunked across scoped worker
+//! threads that compute successor keys in parallel, and the main thread
+//! interns them in frontier × event order — exactly the sequential
+//! discovery order, so state numbering is bit-identical to the sequential
+//! build (`tests/product_properties.rs` pins packed, parallel and reference
+//! constructions against each other).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -18,6 +45,85 @@ use crate::dfsm::Dfsm;
 use crate::error::Result;
 use crate::event::Alphabet;
 use crate::state::{StateId, StateInfo};
+use crate::workers::configured_workers;
+
+/// Full-product sizes up to this use the dense direct-indexed interner
+/// (`4 bytes × limit` = 16 MiB at the cap); larger products hash packed
+/// keys.
+const DENSE_LIMIT: u64 = 1 << 22;
+
+/// Minimum frontier size before a BFS level is chunked across worker
+/// threads; below this the per-level spawn cost exceeds the successor
+/// arithmetic being parallelized.
+const PAR_LEVEL_MIN: usize = 256;
+
+/// The mixed-radix packing of component-state tuples into `u64` keys.
+#[derive(Debug, Clone)]
+struct Radix {
+    /// `|Si|` per component.
+    sizes: Vec<u64>,
+    /// `strides[i] = ∏_{j<i} sizes[j]` (little-endian mixed radix).
+    strides: Vec<u64>,
+}
+
+impl Radix {
+    /// `None` when `∏ |Si|` overflows `u64` (the packed builders then fall
+    /// back to the tuple-keyed reference construction).
+    fn new(machines: &[Dfsm]) -> Option<(Radix, u64)> {
+        let mut strides = Vec::with_capacity(machines.len());
+        let mut sizes = Vec::with_capacity(machines.len());
+        let mut acc: u64 = 1;
+        for m in machines {
+            strides.push(acc);
+            let size = m.size() as u64;
+            sizes.push(size);
+            acc = acc.checked_mul(size)?;
+        }
+        Some((Radix { sizes, strides }, acc))
+    }
+
+    /// Packs a full tuple, or `None` when any component is out of range
+    /// (out-of-range components must be rejected *before* packing — they
+    /// could otherwise alias a valid key).
+    fn pack(&self, tuple: &[StateId]) -> Option<u64> {
+        if tuple.len() != self.sizes.len() {
+            return None;
+        }
+        let mut key = 0u64;
+        for (i, &s) in tuple.iter().enumerate() {
+            if (s.index() as u64) >= self.sizes[i] {
+                return None;
+            }
+            key += s.index() as u64 * self.strides[i];
+        }
+        Some(key)
+    }
+
+    /// Appends the decoded components of `key` to `out`.
+    fn decode_into(&self, key: u64, out: &mut Vec<StateId>) {
+        let mut rem = key;
+        for &size in &self.sizes {
+            out.push(StateId((rem % size) as usize));
+            rem /= size;
+        }
+    }
+}
+
+/// The tuple → product-state index behind [`ReachableProduct::find_tuple`].
+#[derive(Debug, Clone)]
+enum TupleIndex {
+    /// Dense direct-indexed table over the full product
+    /// (`u32::MAX` = unreachable tuple).
+    Dense { radix: Radix, table: Vec<u32> },
+    /// Packed-key hash map for full products too large for a dense table.
+    Packed {
+        radix: Radix,
+        map: HashMap<u64, u32>,
+    },
+    /// The seed construction's tuple-keyed map: the reference path, and the
+    /// fallback when `∏ |Si|` overflows `u64`.
+    Tuples(HashMap<Vec<StateId>, StateId>),
+}
 
 /// The reachable cross product `R(A)` of a set of machines, together with
 /// the mapping from product states back to component states.
@@ -25,10 +131,12 @@ use crate::state::{StateId, StateInfo};
 pub struct ReachableProduct {
     top: Dfsm,
     components: Vec<Dfsm>,
-    /// `tuples[t]` is the vector of component states for product state `t`.
-    tuples: Vec<Vec<StateId>>,
-    /// Map from component-state tuple to product state id.
-    index: HashMap<Vec<StateId>, StateId>,
+    arity: usize,
+    /// Component states of product state `t`:
+    /// `tuple_flat[t * arity .. (t + 1) * arity]` (one flat allocation
+    /// instead of a `Vec` per state).
+    tuple_flat: Vec<StateId>,
+    index: TupleIndex,
 }
 
 impl ReachableProduct {
@@ -36,17 +144,225 @@ impl ReachableProduct {
     ///
     /// The product is constructed by breadth-first search from the tuple of
     /// initial states, so every product state is reachable by construction
-    /// and the product state `0` is the initial state.
+    /// and the product state `0` is the initial state.  Uses the packed
+    /// interner (see the module docs) and consults `FSM_FUSION_WORKERS`
+    /// ([`configured_workers`]) for parallel frontier expansion; state
+    /// numbering is identical for every engine.
     pub fn new(machines: &[Dfsm]) -> Result<Self> {
         Self::with_name(machines, "top")
     }
 
     /// Like [`ReachableProduct::new`] but with an explicit machine name.
     pub fn with_name(machines: &[Dfsm], name: impl Into<String>) -> Result<Self> {
+        Self::with_name_workers(machines, name, configured_workers())
+    }
+
+    /// Like [`ReachableProduct::new`] but with an explicit worker count for
+    /// the frontier expansion (ignoring `FSM_FUSION_WORKERS`); `workers <=
+    /// 1` selects the sequential packed build.
+    pub fn with_workers(machines: &[Dfsm], workers: usize) -> Result<Self> {
+        Self::with_name_workers(machines, "top", workers)
+    }
+
+    /// Full-control constructor: explicit name and worker count.
+    pub fn with_name_workers(
+        machines: &[Dfsm],
+        name: impl Into<String>,
+        workers: usize,
+    ) -> Result<Self> {
         assert!(
             !machines.is_empty(),
             "reachable cross product of zero machines is undefined"
         );
+        match Radix::new(machines) {
+            Some((radix, full)) => Self::build_packed(machines, name.into(), workers, radix, full),
+            // ∏ |Si| overflows u64: packed keys cannot represent the tuples.
+            None => Self::build_reference(machines, name.into()),
+        }
+    }
+
+    /// The seed tuple-keyed BFS construction, preserved as the reference
+    /// implementation the packed builders are pinned against
+    /// (`tests/product_properties.rs`) and benchmarked next to
+    /// (`product_build_scan_*` in `BENCH_fusion.json`).  Produces the
+    /// identical product: same state numbering, names, transitions and
+    /// tuples.
+    pub fn new_reference(machines: &[Dfsm]) -> Result<Self> {
+        assert!(
+            !machines.is_empty(),
+            "reachable cross product of zero machines is undefined"
+        );
+        Self::build_reference(machines, "top".into())
+    }
+
+    /// Packed BFS: states are interned through mixed-radix `u64` keys
+    /// (dense table or key hash map), successors come from flat
+    /// stride-multiplied tables, and large frontiers optionally fan out
+    /// over scoped worker threads.
+    fn build_packed(
+        machines: &[Dfsm],
+        name: String,
+        workers: usize,
+        radix: Radix,
+        full: u64,
+    ) -> Result<Self> {
+        let arity = machines.len();
+        let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
+        let k = alphabet.len();
+
+        // Flat per-machine successor tables, pre-multiplied by the
+        // machine's stride: expanding state `t` on event `e` is then
+        // `Σ_i step[i][e · |Si| + si]` — pure additions, no per-edge
+        // multiply and no tuple materialization.
+        let step: Vec<Vec<u64>> = machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let size = m.size();
+                let stride = radix.strides[i];
+                let mut table = Vec::with_capacity(k * size);
+                for ev in alphabet.events() {
+                    match m.alphabet().id_of(ev) {
+                        Some(id) => {
+                            for s in 0..size {
+                                table.push(m.next(StateId(s), id).index() as u64 * stride);
+                            }
+                        }
+                        // The machine ignores this event: stay in place.
+                        None => {
+                            for s in 0..size {
+                                table.push(s as u64 * stride);
+                            }
+                        }
+                    }
+                }
+                table
+            })
+            .collect();
+
+        // The packed-key interner.
+        enum Interner {
+            Dense(Vec<u32>),
+            Map(HashMap<u64, u32>),
+        }
+        let mut interner = if full <= DENSE_LIMIT {
+            Interner::Dense(vec![u32::MAX; full as usize])
+        } else {
+            Interner::Map(HashMap::new())
+        };
+
+        // Number of states discovered so far; their components live in
+        // `tuple_flat` (state `t` = `tuple_flat[t * arity..]`), so no
+        // separate per-state key storage is needed.
+        let mut num_states = 0usize;
+        let mut tuple_flat: Vec<StateId> = Vec::new();
+        // Interns `key`, appending its decoded tuple on first sight.
+        let mut intern = |key: u64, num_states: &mut usize, tuple_flat: &mut Vec<StateId>| -> u32 {
+            let slot = match &mut interner {
+                Interner::Dense(table) => &mut table[key as usize],
+                Interner::Map(map) => map.entry(key).or_insert(u32::MAX),
+            };
+            if *slot == u32::MAX {
+                *slot = *num_states as u32;
+                *num_states += 1;
+                radix.decode_into(key, tuple_flat);
+            }
+            *slot
+        };
+
+        let initial_tuple: Vec<StateId> = machines.iter().map(|m| m.initial()).collect();
+        let initial_key = radix
+            .pack(&initial_tuple)
+            .expect("initial states are in range");
+        intern(initial_key, &mut num_states, &mut tuple_flat);
+
+        // Shared successor-key kernel for both expansion branches below, so
+        // the parallel and sequential builds can never diverge: fills
+        // `out[(local - locals.start) * k + e]` with the packed key of
+        // frontier state `level_start + local` under event `e`.
+        let expand_rows = |level_start: usize,
+                           locals: std::ops::Range<usize>,
+                           out: &mut [u64],
+                           tuple_flat: &[StateId]| {
+            for (local, row) in locals.zip(out.chunks_mut(k)) {
+                let t = level_start + local;
+                let comps = &tuple_flat[t * arity..(t + 1) * arity];
+                for (e, slot) in row.iter_mut().enumerate() {
+                    *slot = comps
+                        .iter()
+                        .zip(step.iter())
+                        .zip(radix.sizes.iter())
+                        .map(|((&s, table), &size)| table[e * size as usize + s.index()])
+                        .sum();
+                }
+            }
+        };
+
+        let mut transitions: Vec<Vec<StateId>> = Vec::new();
+        let mut next_keys: Vec<u64> = Vec::new();
+        let mut level_start = 0usize;
+        // Level-synchronized BFS: FIFO discovery order is preserved because
+        // each level's successors are interned in frontier × event order —
+        // exactly the order the one-state-at-a-time queue would produce.
+        // An empty union alphabet (k == 0) means the sole reachable state
+        // has no successors at all; the chunked loops below cannot iterate
+        // rows of width zero, so emit the empty transition rows directly.
+        if k == 0 {
+            transitions = vec![Vec::new(); num_states];
+            level_start = num_states;
+        }
+        while level_start < num_states {
+            let level_end = num_states;
+            let level_len = level_end - level_start;
+            next_keys.clear();
+            next_keys.resize(level_len * k, 0);
+
+            // Frontier-chunked expansion: the successor arithmetic for a
+            // large level is split across scoped threads; interning (below)
+            // stays on this thread in deterministic order.
+            if workers > 1 && level_len >= PAR_LEVEL_MIN {
+                let chunk = level_len.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for (ci, out) in next_keys.chunks_mut(chunk * k).enumerate() {
+                        let start = ci * chunk;
+                        let end = (start + out.len() / k).min(level_len);
+                        let tuple_flat = &tuple_flat;
+                        let expand_rows = &expand_rows;
+                        scope.spawn(move || expand_rows(level_start, start..end, out, tuple_flat));
+                    }
+                });
+            } else {
+                expand_rows(level_start, 0..level_len, &mut next_keys, &tuple_flat);
+            }
+
+            for row_keys in next_keys.chunks(k) {
+                let row: Vec<StateId> = row_keys
+                    .iter()
+                    .map(|&key| StateId(intern(key, &mut num_states, &mut tuple_flat) as usize))
+                    .collect();
+                transitions.push(row);
+            }
+            level_start = level_end;
+        }
+
+        let index = match interner {
+            Interner::Dense(table) => TupleIndex::Dense { radix, table },
+            Interner::Map(map) => TupleIndex::Packed { radix, map },
+        };
+        Self::finish(
+            machines,
+            name,
+            alphabet,
+            arity,
+            tuple_flat,
+            transitions,
+            index,
+        )
+    }
+
+    /// The seed BFS over explicit tuples with a tuple-keyed hash map.
+    fn build_reference(machines: &[Dfsm], name: String) -> Result<Self> {
+        let arity = machines.len();
         let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
 
         // Pre-resolve, for every union event, the per-machine event id (or
@@ -66,16 +382,17 @@ impl ReachableProduct {
         queue.push_back(0);
 
         while let Some(t) = queue.pop_front() {
-            let tuple = tuples[t].clone();
             let mut row = Vec::with_capacity(alphabet.len());
-            for (e_idx, per_machine) in resolved.iter().enumerate() {
-                let _ = e_idx;
-                let next_tuple: Vec<StateId> = tuple
+            for per_machine in resolved.iter() {
+                // `tuples[t]` is read in place; the immutable borrow ends
+                // with the collect, before any push below.
+                let next_tuple: Vec<StateId> = machines
                     .iter()
-                    .zip(machines.iter().zip(per_machine.iter()))
-                    .map(|(&s, (m, ev))| match ev {
-                        Some(id) => m.next(s, *id),
-                        None => s,
+                    .zip(per_machine.iter())
+                    .enumerate()
+                    .map(|(i, (m, ev))| match ev {
+                        Some(id) => m.next(tuples[t][i], *id),
+                        None => tuples[t][i],
                     })
                     .collect();
                 let next_id = match index.get(&next_tuple) {
@@ -96,8 +413,31 @@ impl ReachableProduct {
             transitions.push(row);
         }
 
-        let states: Vec<StateInfo> = tuples
-            .iter()
+        let tuple_flat: Vec<StateId> = tuples.into_iter().flatten().collect();
+        Self::finish(
+            machines,
+            name,
+            alphabet,
+            arity,
+            tuple_flat,
+            transitions,
+            TupleIndex::Tuples(index),
+        )
+    }
+
+    /// Shared tail of every construction: state names and the `Dfsm`.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        machines: &[Dfsm],
+        name: String,
+        alphabet: Alphabet,
+        arity: usize,
+        tuple_flat: Vec<StateId>,
+        transitions: Vec<Vec<StateId>>,
+        index: TupleIndex,
+    ) -> Result<Self> {
+        let states: Vec<StateInfo> = tuple_flat
+            .chunks(arity)
             .map(|tuple| {
                 let names: Vec<&str> = tuple
                     .iter()
@@ -107,12 +447,12 @@ impl ReachableProduct {
                 StateInfo::named(format!("{{{}}}", names.join(",")))
             })
             .collect();
-
-        let top = Dfsm::from_parts(name.into(), states, alphabet, transitions, StateId(0))?;
+        let top = Dfsm::from_parts(name, states, alphabet, transitions, StateId(0))?;
         Ok(ReachableProduct {
             top,
             components: machines.to_vec(),
-            tuples,
+            arity,
+            tuple_flat,
             index,
         })
     }
@@ -134,23 +474,37 @@ impl ReachableProduct {
 
     /// Number of component machines.
     pub fn arity(&self) -> usize {
-        self.components.len()
+        self.arity
     }
 
     /// The tuple of component states corresponding to a product state.
     pub fn tuple(&self, state: StateId) -> &[StateId] {
-        &self.tuples[state.index()]
+        &self.tuple_flat[state.index() * self.arity..(state.index() + 1) * self.arity]
     }
 
     /// The state of component `i` when the product is in `state`.
     pub fn component_state(&self, state: StateId, i: usize) -> StateId {
-        self.tuples[state.index()][i]
+        debug_assert!(i < self.arity);
+        self.tuple_flat[state.index() * self.arity + i]
     }
 
     /// Finds the product state for a full tuple of component states, if that
     /// combination is reachable.
     pub fn find_tuple(&self, tuple: &[StateId]) -> Option<StateId> {
-        self.index.get(tuple).copied()
+        match &self.index {
+            TupleIndex::Dense { radix, table } => {
+                let key = radix.pack(tuple)?;
+                match table[key as usize] {
+                    u32::MAX => None,
+                    id => Some(StateId(id as usize)),
+                }
+            }
+            TupleIndex::Packed { radix, map } => {
+                let key = radix.pack(tuple)?;
+                map.get(&key).map(|&id| StateId(id as usize))
+            }
+            TupleIndex::Tuples(map) => map.get(tuple).copied(),
+        }
     }
 
     /// The full (not necessarily reachable) state-space size `∏ |Ai|`.
@@ -164,7 +518,7 @@ impl ReachableProduct {
     /// corresponding to machine `i` (used by `fsm-fusion-core`).
     pub fn projection_blocks(&self, i: usize) -> Vec<Vec<StateId>> {
         let mut blocks: Vec<Vec<StateId>> = vec![Vec::new(); self.components[i].size()];
-        for (t, tuple) in self.tuples.iter().enumerate() {
+        for (t, tuple) in self.tuple_flat.chunks(self.arity).enumerate() {
             blocks[tuple[i].index()].push(StateId(t));
         }
         blocks
@@ -192,6 +546,28 @@ mod tests {
             );
         }
         b.build().unwrap()
+    }
+
+    /// Asserts that two constructions of the same product are identical in
+    /// every observable way.
+    fn assert_same_product(a: &ReachableProduct, b: &ReachableProduct) {
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.arity(), b.arity());
+        assert_eq!(a.top().alphabet().events(), b.top().alphabet().events());
+        for t in 0..a.size() {
+            let t = StateId(t);
+            assert_eq!(a.tuple(t), b.tuple(t));
+            assert_eq!(a.top().state_name(t), b.top().state_name(t));
+            for e in 0..a.top().alphabet().len() {
+                assert_eq!(
+                    a.top().next(t, crate::event::EventId(e)),
+                    b.top().next(t, crate::event::EventId(e))
+                );
+            }
+        }
+        for i in 0..a.arity() {
+            assert_eq!(a.projection_blocks(i), b.projection_blocks(i));
+        }
     }
 
     #[test]
@@ -268,5 +644,80 @@ mod tests {
         let p = ReachableProduct::new(std::slice::from_ref(&a)).unwrap();
         assert_eq!(p.size(), a.size());
         assert_eq!(p.top().alphabet().len(), 1);
+    }
+
+    #[test]
+    fn packed_parallel_and_reference_builds_agree() {
+        let machines = [
+            counter("a", "0", 3),
+            counter("b", "1", 4),
+            counter("c", "0", 2),
+        ];
+        let reference = ReachableProduct::new_reference(&machines).unwrap();
+        let packed = ReachableProduct::with_workers(&machines, 1).unwrap();
+        let parallel = ReachableProduct::with_workers(&machines, 3).unwrap();
+        assert!(matches!(packed.index, TupleIndex::Dense { .. }));
+        assert_same_product(&reference, &packed);
+        assert_same_product(&reference, &parallel);
+        // Dense-table find_tuple agrees with the reference map, reachable
+        // and unreachable tuples alike.
+        for s0 in 0..3 {
+            for s1 in 0..4 {
+                for s2 in 0..2 {
+                    let tuple = [StateId(s0), StateId(s1), StateId(s2)];
+                    assert_eq!(packed.find_tuple(&tuple), reference.find_tuple(&tuple));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_full_product_uses_the_packed_hash_map() {
+        // 12 lockstep machines of 6 states: full product 6^12 ≈ 2.2e9 is
+        // far past the dense-table limit, but only 6 states are reachable.
+        let machines: Vec<Dfsm> = (0..12)
+            .map(|i| counter(&format!("m{i}"), "tick", 6))
+            .collect();
+        let p = ReachableProduct::new(&machines).unwrap();
+        assert!(matches!(p.index, TupleIndex::Packed { .. }));
+        assert_eq!(p.size(), 6);
+        let reference = ReachableProduct::new_reference(&machines).unwrap();
+        assert_same_product(&reference, &p);
+        assert_eq!(
+            p.find_tuple(&[StateId(2); 12]),
+            reference.find_tuple(&[StateId(2); 12])
+        );
+        assert_eq!(p.find_tuple(&[StateId(6); 12]), None);
+    }
+
+    #[test]
+    fn empty_alphabet_product_matches_reference() {
+        // A machine with no events is legal (one state, no transitions);
+        // the packed BFS must produce the same 1-state, 0-event product as
+        // the reference build instead of choking on zero-width rows.
+        let mut b = DfsmBuilder::new("still");
+        b.add_state("only");
+        b.set_initial("only");
+        let m = b.build().unwrap();
+        let packed = ReachableProduct::with_workers(std::slice::from_ref(&m), 2).unwrap();
+        let reference = ReachableProduct::new_reference(std::slice::from_ref(&m)).unwrap();
+        assert_same_product(&packed, &reference);
+        assert_eq!(packed.size(), 1);
+        assert_eq!(packed.top().alphabet().len(), 0);
+        assert_eq!(packed.find_tuple(&[StateId(0)]), Some(StateId(0)));
+    }
+
+    #[test]
+    fn u64_overflow_falls_back_to_the_tuple_map() {
+        // 13 lockstep machines of 41 states: 41^13 ≈ 9e20 overflows u64, so
+        // the packed constructors must take the reference path.
+        let machines: Vec<Dfsm> = (0..13)
+            .map(|i| counter(&format!("m{i}"), "tick", 41))
+            .collect();
+        let p = ReachableProduct::new(&machines).unwrap();
+        assert!(matches!(p.index, TupleIndex::Tuples(_)));
+        assert_eq!(p.size(), 41);
+        assert_eq!(p.find_tuple(&[StateId(40); 13]), Some(StateId(40)),);
+        assert_eq!(p.find_tuple(&[StateId(41); 13]), None);
     }
 }

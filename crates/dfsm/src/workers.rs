@@ -1,0 +1,51 @@
+//! The `FSM_FUSION_WORKERS` environment knob.
+//!
+//! One process-wide convention selects the parallel engines everywhere: the
+//! reachable-product builder in this crate
+//! ([`crate::ReachableProduct::new`]) and the Algorithm-2 / lattice engines
+//! in `fsm-fusion-core` (which re-exports [`configured_workers`]) all
+//! consult the same variable, so a test suite or deployment opts a whole
+//! pipeline into parallelism with a single `export`.
+
+/// Worker count requested through the `FSM_FUSION_WORKERS` environment
+/// variable: unset, empty, `0` or `1` select the sequential paths, `auto`
+/// selects [`std::thread::available_parallelism`], and any other number is
+/// used as given.  Unparseable values fall back to sequential.
+pub fn configured_workers() -> usize {
+    match std::env::var("FSM_FUSION_WORKERS") {
+        Ok(v) => parse_workers(&v),
+        Err(_) => 1,
+    }
+}
+
+/// The `FSM_FUSION_WORKERS` value convention, as a pure function so the
+/// parsing rules are testable without mutating the process environment.
+fn parse_workers(value: &str) -> usize {
+    match value.trim() {
+        "" | "0" | "1" => 1,
+        "auto" => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        s => s.parse().unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_workers_follows_the_env_convention() {
+        // The parser is a pure function, so the rules are testable without
+        // mutating the process environment (other tests in this binary run
+        // concurrently).
+        for sequential in ["", " ", "0", "1", " 1 ", "garbage", "-3", "2.5"] {
+            assert_eq!(parse_workers(sequential), 1, "value {sequential:?}");
+        }
+        assert_eq!(parse_workers("2"), 2);
+        assert_eq!(parse_workers(" 16 "), 16);
+        assert!(parse_workers("auto") >= 1);
+        // And the env-reading wrapper stays callable.
+        assert!(configured_workers() >= 1);
+    }
+}

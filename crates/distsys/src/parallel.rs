@@ -9,6 +9,7 @@
 //! The implementation uses `crossbeam-channel` for the per-server command
 //! queues and a shared response channel for reports.
 
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -36,6 +37,10 @@ const REPORT_DEADLINE: Duration = Duration::from_secs(30);
 enum Command {
     /// Apply an event.
     Apply(Event),
+    /// Apply a whole shared batch of events in order.  One channel send per
+    /// server per batch (the `Arc` is cloned, not the events), instead of
+    /// one send per event per server.
+    ApplyBatch(Arc<[Event]>),
     /// Crash the server.
     Crash,
     /// Corrupt the server to the given state.
@@ -88,6 +93,11 @@ impl ParallelServerGroup {
                     while let Ok(cmd) = rx.recv() {
                         match cmd {
                             Command::Apply(e) => server.apply(&e),
+                            Command::ApplyBatch(batch) => {
+                                for e in batch.iter() {
+                                    server.apply(e);
+                                }
+                            }
                             Command::Crash => server.crash(),
                             Command::Corrupt(s) => {
                                 server.corrupt(s);
@@ -126,16 +136,44 @@ impl ParallelServerGroup {
     }
 
     /// Broadcasts an event to every server.
+    ///
+    /// The reference per-event path (one channel send per server per
+    /// event); stream callers should prefer
+    /// [`ParallelServerGroup::apply_batch`], which is pinned equivalent by
+    /// a test.
     pub fn apply_event(&self, event: &Event) {
         for h in &self.handles {
             let _ = h.commands.send(Command::Apply(event.clone()));
         }
     }
 
-    /// Broadcasts a sequence of events.
+    /// Broadcasts a whole batch of events with **one channel send per
+    /// server**: the events are cloned once into a shared `Arc<[Event]>`
+    /// and every server thread walks the same slice in order.  Command
+    /// ordering per server is unchanged, so the observable behavior equals
+    /// the same events sent through [`ParallelServerGroup::apply_event`]
+    /// one at a time.
+    pub fn apply_batch(&self, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        self.send_batch(events.into());
+    }
+
+    /// Broadcasts a sequence of events, batched: the whole sequence is
+    /// submitted per server as one shared batch (events borrowed from the
+    /// iterator are cloned exactly once, into the `Arc` slice itself).
     pub fn apply_all<'a, I: IntoIterator<Item = &'a Event>>(&self, events: I) {
-        for e in events {
-            self.apply_event(e);
+        let batch: Vec<Event> = events.into_iter().cloned().collect();
+        if batch.is_empty() {
+            return;
+        }
+        self.send_batch(Arc::from(batch));
+    }
+
+    fn send_batch(&self, batch: Arc<[Event]>) {
+        for h in &self.handles {
+            let _ = h.commands.send(Command::ApplyBatch(Arc::clone(&batch)));
         }
     }
 
@@ -266,6 +304,44 @@ mod tests {
         let servers = group.shutdown();
         assert_eq!(servers.len(), 2);
         assert_eq!(servers[0].events_seen(), 5);
+    }
+
+    #[test]
+    fn apply_batch_matches_per_event_reference_path() {
+        // The batched submission (one channel send per server) must leave
+        // every server in exactly the state the per-event reference path
+        // produces, including interleavings with fault commands.
+        let machines = fig1_machines();
+        let batched = ParallelServerGroup::spawn(&machines);
+        let reference = ParallelServerGroup::spawn(&machines);
+        let events: Vec<Event> = "0110100101101"
+            .chars()
+            .map(|c| Event::new(c.to_string()))
+            .collect();
+        batched.apply_batch(&events);
+        for e in &events {
+            reference.apply_event(e);
+        }
+        // A second batch after a crash command keeps the per-server command
+        // order intact on both paths.
+        batched.crash(1);
+        reference.crash(1);
+        batched.apply_batch(&events[..4]);
+        for e in &events[..4] {
+            reference.apply_event(e);
+        }
+        assert_eq!(
+            batched.collect_reports().unwrap(),
+            reference.collect_reports().unwrap()
+        );
+        // Empty batches are a no-op, not a command.
+        batched.apply_batch(&[]);
+        let b = batched.shutdown();
+        let r = reference.shutdown();
+        for (bs, rs) in b.iter().zip(r.iter()) {
+            assert_eq!(bs.current_state(), rs.current_state());
+            assert_eq!(bs.events_seen(), rs.events_seen());
+        }
     }
 
     #[test]

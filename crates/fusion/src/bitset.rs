@@ -58,6 +58,16 @@ impl BlockMatrix {
         }
     }
 
+    /// Re-shapes to `rows × cols` and zeroes every bit, reusing the existing
+    /// word buffer.  After warm-up at a given shape this allocates nothing;
+    /// see [`BitsetPartition::refresh_from_partition`].
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.cols = cols;
+        self.words = words_for(cols);
+        self.bits.clear();
+        self.bits.resize(rows * self.words, 0);
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.bits.len().checked_div(self.words).unwrap_or(0)
@@ -212,6 +222,31 @@ impl BitsetPartition {
             block_of,
             blocks,
             first,
+        }
+    }
+
+    /// Refreshes `self` in place from a canonical [`Partition`], reusing the
+    /// existing row matrix and per-block buffers — the scratch-reusing twin
+    /// of [`BitsetPartition::from_partition`] for loops that convert a fresh
+    /// candidate partition every iteration (e.g. Algorithm 2's outer loop
+    /// handing its descent result to [`crate::FaultGraph::add_machine_bitset`]).
+    /// After warm-up at a stable element count this allocates nothing.
+    pub fn refresh_from_partition(&mut self, p: &Partition) {
+        let n = p.len();
+        let num_blocks = p.num_blocks();
+        self.n = n;
+        self.blocks.reset(num_blocks, n);
+        self.block_of.clear();
+        self.block_of.reserve(n);
+        self.first.clear();
+        self.first.resize(num_blocks, u32::MAX);
+        for (x, &b) in p.assignment().iter().enumerate() {
+            debug_assert!(b < num_blocks);
+            self.blocks.set(b, x);
+            self.block_of.push(b as u32);
+            if self.first[b] == u32::MAX {
+                self.first[b] = x as u32;
+            }
         }
     }
 

@@ -35,6 +35,36 @@ pub(crate) fn check_partition_size(machine: &Dfsm, partition: &Partition) -> Res
     Ok(())
 }
 
+/// Reusable buffers for the closure fixpoint, owned by the caller.
+///
+/// [`ClosureKernel::close_merged`] allocates a fresh union-find, seed table
+/// and class→successor map per call — six `⊤`-sized allocations per
+/// candidate merge, which dominate Algorithm 2's descent at large `|⊤|`.
+/// [`ClosureKernel::close_merged_into`] threads one `CloseScratch` through
+/// every candidate instead: after the first call at a given machine size the
+/// buffers are warm and the whole closure runs without touching the
+/// allocator (pinned by the counting-allocator test `tests/alloc_free.rs`).
+///
+/// **Ownership / lifecycle.**  The scratch is plain data with no ties to a
+/// particular kernel: each search loop (or each worker thread of the
+/// [`crate::par`] merge pool) owns one and reuses it for its whole
+/// lifetime.  It is `Send`, but not meant to be shared — hand each worker
+/// its own.
+#[derive(Debug, Clone, Default)]
+pub struct CloseScratch {
+    uf: UnionFind,
+    first_of_block: Vec<usize>,
+    succ_of_class: Vec<usize>,
+    label_of_root: Vec<usize>,
+}
+
+impl CloseScratch {
+    /// A fresh scratch; buffers grow on first use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A reusable closure engine over one machine's transition function.
 ///
 /// Construction copies the transition table into one flat `u32` array
@@ -44,7 +74,9 @@ pub(crate) fn check_partition_size(machine: &Dfsm, partition: &Partition) -> Res
 /// hash or tree maps.  Algorithm 2's inner loop
 /// ([`crate::generate_fusion`]) and lattice enumeration
 /// ([`crate::lattice`]) build the kernel once and score every candidate
-/// block merge through it.
+/// block merge through it — threading a [`CloseScratch`] through
+/// [`ClosureKernel::close_merged_into`] so the per-candidate closures are
+/// allocation-free as well.
 #[derive(Debug, Clone)]
 pub struct ClosureKernel {
     n: usize,
@@ -87,15 +119,46 @@ impl ClosureKernel {
     /// The finest closed partition coarser than or equal to `partition`
     /// with blocks `b1` and `b2` merged — Algorithm 2's candidate step,
     /// without materializing the intermediate merged partition.
+    ///
+    /// One-shot form of [`ClosureKernel::close_merged_into`]; loops that
+    /// score many candidates should thread a [`CloseScratch`] and a reusable
+    /// output `Partition` through the `_into` variant instead.
     pub fn close_merged(&self, partition: &Partition, b1: usize, b2: usize) -> Result<Partition> {
+        let mut scratch = CloseScratch::new();
+        let mut out = Partition::singletons(0);
+        self.close_merged_into(&mut scratch, partition, b1, b2, &mut out)?;
+        Ok(out)
+    }
+
+    /// Scratch-reusing form of [`ClosureKernel::close_merged`]: computes the
+    /// finest closed partition coarser than or equal to `partition` with
+    /// blocks `b1` and `b2` merged, writing the result into `out` (whose
+    /// buffer is reused) and taking every working buffer from `scratch`.
+    ///
+    /// After the first call at this kernel's machine size the call performs
+    /// **no heap allocation** — this is Algorithm 2's inner-loop primitive
+    /// (`tests/alloc_free.rs` pins the property with a counting allocator).
+    /// `out`'s previous contents are overwritten; equal `b1`/`b2` make the
+    /// extra merge a no-op, so the call then computes the plain closure.
+    pub fn close_merged_into(
+        &self,
+        scratch: &mut CloseScratch,
+        partition: &Partition,
+        b1: usize,
+        b2: usize,
+        out: &mut Partition,
+    ) -> Result<()> {
         if partition.len() != self.n {
             return Err(FusionError::PartitionSizeMismatch {
                 expected: self.n,
                 actual: partition.len(),
             });
         }
-        let mut uf = UnionFind::new(self.n);
-        let mut first_of_block = vec![usize::MAX; partition.num_blocks()];
+        let uf = &mut scratch.uf;
+        uf.reset(self.n);
+        let first_of_block = &mut scratch.first_of_block;
+        first_of_block.clear();
+        first_of_block.resize(partition.num_blocks(), usize::MAX);
         for x in 0..self.n {
             let b = partition.block_of(x);
             if first_of_block[b] == usize::MAX {
@@ -107,16 +170,21 @@ impl ClosureKernel {
         if b1 != b2 && first_of_block[b1] != usize::MAX && first_of_block[b2] != usize::MAX {
             uf.union(first_of_block[b1], first_of_block[b2]);
         }
-        Ok(self.close_seeded(uf))
+        self.close_seeded_into(scratch, out);
+        Ok(())
     }
 
-    /// Runs the substitution-property fixpoint on a pre-seeded union-find:
-    /// whenever two states share a class, their successors per event must
-    /// share a class too.  The per-event class→successor-class map is a
-    /// flat sentinel table reset between events.
-    fn close_seeded(&self, mut uf: UnionFind) -> Partition {
+    /// Runs the substitution-property fixpoint on the pre-seeded union-find
+    /// in `scratch`: whenever two states share a class, their successors per
+    /// event must share a class too.  The per-event class→successor-class
+    /// map is a flat sentinel table reset between events.  The canonical
+    /// result is written into `out`'s reused buffer.
+    fn close_seeded_into(&self, scratch: &mut CloseScratch, out: &mut Partition) {
         let n = self.n;
-        let mut succ_of_class = vec![usize::MAX; n];
+        let uf = &mut scratch.uf;
+        let succ_of_class = &mut scratch.succ_of_class;
+        succ_of_class.clear();
+        succ_of_class.resize(n, usize::MAX);
         let mut changed = true;
         while changed {
             changed = false;
@@ -140,7 +208,8 @@ impl ClosureKernel {
                 }
             }
         }
-        uf.into_partition()
+        let label_of_root = &mut scratch.label_of_root;
+        out.refresh_canonical_with(|buf| uf.canonical_assignment_into(label_of_root, buf));
     }
 
     /// Whether `partition` is closed under the cached transition function.

@@ -27,6 +27,10 @@ pub enum FusionError {
     InvalidReport(String),
     /// An underlying DFSM error.
     Dfsm(fsm_dfsm::DfsmError),
+    /// A parallel-engine worker thread panicked while evaluating a
+    /// candidate merge; the panic was contained and the worker keeps
+    /// serving (see [`crate::par`]).
+    WorkerPanicked,
 }
 
 impl fmt::Display for FusionError {
@@ -59,6 +63,9 @@ impl fmt::Display for FusionError {
             }
             FusionError::InvalidReport(msg) => write!(f, "invalid recovery report: {msg}"),
             FusionError::Dfsm(e) => write!(f, "dfsm error: {e}"),
+            FusionError::WorkerPanicked => {
+                write!(f, "a merge-pool worker panicked evaluating a candidate")
+            }
         }
     }
 }

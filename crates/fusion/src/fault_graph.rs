@@ -52,7 +52,7 @@ use crate::partition::Partition;
 /// alongside the weights (see the module docs), so [`FaultGraph::dmin`] is
 /// `O(1)` and [`FaultGraph::weakest_edges`] / [`FaultGraph::speculate`] are
 /// single passes instead of scan pairs or graph copies.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FaultGraph {
     n: usize,
     /// Upper-triangular weights, indexed by `edge_index`.
@@ -65,6 +65,31 @@ pub struct FaultGraph {
     hist: Vec<usize>,
     /// Cached minimum edge weight; `u32::MAX` when the graph has no edges.
     min_weight: u32,
+}
+
+/// Hand-written so that [`Clone::clone_from`] reuses the destination's
+/// weight and histogram buffers: the exhaustive search
+/// ([`crate::exhaustive_minimum_fusion`]) refreshes one pre-allocated graph
+/// per DFS depth from its parent at every tree node, and the derive's
+/// default `clone_from` would reallocate both vectors each time.
+impl Clone for FaultGraph {
+    fn clone(&self) -> Self {
+        FaultGraph {
+            n: self.n,
+            weights: self.weights.clone(),
+            machines: self.machines,
+            hist: self.hist.clone(),
+            min_weight: self.min_weight,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.weights.clone_from(&source.weights);
+        self.machines = source.machines;
+        self.hist.clone_from(&source.hist);
+        self.min_weight = source.min_weight;
+    }
 }
 
 impl FaultGraph {

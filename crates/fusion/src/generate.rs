@@ -40,8 +40,9 @@ use std::time::Instant;
 
 use fsm_dfsm::{Dfsm, ReachableProduct};
 
+use crate::bitset::BitsetPartition;
 use crate::closed::quotient_machine;
-use crate::closed::ClosureKernel;
+use crate::closed::{CloseScratch, ClosureKernel};
 use crate::error::Result;
 use crate::fault_graph::FaultGraph;
 use crate::par::{configured_workers, MergePool};
@@ -124,6 +125,15 @@ pub fn generate_fusion(top: &Dfsm, originals: &[Partition], f: usize) -> Result<
 /// fault graph updates word-at-a-time through the bitset kernel; the
 /// pre-refactor element-scan version is preserved as
 /// [`crate::reference::generate_fusion_scan`].
+///
+/// The descent inner loop is **allocation-free**: one [`CloseScratch`], one
+/// reusable candidate `Partition` and one `PairBits` pre-filter bitmap are
+/// threaded through every candidate merge of the whole search
+/// (`tests/alloc_free.rs` pins this with a counting allocator).  The same
+/// block-level pre-filter the parallel engine uses — a merge of the two
+/// blocks joined by a weakest edge can never cover that edge — skips
+/// provably failing candidates before their closure fixpoint runs, with
+/// [`GenerationStats`] counters kept identical to the unfiltered loop.
 pub fn generate_fusion_seq(
     top: &Dfsm,
     originals: &[Partition],
@@ -138,6 +148,12 @@ pub fn generate_fusion_seq(
         ..Default::default()
     };
     let mut partitions: Vec<Partition> = Vec::new();
+    // Search-lifetime buffers: every candidate closure of every descent of
+    // every outer iteration reuses these.
+    let mut scratch = CloseScratch::new();
+    let mut candidate = Partition::singletons(n);
+    let mut forbidden = PairBits::default();
+    let mut current_bits = BitsetPartition::singletons(0);
 
     // Loop invariant: `graph` is the fault graph of originals ∪ partitions.
     // Each iteration adds exactly one machine that covers all current
@@ -168,19 +184,38 @@ pub fn generate_fusion_seq(
         'descend: loop {
             stats.descent_steps += 1;
             let k = current.num_blocks();
+            let total_pairs = k * k.saturating_sub(1) / 2;
+            // Pre-filter: merging the two blocks joined by a weakest edge
+            // leaves that edge unseparated no matter what the closure adds,
+            // so the pair is skipped without running the fixpoint.  The
+            // examined-candidate counter still counts skipped pairs (they
+            // are "examined" at block level), so the statistics are
+            // bit-identical to the unfiltered descent.
+            forbidden.reset(k);
+            for &(i, j) in &weakest {
+                let (a, b) = (current.block_of(i), current.block_of(j));
+                forbidden.set(a.min(b), a.max(b));
+            }
+            let mut idx = 0usize;
             for b1 in 0..k {
                 for b2 in (b1 + 1)..k {
-                    stats.candidates_examined += 1;
-                    let candidate = kernel.close_merged(&current, b1, b2)?;
+                    idx += 1;
+                    if forbidden.get(b1, b2) {
+                        continue;
+                    }
+                    kernel.close_merged_into(&mut scratch, &current, b1, b2, &mut candidate)?;
                     if FaultGraph::covers_all(&candidate, &weakest) {
-                        current = candidate;
+                        stats.candidates_examined += idx;
+                        std::mem::swap(&mut current, &mut candidate);
                         continue 'descend;
                     }
                 }
             }
+            stats.candidates_examined += total_pairs;
             break;
         }
-        graph.add_machine(&current);
+        current_bits.refresh_from_partition(&current);
+        graph.add_machine_bitset(&current_bits);
         partitions.push(current);
         stats.outer_iterations += 1;
     }
@@ -240,34 +275,74 @@ impl PairBits {
 /// [`generate_fusion_seq`], with the candidate-merge evaluations at each
 /// level fanned out over `workers` crossbeam-channel worker threads.
 ///
-/// Two properties make the batched engine faster than the sequential one
-/// even before thread parallelism:
+/// Three properties shape the batched engine:
 ///
 /// * **Block-level pre-filter.**  A merge of blocks `b1`, `b2` whose union
 ///   contains both endpoints of a weakest edge can never cover that edge —
 ///   closure only merges further — so those pairs are dropped before any
 ///   closure runs.  On the counter-family scaling workload this eliminates
-///   over 90% of the closure fixpoints.
-/// * **Batched minimum-index commit.**  Surviving pairs are evaluated in
-///   batches in sequential enumeration order; the engine commits to the
-///   lowest-indexed covering candidate of the first batch that contains
-///   one, which is exactly the candidate the sequential loop would have
-///   taken.  Output partitions and all [`GenerationStats`] counters
+///   over 90% of the closure fixpoints.  (The sequential engine shares this
+///   filter.)
+/// * **Inline probe.**  Up to one batch of candidates is closed on the
+///   calling thread through the search's own [`CloseScratch`] before any
+///   job crosses a channel; a level that commits early (the overwhelmingly
+///   common case) or runs dry costs exactly what the sequential engine
+///   pays.
+/// * **Batched minimum-index commit.**  Only when a whole inline batch
+///   fails do the surviving pairs fan out to the workers, in sequential
+///   enumeration order; the engine commits to the lowest-indexed covering
+///   candidate, which is exactly the candidate the sequential loop would
+///   have taken.  Output partitions and all [`GenerationStats`] counters
 ///   (everything except `elapsed_micros`) therefore match
 ///   [`generate_fusion_seq`] bit for bit.
 ///
-/// `workers == 1` still routes every evaluation through a single pool
-/// thread; for a zero-thread run call [`generate_fusion_seq`].
+/// With `workers == 1` the inline probe handles most levels on the calling
+/// thread and only batch fan-outs route through the single pool thread;
+/// for a guaranteed zero-thread run call [`generate_fusion_seq`].
+///
+/// The worker threads come from the **persistent process-wide pool** (see
+/// [`crate::par`]): the first call spawns them, every later call reuses
+/// them, so repeated searches pay no thread start-up cost.
 pub fn generate_fusion_par(
     top: &Dfsm,
     originals: &[Partition],
     f: usize,
     workers: usize,
 ) -> Result<FusionGeneration> {
+    let kernel = Arc::new(ClosureKernel::new(top));
+    let pool = MergePool::attach(Arc::clone(&kernel), workers);
+    generate_fusion_pooled(top, &kernel, pool, originals, f)
+}
+
+/// [`generate_fusion_par`] with a **freshly spawned standalone pool** whose
+/// threads are joined before returning — the pre-persistent-pool cold-start
+/// behavior.  Exists so `perf_baseline` can keep measuring the spawn cost
+/// the persistent pool amortizes away (`speedup_pooled_vs_spawn` in
+/// `BENCH_fusion.json`); production callers should use
+/// [`generate_fusion_par`].
+#[doc(hidden)]
+pub fn generate_fusion_par_spawn(
+    top: &Dfsm,
+    originals: &[Partition],
+    f: usize,
+    workers: usize,
+) -> Result<FusionGeneration> {
+    let kernel = Arc::new(ClosureKernel::new(top));
+    let pool = MergePool::spawn_standalone(Arc::clone(&kernel), workers);
+    generate_fusion_pooled(top, &kernel, pool, originals, f)
+}
+
+/// Shared body of the pooled engines: the batched greedy descent against an
+/// already-attached pool.
+fn generate_fusion_pooled(
+    top: &Dfsm,
+    kernel: &ClosureKernel,
+    mut pool: MergePool,
+    originals: &[Partition],
+    f: usize,
+) -> Result<FusionGeneration> {
     let start = Instant::now();
     let n = top.size();
-    let kernel = ClosureKernel::new(top);
-    let mut pool = MergePool::spawn(&kernel, workers);
     let mut graph = FaultGraph::from_partitions(n, originals);
     let mut stats = GenerationStats {
         initial_dmin: graph.dmin(),
@@ -275,6 +350,10 @@ pub fn generate_fusion_par(
     };
     let mut partitions: Vec<Partition> = Vec::new();
     let mut forbidden = PairBits::default();
+    // Caller-thread scratch for the inline fast path below.
+    let mut scratch = CloseScratch::new();
+    let mut candidate = Partition::singletons(n);
+    let mut current_bits = BitsetPartition::singletons(0);
 
     while !graph.tolerates_crash_faults(f) {
         let weakest = Arc::new(graph.weakest_edges());
@@ -292,31 +371,55 @@ pub fn generate_fusion_par(
                 let (a, b) = (current.block_of(i), current.block_of(j));
                 forbidden.set(a.min(b), a.max(b));
             }
-            let cur = Arc::new(current.clone());
             // Lazy enumeration in the sequential order, so an early covering
-            // candidate stops the level after one batch — materializing all
-            // k(k-1)/2 pairs up front would dominate the fast levels.
+            // candidate stops the level after the inline probe — materializing
+            // all k(k-1)/2 pairs up front would dominate the fast levels.
             let forbidden = &forbidden;
             let mut pair_iter = (0..k)
                 .flat_map(|b1| ((b1 + 1)..k).map(move |b2| (b1, b2)))
                 .enumerate()
                 .filter(|&(_, (b1, b2))| !forbidden.get(b1, b2))
                 .map(|(idx, (b1, b2))| (idx, b1, b2));
-            // Adaptive batching: most levels accept their very first
+            // Inline fast path: most levels accept their very first
             // unfiltered merge (the descent re-starts from ⊤'s singletons,
-            // which cover everything), so the first batch holds a single
-            // candidate — the same work the sequential engine does.  Only
-            // when early candidates keep failing does the batch grow to fan
-            // the scan out over the workers.
-            let mut batch_size = 1;
+            // which cover everything), and a level that fails has usually
+            // run out of pairs within a batch's worth of candidates.  Both
+            // cases are handled right on this thread — the same
+            // allocation-free work the sequential engine does — so a
+            // channel round-trip is only paid when at least one full batch
+            // of contiguous candidates failed, i.e. when there is enough
+            // independent work for the workers to win.
+            let mut inline_left = pool.batch_size();
+            let mut probe_exhausted = true;
+            for (idx, b1, b2) in pair_iter.by_ref() {
+                kernel.close_merged_into(&mut scratch, &current, b1, b2, &mut candidate)?;
+                if FaultGraph::covers_all(&candidate, &weakest) {
+                    stats.candidates_examined += idx + 1;
+                    std::mem::swap(&mut current, &mut candidate);
+                    continue 'descend;
+                }
+                inline_left -= 1;
+                if inline_left == 0 {
+                    probe_exhausted = false;
+                    break;
+                }
+            }
+            if probe_exhausted {
+                // Every unfiltered pair was evaluated inline and none
+                // covers: the descent ends, having (conceptually) examined
+                // every pair.
+                stats.candidates_examined += total_pairs;
+                break 'descend;
+            }
+            // A whole inline batch failed: fan the rest of the level out
+            // over the worker pool in batches, in sequential enumeration
+            // order, committing to the lowest-indexed covering candidate.
+            let cur = Arc::new(current.clone());
+            let mut batch_size = pool.batch_size();
             loop {
                 let batch: Vec<(usize, usize, usize)> =
                     pair_iter.by_ref().take(batch_size).collect();
-                batch_size = if batch_size == 1 {
-                    pool.batch_size()
-                } else {
-                    (batch_size * 2).min(pool.batch_size() * 8)
-                };
+                batch_size = (batch_size * 2).min(pool.batch_size() * 8);
                 if batch.is_empty() {
                     // No candidate covers the weakest edges: the descent
                     // ends here, having (conceptually) examined every pair.
@@ -333,7 +436,8 @@ pub fn generate_fusion_par(
                 }
             }
         }
-        graph.add_machine(&current);
+        current_bits.refresh_from_partition(&current);
+        graph.add_machine_bitset(&current_bits);
         partitions.push(current);
         stats.outer_iterations += 1;
     }

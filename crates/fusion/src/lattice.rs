@@ -18,11 +18,12 @@
 //! results.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use fsm_dfsm::Dfsm;
 
 use crate::bitset::BitsetPartition;
-use crate::closed::{is_closed, ClosureKernel};
+use crate::closed::{is_closed, CloseScratch, ClosureKernel};
 use crate::error::Result;
 use crate::par::{configured_workers, MergePool};
 use crate::partition::Partition;
@@ -53,13 +54,15 @@ pub fn lower_cover_with(kernel: &ClosureKernel, p: &Partition) -> Result<Vec<Par
 /// set is deduplicated and sorted canonically either way).
 pub fn lower_cover_par(top: &Dfsm, p: &Partition, workers: usize) -> Result<Vec<Partition>> {
     debug_assert!(is_closed(top, p));
-    let kernel = ClosureKernel::new(top);
-    let mut pool = MergePool::spawn(&kernel, workers);
+    let kernel = Arc::new(ClosureKernel::new(top));
+    let mut pool = MergePool::attach(Arc::clone(&kernel), workers);
     lower_cover_impl(&kernel, p, Some(&mut pool))
 }
 
 /// Shared lower-cover body: closes every pairwise merge (through the pool
-/// when one is given), then filters to the maximal candidates.
+/// when one is given; through one reused [`CloseScratch`] otherwise), then
+/// filters to the maximal candidates.  Only candidates actually entering
+/// the output set are cloned out of the scratch buffer.
 fn lower_cover_impl(
     kernel: &ClosureKernel,
     p: &Partition,
@@ -79,11 +82,13 @@ fn lower_cover_impl(
             }
         }
         None => {
+            let mut scratch = CloseScratch::new();
+            let mut closed = Partition::singletons(0);
             for b1 in 0..k {
                 for b2 in (b1 + 1)..k {
-                    let closed = kernel.close_merged(p, b1, b2)?;
-                    if &closed != p {
-                        candidates.insert(closed);
+                    kernel.close_merged_into(&mut scratch, p, b1, b2, &mut closed)?;
+                    if &closed != p && !candidates.contains(&closed) {
+                        candidates.insert(closed.clone());
                     }
                 }
             }
@@ -187,7 +192,8 @@ pub fn enumerate_lattice(top: &Dfsm, limit: usize) -> Result<ClosedPartitionLatt
     let kernel = ClosureKernel::new(top);
     match configured_workers() {
         w if w > 1 => {
-            let mut pool = MergePool::spawn(&kernel, w);
+            let kernel = Arc::new(kernel);
+            let mut pool = MergePool::attach(Arc::clone(&kernel), w);
             enumerate_lattice_impl(top, &kernel, limit, Some(&mut pool))
         }
         _ => enumerate_lattice_impl(top, &kernel, limit, None),
@@ -202,8 +208,8 @@ pub fn enumerate_lattice_par(
     limit: usize,
     workers: usize,
 ) -> Result<ClosedPartitionLattice> {
-    let kernel = ClosureKernel::new(top);
-    let mut pool = MergePool::spawn(&kernel, workers);
+    let kernel = Arc::new(ClosureKernel::new(top));
+    let mut pool = MergePool::attach(Arc::clone(&kernel), workers);
     enumerate_lattice_impl(top, &kernel, limit, Some(&mut pool))
 }
 

@@ -94,9 +94,11 @@ pub mod set_repr;
 pub mod theory;
 
 pub use bitset::{BitsetPartition, BlockMatrix};
-pub use closed::{check_closed, close, is_closed, quotient_machine, ClosureKernel};
+pub use closed::{check_closed, close, is_closed, quotient_machine, CloseScratch, ClosureKernel};
 pub use error::{FusionError, Result};
 pub use fault_graph::FaultGraph;
+#[doc(hidden)]
+pub use generate::generate_fusion_par_spawn;
 pub use generate::{
     generate_fusion, generate_fusion_for_machines, generate_fusion_par, generate_fusion_seq,
     FusionGeneration, GenerationStats,

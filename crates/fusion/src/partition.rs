@@ -115,6 +115,32 @@ impl Partition {
         }
     }
 
+    /// In-place counterpart of [`Partition::from_canonical_parts`]: hands the
+    /// caller the existing assignment buffer to overwrite, so scratch-reusing
+    /// closure loops ([`crate::closed::ClosureKernel::close_merged_into`])
+    /// can refresh a `Partition` without allocating.  `fill` must leave the
+    /// buffer holding a canonical (first-occurrence ordered) assignment and
+    /// return its block count; debug builds verify the invariant.
+    pub(crate) fn refresh_canonical_with(&mut self, fill: impl FnOnce(&mut Vec<usize>) -> usize) {
+        self.num_blocks = fill(&mut self.block_of);
+        // Canonical ⟺ every label is at most one past the running maximum
+        // (first occurrences appear in increasing label order).  Checked
+        // without allocating so debug builds stay compatible with the
+        // counting-allocator test pinning the inner loop
+        // (`tests/alloc_free.rs`).
+        #[cfg(debug_assertions)]
+        {
+            let mut next = 0usize;
+            for &b in &self.block_of {
+                assert!(b <= next, "refreshed assignment is not canonical");
+                if b == next {
+                    next += 1;
+                }
+            }
+            assert_eq!(next, self.num_blocks, "refreshed block count is wrong");
+        }
+    }
+
     /// Builds a partition over `n` elements from explicit blocks.  The
     /// blocks must be disjoint and cover `{0, …, n-1}` exactly.
     pub fn from_blocks(n: usize, blocks: &[Vec<usize>]) -> Result<Self> {
@@ -409,7 +435,7 @@ impl BlockGroups {
 ///
 /// `find` uses iterative path halving, so deep merge chains cannot overflow
 /// the stack and the hot closure loops stay allocation-free.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct UnionFind {
     parent: Vec<usize>,
     rank: Vec<u8>,
@@ -421,6 +447,17 @@ impl UnionFind {
             parent: (0..n).collect(),
             rank: vec![0; n],
         }
+    }
+
+    /// Re-initializes for `n` elements, reusing the existing buffers.  After
+    /// warm-up (first call at a given `n`) this allocates nothing, which is
+    /// what lets [`crate::closed::CloseScratch`] keep Algorithm 2's inner
+    /// loop allocation-free.
+    pub(crate) fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n);
+        self.rank.clear();
+        self.rank.resize(n, 0);
     }
 
     pub(crate) fn find(&mut self, mut x: usize) -> usize {
@@ -451,9 +488,26 @@ impl UnionFind {
     /// The canonical (first-occurrence ordered) assignment of the current
     /// components, plus the component count.
     pub(crate) fn canonical_assignment(&mut self) -> (Vec<usize>, usize) {
+        let mut assignment = Vec::with_capacity(self.parent.len());
+        let mut label_of_root = Vec::new();
+        let num_blocks = self.canonical_assignment_into(&mut label_of_root, &mut assignment);
+        (assignment, num_blocks)
+    }
+
+    /// Writes the canonical assignment into `out` (reusing its buffer) and
+    /// returns the component count.  `label_of_root` is caller-owned scratch
+    /// so repeated calls stay allocation-free once the buffers have grown to
+    /// the element count.
+    pub(crate) fn canonical_assignment_into(
+        &mut self,
+        label_of_root: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) -> usize {
         let n = self.parent.len();
-        let mut label_of_root = vec![usize::MAX; n];
-        let mut assignment = Vec::with_capacity(n);
+        label_of_root.clear();
+        label_of_root.resize(n, usize::MAX);
+        out.clear();
+        out.reserve(n);
         let mut num_blocks = 0usize;
         for x in 0..n {
             let r = self.find(x);
@@ -461,9 +515,9 @@ impl UnionFind {
                 label_of_root[r] = num_blocks;
                 num_blocks += 1;
             }
-            assignment.push(label_of_root[r]);
+            out.push(label_of_root[r]);
         }
-        (assignment, num_blocks)
+        num_blocks
     }
 
     pub(crate) fn into_partition(mut self) -> Partition {

@@ -71,6 +71,11 @@ pub fn exhaustive_minimum_fusion(
 
     // Depth-first search over combinations (with repetition allowed — two
     // copies of the same machine are a legal fusion, e.g. plain replication).
+    //
+    // `scratch` holds one pre-allocated graph per remaining depth: each tree
+    // node refreshes `scratch[0]` from its parent graph with `clone_from`
+    // (which reuses the weight/histogram buffers) instead of allocating a
+    // fresh clone per candidate, and hands the rest of the slice down.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         candidates: &[Partition],
@@ -78,6 +83,7 @@ pub fn exhaustive_minimum_fusion(
         start: usize,
         chosen: &mut Vec<usize>,
         graph: &FaultGraph,
+        scratch: &mut [FaultGraph],
         m: usize,
         f: usize,
         best: &mut Option<(u128, Vec<usize>)>,
@@ -113,25 +119,33 @@ pub fn exhaustive_minimum_fusion(
         // the graph clone + word-level add + full rescan for every hopeless
         // candidate.
         let last_pick_must_raise = remaining == 1 && graph.dmin() as u128 == f as u128;
+        let (g, deeper) = scratch
+            .split_first_mut()
+            .expect("scratch stack sized to search depth");
         for i in start..candidates.len() {
             if last_pick_must_raise && !graph.speculate_bitset(&bitsets[i]) {
                 continue;
             }
             chosen.push(i);
-            let mut g = graph.clone();
+            g.clone_from(graph);
             g.add_machine_bitset(&bitsets[i]);
-            dfs(candidates, bitsets, i, chosen, &g, m, f, best, examined);
+            dfs(
+                candidates, bitsets, i, chosen, g, deeper, m, f, best, examined,
+            );
             chosen.pop();
         }
     }
 
     let mut chosen = Vec::new();
+    // One reusable graph per depth; allocated once for the whole search.
+    let mut scratch: Vec<FaultGraph> = (0..m).map(|_| base.clone()).collect();
     dfs(
         &candidates,
         &bitsets,
         0,
         &mut chosen,
         &base,
+        &mut scratch,
         m,
         f,
         &mut best,

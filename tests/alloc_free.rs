@@ -1,0 +1,178 @@
+//! Pins the allocation-free Algorithm-2 inner loop with a counting
+//! allocator.
+//!
+//! `ClosureKernel::close_merged_into` threads a `CloseScratch` (union-find,
+//! seed table, class→successor map, relabel buffers) and a reusable output
+//! `Partition` through every candidate merge; after one warm-up pass at a
+//! given machine size the whole candidate evaluation — closure fixpoint,
+//! canonical relabel, weakest-edge covering test — must never touch the
+//! global allocator.  This test swaps in an allocation-counting global
+//! allocator and asserts exactly that, which is what keeps the descent hot
+//! loop out of malloc at `|⊤| = 729` (`alg2_search_n729_f2` in
+//! `BENCH_fusion.json`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fsm_fusion::fusion::{CloseScratch, ClosureKernel, FaultGraph, Partition};
+use fsm_fusion::prelude::*;
+
+/// Forwards to the system allocator, counting every allocation and
+/// reallocation (deallocations are free to happen — the property under test
+/// is "no new memory is requested").
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter update has no other
+// side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// The counter is process-global, so tests in this binary must not run
+/// concurrently — each takes this lock for its whole body.
+static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A pair of interacting counters giving a 27-state `⊤` whose descent
+/// exercises multi-round closure fixpoints.
+fn workload() -> (ReachableProduct, Vec<Partition>) {
+    let machines: Vec<Dfsm> = (0..3)
+        .map(|i| {
+            let mut b = DfsmBuilder::new(format!("C{i}"));
+            for s in 0..3 {
+                b.add_state(format!("c{i}s{s}"));
+            }
+            b.set_initial(format!("c{i}s0"));
+            for s in 0..3 {
+                b.add_transition(
+                    format!("c{i}s{s}"),
+                    format!("e{i}"),
+                    format!("c{i}s{}", (s + 1) % 3),
+                );
+            }
+            for j in 0..3 {
+                if j != i {
+                    b.add_self_loops(format!("e{j}"));
+                }
+            }
+            b.build().unwrap()
+        })
+        .collect();
+    let product = ReachableProduct::new(&machines).unwrap();
+    let originals = fsm_fusion::fusion::projection_partitions(&product);
+    (product, originals)
+}
+
+#[test]
+fn close_merged_into_is_allocation_free_after_warm_up() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (product, originals) = workload();
+    let top = product.top();
+    let n = top.size();
+    let kernel = ClosureKernel::new(top);
+    let graph = FaultGraph::from_partitions(n, &originals);
+    let weakest = graph.weakest_edges();
+    assert!(!weakest.is_empty());
+
+    let mut scratch = CloseScratch::new();
+    let mut out = Partition::singletons(0);
+    let current = Partition::singletons(n);
+
+    // Warm-up: one full pass over every candidate pair grows the scratch
+    // and output buffers to their steady-state sizes.
+    let run_pass = |scratch: &mut CloseScratch, out: &mut Partition| {
+        let mut covering = 0usize;
+        for b1 in 0..n {
+            for b2 in (b1 + 1)..n {
+                kernel
+                    .close_merged_into(scratch, &current, b1, b2, out)
+                    .unwrap();
+                if FaultGraph::covers_all(out, &weakest) {
+                    covering += 1;
+                }
+            }
+        }
+        covering
+    };
+    let covering_warm = run_pass(&mut scratch, &mut out);
+
+    // Steady state: the exact same candidate sweep must not allocate.
+    let before = allocations();
+    let covering_cold = run_pass(&mut scratch, &mut out);
+    let after = allocations();
+    assert_eq!(covering_warm, covering_cold);
+    assert_eq!(
+        after - before,
+        0,
+        "close_merged_into allocated in its steady state"
+    );
+
+    // The scratch result still matches the one-shot allocating API.
+    for (b1, b2) in [(0usize, 1usize), (2, 5), (7, 11)] {
+        kernel
+            .close_merged_into(&mut scratch, &current, b1, b2, &mut out)
+            .unwrap();
+        assert_eq!(out, kernel.close_merged(&current, b1, b2).unwrap());
+    }
+}
+
+#[test]
+fn scratch_descent_from_a_coarser_partition_stays_allocation_free() {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The descent does not only close singleton merges: re-run the sweep
+    // from a coarser closed partition (fewer, larger blocks), which
+    // exercises the first_of_block reuse across shrinking block counts.
+    let (product, _originals) = workload();
+    let top = product.top();
+    let kernel = ClosureKernel::new(top);
+    let mut scratch = CloseScratch::new();
+    let mut out = Partition::singletons(0);
+    // A closed coarsening to start from (close of one merge of ⊤).
+    let start = kernel
+        .close_merged(&Partition::singletons(top.size()), 0, 1)
+        .unwrap();
+    let k = start.num_blocks();
+    assert!(k < top.size());
+    // Warm up at this block count, then assert the steady state.
+    for b1 in 0..k {
+        for b2 in (b1 + 1)..k {
+            kernel
+                .close_merged_into(&mut scratch, &start, b1, b2, &mut out)
+                .unwrap();
+        }
+    }
+    let before = allocations();
+    for b1 in 0..k {
+        for b2 in (b1 + 1)..k {
+            kernel
+                .close_merged_into(&mut scratch, &start, b1, b2, &mut out)
+                .unwrap();
+        }
+    }
+    assert_eq!(allocations() - before, 0);
+}

@@ -118,6 +118,39 @@ proptest! {
         prop_assert_eq!(par.stats.candidates_examined, seq.stats.candidates_examined);
     }
 
+    /// Pool reuse: the worker threads now persist across searches
+    /// (`par::MergePool` attaches to a process-wide pool), so two
+    /// back-to-back parallel searches on the warm pool must equal two fresh
+    /// sequential searches — results and statistics — including when the
+    /// second search runs at a different fault budget and worker count.
+    #[test]
+    fn back_to_back_pooled_searches_match_fresh_sequential_searches(
+        seed in 0u64..50_000,
+        workers in 2usize..5,
+    ) {
+        let machines = machine_family(seed);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let originals = fsm_fusion::fusion::projection_partitions(&product);
+        // First search warms the shared pool (it may already be warm from
+        // other tests — that is the point), the second reuses it.
+        let par1 = generate_fusion_par(product.top(), &originals, 1, workers).unwrap();
+        let par2 = generate_fusion_par(product.top(), &originals, 2, workers + 1).unwrap();
+        let seq1 = generate_fusion_seq(product.top(), &originals, 1).unwrap();
+        let seq2 = generate_fusion_seq(product.top(), &originals, 2).unwrap();
+        for (par, seq) in [(&par1, &seq1), (&par2, &seq2)] {
+            prop_assert_eq!(&par.partitions, &seq.partitions);
+            prop_assert_eq!(par.stats.initial_dmin, seq.stats.initial_dmin);
+            prop_assert_eq!(par.stats.final_dmin, seq.stats.final_dmin);
+            prop_assert_eq!(par.stats.outer_iterations, seq.stats.outer_iterations);
+            prop_assert_eq!(par.stats.descent_steps, seq.stats.descent_steps);
+            prop_assert_eq!(par.stats.candidates_examined, seq.stats.candidates_examined);
+        }
+        // Re-running the *same* search on the warm pool is also stable.
+        let par1_again = generate_fusion_par(product.top(), &originals, 1, workers).unwrap();
+        prop_assert_eq!(&par1_again.partitions, &par1.partitions);
+        prop_assert_eq!(par1_again.stats.candidates_examined, par1.stats.candidates_examined);
+    }
+
     /// Pooled lower covers and lattice enumeration return exactly the
     /// sequential results.
     #[test]

@@ -1,0 +1,128 @@
+//! Property tests pinning the packed reachable-product builders to the
+//! preserved reference construction.
+//!
+//! `ReachableProduct` now interns states through packed mixed-radix `u64`
+//! keys (dense table or key hash map) with flat pre-resolved successor
+//! tables and optional frontier-chunked parallel expansion; the seed
+//! tuple-keyed BFS is preserved as `ReachableProduct::new_reference`.  This
+//! suite checks, for random machine families, that every observable of the
+//! packed sequential and packed parallel builds — size, state names,
+//! component tuples, the full transition table, `find_tuple` over the whole
+//! (reachable or not) tuple space, and the projection blocks the fusion
+//! layer consumes — is bit-identical to the reference build.
+
+use fsm_fusion::machines::{random_dfsm, RandomDfsmConfig};
+use fsm_fusion::prelude::*;
+use proptest::prelude::*;
+
+/// A small random machine family over a shared alphabet, with a mix of
+/// per-machine alphabets so some machines ignore some union events.
+fn machine_family(seed: u64, count: usize) -> Vec<Dfsm> {
+    (0..count)
+        .map(|i| {
+            let alphabet: Vec<String> = if i % 2 == 0 {
+                vec!["0".into(), "1".into()]
+            } else {
+                vec!["1".into(), "2".into()]
+            };
+            random_dfsm(
+                &format!("M{i}"),
+                &RandomDfsmConfig {
+                    states: 2 + ((seed as usize + 5 * i) % 4),
+                    alphabet,
+                    seed: seed.wrapping_add(i as u64 * 7919),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Every observable of two product constructions must agree.
+fn assert_products_identical(
+    a: &ReachableProduct,
+    b: &ReachableProduct,
+) -> std::result::Result<(), TestCaseError> {
+    prop_assert_eq!(a.size(), b.size());
+    prop_assert_eq!(a.arity(), b.arity());
+    prop_assert_eq!(a.full_product_size(), b.full_product_size());
+    let k = a.top().alphabet().len();
+    prop_assert_eq!(k, b.top().alphabet().len());
+    for t in 0..a.size() {
+        let t = StateId(t);
+        prop_assert_eq!(a.tuple(t), b.tuple(t));
+        prop_assert_eq!(a.top().state_name(t), b.top().state_name(t));
+        for e in 0..k {
+            let e = fsm_fusion::dfsm::EventId(e);
+            prop_assert_eq!(a.top().next(t, e), b.top().next(t, e));
+        }
+    }
+    for i in 0..a.arity() {
+        prop_assert_eq!(a.projection_blocks(i), b.projection_blocks(i));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packed sequential and frontier-chunked parallel builds equal the
+    /// reference build in every observable, including `find_tuple` over
+    /// every tuple of the full product (reachable or not) and one
+    /// out-of-range probe.
+    #[test]
+    fn packed_and_parallel_products_match_reference(
+        seed in 0u64..100_000,
+        count in 1usize..4,
+        workers in 2usize..5,
+    ) {
+        let machines = machine_family(seed, count);
+        let reference = ReachableProduct::new_reference(&machines).unwrap();
+        let packed = ReachableProduct::with_workers(&machines, 1).unwrap();
+        let parallel = ReachableProduct::with_workers(&machines, workers).unwrap();
+        assert_products_identical(&reference, &packed)?;
+        assert_products_identical(&reference, &parallel)?;
+
+        // find_tuple agreement over the whole full product: enumerate every
+        // combination via mixed-radix counting.
+        let sizes: Vec<usize> = machines.iter().map(|m| m.size()).collect();
+        let full: usize = sizes.iter().product();
+        for mut code in 0..full {
+            let tuple: Vec<StateId> = sizes
+                .iter()
+                .map(|&s| {
+                    let c = StateId(code % s);
+                    code /= s;
+                    c
+                })
+                .collect();
+            prop_assert_eq!(packed.find_tuple(&tuple), reference.find_tuple(&tuple));
+            prop_assert_eq!(
+                parallel.find_tuple(&tuple),
+                reference.find_tuple(&tuple)
+            );
+        }
+        // Out-of-range components are rejected, never aliased into a key.
+        let mut bogus: Vec<StateId> = machines.iter().map(|m| StateId(m.size())).collect();
+        prop_assert_eq!(packed.find_tuple(&bogus), None);
+        bogus[0] = StateId(usize::MAX);
+        prop_assert_eq!(packed.find_tuple(&bogus), None);
+        // Wrong-arity tuples are rejected as well.
+        prop_assert_eq!(packed.find_tuple(&[]), None);
+    }
+
+    /// The env-dispatching constructor agrees with the reference too (it
+    /// routes through the packed builder whatever `FSM_FUSION_WORKERS`
+    /// says), and the downstream fusion pipeline sees identical inputs:
+    /// projection partitions built from packed and reference products are
+    /// equal.
+    #[test]
+    fn projection_partitions_are_engine_independent(seed in 0u64..100_000) {
+        let machines = machine_family(seed, 2);
+        let reference = ReachableProduct::new_reference(&machines).unwrap();
+        let packed = ReachableProduct::new(&machines).unwrap();
+        assert_products_identical(&reference, &packed)?;
+        let ref_parts = fsm_fusion::fusion::projection_partitions(&reference);
+        let packed_parts = fsm_fusion::fusion::projection_partitions(&packed);
+        prop_assert_eq!(ref_parts, packed_parts);
+    }
+}
