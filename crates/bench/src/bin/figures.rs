@@ -6,10 +6,8 @@
 //! Run with: `cargo run --release -p fsm-fusion-bench --bin figures [-- fig1|fig2|fig3|fig4|fig5]`
 //! (no argument prints every figure).
 
-use fsm_dfsm::ReachableProduct;
 use fsm_fusion_core::{
-    basis, enumerate_lattice, generate_fusion, projection_partitions, set_representation,
-    FaultGraph,
+    projection_partitions, set_representation, FaultGraph, FusionConfig, FusionSession, Partition,
 };
 use fsm_machines::{fig1_fusion_f1, fig1_fusion_f2, fig1_machines, fig2_machines, fig3_top};
 
@@ -18,27 +16,32 @@ fn main() {
     let all = which.is_empty();
     let wants = |name: &str| all || which.iter().any(|w| w == name);
 
+    // One environment-configured session drives every figure: fig3's
+    // lattice enumeration and fig4's fusion generation share the cached
+    // closures of the same 4-state top machine.
+    let mut session = FusionConfig::from_env().build();
+
     if wants("fig1") {
-        fig1();
+        fig1(&mut session);
     }
     if wants("fig2") {
-        fig2();
+        fig2(&mut session);
     }
     if wants("fig3") {
-        fig3();
+        fig3(&mut session);
     }
     if wants("fig4") {
-        fig4();
+        fig4(&mut session);
     }
     if wants("fig5") {
         fig5();
     }
 }
 
-fn fig1() {
+fn fig1(session: &mut FusionSession) {
     println!("== Figure 1: mod-3 counters and their fusions ==");
     let machines = fig1_machines();
-    let product = ReachableProduct::new(&machines).unwrap();
+    let product = session.build_product(&machines).unwrap();
     println!(
         "A = {} ({} states), B = {} ({} states), R({{A,B}}) has {} states (paper: 9).",
         machines[0].name(),
@@ -48,7 +51,9 @@ fn fig1() {
         product.size()
     );
     let originals = projection_partitions(&product);
-    let fusion = generate_fusion(product.top(), &originals, 1).unwrap();
+    let fusion = session
+        .generate_fusion(product.top(), &originals, 1)
+        .unwrap();
     println!(
         "Algorithm 2 for f = 1 generates {} machine(s) of sizes {:?} (paper: one 3-state machine, F1).",
         fusion.len(),
@@ -69,13 +74,13 @@ fn fig1() {
     println!();
 }
 
-fn fig2() {
+fn fig2(session: &mut FusionSession) {
     println!("== Figure 2: machines A, B and their reachable cross product ==");
     let machines = fig2_machines();
     for m in &machines {
         println!("{m}");
     }
-    let product = ReachableProduct::new(&machines).unwrap();
+    let product = session.build_product(&machines).unwrap();
     println!(
         "R({{A,B}}) has {} states out of a possible {} (paper: 4 states).",
         product.size(),
@@ -84,10 +89,10 @@ fn fig2() {
     println!("{}", product.top());
 }
 
-fn fig3() {
+fn fig3(session: &mut FusionSession) {
     println!("== Figure 3: closed partition lattice of the top machine ==");
     let top = fig3_top();
-    let lattice = enumerate_lattice(&top, 10_000).unwrap();
+    let lattice = session.enumerate_lattice(&top, 10_000).unwrap();
     println!(
         "{} closed partitions between top and bottom (paper draws 10).",
         lattice.len()
@@ -95,7 +100,9 @@ fn fig3() {
     for (i, p) in lattice.elements.iter().enumerate() {
         println!("  #{i}: {} blocks   {}", p.num_blocks(), p);
     }
-    let b = basis(&top).unwrap();
+    let b = session
+        .lower_cover(&top, &Partition::singletons(top.size()))
+        .unwrap();
     println!(
         "Basis (lower cover of top): {} machines (paper: A, B, M1, M2).",
         b.len()
@@ -103,7 +110,7 @@ fn fig3() {
     println!("Hasse edges: {:?}\n", lattice.hasse_edges());
 }
 
-fn fig4() {
+fn fig4(session: &mut FusionSession) {
     println!("== Figure 4: fault graphs ==");
     let top = fig3_top();
     let machines = fig2_machines();
@@ -126,7 +133,9 @@ fn fig4() {
         "G({A,B})      ",
         &FaultGraph::from_partitions(4, &[a.clone(), b.clone()]),
     );
-    let fusion = generate_fusion(&top, &[a.clone(), b.clone()], 2).unwrap();
+    let fusion = session
+        .generate_fusion(&top, &[a.clone(), b.clone()], 2)
+        .unwrap();
     let mut all = vec![a.clone(), b.clone()];
     all.extend(fusion.partitions.iter().cloned());
     report("G({A,B,F1,F2})", &FaultGraph::from_partitions(4, &all));

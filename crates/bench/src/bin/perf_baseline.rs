@@ -10,9 +10,11 @@
 //! the format).  Every optimized kernel is measured next to its
 //! pre-refactor twin (`*_scan`, from `fsm_fusion_core::reference` or the
 //! tuple-keyed `ReachableProduct::new_reference`), every `_par` op next to
-//! its sequential twin, and the persistent-pool engine
+//! its sequential twin, the persistent-pool engine
 //! (`alg2_search_pooled_*`) next to its per-search-spawn twin
-//! (`alg2_search_spawn_*`); the JSON records all three speedup ratio sets.
+//! (`alg2_search_spawn_*`), and the session's warm closure cache
+//! (`alg2_sweep_cached_*`) next to the cold free-function sweep
+//! (`alg2_sweep_cold_*`); the JSON records all four speedup ratio sets.
 //! Each figure is the median of five rounds of at least [`MIN_ITERS`]
 //! iterations, so one scheduler hiccup on a shared runner cannot fake (or
 //! hide) a regression.
@@ -39,7 +41,7 @@ use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
     generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
-    FaultGraph, Partition,
+    Engine, FaultGraph, FusionConfig, Partition,
 };
 
 /// Regression threshold for `--check`: calibration-normalized ns/op may grow
@@ -362,50 +364,94 @@ fn measure_all() -> Vec<Measurement> {
         push("alg2_search_spawn_n81_f2", iters, ns);
     }
 
+    // Closure-cache amortization at |⊤| = 729: a FusionSession sweeping
+    // f = 1..=3 with a warm cross-call closure cache against the same sweep
+    // on the cold free-function path.  The session lives outside the timing
+    // loop (warm after the harness's warm-up call), so the cached op
+    // measures steady-state reuse — the multi-scenario / parameter-sweep
+    // workload the session API exists for.  The `_cold` op is a
+    // documentation twin like `_scan` / `_spawn` and never gates.
+    {
+        let machines = counter_family(6, 3);
+        let product = ReachableProduct::with_workers(&machines, 1).unwrap();
+        let originals = projection_partitions(&product);
+        let top = product.top();
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        let iters = 10;
+        let ns = bench(iters, || {
+            (1..=3)
+                .map(|f| session.generate_fusion(top, &originals, f).unwrap().len())
+                .sum::<usize>()
+        });
+        push("alg2_sweep_cached_n729", iters, ns);
+        let ns = bench(iters, || {
+            (1..=3)
+                .map(|f| generate_fusion_seq(top, &originals, f).unwrap().len())
+                .sum::<usize>()
+        });
+        push("alg2_sweep_cold_n729", iters, ns);
+    }
+
     out
 }
 
-/// Speedup ratios of each optimized op against its `_scan` twin.
+/// Pairs every op whose name contains `marker` with the op named by
+/// substituting `twin_marker` for `marker` (e.g. `_pooled` → `_spawn`,
+/// `_par` → ``), returning `(marked op, twin op)` — the shared walk behind
+/// all four speedup sections below.
+fn paired<'a>(
+    ops: &'a [Measurement],
+    marker: &str,
+    twin_marker: &str,
+) -> Vec<(&'a Measurement, &'a Measurement)> {
+    ops.iter()
+        .filter_map(|m| {
+            let pos = m.name.find(marker)?;
+            let twin = format!(
+                "{}{}{}",
+                &m.name[..pos],
+                twin_marker,
+                &m.name[pos + marker.len()..]
+            );
+            ops.iter().find(|o| o.name == twin).map(|t| (m, t))
+        })
+        .collect()
+}
+
+/// Speedup ratios of each optimized op against its `_scan` twin, keyed by
+/// the optimized op's name.
 fn speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for m in ops {
-        if let Some(rest) = m.name.find("_scan") {
-            let fast_name = format!("{}{}", &m.name[..rest], &m.name[rest + 5..]);
-            if let Some(fast) = ops.iter().find(|o| o.name == fast_name) {
-                out.push((fast_name, m.ns_per_op / fast.ns_per_op));
-            }
-        }
-    }
-    out
+    paired(ops, "_scan", "")
+        .into_iter()
+        .map(|(scan, fast)| (fast.name.to_string(), scan.ns_per_op / fast.ns_per_op))
+        .collect()
 }
 
 /// Speedup ratios of each `_par` op against its sequential twin.
 fn par_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for m in ops {
-        if let Some(rest) = m.name.find("_par") {
-            let seq_name = format!("{}{}", &m.name[..rest], &m.name[rest + 4..]);
-            if let Some(seq) = ops.iter().find(|o| o.name == seq_name) {
-                out.push((m.name.to_string(), seq.ns_per_op / m.ns_per_op));
-            }
-        }
-    }
-    out
+    paired(ops, "_par", "")
+        .into_iter()
+        .map(|(par, seq)| (par.name.to_string(), seq.ns_per_op / par.ns_per_op))
+        .collect()
 }
 
 /// Speedup ratios of each `_pooled` op against its `_spawn` twin — how much
 /// the persistent worker pool saves over per-search thread start-up.
 fn pooled_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for m in ops {
-        if let Some(rest) = m.name.find("_pooled") {
-            let spawn_name = format!("{}_spawn{}", &m.name[..rest], &m.name[rest + 7..]);
-            if let Some(spawn) = ops.iter().find(|o| o.name == spawn_name) {
-                out.push((m.name.to_string(), spawn.ns_per_op / m.ns_per_op));
-            }
-        }
-    }
-    out
+    paired(ops, "_pooled", "_spawn")
+        .into_iter()
+        .map(|(pooled, spawn)| (pooled.name.to_string(), spawn.ns_per_op / pooled.ns_per_op))
+        .collect()
+}
+
+/// Speedup ratios of each `_cached` op against its `_cold` twin — how much
+/// the session's cross-call closure cache saves over re-deriving every
+/// closure through the free-function path.
+fn cached_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
+    paired(ops, "_cached", "_cold")
+        .into_iter()
+        .map(|(cached, cold)| (cached.name.to_string(), cold.ns_per_op / cached.ns_per_op))
+        .collect()
 }
 
 fn render_json(ops: &[Measurement]) -> String {
@@ -438,6 +484,13 @@ fn render_json(ops: &[Measurement]) -> String {
     s.push_str("  },\n");
     s.push_str("  \"speedup_pooled_vs_spawn\": {\n");
     let ratios = pooled_speedups(ops);
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"speedup_cached_vs_cold\": {\n");
+    let ratios = cached_speedups(ops);
     for (i, (name, ratio)) in ratios.iter().enumerate() {
         let comma = if i + 1 == ratios.len() { "" } else { "," };
         let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
@@ -502,10 +555,14 @@ fn check_raw(
     let mut regressed = Vec::new();
     for m in fresh {
         // The calibration op is the normalizer, and the `_scan` / `_spawn`
-        // reference ops exist only to document speedups (thread start-up in
-        // particular is too scheduler-dependent to gate) — none of them
-        // gate the build.
-        if m.name == CALIBRATION_OP || m.name.contains("_scan") || m.name.contains("_spawn") {
+        // / `_cold` reference ops exist only to document speedups (thread
+        // start-up in particular is too scheduler-dependent to gate) —
+        // none of them gate the build.
+        if m.name == CALIBRATION_OP
+            || m.name.contains("_scan")
+            || m.name.contains("_spawn")
+            || m.name.contains("_cold")
+        {
             continue;
         }
         let Some((_, base)) = baseline.iter().find(|(n, _)| n == m.name) else {
@@ -536,7 +593,11 @@ fn check_raw(
     // Tracked ops must keep being measured: a baseline op that silently
     // vanishes from the fresh run would otherwise bypass the gate forever.
     for (name, _) in baseline {
-        if name == CALIBRATION_OP || name.contains("_scan") || name.contains("_spawn") {
+        if name == CALIBRATION_OP
+            || name.contains("_scan")
+            || name.contains("_spawn")
+            || name.contains("_cold")
+        {
             continue;
         }
         if !fresh.iter().any(|m| m.name == *name) {
@@ -583,6 +644,9 @@ fn main() -> ExitCode {
     }
     for (name, ratio) in pooled_speedups(&ops) {
         println!("speedup {name:<34} {ratio:>6.2}x vs per-search pool spawn");
+    }
+    for (name, ratio) in cached_speedups(&ops) {
+        println!("speedup {name:<34} {ratio:>6.2}x vs cold free-function sweep");
     }
 
     let mut failed = false;

@@ -12,20 +12,24 @@
 
 use std::time::Instant;
 
-use fsm_dfsm::ReachableProduct;
 use fsm_distsys::{SensorBackupMode, SensorNetwork};
 use fsm_fusion_bench::counter_family;
 use fsm_fusion_core::{
-    generate_fusion, projection_partitions, replication_state_space, MachineReport, RecoveryEngine,
+    projection_partitions, replication_state_space, FusionConfig, FusionSession, MachineReport,
+    RecoveryEngine,
 };
 
 fn main() {
-    generation_scaling();
-    recovery_scaling();
-    sensor_network_scaling();
+    // One environment-configured session drives every sweep; within a
+    // sweep, successive machine sets reset the cache (different tops) but
+    // share scratch, engine and pool handle.
+    let mut session = FusionConfig::from_env().build();
+    generation_scaling(&mut session);
+    recovery_scaling(&mut session);
+    sensor_network_scaling(&mut session);
 }
 
-fn generation_scaling() {
+fn generation_scaling(session: &mut FusionSession) {
     println!("== Algorithm 2 generation time vs |top| (f = 1) ==");
     println!(
         "{:>10} {:>8} {:>12} {:>16}",
@@ -33,10 +37,12 @@ fn generation_scaling() {
     );
     for count in 2..=6usize {
         let machines = counter_family(count, 3);
-        let product = ReachableProduct::new(&machines).unwrap();
+        let product = session.build_product(&machines).unwrap();
         let originals = projection_partitions(&product);
         let start = Instant::now();
-        let fusion = generate_fusion(product.top(), &originals, 1).unwrap();
+        let fusion = session
+            .generate_fusion(product.top(), &originals, 1)
+            .unwrap();
         let elapsed = start.elapsed();
         println!(
             "{:>10} {:>8} {:>12?} {:>16.2}",
@@ -49,14 +55,16 @@ fn generation_scaling() {
     println!();
 }
 
-fn recovery_scaling() {
+fn recovery_scaling(session: &mut FusionSession) {
     println!("== Algorithm 3 recovery latency vs number of machines (counters, f = 1) ==");
     println!("{:>10} {:>8} {:>16}", "machines", "|top|", "recover (µs)");
     for count in 2..=6usize {
         let machines = counter_family(count, 3);
-        let product = ReachableProduct::new(&machines).unwrap();
+        let product = session.build_product(&machines).unwrap();
         let originals = projection_partitions(&product);
-        let fusion = generate_fusion(product.top(), &originals, 1).unwrap();
+        let fusion = session
+            .generate_fusion(product.top(), &originals, 1)
+            .unwrap();
         let mut engine = RecoveryEngine::new(product.size());
         for (i, p) in originals.iter().enumerate() {
             engine.add_machine(format!("M{i}"), p.clone()).unwrap();
@@ -84,14 +92,15 @@ fn recovery_scaling() {
     println!();
 }
 
-fn sensor_network_scaling() {
+fn sensor_network_scaling(session: &mut FusionSession) {
     println!("== Sensor network: fused backup vs replication (1 crash fault) ==");
     println!(
         "{:>10} {:>18} {:>24} {:>14}",
         "sensors", "fusion states", "replication states", "recover ok"
     );
     for n in [10usize, 50, 100, 500, 1000] {
-        let mut net = SensorNetwork::new(n, SensorBackupMode::Analytic).unwrap();
+        let mut net =
+            SensorNetwork::new_with_session(n, SensorBackupMode::Analytic, session).unwrap();
         net.observe_randomly(10 * n, n as u64).unwrap();
         let truth = net.sensor_state(n / 2).unwrap();
         net.crash_sensor(n / 2).unwrap();

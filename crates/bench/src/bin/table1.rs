@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --release -p fsm-fusion-bench --bin table1`
 
-use fsm_fusion_bench::{measure_row, paper_table, render_table, table_rows};
+use fsm_fusion_bench::{measure_row_with, paper_table, render_table, table_rows};
+use fsm_fusion_core::FusionConfig;
 
 fn main() {
     println!("Reproducing the evaluation table of");
@@ -14,11 +15,15 @@ fn main() {
     );
 
     let rows = table_rows();
+    // One environment-configured session measures every row (the machine
+    // sets differ, so the closure cache resets per row; engine and scratch
+    // are still shared).
+    let mut session = FusionConfig::from_env().build();
     let mut reports = Vec::new();
     let mut total_time = std::time::Duration::ZERO;
     for row in &rows {
         eprintln!("measuring `{}` (f = {}) ...", row.label, row.f);
-        let report = measure_row(row);
+        let report = measure_row_with(&mut session, row);
         total_time += report.elapsed;
         reports.push(report);
     }

@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 
 use fsm_dfsm::Dfsm;
-use fsm_fusion_core::FusionReport;
+use fsm_fusion_core::{FusionReport, FusionSession};
 use fsm_machines::{mod_counter, table1_rows, MachineSet};
 
 /// The five machine sets of the paper's results table.
@@ -18,9 +18,16 @@ pub fn table_rows() -> Vec<MachineSet> {
 }
 
 /// Measures one table row: cross product + Algorithm 2 + state-space
-/// accounting.
+/// accounting, through a one-shot environment-configured session.
 pub fn measure_row(row: &MachineSet) -> FusionReport {
     FusionReport::measure(row.label.clone(), &row.machines, row.f)
+        .expect("fusion generation succeeds for every table row")
+}
+
+/// [`measure_row`] through a caller-owned [`FusionSession`], so a whole
+/// table shares one session (scratch, pool handle, closure cache).
+pub fn measure_row_with(session: &mut FusionSession, row: &MachineSet) -> FusionReport {
+    FusionReport::measure_with(session, row.label.clone(), &row.machines, row.f)
         .expect("fusion generation succeeds for every table row")
 }
 

@@ -85,6 +85,6 @@ pub use event::{Alphabet, Event, EventId};
 pub use executor::Executor;
 pub use isomorphism::{are_isomorphic, isomorphism};
 pub use minimize::{minimize_by_labels, minimize_by_output, Minimized};
-pub use product::ReachableProduct;
+pub use product::{ProductBuilder, ProductStrategy, ReachableProduct};
 pub use state::{StateId, StateInfo};
-pub use workers::configured_workers;
+pub use workers::{configured_workers, parse_workers};

@@ -57,6 +57,116 @@ const DENSE_LIMIT: u64 = 1 << 22;
 /// arithmetic being parallelized.
 const PAR_LEVEL_MIN: usize = 256;
 
+/// Construction strategy for [`ReachableProduct`], selected through a
+/// [`ProductBuilder`].
+///
+/// Every strategy produces the identical product — same state numbering,
+/// names, transitions and tuples (`tests/product_properties.rs`) — they
+/// differ only in how the BFS is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProductStrategy {
+    /// Pick from the configured worker count: the packed sequential build
+    /// for one worker, the frontier-chunked parallel build otherwise.
+    #[default]
+    Auto,
+    /// The packed mixed-radix build on the calling thread.
+    Packed,
+    /// The packed build with frontier-chunked scoped worker threads.
+    Parallel,
+    /// The seed tuple-keyed BFS ([`ReachableProduct::new_reference`]).
+    Reference,
+}
+
+/// Config-driven constructor for [`ReachableProduct`].
+///
+/// The legacy constructors ([`ReachableProduct::new`],
+/// [`ReachableProduct::with_name`]) consult the `FSM_FUSION_WORKERS`
+/// environment variable on **every call**; a `ProductBuilder` instead
+/// captures its configuration once — explicitly via [`ProductBuilder::workers`]
+/// / [`ProductBuilder::strategy`], or from the environment once via
+/// [`ProductBuilder::from_env`] — and then builds any number of products
+/// with it.  `fsm-fusion-core`'s `FusionSession` owns one and threads it
+/// through the whole pipeline.
+///
+/// Worker-count precedence is explicit > environment snapshot > 1 (the
+/// sequential default): a count set through [`ProductBuilder::workers`]
+/// always wins, even on a builder created by [`ProductBuilder::from_env`].
+///
+/// Note: when `∏ |Si|` overflows `u64` the packed strategies cannot
+/// represent the tuples and every strategy falls back to the reference
+/// construction, exactly like the legacy constructors.
+#[derive(Debug, Clone, Default)]
+pub struct ProductBuilder {
+    name: Option<String>,
+    strategy: ProductStrategy,
+    workers: Option<usize>,
+    env_workers: Option<usize>,
+}
+
+impl ProductBuilder {
+    /// A builder with the sequential defaults: name `"top"`, strategy
+    /// [`ProductStrategy::Auto`], one worker, no environment consultation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder whose fallback worker count is snapshotted from
+    /// `FSM_FUSION_WORKERS` ([`configured_workers`]) **now** — later
+    /// changes to the environment do not affect it, and an explicit
+    /// [`ProductBuilder::workers`] call still takes precedence.
+    pub fn from_env() -> Self {
+        ProductBuilder {
+            env_workers: Some(configured_workers()),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the name of the built product machine (default `"top"`).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the construction strategy (default [`ProductStrategy::Auto`]).
+    pub fn strategy(mut self, strategy: ProductStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets an explicit worker count, overriding any environment snapshot.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The worker count this builder resolves to: explicit > environment
+    /// snapshot > 1.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.or(self.env_workers).unwrap_or(1).max(1)
+    }
+
+    /// Builds the reachable cross product of `machines` under this
+    /// configuration.
+    pub fn build(&self, machines: &[Dfsm]) -> Result<ReachableProduct> {
+        let name = self.name.clone().unwrap_or_else(|| "top".into());
+        let workers = match self.strategy {
+            ProductStrategy::Auto => self.resolved_workers(),
+            ProductStrategy::Packed => 1,
+            // An explicitly parallel build with no count configured still
+            // has to fan out; two workers is the smallest parallel build.
+            ProductStrategy::Parallel => self.resolved_workers().max(2),
+            ProductStrategy::Reference => {
+                assert!(
+                    !machines.is_empty(),
+                    "reachable cross product of zero machines is undefined"
+                );
+                return ReachableProduct::build_reference(machines, name);
+            }
+        };
+        ReachableProduct::with_name_workers(machines, name, workers)
+    }
+}
+
 /// The mixed-radix packing of component-state tuples into `u64` keys.
 #[derive(Debug, Clone)]
 struct Radix {
@@ -148,13 +258,17 @@ impl ReachableProduct {
     /// interner (see the module docs) and consults `FSM_FUSION_WORKERS`
     /// ([`configured_workers`]) for parallel frontier expansion; state
     /// numbering is identical for every engine.
+    ///
+    /// This is a thin shim over [`ProductBuilder::from_env`]; callers that
+    /// build more than one product (or want the environment read once, not
+    /// per call) should hold a [`ProductBuilder`] instead.
     pub fn new(machines: &[Dfsm]) -> Result<Self> {
-        Self::with_name(machines, "top")
+        ProductBuilder::from_env().build(machines)
     }
 
     /// Like [`ReachableProduct::new`] but with an explicit machine name.
     pub fn with_name(machines: &[Dfsm], name: impl Into<String>) -> Result<Self> {
-        Self::with_name_workers(machines, name, configured_workers())
+        ProductBuilder::from_env().name(name).build(machines)
     }
 
     /// Like [`ReachableProduct::new`] but with an explicit worker count for
@@ -705,6 +819,42 @@ mod tests {
         assert_eq!(packed.size(), 1);
         assert_eq!(packed.top().alphabet().len(), 0);
         assert_eq!(packed.find_tuple(&[StateId(0)]), Some(StateId(0)));
+    }
+
+    #[test]
+    fn product_builder_strategies_agree_and_name_applies() {
+        let machines = [counter("a", "0", 3), counter("b", "1", 4)];
+        let auto = ProductBuilder::new().build(&machines).unwrap();
+        let packed = ProductBuilder::new()
+            .strategy(ProductStrategy::Packed)
+            .build(&machines)
+            .unwrap();
+        let parallel = ProductBuilder::new()
+            .strategy(ProductStrategy::Parallel)
+            .workers(3)
+            .build(&machines)
+            .unwrap();
+        let reference = ProductBuilder::new()
+            .strategy(ProductStrategy::Reference)
+            .build(&machines)
+            .unwrap();
+        assert!(matches!(reference.index, TupleIndex::Tuples(_)));
+        assert_same_product(&auto, &packed);
+        assert_same_product(&auto, &parallel);
+        assert_same_product(&auto, &reference);
+        let named = ProductBuilder::new().name("R").build(&machines).unwrap();
+        assert_eq!(named.top().name(), "R");
+    }
+
+    #[test]
+    fn product_builder_explicit_workers_beat_the_env_snapshot() {
+        // The precedence contract: an explicit count wins over whatever the
+        // builder snapshotted from the environment (here: whatever the test
+        // process environment happens to hold), and the default is 1.
+        assert_eq!(ProductBuilder::new().resolved_workers(), 1);
+        assert_eq!(ProductBuilder::new().workers(7).resolved_workers(), 7);
+        assert_eq!(ProductBuilder::from_env().workers(7).resolved_workers(), 7);
+        assert_eq!(ProductBuilder::new().workers(0).resolved_workers(), 1);
     }
 
     #[test]

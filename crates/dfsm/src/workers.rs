@@ -19,8 +19,9 @@ pub fn configured_workers() -> usize {
 }
 
 /// The `FSM_FUSION_WORKERS` value convention, as a pure function so the
-/// parsing rules are testable without mutating the process environment.
-fn parse_workers(value: &str) -> usize {
+/// parsing rules are testable (and reusable by `fsm-fusion-core`'s
+/// `FusionConfig`) without mutating the process environment.
+pub fn parse_workers(value: &str) -> usize {
     match value.trim() {
         "" | "0" | "1" => 1,
         "auto" => std::thread::available_parallelism()

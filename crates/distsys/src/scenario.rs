@@ -59,6 +59,27 @@ impl SensorNetwork {
 
     /// Creates a sensor network with `n` sensors.
     pub fn new(n: usize, mode: SensorBackupMode) -> Result<Self> {
+        Self::build(n, mode, None)
+    }
+
+    /// [`SensorNetwork::new`] through a caller-owned
+    /// [`fsm_fusion_core::FusionSession`]: exact-mode backup generation
+    /// runs on the session's engine and cache
+    /// ([`FusedSystem::with_session`]); analytic mode needs no generation,
+    /// so the session goes unused there.
+    pub fn new_with_session(
+        n: usize,
+        mode: SensorBackupMode,
+        session: &mut fsm_fusion_core::FusionSession,
+    ) -> Result<Self> {
+        Self::build(n, mode, Some(session))
+    }
+
+    fn build(
+        n: usize,
+        mode: SensorBackupMode,
+        session: Option<&mut fsm_fusion_core::FusionSession>,
+    ) -> Result<Self> {
         if n == 0 {
             return Err(DistsysError::NoMachines);
         }
@@ -66,7 +87,10 @@ impl SensorNetwork {
         let exact = match mode {
             SensorBackupMode::Exact => {
                 let machines = Self::sensor_machines(n);
-                Some(FusedSystem::new(&machines, 1, FaultModel::Crash)?)
+                Some(match session {
+                    Some(s) => FusedSystem::with_session(&machines, 1, FaultModel::Crash, s)?,
+                    None => FusedSystem::new(&machines, 1, FaultModel::Crash)?,
+                })
             }
             SensorBackupMode::Analytic => None,
         };
@@ -301,6 +325,36 @@ mod tests {
             assert_eq!(sys.num_backups(), 1, "n = {n}");
             assert_eq!(sys.fusion().machine_sizes(), vec![3], "n = {n}");
         }
+    }
+
+    #[test]
+    fn session_built_networks_match_the_legacy_constructor() {
+        use fsm_fusion_core::{Engine, FusionConfig};
+        // One session serves several exact-mode networks back to back; each
+        // must carry exactly the backup the legacy constructor generates,
+        // and recovery must agree.
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        for n in [2usize, 3, 4] {
+            let mut legacy = SensorNetwork::new(n, SensorBackupMode::Exact).unwrap();
+            let mut sessioned =
+                SensorNetwork::new_with_session(n, SensorBackupMode::Exact, &mut session).unwrap();
+            assert_eq!(
+                legacy.exact.as_ref().unwrap().fusion().partitions,
+                sessioned.exact.as_ref().unwrap().fusion().partitions,
+                "n = {n}"
+            );
+            for net in [&mut legacy, &mut sessioned] {
+                net.observe_randomly(60, n as u64).unwrap();
+            }
+            let truth = legacy.sensor_state(0).unwrap();
+            legacy.crash_sensor(0).unwrap();
+            sessioned.crash_sensor(0).unwrap();
+            assert_eq!(legacy.recover().unwrap(), sessioned.recover().unwrap());
+            assert_eq!(sessioned.sensor_state(0), Some(truth));
+        }
+        // Analytic mode accepts a session too (and ignores it).
+        let net = SensorNetwork::new_with_session(5, SensorBackupMode::Analytic, &mut session);
+        assert!(net.is_ok());
     }
 
     #[test]

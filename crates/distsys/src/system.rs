@@ -19,8 +19,8 @@
 
 use fsm_dfsm::{Dfsm, Event, Executor, ReachableProduct, StateId};
 use fsm_fusion_core::{
-    generate_fusion, projection_partitions, FaultModel, FusionGeneration, MachineReport, Recovery,
-    RecoveryEngine,
+    generate_fusion, projection_partitions, FaultModel, FusionGeneration, FusionSession,
+    MachineReport, Partition, Recovery, RecoveryEngine,
 };
 
 use crate::error::{DistsysError, Result};
@@ -79,20 +79,66 @@ pub struct FusedSystem {
 impl FusedSystem {
     /// Builds a system that tolerates `f` faults of the given model among
     /// the original `machines` (plus their generated backups).
+    ///
+    /// Uses the environment-configured free-function pipeline
+    /// ([`ReachableProduct::new`] + [`generate_fusion`]); deployments that
+    /// build several systems — or want explicit engine/cache configuration —
+    /// should thread a [`FusionSession`] through
+    /// [`FusedSystem::with_session`] instead.
     pub fn new(machines: &[Dfsm], f: usize, fault_model: FaultModel) -> Result<Self> {
         if machines.is_empty() {
             return Err(DistsysError::NoMachines);
         }
         let product = ReachableProduct::new(machines)?;
         let originals = projection_partitions(&product);
-        // Crash faults need dmin > f; Byzantine faults need dmin > 2f
-        // (Theorems 1 and 2), so generate against the adjusted target.
-        let target = match fault_model {
+        let fusion = generate_fusion(product.top(), &originals, Self::target(fault_model, f))?;
+        Self::from_parts(machines, f, fault_model, product, originals, fusion)
+    }
+
+    /// [`FusedSystem::new`] through a caller-owned [`FusionSession`]: the
+    /// cross product is built with the session's product strategy and
+    /// Algorithm 2 runs on its engine, reusing the session's scratch, pool
+    /// handle and closure cache (building several systems over the same
+    /// machine set — e.g. per fault model, or a crash/Byzantine pair —
+    /// reuses closures across the constructions).
+    ///
+    /// Produces exactly the system [`FusedSystem::new`] builds (pinned by
+    /// an equivalence test).
+    pub fn with_session(
+        machines: &[Dfsm],
+        f: usize,
+        fault_model: FaultModel,
+        session: &mut FusionSession,
+    ) -> Result<Self> {
+        if machines.is_empty() {
+            return Err(DistsysError::NoMachines);
+        }
+        let product = session.build_product(machines)?;
+        let originals = projection_partitions(&product);
+        let fusion =
+            session.generate_fusion(product.top(), &originals, Self::target(fault_model, f))?;
+        Self::from_parts(machines, f, fault_model, product, originals, fusion)
+    }
+
+    /// Crash faults need `dmin > f`; Byzantine faults need `dmin > 2f`
+    /// (Theorems 1 and 2), so generation targets the adjusted count.
+    fn target(fault_model: FaultModel, f: usize) -> usize {
+        match fault_model {
             FaultModel::Crash => f,
             FaultModel::Byzantine => 2 * f,
-        };
-        let fusion = generate_fusion(product.top(), &originals, target)?;
+        }
+    }
 
+    /// Shared constructor tail: wires servers, recovery engine and
+    /// translation tables around an already-generated fusion.
+    fn from_parts(
+        machines: &[Dfsm],
+        f: usize,
+        fault_model: FaultModel,
+        product: ReachableProduct,
+        originals: Vec<Partition>,
+        fusion: FusionGeneration,
+    ) -> Result<Self> {
         let mut engine = RecoveryEngine::new(product.size());
         let mut servers = Vec::new();
         let mut block_of_state: Vec<Vec<usize>> = Vec::new();
@@ -387,6 +433,39 @@ mod tests {
         assert_eq!(sys.fault_model(), FaultModel::Crash);
         assert_eq!(sys.fusion().machine_sizes(), vec![3]);
         assert!(sys.fusion_state_space() < sys.replication_state_space());
+    }
+
+    #[test]
+    fn with_session_builds_the_identical_system() {
+        use fsm_fusion_core::{Engine, FusionConfig};
+        let machines = vec![mesi(), zero_counter_mod3()];
+        let w = Workload::uniform_over_machines(&machines, 97, 5);
+        for engine in [Engine::Sequential, Engine::Pooled] {
+            let mut session = FusionConfig::new().engine(engine).workers(2).build();
+            // Two systems from one session (crash + Byzantine) share the
+            // closure cache; both must equal the free-function build.
+            for model in [FaultModel::Crash, FaultModel::Byzantine] {
+                let mut legacy = FusedSystem::new(&machines, 1, model).unwrap();
+                let mut sessioned =
+                    FusedSystem::with_session(&machines, 1, model, &mut session).unwrap();
+                assert_eq!(legacy.fusion().partitions, sessioned.fusion().partitions);
+                assert_eq!(legacy.num_servers(), sessioned.num_servers());
+                legacy.apply_workload(&w);
+                sessioned.apply_workload(&w);
+                legacy.crash(0).unwrap();
+                sessioned.crash(0).unwrap();
+                let a = legacy.recover().unwrap();
+                let b = sessioned.recover().unwrap();
+                assert!(a.matches_oracle && b.matches_oracle);
+                assert_eq!(a.repaired, b.repaired);
+                for i in 0..legacy.num_servers() {
+                    assert_eq!(
+                        legacy.server(i).current_state(),
+                        sessioned.server(i).current_state()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -109,6 +109,39 @@ impl ClosureKernel {
         self.k
     }
 
+    /// Whether `other` was built over a machine with the identical flat
+    /// transition table (same state count, event count and successors).
+    ///
+    /// Two machines with equal tables have identical closure behavior.
+    pub fn same_transitions(&self, other: &ClosureKernel) -> bool {
+        self.n == other.n && self.k == other.k && self.succ == other.succ
+    }
+
+    /// Whether this kernel was built over a machine with `machine`'s exact
+    /// transition table — [`ClosureKernel::same_transitions`] streamed
+    /// against the machine itself, with no table allocation.
+    ///
+    /// This is the test [`crate::FusionSession`] runs on **every** call to
+    /// decide whether its per-machine context (kernel, pool handle, closure
+    /// cache) is still valid, so it must be cheaper than building a kernel:
+    /// it early-exits on the first differing successor.
+    pub fn matches_machine(&self, machine: &Dfsm) -> bool {
+        if self.n != machine.size() || self.k != machine.alphabet().len() {
+            return false;
+        }
+        let mut succ = self.succ.iter();
+        for e in 0..self.k {
+            for x in 0..self.n {
+                if *succ.next().expect("succ has n*k entries")
+                    != machine.next(StateId(x), EventId(e)).index() as u32
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// The finest closed partition coarser than or equal to `partition`
     /// (see [`close`]).
     pub fn close(&self, partition: &Partition) -> Result<Partition> {

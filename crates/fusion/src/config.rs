@@ -1,0 +1,300 @@
+//! Explicit configuration for the fusion engines: [`FusionConfig`] and the
+//! knobs it bundles.
+//!
+//! Before the session API, engine selection lived in the
+//! `FSM_FUSION_WORKERS` environment variable and was re-read on **every**
+//! call to [`crate::generate_fusion`] / [`crate::enumerate_lattice`].  A
+//! [`FusionConfig`] makes every choice explicit and resolves the
+//! environment **once**, at [`FusionConfig::from_env`]:
+//!
+//! * [`Engine`] — which Algorithm-2 / lattice engine runs the descent,
+//! * the worker count for the pooled engines and the parallel product
+//!   builder,
+//! * [`ProductStrategy`] (re-exported from [`fsm_dfsm`]) — how the
+//!   reachable cross product is constructed,
+//! * [`CachePolicy`] — whether the session keeps a cross-call closure
+//!   cache, and how large it may grow.
+//!
+//! **Precedence.**  Explicit builder calls beat the environment snapshot,
+//! which beats the defaults: a worker count set through
+//! [`FusionConfig::workers`] wins even on a config created by
+//! [`FusionConfig::from_env`], and likewise for [`FusionConfig::engine`].
+//! The pure resolution rules are pinned by unit tests here (no environment
+//! mutation needed) and by `tests/session_properties.rs`.
+//!
+//! Build the configured session with [`FusionConfig::build`].
+
+use fsm_dfsm::parse_workers;
+pub use fsm_dfsm::ProductStrategy;
+
+use crate::session::FusionSession;
+
+/// Which Algorithm-2 / lattice engine a [`FusionSession`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pick from the resolved worker count: [`Engine::Pooled`] when more
+    /// than one worker is configured, [`Engine::Sequential`] otherwise —
+    /// the pre-session dispatch rule of [`crate::generate_fusion`].
+    #[default]
+    Auto,
+    /// The canonical single-threaded descent
+    /// ([`crate::generate_fusion_seq`]).
+    Sequential,
+    /// The batched engine over the **persistent process-wide** worker pool
+    /// ([`crate::generate_fusion_par`]); the session holds one pool handle
+    /// for its lifetime.
+    Pooled,
+    /// The batched engine over a **freshly spawned private pool** whose
+    /// threads are joined when the session's machine context is dropped —
+    /// the cold-start behavior kept for benchmarking
+    /// ([`crate::generate_fusion_par_spawn`]).
+    Spawn,
+}
+
+impl Engine {
+    /// Parses the `FSM_FUSION_ENGINE` environment convention:
+    /// `seq`/`sequential`, `pooled`, `spawn`, or `auto`.  Unknown values
+    /// fall back to [`Engine::Auto`] (matching how unparseable
+    /// `FSM_FUSION_WORKERS` values fall back to sequential).
+    pub fn parse(value: &str) -> Engine {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "seq" | "sequential" => Engine::Sequential,
+            "pooled" => Engine::Pooled,
+            "spawn" => Engine::Spawn,
+            _ => Engine::Auto,
+        }
+    }
+}
+
+/// How a [`FusionSession`]'s cross-call closure cache behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// No cache: every candidate closure is recomputed, exactly like the
+    /// free-function engines.
+    Disabled,
+    /// Keep closures across calls, bounded to this many cached **elements**
+    /// (entries × `|⊤|`, i.e. roughly `8 × bound` bytes); the whole cache
+    /// is cleared when an insertion would exceed the bound.
+    Bounded(usize),
+}
+
+impl CachePolicy {
+    /// The default bound: 4 Mi cached elements (≈ 32 MiB of assignments),
+    /// which holds several thousand cached closures at `|⊤| = 729`.
+    pub const DEFAULT_BOUND: usize = 1 << 22;
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy::Bounded(Self::DEFAULT_BOUND)
+    }
+}
+
+/// Builder for a [`FusionSession`]: engine, worker count, product-builder
+/// strategy and cache policy, with the environment consulted only when (and
+/// once, at the moment) [`FusionConfig::from_env`] is used.
+///
+/// ```
+/// use fsm_fusion_core::{CachePolicy, Engine, FusionConfig};
+///
+/// let mut session = FusionConfig::new()
+///     .engine(Engine::Sequential)
+///     .cache(CachePolicy::Bounded(1 << 20))
+///     .build();
+/// assert_eq!(session.engine(), Engine::Sequential);
+/// # let _ = &mut session;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FusionConfig {
+    engine: Option<Engine>,
+    env_engine: Option<Engine>,
+    workers: Option<usize>,
+    env_workers: Option<usize>,
+    product: ProductStrategy,
+    cache: CachePolicy,
+}
+
+impl FusionConfig {
+    /// A config with the explicit defaults: [`Engine::Auto`], one worker,
+    /// [`ProductStrategy::Auto`], the default bounded cache — and **no**
+    /// environment consultation, ever.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A config whose `Auto` fallbacks are snapshotted from the environment
+    /// **now**: `FSM_FUSION_WORKERS` (worker count, the same convention as
+    /// [`fsm_dfsm::configured_workers`]) and `FSM_FUSION_ENGINE` (engine, see
+    /// [`Engine::parse`]).  Later changes to the environment do not affect
+    /// the config, and explicit [`FusionConfig::workers`] /
+    /// [`FusionConfig::engine`] calls still take precedence.
+    pub fn from_env() -> Self {
+        Self::from_env_values(
+            std::env::var("FSM_FUSION_ENGINE").ok().as_deref(),
+            std::env::var("FSM_FUSION_WORKERS").ok().as_deref(),
+        )
+    }
+
+    /// The pure form of [`FusionConfig::from_env`]: resolution from
+    /// explicit variable values, so the precedence rules are testable
+    /// without mutating the process environment.
+    pub fn from_env_values(engine: Option<&str>, workers: Option<&str>) -> Self {
+        FusionConfig {
+            env_engine: engine.map(Engine::parse),
+            env_workers: workers.map(parse_workers),
+            ..Self::default()
+        }
+    }
+
+    /// Sets the engine explicitly, overriding any environment snapshot.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Sets the worker count explicitly, overriding any environment
+    /// snapshot (clamped to at least one).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Sets the product-builder strategy (default
+    /// [`ProductStrategy::Auto`]).
+    pub fn product(mut self, strategy: ProductStrategy) -> Self {
+        self.product = strategy;
+        self
+    }
+
+    /// Sets the closure-cache policy (default
+    /// [`CachePolicy::Bounded`] at [`CachePolicy::DEFAULT_BOUND`]).
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self
+    }
+
+    /// The worker count this config resolves to:
+    /// **explicit > environment snapshot > 1**.
+    ///
+    /// `Engine::Auto` with an `auto` environment value resolves through
+    /// [`fsm_dfsm::configured_workers`]'s convention at snapshot time, so the count
+    /// is already concrete here.
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.or(self.env_workers).unwrap_or(1).max(1)
+    }
+
+    /// The engine this config resolves to (never [`Engine::Auto`]):
+    /// **explicit > environment snapshot > auto-detect**, where auto-detect
+    /// picks [`Engine::Pooled`] iff [`FusionConfig::resolved_workers`] is
+    /// more than one.
+    pub fn resolved_engine(&self) -> Engine {
+        match self.engine.or(self.env_engine).unwrap_or(Engine::Auto) {
+            Engine::Auto if self.resolved_workers() > 1 => Engine::Pooled,
+            Engine::Auto => Engine::Sequential,
+            explicit => explicit,
+        }
+    }
+
+    /// The product strategy this config resolves to (never
+    /// [`ProductStrategy::Auto`]): the configured strategy, with `Auto`
+    /// picking [`ProductStrategy::Parallel`] iff more than one worker is
+    /// resolved.
+    pub fn resolved_product(&self) -> ProductStrategy {
+        match self.product {
+            ProductStrategy::Auto if self.resolved_workers() > 1 => ProductStrategy::Parallel,
+            ProductStrategy::Auto => ProductStrategy::Packed,
+            explicit => explicit,
+        }
+    }
+
+    /// The configured cache policy.
+    pub fn cache_policy(&self) -> CachePolicy {
+        self.cache
+    }
+
+    /// Builds the configured [`FusionSession`].
+    pub fn build(self) -> FusionSession {
+        FusionSession::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_parse_convention() {
+        assert_eq!(Engine::parse("seq"), Engine::Sequential);
+        assert_eq!(Engine::parse(" Sequential "), Engine::Sequential);
+        assert_eq!(Engine::parse("pooled"), Engine::Pooled);
+        assert_eq!(Engine::parse("spawn"), Engine::Spawn);
+        assert_eq!(Engine::parse("auto"), Engine::Auto);
+        assert_eq!(Engine::parse("garbage"), Engine::Auto);
+    }
+
+    #[test]
+    fn precedence_explicit_beats_env_beats_default() {
+        // Workers: explicit > env > auto-detect (1).
+        assert_eq!(FusionConfig::new().resolved_workers(), 1);
+        let env = FusionConfig::from_env_values(None, Some("4"));
+        assert_eq!(env.resolved_workers(), 4);
+        assert_eq!(env.clone().workers(2).resolved_workers(), 2);
+        assert_eq!(env.workers(1).resolved_workers(), 1);
+
+        // Engine: explicit > env > auto-detect from the resolved workers.
+        assert_eq!(FusionConfig::new().resolved_engine(), Engine::Sequential);
+        assert_eq!(
+            FusionConfig::new().workers(4).resolved_engine(),
+            Engine::Pooled
+        );
+        let env = FusionConfig::from_env_values(Some("spawn"), Some("4"));
+        assert_eq!(env.resolved_engine(), Engine::Spawn);
+        assert_eq!(
+            env.engine(Engine::Sequential).resolved_engine(),
+            Engine::Sequential
+        );
+        // An explicitly sequential engine wins even when the env asks for
+        // workers — the regression the session API exists to fix.
+        let env = FusionConfig::from_env_values(None, Some("8"));
+        assert_eq!(env.resolved_engine(), Engine::Pooled);
+        assert_eq!(
+            env.engine(Engine::Sequential).resolved_engine(),
+            Engine::Sequential
+        );
+    }
+
+    #[test]
+    fn product_strategy_resolution_follows_workers() {
+        assert_eq!(
+            FusionConfig::new().resolved_product(),
+            ProductStrategy::Packed
+        );
+        assert_eq!(
+            FusionConfig::new().workers(3).resolved_product(),
+            ProductStrategy::Parallel
+        );
+        assert_eq!(
+            FusionConfig::new()
+                .product(ProductStrategy::Reference)
+                .resolved_product(),
+            ProductStrategy::Reference
+        );
+    }
+
+    #[test]
+    fn unparseable_env_values_fall_back() {
+        let c = FusionConfig::from_env_values(Some("bogus"), Some("bogus"));
+        assert_eq!(c.resolved_workers(), 1);
+        assert_eq!(c.resolved_engine(), Engine::Sequential);
+    }
+
+    #[test]
+    fn cache_policy_default_is_bounded() {
+        assert_eq!(
+            FusionConfig::new().cache_policy(),
+            CachePolicy::Bounded(CachePolicy::DEFAULT_BOUND)
+        );
+        let c = FusionConfig::new().cache(CachePolicy::Disabled);
+        assert_eq!(c.cache_policy(), CachePolicy::Disabled);
+    }
+}

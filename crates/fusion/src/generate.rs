@@ -34,6 +34,18 @@
 //!
 //! [`generate_fusion`] picks the engine from the `FSM_FUSION_WORKERS`
 //! environment variable ([`crate::par::configured_workers`]).
+//!
+//! ## Sessions
+//!
+//! The free functions here are thin shims kept for compatibility: each call
+//! builds a throwaway [`crate::FusionSession`] (environment snapshot,
+//! closure cache disabled), so they pay kernel construction and scratch
+//! warm-up every time.  Callers that generate more than one fusion — `f`
+//! sweeps, table rows, evolving machine sets — should hold a
+//! [`crate::FusionSession`] built from a [`crate::FusionConfig`] instead:
+//! it owns the scratch, the pool handle and a cross-call closure cache, and
+//! is pinned bit-identical to these shims by
+//! `tests/session_properties.rs`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -43,10 +55,12 @@ use fsm_dfsm::{Dfsm, ReachableProduct};
 use crate::bitset::BitsetPartition;
 use crate::closed::quotient_machine;
 use crate::closed::{CloseScratch, ClosureKernel};
+use crate::config::{CachePolicy, FusionConfig};
 use crate::error::Result;
 use crate::fault_graph::FaultGraph;
-use crate::par::{configured_workers, MergePool};
+use crate::par::MergePool;
 use crate::partition::Partition;
+use crate::session::{cached_close, ClosureCache};
 use crate::set_repr::projection_partitions;
 
 /// Statistics about a run of Algorithm 2.
@@ -108,14 +122,17 @@ impl FusionGeneration {
 /// Algorithm 2 over partitions: generates the smallest set of closed
 /// partitions `F` of `top` such that `dmin(originals ∪ F) > f`.
 ///
-/// Dispatches to [`generate_fusion_par`] when `FSM_FUSION_WORKERS` requests
-/// more than one worker (see [`configured_workers`]), and to
-/// [`generate_fusion_seq`] otherwise.  Both produce identical fusions.
+/// A thin shim over a throwaway [`crate::FusionSession`] with the
+/// environment-snapshot config ([`crate::FusionConfig::from_env`]) and the
+/// closure cache disabled: `FSM_FUSION_WORKERS` > 1 still selects the
+/// pooled engine and `FSM_FUSION_ENGINE` can pin one explicitly.  Every
+/// engine produces identical fusions; repeated callers should hold a
+/// session instead (see the [module docs](self)).
 pub fn generate_fusion(top: &Dfsm, originals: &[Partition], f: usize) -> Result<FusionGeneration> {
-    match configured_workers() {
-        w if w > 1 => generate_fusion_par(top, originals, f, w),
-        _ => generate_fusion_seq(top, originals, f),
-    }
+    FusionConfig::from_env()
+        .cache(CachePolicy::Disabled)
+        .build()
+        .generate_fusion(top, originals, f)
 }
 
 /// The sequential Algorithm 2 engine.
@@ -139,10 +156,38 @@ pub fn generate_fusion_seq(
     originals: &[Partition],
     f: usize,
 ) -> Result<FusionGeneration> {
+    seq_engine(
+        top,
+        &ClosureKernel::new(top),
+        originals,
+        f,
+        &mut CloseScratch::new(),
+        None,
+    )
+}
+
+/// The sequential engine body: the greedy descent against a caller-owned
+/// kernel, scratch and (optionally) closure cache.  [`generate_fusion_seq`]
+/// passes fresh buffers and no cache; [`crate::FusionSession`] threads its
+/// own through, so repeated searches reuse warm buffers and cached
+/// closures.  A cache hit replaces the closure fixpoint with one buffer
+/// copy and never changes the result or the statistics.
+pub(crate) fn seq_engine(
+    top: &Dfsm,
+    kernel: &ClosureKernel,
+    originals: &[Partition],
+    f: usize,
+    scratch: &mut CloseScratch,
+    mut cache: Option<&mut ClosureCache>,
+) -> Result<FusionGeneration> {
     let start = Instant::now();
     let n = top.size();
-    let kernel = ClosureKernel::new(top);
-    let mut graph = FaultGraph::from_partitions(n, originals);
+    // The initial fault graph only depends on (n, originals); a session
+    // sweeping f over the same inputs gets a clone of the cached build.
+    let mut graph = match cache.as_mut() {
+        Some(c) => c.initial_graph(n, originals),
+        None => FaultGraph::from_partitions(n, originals),
+    };
     let mut stats = GenerationStats {
         initial_dmin: graph.dmin(),
         ..Default::default()
@@ -150,7 +195,6 @@ pub fn generate_fusion_seq(
     let mut partitions: Vec<Partition> = Vec::new();
     // Search-lifetime buffers: every candidate closure of every descent of
     // every outer iteration reuses these.
-    let mut scratch = CloseScratch::new();
     let mut candidate = Partition::singletons(n);
     let mut forbidden = PairBits::default();
     let mut current_bits = BitsetPartition::singletons(0);
@@ -196,6 +240,9 @@ pub fn generate_fusion_seq(
                 let (a, b) = (current.block_of(i), current.block_of(j));
                 forbidden.set(a.min(b), a.max(b));
             }
+            // One cache key per level: the merges below are all merges of
+            // `current`, so the fingerprint is computed once.
+            let level = cache.as_mut().and_then(|c| c.level_key(&current));
             let mut idx = 0usize;
             for b1 in 0..k {
                 for b2 in (b1 + 1)..k {
@@ -203,7 +250,16 @@ pub fn generate_fusion_seq(
                     if forbidden.get(b1, b2) {
                         continue;
                     }
-                    kernel.close_merged_into(&mut scratch, &current, b1, b2, &mut candidate)?;
+                    cached_close(
+                        kernel,
+                        scratch,
+                        &mut cache,
+                        level,
+                        &current,
+                        b1,
+                        b2,
+                        &mut candidate,
+                    )?;
                     if FaultGraph::covers_all(&candidate, &weakest) {
                         stats.candidates_examined += idx;
                         std::mem::swap(&mut current, &mut candidate);
@@ -310,8 +366,16 @@ pub fn generate_fusion_par(
     workers: usize,
 ) -> Result<FusionGeneration> {
     let kernel = Arc::new(ClosureKernel::new(top));
-    let pool = MergePool::attach(Arc::clone(&kernel), workers);
-    generate_fusion_pooled(top, &kernel, pool, originals, f)
+    let mut pool = MergePool::attach(Arc::clone(&kernel), workers);
+    pooled_engine(
+        top,
+        &kernel,
+        &mut pool,
+        originals,
+        f,
+        &mut CloseScratch::new(),
+        None,
+    )
 }
 
 /// [`generate_fusion_par`] with a **freshly spawned standalone pool** whose
@@ -328,30 +392,45 @@ pub fn generate_fusion_par_spawn(
     workers: usize,
 ) -> Result<FusionGeneration> {
     let kernel = Arc::new(ClosureKernel::new(top));
-    let pool = MergePool::spawn_standalone(Arc::clone(&kernel), workers);
-    generate_fusion_pooled(top, &kernel, pool, originals, f)
+    let mut pool = MergePool::spawn_standalone(Arc::clone(&kernel), workers);
+    pooled_engine(
+        top,
+        &kernel,
+        &mut pool,
+        originals,
+        f,
+        &mut CloseScratch::new(),
+        None,
+    )
 }
 
 /// Shared body of the pooled engines: the batched greedy descent against an
-/// already-attached pool.
-fn generate_fusion_pooled(
+/// already-attached pool, with caller-owned scratch and (optionally) the
+/// session's closure cache serving the inline probe.  Fanned-out batches
+/// are evaluated on the workers and bypass the cache — only the inline
+/// fast path (the overwhelmingly common case) consults it.
+pub(crate) fn pooled_engine(
     top: &Dfsm,
     kernel: &ClosureKernel,
-    mut pool: MergePool,
+    pool: &mut MergePool,
     originals: &[Partition],
     f: usize,
+    scratch: &mut CloseScratch,
+    mut cache: Option<&mut ClosureCache>,
 ) -> Result<FusionGeneration> {
     let start = Instant::now();
     let n = top.size();
-    let mut graph = FaultGraph::from_partitions(n, originals);
+    // Same initial-graph reuse as the sequential engine.
+    let mut graph = match cache.as_mut() {
+        Some(c) => c.initial_graph(n, originals),
+        None => FaultGraph::from_partitions(n, originals),
+    };
     let mut stats = GenerationStats {
         initial_dmin: graph.dmin(),
         ..Default::default()
     };
     let mut partitions: Vec<Partition> = Vec::new();
     let mut forbidden = PairBits::default();
-    // Caller-thread scratch for the inline fast path below.
-    let mut scratch = CloseScratch::new();
     let mut candidate = Partition::singletons(n);
     let mut current_bits = BitsetPartition::singletons(0);
 
@@ -371,6 +450,8 @@ fn generate_fusion_pooled(
                 let (a, b) = (current.block_of(i), current.block_of(j));
                 forbidden.set(a.min(b), a.max(b));
             }
+            // One cache key per level, shared by every inline probe below.
+            let level = cache.as_mut().and_then(|c| c.level_key(&current));
             // Lazy enumeration in the sequential order, so an early covering
             // candidate stops the level after the inline probe — materializing
             // all k(k-1)/2 pairs up front would dominate the fast levels.
@@ -392,7 +473,16 @@ fn generate_fusion_pooled(
             let mut inline_left = pool.batch_size();
             let mut probe_exhausted = true;
             for (idx, b1, b2) in pair_iter.by_ref() {
-                kernel.close_merged_into(&mut scratch, &current, b1, b2, &mut candidate)?;
+                cached_close(
+                    kernel,
+                    scratch,
+                    &mut cache,
+                    level,
+                    &current,
+                    b1,
+                    b2,
+                    &mut candidate,
+                )?;
                 if FaultGraph::covers_all(&candidate, &weakest) {
                     stats.candidates_examined += idx + 1;
                     std::mem::swap(&mut current, &mut candidate);

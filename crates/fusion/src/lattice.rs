@@ -24,9 +24,11 @@ use fsm_dfsm::Dfsm;
 
 use crate::bitset::BitsetPartition;
 use crate::closed::{is_closed, CloseScratch, ClosureKernel};
+use crate::config::{CachePolicy, FusionConfig};
 use crate::error::Result;
-use crate::par::{configured_workers, MergePool};
+use crate::par::MergePool;
 use crate::partition::Partition;
+use crate::session::{cached_close, ClosureCache};
 
 /// Computes the lower cover of a closed partition `p` of `top`: the maximal
 /// closed partitions strictly less than `p`.
@@ -46,7 +48,7 @@ pub fn lower_cover(top: &Dfsm, p: &Partition) -> Result<Vec<Partition>> {
 /// and duplicate candidates are removed.  The maximality filter converts
 /// each candidate to bitset form once and compares word-at-a-time.
 pub fn lower_cover_with(kernel: &ClosureKernel, p: &Partition) -> Result<Vec<Partition>> {
-    lower_cover_impl(kernel, p, None)
+    lower_cover_impl(kernel, p, None, &mut CloseScratch::new(), None)
 }
 
 /// [`lower_cover`] with the pairwise merges closed in parallel over
@@ -56,17 +58,32 @@ pub fn lower_cover_par(top: &Dfsm, p: &Partition, workers: usize) -> Result<Vec<
     debug_assert!(is_closed(top, p));
     let kernel = Arc::new(ClosureKernel::new(top));
     let mut pool = MergePool::attach(Arc::clone(&kernel), workers);
-    lower_cover_impl(&kernel, p, Some(&mut pool))
+    lower_cover_impl(&kernel, p, Some(&mut pool), &mut CloseScratch::new(), None)
+}
+
+/// The session entry point: lower cover against the session's kernel,
+/// optional pool handle, scratch and closure cache.
+pub(crate) fn lower_cover_session(
+    kernel: &ClosureKernel,
+    p: &Partition,
+    pool: Option<&mut MergePool>,
+    scratch: &mut CloseScratch,
+    cache: Option<&mut ClosureCache>,
+) -> Result<Vec<Partition>> {
+    lower_cover_impl(kernel, p, pool, scratch, cache)
 }
 
 /// Shared lower-cover body: closes every pairwise merge (through the pool
-/// when one is given; through one reused [`CloseScratch`] otherwise), then
-/// filters to the maximal candidates.  Only candidates actually entering
-/// the output set are cloned out of the scratch buffer.
+/// when one is given; through the caller's [`CloseScratch`] — and, for a
+/// session, its closure cache — otherwise), then filters to the maximal
+/// candidates.  Only candidates actually entering the output set are cloned
+/// out of the scratch buffer.
 fn lower_cover_impl(
     kernel: &ClosureKernel,
     p: &Partition,
     pool: Option<&mut MergePool>,
+    scratch: &mut CloseScratch,
+    mut cache: Option<&mut ClosureCache>,
 ) -> Result<Vec<Partition>> {
     let k = p.num_blocks();
     let mut candidates: BTreeSet<Partition> = BTreeSet::new();
@@ -82,11 +99,11 @@ fn lower_cover_impl(
             }
         }
         None => {
-            let mut scratch = CloseScratch::new();
+            let level = cache.as_mut().and_then(|c| c.level_key(p));
             let mut closed = Partition::singletons(0);
             for b1 in 0..k {
                 for b2 in (b1 + 1)..k {
-                    kernel.close_merged_into(&mut scratch, p, b1, b2, &mut closed)?;
+                    cached_close(kernel, scratch, &mut cache, level, p, b1, b2, &mut closed)?;
                     if &closed != p && !candidates.contains(&closed) {
                         candidates.insert(closed.clone());
                     }
@@ -185,19 +202,16 @@ impl ClosedPartitionLattice {
 /// Enumerates every closed partition of `top` by breadth-first descent from
 /// the singleton partition, stopping after `limit` elements.
 ///
-/// Consults `FSM_FUSION_WORKERS` ([`configured_workers`]): with more than
-/// one worker requested the lower covers are closed through a shared
-/// `par::MergePool`, producing the identical lattice.
+/// A thin shim over a throwaway [`crate::FusionSession`] with the
+/// environment-snapshot config ([`crate::FusionConfig::from_env`]) and the
+/// closure cache disabled: `FSM_FUSION_WORKERS` > 1 still closes the lower
+/// covers through the shared `par::MergePool`, producing the identical
+/// lattice.  Repeated enumerations should hold a session.
 pub fn enumerate_lattice(top: &Dfsm, limit: usize) -> Result<ClosedPartitionLattice> {
-    let kernel = ClosureKernel::new(top);
-    match configured_workers() {
-        w if w > 1 => {
-            let kernel = Arc::new(kernel);
-            let mut pool = MergePool::attach(Arc::clone(&kernel), w);
-            enumerate_lattice_impl(top, &kernel, limit, Some(&mut pool))
-        }
-        _ => enumerate_lattice_impl(top, &kernel, limit, None),
-    }
+    FusionConfig::from_env()
+        .cache(CachePolicy::Disabled)
+        .build()
+        .enumerate_lattice(top, limit)
 }
 
 /// [`enumerate_lattice`] with every lower cover's pairwise merges closed in
@@ -210,7 +224,27 @@ pub fn enumerate_lattice_par(
 ) -> Result<ClosedPartitionLattice> {
     let kernel = Arc::new(ClosureKernel::new(top));
     let mut pool = MergePool::attach(Arc::clone(&kernel), workers);
-    enumerate_lattice_impl(top, &kernel, limit, Some(&mut pool))
+    enumerate_lattice_impl(
+        top,
+        &kernel,
+        limit,
+        Some(&mut pool),
+        &mut CloseScratch::new(),
+        None,
+    )
+}
+
+/// The session entry point: lattice enumeration against the session's
+/// kernel, optional pool handle, scratch and closure cache.
+pub(crate) fn enumerate_lattice_session(
+    top: &Dfsm,
+    kernel: &ClosureKernel,
+    limit: usize,
+    pool: Option<&mut MergePool>,
+    scratch: &mut CloseScratch,
+    cache: Option<&mut ClosureCache>,
+) -> Result<ClosedPartitionLattice> {
+    enumerate_lattice_impl(top, kernel, limit, pool, scratch, cache)
 }
 
 fn enumerate_lattice_impl(
@@ -218,13 +252,21 @@ fn enumerate_lattice_impl(
     kernel: &ClosureKernel,
     limit: usize,
     mut pool: Option<&mut MergePool>,
+    scratch: &mut CloseScratch,
+    mut cache: Option<&mut ClosureCache>,
 ) -> Result<ClosedPartitionLattice> {
     let mut seen: BTreeSet<Partition> = BTreeSet::new();
     let mut frontier: Vec<Partition> = vec![Partition::singletons(top.size())];
     seen.insert(frontier[0].clone());
     let mut truncated = false;
     'explore: while let Some(p) = frontier.pop() {
-        for q in lower_cover_impl(kernel, &p, pool.as_deref_mut())? {
+        for q in lower_cover_impl(
+            kernel,
+            &p,
+            pool.as_deref_mut(),
+            scratch,
+            cache.as_deref_mut(),
+        )? {
             if seen.len() >= limit {
                 truncated = true;
                 break 'explore;

@@ -22,10 +22,15 @@
 //!   crash/Byzantine tolerance theorems (§3, Theorems 1–2).
 //! * [`set_repr`] — Algorithm 1: the set representation of machine states
 //!   (§5, Fig. 5).
+//! * [`FusionSession`] / [`FusionConfig`] — the **recommended entry
+//!   point**: a config-driven session (engine, worker count, product
+//!   strategy, cache policy resolved once) that owns scratch buffers, the
+//!   pool handle and a cross-call closure cache (module [`mod@session`]).
 //! * [`generate_fusion`] — Algorithm 2: minimal fusion generation (§5.1,
 //!   Theorem 5), with a sequential engine ([`generate_fusion_seq`]) and a
 //!   crossbeam-backed parallel engine ([`generate_fusion_par`], module
-//!   [`mod@par`]) pinned to produce identical fusions.
+//!   [`mod@par`]) pinned to produce identical fusions; the free functions
+//!   are thin shims over one-shot sessions.
 //! * [`RecoveryEngine`] — Algorithm 3: vote-based recovery from crash and
 //!   Byzantine faults (§5.2, Theorem 6).
 //! * [`theory`] — executable forms of Definitions 5–6 and Theorems 3–5.
@@ -79,6 +84,7 @@
 
 pub mod bitset;
 pub mod closed;
+pub mod config;
 mod error;
 pub mod fault_graph;
 pub mod generate;
@@ -90,11 +96,13 @@ pub mod reference;
 pub mod replication;
 pub mod report;
 pub mod search;
+pub mod session;
 pub mod set_repr;
 pub mod theory;
 
 pub use bitset::{BitsetPartition, BlockMatrix};
 pub use closed::{check_closed, close, is_closed, quotient_machine, CloseScratch, ClosureKernel};
+pub use config::{CachePolicy, Engine, FusionConfig, ProductStrategy};
 pub use error::{FusionError, Result};
 pub use fault_graph::FaultGraph;
 #[doc(hidden)]
@@ -116,6 +124,7 @@ pub use replication::{
 };
 pub use report::FusionReport;
 pub use search::{exhaustive_minimum_fusion, ExhaustiveSearch};
+pub use session::{CacheStats, FusionSession};
 pub use set_repr::{
     projection_partition, projection_partitions, set_representation, set_representations,
 };

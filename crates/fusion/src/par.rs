@@ -113,7 +113,7 @@ static EPOCH: AtomicU64 = AtomicU64::new(0);
 /// registry for every future search.  A contained panic is reported back as
 /// [`FusionError::WorkerPanicked`] and the (possibly poisoned) scratch
 /// buffers are replaced before the next job.
-fn worker_loop(jobs: Receiver<Job>) {
+fn worker_loop(worker: usize, jobs: Receiver<Job>) {
     let mut scratch = CloseScratch::new();
     let mut out = Partition::singletons(0);
     while let Ok(job) = jobs.recv() {
@@ -133,7 +133,7 @@ fn worker_loop(jobs: Receiver<Job>) {
             Err(_) => {
                 scratch = CloseScratch::new();
                 out = Partition::singletons(0);
-                Err(FusionError::WorkerPanicked)
+                Err(FusionError::WorkerPanicked { worker })
             }
         };
         // A send failure means the issuing search is gone; keep serving.
@@ -173,7 +173,10 @@ impl MergePool {
             let mut guard = registry.lock().expect("merge pool registry poisoned");
             while guard.len() < workers {
                 let (tx, rx) = unbounded::<Job>();
-                std::thread::spawn(move || worker_loop(rx));
+                // The worker's id is its index in the global registry, so a
+                // `WorkerPanicked { worker }` error names a stable thread.
+                let id = guard.len();
+                std::thread::spawn(move || worker_loop(id, rx));
                 guard.push(tx);
             }
             guard[..workers].to_vec()
@@ -187,9 +190,9 @@ impl MergePool {
     pub(crate) fn spawn_standalone(kernel: Arc<ClosureKernel>, workers: usize) -> Self {
         let mut senders = Vec::new();
         let mut handles = Vec::new();
-        for _ in 0..workers.max(1) {
+        for id in 0..workers.max(1) {
             let (tx, rx) = unbounded::<Job>();
-            handles.push(std::thread::spawn(move || worker_loop(rx)));
+            handles.push(std::thread::spawn(move || worker_loop(id, rx)));
             senders.push(tx);
         }
         Self::with_senders(kernel, senders, handles)
@@ -457,7 +460,16 @@ mod tests {
         let p = Arc::new(Partition::singletons(4));
         let weakest = Arc::new(Vec::new());
         let err = pool.eval_batch(&p, &weakest, &[(0, 999, 1000)]);
-        assert!(matches!(err, Err(FusionError::WorkerPanicked)));
+        match err {
+            Err(FusionError::WorkerPanicked { worker }) => {
+                // The id names a registry slot this pool actually borrowed,
+                // and the Display form surfaces it.
+                assert!(worker < 2);
+                let msg = FusionError::WorkerPanicked { worker }.to_string();
+                assert!(msg.contains(&format!("worker {worker}")));
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
         // The same handle keeps working...
         let ok = pool.eval_batch(&p, &weakest, &[(0, 0, 1)]).unwrap();
         assert!(ok.is_some());

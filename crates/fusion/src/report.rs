@@ -13,7 +13,7 @@ use std::time::Duration;
 use fsm_dfsm::Dfsm;
 
 use crate::error::Result;
-use crate::generate::{generate_fusion_for_machines, GenerationStats};
+use crate::generate::GenerationStats;
 use crate::replication::{fusion_state_space, replication_state_space};
 
 /// A single row of the evaluation table.
@@ -40,9 +40,34 @@ pub struct FusionReport {
 impl FusionReport {
     /// Runs the full pipeline (cross product → Algorithm 2) for a machine
     /// set and records the results.
+    ///
+    /// A thin shim over a throwaway environment-configured
+    /// [`crate::FusionSession`]; multi-row measurements should use
+    /// [`FusionReport::measure_with`] so the rows share one session.
     pub fn measure(label: impl Into<String>, machines: &[Dfsm], f: usize) -> Result<Self> {
+        Self::measure_with(
+            &mut crate::config::FusionConfig::from_env()
+                .cache(crate::config::CachePolicy::Disabled)
+                .build(),
+            label,
+            machines,
+            f,
+        )
+    }
+
+    /// [`FusionReport::measure`] through a caller-owned
+    /// [`crate::FusionSession`]: the product is built with the session's
+    /// strategy and the generation reuses its scratch, pool handle and
+    /// closure cache (repeated rows or `f` sweeps over the same machine set
+    /// hit the cache).
+    pub fn measure_with(
+        session: &mut crate::session::FusionSession,
+        label: impl Into<String>,
+        machines: &[Dfsm],
+        f: usize,
+    ) -> Result<Self> {
         let start = std::time::Instant::now();
-        let (product, fusion) = generate_fusion_for_machines(machines, f)?;
+        let (product, fusion) = session.generate_fusion_for_machines(machines, f)?;
         let elapsed = start.elapsed();
         Ok(FusionReport {
             label: label.into(),

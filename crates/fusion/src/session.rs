@@ -1,0 +1,775 @@
+//! [`FusionSession`] — the stateful, explicitly configured entry point to
+//! the fusion engines.
+//!
+//! The free functions ([`crate::generate_fusion`],
+//! [`crate::enumerate_lattice`], …) re-derive everything on every call:
+//! they re-read `FSM_FUSION_WORKERS`, rebuild scratch buffers, re-attach
+//! pool handles and recompute every candidate closure from nothing.  A
+//! `FusionSession` — built once from a [`FusionConfig`] — owns all of that
+//! across calls:
+//!
+//! * the resolved engine and worker count (environment resolved **once**,
+//!   at config build, and only as the `Auto` fallback),
+//! * one [`CloseScratch`] serving every sequential/inline closure of the
+//!   session's lifetime,
+//! * a per-machine context: the [`ClosureKernel`] and (for the pooled
+//!   engines) the `MergePool` handle, rebuilt only when the top machine
+//!   actually changes,
+//! * a [`fsm_dfsm::ProductBuilder`] configuration for
+//!   [`FusionSession::build_product`],
+//! * and — the new capability — a **cross-call closure cache** keyed by
+//!   packed partition fingerprints: repeated [`FusionSession::generate_fusion`]
+//!   calls over the same `⊤` (sweeping `f = 1..=3`, re-scoring table rows,
+//!   multi-scenario workloads) reuse the lower-cover closures computed by
+//!   earlier descents instead of running the fixpoint again.  Cache hits
+//!   replace a union-find closure fixpoint with one buffer copy; the cache
+//!   never changes results, only speed
+//!   (`tests/session_properties.rs` pins cached and cold runs
+//!   bit-identical, and `BENCH_fusion.json` tracks the
+//!   `speedup_cached_vs_cold` ratio).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fsm_fusion_core::{Engine, FusionConfig};
+//! # use fsm_dfsm::DfsmBuilder;
+//! # let mut machines = Vec::new();
+//! # for (name, event) in [("A", "0"), ("B", "1")] {
+//! #     let mut b = DfsmBuilder::new(name);
+//! #     for i in 0..3 { b.add_state(format!("{name}{i}")); }
+//! #     b.set_initial(format!("{name}0"));
+//! #     for i in 0..3 {
+//! #         b.add_transition(format!("{name}{i}"), event, format!("{name}{}", (i + 1) % 3));
+//! #     }
+//! #     b.add_self_loops(if event == "0" { "1" } else { "0" });
+//! #     machines.push(b.build().unwrap());
+//! # }
+//!
+//! // `machines` are the paper's Figure-1 mod-3 counters.
+//! let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+//! let (product, fusion) = session.generate_fusion_for_machines(&machines, 1).unwrap();
+//! assert_eq!(product.size(), 9);
+//! assert_eq!(fusion.machine_sizes(), vec![3]);
+//!
+//! // A second call over the same `⊤` reuses the cached closures.
+//! let again = session
+//!     .generate_fusion(product.top(),
+//!                      &fsm_fusion_core::projection_partitions(&product), 2)
+//!     .unwrap();
+//! assert_eq!(again.len(), 2);
+//! assert!(session.cache_stats().hits > 0);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fsm_dfsm::{Dfsm, ProductBuilder, ReachableProduct};
+
+use crate::closed::{CloseScratch, ClosureKernel};
+use crate::config::{CachePolicy, Engine, FusionConfig, ProductStrategy};
+use crate::error::Result;
+use crate::fault_graph::FaultGraph;
+use crate::generate::{pooled_engine, seq_engine, FusionGeneration};
+use crate::lattice::{enumerate_lattice_session, lower_cover_session, ClosedPartitionLattice};
+use crate::par::MergePool;
+use crate::partition::Partition;
+use crate::set_repr::projection_partitions;
+
+/// Running counters of the session's closure cache.
+///
+/// `hits + misses` is the number of cache consultations (one per candidate
+/// closure while the cache is enabled); `insertions` counts stored
+/// closures; `clears` counts whole-cache resets (bound exceeded or top
+/// machine changed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Candidate closures answered from the cache.
+    pub hits: u64,
+    /// Candidate closures that had to run the fixpoint.
+    pub misses: u64,
+    /// Closures stored into the cache.
+    pub insertions: u64,
+    /// Whole-cache resets.
+    pub clears: u64,
+    /// Initial fault graphs answered from the cached copy (same `⊤` and
+    /// same originals as a previous call, e.g. along an `f` sweep).
+    pub graph_hits: u64,
+    /// Initial fault graphs that had to be rebuilt from the originals.
+    pub graph_misses: u64,
+}
+
+/// SplitMix64-style avalanche step for the partition fingerprints.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Packed fingerprint of a partition's canonical block assignment.
+fn fingerprint(assignment: &[usize]) -> u64 {
+    let mut acc = 0x9E37_79B9_7F4A_7C15u64 ^ (assignment.len() as u64);
+    for &b in assignment {
+        acc = mix(acc ^ (b as u64).wrapping_add(0xA076_1D64_78BD_642F));
+    }
+    acc
+}
+
+/// Cached merges of one descent level: the closures of pairwise block
+/// merges of one `current` partition.
+struct LevelEntry {
+    /// Full canonical assignment of the level's partition, verified on
+    /// every lookup so a fingerprint collision can only cost performance
+    /// (the colliding level bypasses the cache), never correctness.
+    assignment: Vec<u32>,
+    /// `(b1 << 32 | b2)` → closed merge.
+    merges: HashMap<u64, Partition>,
+}
+
+/// The cross-call closure cache: partition-fingerprint → level entry →
+/// per-merge closed partitions, bounded by a total cached-element budget.
+pub(crate) struct ClosureCache {
+    levels: HashMap<u64, LevelEntry>,
+    /// Maximum total cached elements (assignments of levels + merges).
+    bound: usize,
+    /// Current total cached elements.
+    elements: usize,
+    /// One cached initial fault graph: `(n, originals, graph)`.  Every
+    /// generation starts by folding the originals into a fresh graph —
+    /// `O(m · n²)` word work that is identical across an `f` sweep — so
+    /// the session keeps the last one and clones it out on an exact
+    /// originals match (a single slot, deliberately outside the element
+    /// bound).
+    graph: Option<(usize, Vec<Partition>, FaultGraph)>,
+    stats: CacheStats,
+}
+
+impl ClosureCache {
+    fn new(bound: usize) -> Self {
+        ClosureCache {
+            levels: HashMap::new(),
+            bound,
+            elements: 0,
+            graph: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Drops every cached closure and the cached fault graph (counted in
+    /// [`CacheStats::clears`]); the counters themselves survive.
+    pub(crate) fn clear(&mut self) {
+        self.levels.clear();
+        self.elements = 0;
+        self.graph = None;
+        self.stats.clears += 1;
+    }
+
+    /// The fault graph of `originals` over an `n`-state `⊤`: a clone of
+    /// the cached copy when `originals` matches the last call **exactly**
+    /// (full `Vec<Partition>` equality, so a hit is bit-identical to a
+    /// rebuild by construction), a fresh build otherwise.
+    pub(crate) fn initial_graph(&mut self, n: usize, originals: &[Partition]) -> FaultGraph {
+        if let Some((gn, key, g)) = &self.graph {
+            if *gn == n && key.as_slice() == originals {
+                self.stats.graph_hits += 1;
+                return g.clone();
+            }
+        }
+        let g = FaultGraph::from_partitions(n, originals);
+        self.graph = Some((n, originals.to_vec(), g.clone()));
+        self.stats.graph_misses += 1;
+        g
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resolves the cache key of one descent level (the `current`
+    /// partition whose pairwise merges are being scored), creating the
+    /// entry on first sight.  Returns `None` when a fingerprint collision
+    /// makes the cache unusable for this level.
+    pub(crate) fn level_key(&mut self, current: &Partition) -> Option<u64> {
+        let assignment = current.assignment();
+        let fp = fingerprint(assignment);
+        if let Some(entry) = self.levels.get(&fp) {
+            let same = entry.assignment.len() == assignment.len()
+                && entry
+                    .assignment
+                    .iter()
+                    .zip(assignment)
+                    .all(|(&a, &b)| a as usize == b);
+            return same.then_some(fp);
+        }
+        if self.elements + assignment.len() > self.bound {
+            self.clear();
+        }
+        self.elements += assignment.len();
+        self.levels.insert(
+            fp,
+            LevelEntry {
+                assignment: assignment.iter().map(|&b| b as u32).collect(),
+                merges: HashMap::new(),
+            },
+        );
+        Some(fp)
+    }
+
+    /// Copies the cached closure of merging blocks `b1`/`b2` of the level's
+    /// partition into `out`, if present.
+    pub(crate) fn lookup(&mut self, level: u64, b1: usize, b2: usize, out: &mut Partition) -> bool {
+        let cached = self
+            .levels
+            .get(&level)
+            .and_then(|e| e.merges.get(&Self::merge_key(b1, b2)));
+        match cached {
+            Some(p) => {
+                out.copy_from(p);
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Stores the closure of merging blocks `b1`/`b2` of the level's
+    /// partition.  A no-op when the level entry vanished in a bound-clear;
+    /// exceeding the bound clears the whole cache instead of storing.
+    pub(crate) fn insert(&mut self, level: u64, b1: usize, b2: usize, closed: &Partition) {
+        if !self.levels.contains_key(&level) {
+            return;
+        }
+        if self.elements + closed.len() > self.bound {
+            self.clear();
+            return;
+        }
+        let entry = self.levels.get_mut(&level).expect("checked above");
+        entry.merges.insert(Self::merge_key(b1, b2), closed.clone());
+        self.elements += closed.len();
+        self.stats.insertions += 1;
+    }
+
+    fn merge_key(b1: usize, b2: usize) -> u64 {
+        ((b1 as u64) << 32) | b2 as u64
+    }
+}
+
+/// Closes blocks `b1`/`b2` of `current` into `out`, answering from the
+/// session cache when one is threaded through: lookup → closure fixpoint →
+/// insert.  This is the **single** cache probe shared by both descent
+/// engines and the lattice lower cover, so the cache protocol cannot
+/// silently diverge between the paths the test suite pins as identical.
+#[allow(clippy::too_many_arguments)] // one slot per engine-loop buffer, same as product::finish
+pub(crate) fn cached_close(
+    kernel: &ClosureKernel,
+    scratch: &mut CloseScratch,
+    cache: &mut Option<&mut ClosureCache>,
+    level: Option<u64>,
+    current: &Partition,
+    b1: usize,
+    b2: usize,
+    out: &mut Partition,
+) -> Result<()> {
+    if let (Some(c), Some(lv)) = (cache.as_mut(), level) {
+        if c.lookup(lv, b1, b2, out) {
+            return Ok(());
+        }
+    }
+    kernel.close_merged_into(scratch, current, b1, b2, out)?;
+    if let (Some(c), Some(lv)) = (cache.as_mut(), level) {
+        c.insert(lv, b1, b2, out);
+    }
+    Ok(())
+}
+
+/// The session's per-machine context: rebuilt only when the top machine's
+/// transition table actually changes.
+struct TopContext {
+    kernel: Arc<ClosureKernel>,
+    /// The pool handle for [`Engine::Pooled`] (persistent global workers)
+    /// and [`Engine::Spawn`] (private threads, joined when this context is
+    /// replaced or the session drops); `None` for [`Engine::Sequential`].
+    pool: Option<MergePool>,
+}
+
+/// A configured, stateful handle onto the fusion engines — see the
+/// [module docs](self) for what it owns and caches.
+///
+/// Build one with [`FusionConfig::build`].  The session is `Send` but not
+/// `Sync`: hand each thread its own (they may still share the global
+/// worker pool underneath).
+pub struct FusionSession {
+    config: FusionConfig,
+    engine: Engine,
+    workers: usize,
+    product: ProductStrategy,
+    scratch: CloseScratch,
+    cache: Option<ClosureCache>,
+    ctx: Option<TopContext>,
+}
+
+impl std::fmt::Debug for FusionSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusionSession")
+            .field("engine", &self.engine)
+            .field("workers", &self.workers)
+            .field("product", &self.product)
+            .field("cache_stats", &self.cache_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FusionSession {
+    /// Builds a session from a config (equivalent to
+    /// [`FusionConfig::build`]).
+    pub fn new(config: FusionConfig) -> Self {
+        let engine = config.resolved_engine();
+        let workers = config.resolved_workers();
+        let product = config.resolved_product();
+        let cache = match config.cache_policy() {
+            CachePolicy::Disabled => None,
+            CachePolicy::Bounded(bound) => Some(ClosureCache::new(bound)),
+        };
+        FusionSession {
+            config,
+            engine,
+            workers,
+            product,
+            scratch: CloseScratch::new(),
+            cache,
+            ctx: None,
+        }
+    }
+
+    /// A session with the environment-snapshot configuration
+    /// ([`FusionConfig::from_env`]) — what the legacy free functions shim
+    /// onto, minus their disabled cache.
+    pub fn from_env() -> Self {
+        FusionConfig::from_env().build()
+    }
+
+    /// The config this session was built from (useful to rebuild an
+    /// equivalent session, e.g. after a worker panic).
+    pub fn config(&self) -> &FusionConfig {
+        &self.config
+    }
+
+    /// The resolved engine (never [`Engine::Auto`]).
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The resolved product strategy (never [`ProductStrategy::Auto`]).
+    pub fn product_strategy(&self) -> ProductStrategy {
+        self.product
+    }
+
+    /// Counters of the closure cache (all zero when the cache is
+    /// [`CachePolicy::Disabled`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(ClosureCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Drops every cached closure, keeping the counters.
+    pub fn clear_cache(&mut self) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.clear();
+        }
+    }
+
+    /// Builds the reachable cross product of `machines` with the session's
+    /// product strategy and worker count.
+    pub fn build_product(&self, machines: &[Dfsm]) -> Result<ReachableProduct> {
+        Ok(ProductBuilder::new()
+            .strategy(self.product)
+            .workers(self.workers)
+            .build(machines)?)
+    }
+
+    /// Algorithm 2 through the session: generates the smallest set of
+    /// closed partitions `F` of `top` such that `dmin(originals ∪ F) > f`,
+    /// on the session's engine, reusing its scratch, pool handle and
+    /// closure cache.
+    ///
+    /// Produces exactly the free functions' fusions and statistics
+    /// (`tests/session_properties.rs`); only wall-clock time differs.
+    pub fn generate_fusion(
+        &mut self,
+        top: &Dfsm,
+        originals: &[Partition],
+        f: usize,
+    ) -> Result<FusionGeneration> {
+        self.refresh_context(top);
+        let ctx = self
+            .ctx
+            .as_mut()
+            .expect("refresh_context installs a context");
+        match ctx.pool.as_mut() {
+            None => seq_engine(
+                top,
+                &ctx.kernel,
+                originals,
+                f,
+                &mut self.scratch,
+                self.cache.as_mut(),
+            ),
+            Some(pool) => pooled_engine(
+                top,
+                &ctx.kernel,
+                pool,
+                originals,
+                f,
+                &mut self.scratch,
+                self.cache.as_mut(),
+            ),
+        }
+    }
+
+    /// The whole pipeline: builds the reachable cross product with the
+    /// session's product strategy, derives the projection partitions and
+    /// runs Algorithm 2 (the session form of
+    /// [`crate::generate_fusion_for_machines`]).
+    pub fn generate_fusion_for_machines(
+        &mut self,
+        machines: &[Dfsm],
+        f: usize,
+    ) -> Result<(ReachableProduct, FusionGeneration)> {
+        let product = self.build_product(machines)?;
+        let originals = projection_partitions(&product);
+        let fusion = self.generate_fusion(product.top(), &originals, f)?;
+        Ok((product, fusion))
+    }
+
+    /// The lower cover of a closed partition `p` of `top` through the
+    /// session (closures come from the cache / pool like the descent's).
+    pub fn lower_cover(&mut self, top: &Dfsm, p: &Partition) -> Result<Vec<Partition>> {
+        self.refresh_context(top);
+        let ctx = self
+            .ctx
+            .as_mut()
+            .expect("refresh_context installs a context");
+        lower_cover_session(
+            &ctx.kernel,
+            p,
+            ctx.pool.as_mut(),
+            &mut self.scratch,
+            self.cache.as_mut(),
+        )
+    }
+
+    /// Enumerates the closed partition lattice of `top` through the
+    /// session (the session form of [`crate::enumerate_lattice`]).
+    pub fn enumerate_lattice(
+        &mut self,
+        top: &Dfsm,
+        limit: usize,
+    ) -> Result<ClosedPartitionLattice> {
+        self.refresh_context(top);
+        let ctx = self
+            .ctx
+            .as_mut()
+            .expect("refresh_context installs a context");
+        enumerate_lattice_session(
+            top,
+            &ctx.kernel,
+            limit,
+            ctx.pool.as_mut(),
+            &mut self.scratch,
+            self.cache.as_mut(),
+        )
+    }
+
+    /// Installs (or keeps) the per-machine context for `top`.  The closure
+    /// cache is only valid for one transition table, so it is cleared when
+    /// the machine changes; an unchanged machine keeps kernel, pool handle
+    /// and cache (verified by streaming `top`'s transitions against the
+    /// stored kernel — no per-call kernel rebuild).
+    fn refresh_context(&mut self, top: &Dfsm) {
+        let replacing = match self.ctx.as_ref() {
+            Some(ctx) => {
+                if ctx.kernel.matches_machine(top) {
+                    return;
+                }
+                true
+            }
+            None => false,
+        };
+        // Only an actual machine *change* invalidates cached closures; the
+        // very first install finds the cache empty and leaves the counters
+        // alone.
+        if replacing {
+            if let Some(cache) = self.cache.as_mut() {
+                cache.clear();
+            }
+        }
+        let kernel = Arc::new(ClosureKernel::new(top));
+        let pool = match self.engine {
+            Engine::Sequential => None,
+            Engine::Pooled => Some(MergePool::attach(Arc::clone(&kernel), self.workers)),
+            Engine::Spawn => Some(MergePool::spawn_standalone(
+                Arc::clone(&kernel),
+                self.workers,
+            )),
+            Engine::Auto => unreachable!("FusionSession::new resolves Auto"),
+        };
+        self.ctx = Some(TopContext { kernel, pool });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FusionError;
+    use crate::generate::{generate_fusion_par, generate_fusion_seq};
+    use fsm_dfsm::DfsmBuilder;
+
+    fn counter(name: &str, event: &str, k: usize) -> Dfsm {
+        let mut b = DfsmBuilder::new(name);
+        for i in 0..k {
+            b.add_state(format!("{name}{i}"));
+        }
+        b.set_initial(format!("{name}0"));
+        for i in 0..k {
+            b.add_transition(
+                format!("{name}{i}"),
+                event,
+                format!("{name}{}", (i + 1) % k),
+            );
+        }
+        let other = if event == "0" { "1" } else { "0" };
+        b.add_self_loops(other);
+        b.build().unwrap()
+    }
+
+    fn fig1_pair() -> Vec<Dfsm> {
+        vec![counter("a", "0", 3), counter("b", "1", 3)]
+    }
+
+    #[test]
+    fn sequential_session_matches_free_function_and_caches_across_f_sweep() {
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        let (product, _) = session
+            .generate_fusion_for_machines(&fig1_pair(), 1)
+            .unwrap();
+        let originals = projection_partitions(&product);
+        for f in 1..=3 {
+            let cold = generate_fusion_seq(product.top(), &originals, f).unwrap();
+            let warm = session
+                .generate_fusion(product.top(), &originals, f)
+                .unwrap();
+            assert_eq!(warm.partitions, cold.partitions);
+            assert_eq!(warm.stats.initial_dmin, cold.stats.initial_dmin);
+            assert_eq!(warm.stats.final_dmin, cold.stats.final_dmin);
+            assert_eq!(warm.stats.outer_iterations, cold.stats.outer_iterations);
+            assert_eq!(warm.stats.descent_steps, cold.stats.descent_steps);
+            assert_eq!(
+                warm.stats.candidates_examined,
+                cold.stats.candidates_examined
+            );
+        }
+        // The sweep re-walks descent prefixes, so the cache must have hit.
+        let stats = session.cache_stats();
+        assert!(
+            stats.hits > 0,
+            "no cache hits across the f sweep: {stats:?}"
+        );
+        assert!(stats.insertions > 0);
+    }
+
+    #[test]
+    fn changing_the_top_machine_clears_the_cache() {
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        let (p1, _) = session
+            .generate_fusion_for_machines(&fig1_pair(), 1)
+            .unwrap();
+        let inserted = session.cache_stats().insertions;
+        assert!(inserted > 0);
+        // The first install is not a clear — only a machine *change* is.
+        assert_eq!(session.cache_stats().clears, 0);
+        // A different machine set: the cache must reset, not serve stale
+        // closures.
+        let machines = vec![counter("x", "0", 4), counter("y", "1", 3)];
+        let (p2, fusion) = session.generate_fusion_for_machines(&machines, 1).unwrap();
+        assert_ne!(p1.size(), p2.size());
+        assert_eq!(session.cache_stats().clears, 1);
+        let cold = {
+            let originals = projection_partitions(&p2);
+            generate_fusion_seq(p2.top(), &originals, 1).unwrap()
+        };
+        assert_eq!(fusion.partitions, cold.partitions);
+    }
+
+    #[test]
+    fn disabled_cache_counts_nothing_and_still_matches() {
+        let mut session = FusionConfig::new()
+            .engine(Engine::Sequential)
+            .cache(CachePolicy::Disabled)
+            .build();
+        let (product, fusion) = session
+            .generate_fusion_for_machines(&fig1_pair(), 2)
+            .unwrap();
+        let originals = projection_partitions(&product);
+        let cold = generate_fusion_seq(product.top(), &originals, 2).unwrap();
+        assert_eq!(fusion.partitions, cold.partitions);
+        assert_eq!(session.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn tiny_cache_bound_clears_instead_of_growing() {
+        let mut session = FusionConfig::new()
+            .engine(Engine::Sequential)
+            .cache(CachePolicy::Bounded(32))
+            .build();
+        let (product, _) = session
+            .generate_fusion_for_machines(&fig1_pair(), 2)
+            .unwrap();
+        let originals = projection_partitions(&product);
+        let warm = session
+            .generate_fusion(product.top(), &originals, 2)
+            .unwrap();
+        let cold = generate_fusion_seq(product.top(), &originals, 2).unwrap();
+        assert_eq!(warm.partitions, cold.partitions);
+        // |⊤| = 9 and a 32-element bound: the top machine never changed,
+        // so every counted clear is a bound-triggered one — and the bound
+        // must never cause wrong output.
+        assert!(session.cache_stats().clears > 0);
+    }
+
+    #[test]
+    fn pooled_and_spawn_sessions_match_the_sequential_engine() {
+        let machines = fig1_pair();
+        for engine in [Engine::Pooled, Engine::Spawn] {
+            let mut session = FusionConfig::new().engine(engine).workers(2).build();
+            let (product, fusion) = session.generate_fusion_for_machines(&machines, 2).unwrap();
+            let originals = projection_partitions(&product);
+            let seq = generate_fusion_seq(product.top(), &originals, 2).unwrap();
+            assert_eq!(fusion.partitions, seq.partitions, "{engine:?}");
+            assert_eq!(
+                fusion.stats.candidates_examined, seq.stats.candidates_examined,
+                "{engine:?}"
+            );
+            // Back-to-back call on the retained pool handle.
+            let again = session
+                .generate_fusion(product.top(), &originals, 2)
+                .unwrap();
+            assert_eq!(again.partitions, seq.partitions, "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn session_lattice_and_lower_cover_match_free_functions() {
+        let machines = fig1_pair();
+        for engine in [Engine::Sequential, Engine::Pooled] {
+            let mut session = FusionConfig::new().engine(engine).workers(2).build();
+            let product = session.build_product(&machines).unwrap();
+            let top = product.top();
+            let lattice = session.enumerate_lattice(top, 500).unwrap();
+            let free = crate::lattice::enumerate_lattice(top, 500).unwrap();
+            assert_eq!(lattice.elements, free.elements, "{engine:?}");
+            assert_eq!(lattice.truncated, free.truncated, "{engine:?}");
+            let top_p = Partition::singletons(top.size());
+            assert_eq!(
+                session.lower_cover(top, &top_p).unwrap(),
+                crate::lattice::lower_cover(top, &top_p).unwrap(),
+                "{engine:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_pooled_session_surfaces_the_worker_id_and_rebuilds() {
+        let machines = fig1_pair();
+        let config = FusionConfig::new().engine(Engine::Pooled).workers(2);
+        let mut session = config.clone().build();
+        let (product, first) = session.generate_fusion_for_machines(&machines, 1).unwrap();
+        let originals = projection_partitions(&product);
+
+        // Poison the session's own pool handle with a candidate whose block
+        // indices are out of range — the worker contains the panic and
+        // reports which thread it was.
+        let pool = session
+            .ctx
+            .as_mut()
+            .and_then(|c| c.pool.as_mut())
+            .expect("pooled session holds a pool handle");
+        let current = Arc::new(Partition::singletons(product.size()));
+        let weakest = Arc::new(Vec::new());
+        let err = pool.eval_batch(&current, &weakest, &[(0, 999, 1000)]);
+        let worker = match err {
+            Err(FusionError::WorkerPanicked { worker }) => worker,
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        };
+        assert!(worker < 2);
+
+        // The same session keeps working (the pool survives a contained
+        // panic)...
+        let after = session
+            .generate_fusion(product.top(), &originals, 1)
+            .unwrap();
+        assert_eq!(after.partitions, first.partitions);
+
+        // ...and a session rebuilt from the same config is fully usable.
+        let mut rebuilt = config.build();
+        let again = rebuilt
+            .generate_fusion(product.top(), &originals, 1)
+            .unwrap();
+        assert_eq!(again.partitions, first.partitions);
+        let par = generate_fusion_par(product.top(), &originals, 1, 2).unwrap();
+        assert_eq!(again.partitions, par.partitions);
+    }
+
+    #[test]
+    fn fingerprint_collisions_only_bypass_never_corrupt() {
+        let mut cache = ClosureCache::new(1 << 16);
+        let p = Partition::from_assignment(&[0, 1, 0, 1]);
+        let q = Partition::from_assignment(&[0, 0, 1, 1]);
+        let key_p = cache.level_key(&p).unwrap();
+        // Same partition: same key.
+        assert_eq!(cache.level_key(&p), Some(key_p));
+        // Different partition: different key (fingerprints differ), and its
+        // entry is independent.
+        let key_q = cache.level_key(&q).unwrap();
+        assert_ne!(key_p, key_q);
+        let closed = Partition::from_assignment(&[0, 0, 0, 1]);
+        cache.insert(key_p, 0, 1, &closed);
+        let mut out = Partition::singletons(0);
+        assert!(cache.lookup(key_p, 0, 1, &mut out));
+        assert_eq!(out, closed);
+        assert!(!cache.lookup(key_q, 0, 1, &mut out));
+
+        // Force an *actual* collision: plant an entry under q's real
+        // fingerprint whose assignment belongs to a different partition.
+        // level_key(&q) must detect the mismatch and bypass (None), never
+        // serve the foreign entry.
+        let mut forged = ClosureCache::new(1 << 16);
+        forged.levels.insert(
+            key_q,
+            LevelEntry {
+                assignment: p.assignment().iter().map(|&b| b as u32).collect(),
+                merges: HashMap::new(),
+            },
+        );
+        assert_eq!(forged.level_key(&q), None);
+        // A same-length different assignment and a different-length one are
+        // both told apart.
+        let shorter = Partition::from_assignment(&[0, 1, 0]);
+        forged.levels.insert(
+            key_q,
+            LevelEntry {
+                assignment: shorter.assignment().iter().map(|&b| b as u32).collect(),
+                merges: HashMap::new(),
+            },
+        );
+        assert_eq!(forged.level_key(&q), None);
+    }
+}

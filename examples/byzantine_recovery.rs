@@ -12,8 +12,11 @@ use fsm_fusion::prelude::*;
 
 fn main() {
     let machines = fsm_fusion::machines::fig1_machines();
-    let mut system =
-        FusedSystem::new(&machines, 1, FaultModel::Byzantine).expect("fusion generation succeeds");
+    // One session serves both systems built in this example; the second
+    // construction reuses the first one's cached closures.
+    let mut session = FusionConfig::new().build();
+    let mut system = FusedSystem::with_session(&machines, 1, FaultModel::Byzantine, &mut session)
+        .expect("fusion generation succeeds");
     println!(
         "Provisioned for 1 Byzantine fault: {} original machines + {} backups (dmin target > 2).",
         system.num_originals(),
@@ -49,7 +52,8 @@ fn main() {
     // Now exceed the budget: two liars in a system provisioned for one.
     println!("\n-- exceeding the budget: two simultaneous liars --");
     let mut overloaded =
-        FusedSystem::new(&machines, 1, FaultModel::Byzantine).expect("fusion generation succeeds");
+        FusedSystem::with_session(&machines, 1, FaultModel::Byzantine, &mut session)
+            .expect("fusion generation succeeds");
     overloaded.apply_workload(&workload);
     overloaded
         .corrupt_differently(0)

@@ -4,15 +4,20 @@
 //!
 //! Run with: `cargo run --example lattice_explorer`
 
-use fsm_fusion::fusion::{
-    basis, enumerate_lattice, quotient_machine, set_representation, FaultGraph,
-};
+use fsm_fusion::fusion::{quotient_machine, set_representation, FaultGraph};
 use fsm_fusion::machines::{fig2_machines, fig3_top};
 use fsm_fusion::prelude::*;
 
 fn main() {
+    // One session for every lattice walk and generation below: the lattice
+    // enumeration seeds the closure cache, and the fusion generation at the
+    // end reuses those closures.
+    let mut session = FusionConfig::new().build();
+
     let machines = fig2_machines();
-    let product = ReachableProduct::new(&machines).expect("product of valid machines");
+    let product = session
+        .build_product(&machines)
+        .expect("product of valid machines");
     println!("== Figure 2: reachable cross product ==");
     println!("{}", product.top());
 
@@ -20,7 +25,9 @@ fn main() {
     let top = fig3_top();
 
     println!("== Figure 3: closed partition lattice of the top machine ==");
-    let lattice = enumerate_lattice(&top, 10_000).expect("small lattice");
+    let lattice = session
+        .enumerate_lattice(&top, 10_000)
+        .expect("small lattice");
     println!(
         "{} closed partitions (truncated: {})",
         lattice.len(),
@@ -34,7 +41,11 @@ fn main() {
         lattice.hasse_edges()
     );
 
-    let b = basis(&top).expect("basis of a valid machine");
+    // The basis is the lower cover of ⊤ — through the session it comes
+    // straight out of the closures the enumeration above already cached.
+    let b = session
+        .lower_cover(&top, &Partition::singletons(top.size()))
+        .expect("basis of a valid machine");
     println!("\nBasis (lower cover of top): {} machines", b.len());
     for p in &b {
         let m = quotient_machine(&top, p, "basis").expect("closed partition");
@@ -58,8 +69,9 @@ fn main() {
     );
 
     // Generate a (2,2)-fusion as the paper does with {M1, M2}.
-    let fusion =
-        generate_fusion(&top, &[a_part.clone(), b_part.clone()], 2).expect("a (2,2)-fusion exists");
+    let fusion = session
+        .generate_fusion(&top, &[a_part.clone(), b_part.clone()], 2)
+        .expect("a (2,2)-fusion exists");
     let mut all = vec![a_part.clone(), b_part.clone()];
     all.extend(fusion.partitions.iter().cloned());
     let g_all = FaultGraph::from_partitions(top.size(), &all);

@@ -20,9 +20,11 @@ fn main() {
         );
     }
 
-    // Tolerate one crash fault across the whole group.
-    let mut fused =
-        FusedSystem::new(&machines, 1, FaultModel::Crash).expect("fusion generation succeeds");
+    // Tolerate one crash fault across the whole group.  The session owns
+    // engine selection and the closure cache for the generation.
+    let mut session = FusionConfig::new().build();
+    let mut fused = FusedSystem::with_session(&machines, 1, FaultModel::Crash, &mut session)
+        .expect("fusion generation succeeds");
     let mut replicated = ReplicatedSystem::new(&machines, 1, FaultModel::Crash)
         .expect("replication always succeeds");
 

@@ -17,8 +17,14 @@ fn main() {
         println!("  {} with {} states", m.name(), m.size());
     }
 
-    // 2. Build a fusion-backed system tolerating one crash fault.
-    let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash)
+    // 2. A fusion session: engine, workers and cache policy resolved once
+    //    (FusionConfig::from_env() would consult FSM_FUSION_WORKERS /
+    //    FSM_FUSION_ENGINE instead).  Repeated generations through the same
+    //    session reuse scratch buffers and cached closures.
+    let mut session = FusionConfig::new().build();
+
+    // 3. Build a fusion-backed system tolerating one crash fault.
+    let mut system = FusedSystem::with_session(&machines, 1, FaultModel::Crash, &mut session)
         .expect("fusion generation succeeds for the Fig. 1 counters");
     println!(
         "\nReachable cross product (top) has {} states; replication would need {} backup states, fusion uses {}.",
@@ -30,7 +36,7 @@ fn main() {
         println!("  generated backup F{}: {} states", i + 1, m.size());
     }
 
-    // 3. Drive all machines with a common event stream (the environment).
+    // 4. Drive all machines with a common event stream (the environment).
     let workload = Workload::from_bits("011010011101");
     system.apply_workload(&workload);
     println!(
@@ -41,11 +47,11 @@ fn main() {
         system.server(2).current_state(),
     );
 
-    // 4. Crash the 0-counter: its execution state is lost.
+    // 5. Crash the 0-counter: its execution state is lost.
     system.crash(0).expect("server 0 exists");
     println!("\n!! machine {} crashed", system.server(0).name());
 
-    // 5. Recover: Algorithm 3 votes over the surviving states.
+    // 6. Recover: Algorithm 3 votes over the surviving states.
     let outcome = system.recover().expect("one crash is within the budget");
     println!(
         "Recovered top state #{} with {} votes; repaired servers: {:?}",

@@ -9,11 +9,17 @@ fn main() {
     const SENSORS: usize = 100;
     const OBSERVATIONS: usize = 50_000;
 
+    // One fusion session serves every generation in this example (the
+    // analytic-mode network needs none; the exact-mode cross-check below
+    // reuses the same session).
+    let mut session = FusionConfig::new().build();
+
     // Analytic mode: the fused backup is the sum-mod-3 counter over every
     // sensor's events (the machine Algorithm 2 finds for small networks —
     // see the exact-mode cross-check below).
     let mut network =
-        SensorNetwork::new(SENSORS, SensorBackupMode::Analytic).expect("non-empty network");
+        SensorNetwork::new_with_session(SENSORS, SensorBackupMode::Analytic, &mut session)
+            .expect("non-empty network");
     network
         .observe_randomly(OBSERVATIONS, 2024)
         .expect("observations only touch existing sensors");
@@ -43,7 +49,9 @@ fn main() {
     // Cross-check on a small network that the generic Algorithm 2 pipeline
     // produces exactly this 3-state backup.
     let small = SensorNetwork::sensor_machines(4);
-    let (product, fusion) = generate_fusion_for_machines(&small, 1).expect("generation succeeds");
+    let (product, fusion) = session
+        .generate_fusion_for_machines(&small, 1)
+        .expect("generation succeeds");
     println!(
         "\nCross-check with 4 sensors: |top| = {} states, generated backup sizes = {:?}",
         product.size(),

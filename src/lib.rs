@@ -23,19 +23,34 @@
 //!
 //! ## Quickstart
 //!
+//! The recommended entry point is a [`fusion::FusionSession`] built from a
+//! [`fusion::FusionConfig`]: engine, worker count, product strategy and
+//! cache policy are resolved once (the environment is only the `Auto`
+//! fallback, via [`fusion::FusionConfig::from_env`]), and the session
+//! reuses scratch buffers, its worker-pool handle and a cross-call closure
+//! cache over every generation.
+//!
 //! ```
 //! use fsm_fusion::prelude::*;
 //!
 //! // The two mod-3 counters of the paper's Figure 1, plus one generated
-//! // backup, tolerate one crash fault.
+//! // backup, tolerate one crash fault.  One session serves the whole
+//! // pipeline (and any number of systems after this one).
 //! let machines = fig1_machines();
-//! let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+//! let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+//! let mut system =
+//!     FusedSystem::with_session(&machines, 1, FaultModel::Crash, &mut session).unwrap();
 //! system.apply_workload(&Workload::from_bits("0110100101"));
 //!
 //! system.crash(0).unwrap();
 //! let outcome = system.recover().unwrap();
 //! assert!(outcome.matches_oracle);
 //! ```
+//!
+//! The pre-session free functions ([`fusion::generate_fusion`],
+//! [`fusion::enumerate_lattice`], `FusedSystem::new`, …) remain as thin
+//! shims over one-shot environment-configured sessions, pinned
+//! bit-identical to the session path by `tests/session_properties.rs`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,13 +63,17 @@ pub use fsm_machines as machines;
 
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
-    pub use fsm_dfsm::{Dfsm, DfsmBuilder, Event, Executor, ReachableProduct, StateId};
+    pub use fsm_dfsm::{
+        Dfsm, DfsmBuilder, Event, Executor, ProductBuilder, ProductStrategy, ReachableProduct,
+        StateId,
+    };
     pub use fsm_distsys::{
         FaultPlan, FusedSystem, ReplicatedSystem, SensorBackupMode, SensorNetwork, Workload,
     };
     pub use fsm_fusion_core::{
-        generate_fusion, generate_fusion_for_machines, BitsetPartition, FaultGraph, FaultModel,
-        FusionReport, MachineReport, Partition, RecoveryEngine,
+        generate_fusion, generate_fusion_for_machines, BitsetPartition, CachePolicy, CacheStats,
+        Engine, FaultGraph, FaultModel, FusionConfig, FusionReport, FusionSession, MachineReport,
+        Partition, RecoveryEngine,
     };
     pub use fsm_machines::{fig1_machines, table1_rows, MachineSet};
 }
@@ -72,5 +91,20 @@ mod tests {
         let mut system = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
         system.apply_workload(&Workload::from_bits("01"));
         assert!(system.consistent_with_oracle());
+    }
+
+    #[test]
+    fn facade_session_surface_composes() {
+        let machines = crate::machines::fig1_machines();
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        let (product, fusion) = session.generate_fusion_for_machines(&machines, 1).unwrap();
+        assert_eq!(product.size(), 9);
+        assert_eq!(fusion.machine_sizes(), vec![3]);
+        let mut system =
+            FusedSystem::with_session(&machines, 1, FaultModel::Crash, &mut session).unwrap();
+        system.apply_workload(&Workload::from_bits("01"));
+        assert!(system.consistent_with_oracle());
+        let stats: CacheStats = session.cache_stats();
+        assert!(stats.insertions > 0);
     }
 }

@@ -1,0 +1,253 @@
+//! Property tests pinning the `FusionSession` API to the legacy free
+//! functions, and the closure cache to bit-identical cached/cold runs.
+//!
+//! The session path owns state the free functions re-derive per call
+//! (kernel, scratch, pool handle, closure + fault-graph cache), so the
+//! properties here are the contract that lets the old entry points become
+//! thin shims:
+//!
+//! * session `generate_fusion` — on every engine, with the cache warm or
+//!   cold — returns exactly `generate_fusion_seq`'s partitions, machines
+//!   and statistics (everything but wall-clock time), across repeated `f`
+//!   sweeps on one session;
+//! * session lattice walks equal the free-function lattice walks;
+//! * every `ProductBuilder` strategy builds the identical product;
+//! * the cache-hit counters behave deterministically: a repeated sweep is
+//!   answered entirely from the cache (the `tests/alloc_free.rs`-style
+//!   steady-state assertion), and the config precedence rules pin
+//!   explicit > environment > auto-detect.
+
+use fsm_fusion::fusion::{
+    enumerate_lattice, generate_fusion_seq, projection_partitions, Engine, FusionConfig,
+    FusionSession,
+};
+use fsm_fusion::machines::{random_dfsm, RandomDfsmConfig};
+use fsm_fusion::prelude::*;
+use proptest::prelude::*;
+
+/// A small random machine pair over the shared binary alphabet, matching
+/// the families the parallel/bitset property suites use.
+fn machine_family(seed: u64) -> Vec<Dfsm> {
+    (0..2)
+        .map(|i| {
+            random_dfsm(
+                &format!("M{i}"),
+                &RandomDfsmConfig {
+                    states: 2 + ((seed as usize + 3 * i) % 3),
+                    alphabet: vec!["0".into(), "1".into()],
+                    seed: seed.wrapping_add(i as u64 * 7919),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Asserts a session generation equals a cold sequential one in everything
+/// but wall-clock time.
+fn assert_same_generation(
+    warm: &fsm_fusion::fusion::FusionGeneration,
+    cold: &fsm_fusion::fusion::FusionGeneration,
+    label: &str,
+) {
+    assert_eq!(warm.partitions, cold.partitions, "{label}");
+    assert_eq!(warm.machine_sizes(), cold.machine_sizes(), "{label}");
+    assert_eq!(warm.state_space(), cold.state_space(), "{label}");
+    assert_eq!(warm.stats.initial_dmin, cold.stats.initial_dmin, "{label}");
+    assert_eq!(warm.stats.final_dmin, cold.stats.final_dmin, "{label}");
+    assert_eq!(
+        warm.stats.outer_iterations, cold.stats.outer_iterations,
+        "{label}"
+    );
+    assert_eq!(
+        warm.stats.descent_steps, cold.stats.descent_steps,
+        "{label}"
+    );
+    assert_eq!(
+        warm.stats.candidates_examined, cold.stats.candidates_examined,
+        "{label}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every engine's session path, swept over `f` twice on one session
+    /// (cold cache, then warm cache), is bit-identical to the cold
+    /// free-function path — reports, stats and partitions.
+    #[test]
+    fn session_sweeps_are_bit_identical_to_cold_runs(
+        seed in 0u64..50_000,
+        workers in 1usize..4,
+    ) {
+        let machines = machine_family(seed);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let originals = projection_partitions(&product);
+        for engine in [Engine::Sequential, Engine::Pooled] {
+            let mut session = FusionConfig::new().engine(engine).workers(workers).build();
+            for sweep in 0..2 {
+                for f in 1..=3usize {
+                    let cold = generate_fusion_seq(product.top(), &originals, f).unwrap();
+                    let warm = session.generate_fusion(product.top(), &originals, f).unwrap();
+                    assert_same_generation(&warm, &cold, &format!("{engine:?} sweep {sweep} f {f}"));
+                }
+            }
+        }
+    }
+
+    /// The session's product tables are bit-identical to the reference
+    /// construction for every strategy (states, names, transitions,
+    /// projections — `find_tuple` included).
+    #[test]
+    fn session_products_match_the_reference_tables(seed in 0u64..50_000) {
+        let machines = machine_family(seed);
+        let reference = ReachableProduct::new_reference(&machines).unwrap();
+        for strategy in [
+            ProductStrategy::Auto,
+            ProductStrategy::Packed,
+            ProductStrategy::Parallel,
+            ProductStrategy::Reference,
+        ] {
+            let session = FusionConfig::new().product(strategy).workers(2).build();
+            let product = session.build_product(&machines).unwrap();
+            assert_eq!(product.size(), reference.size(), "{strategy:?}");
+            for t in 0..product.size() {
+                let t = StateId(t);
+                assert_eq!(product.tuple(t), reference.tuple(t), "{strategy:?}");
+                assert_eq!(
+                    product.top().state_name(t),
+                    reference.top().state_name(t),
+                    "{strategy:?}"
+                );
+            }
+            for i in 0..product.arity() {
+                assert_eq!(
+                    product.projection_blocks(i),
+                    reference.projection_blocks(i),
+                    "{strategy:?}"
+                );
+            }
+        }
+    }
+
+    /// Session lattice enumeration equals the free-function lattice, with
+    /// the cache warm from a preceding generation over the same machine.
+    #[test]
+    fn session_lattices_match_free_functions(seed in 0u64..50_000) {
+        let machines = machine_family(seed);
+        let product = ReachableProduct::new(&machines).unwrap();
+        let originals = projection_partitions(&product);
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        // Warm the cache with a generation first — lattice closures must
+        // coexist with descent closures in the same cache.
+        session.generate_fusion(product.top(), &originals, 1).unwrap();
+        let free = enumerate_lattice(product.top(), 500).unwrap();
+        let warm = session.enumerate_lattice(product.top(), 500).unwrap();
+        assert_eq!(warm.elements, free.elements);
+        assert_eq!(warm.truncated, free.truncated);
+    }
+}
+
+/// The `tests/alloc_free.rs`-style steady-state assertion, on the cache-hit
+/// counters instead of the allocator: after one full `f` sweep warmed the
+/// cache, an identical sweep must be answered **entirely** from the cache —
+/// zero new misses, zero new insertions, zero new graph builds.
+#[test]
+fn repeated_sweep_is_answered_entirely_from_the_cache() {
+    let machines = fig1_machines();
+    let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+    let (product, _) = session.generate_fusion_for_machines(&machines, 1).unwrap();
+    let originals = projection_partitions(&product);
+
+    // Warm-up sweep (the f = 1 call above already warmed part of it).
+    for f in 1..=3 {
+        session
+            .generate_fusion(product.top(), &originals, f)
+            .unwrap();
+    }
+    let warm = session.cache_stats();
+    assert!(warm.insertions > 0);
+    assert!(warm.misses > 0);
+
+    // Steady state: the identical sweep re-runs the identical descents.
+    for f in 1..=3 {
+        session
+            .generate_fusion(product.top(), &originals, f)
+            .unwrap();
+    }
+    let steady = session.cache_stats();
+    assert_eq!(
+        steady.misses, warm.misses,
+        "steady-state sweep missed the cache"
+    );
+    assert_eq!(steady.insertions, warm.insertions);
+    assert_eq!(steady.graph_misses, warm.graph_misses);
+    assert!(
+        steady.hits > warm.hits,
+        "steady-state sweep did not hit the cache"
+    );
+    assert!(steady.graph_hits > warm.graph_hits);
+    assert_eq!(steady.clears, warm.clears);
+}
+
+/// Engine-config precedence regression: explicit > environment snapshot >
+/// auto-detect, for both the worker count and the engine, via the pure
+/// `from_env_values` resolution (no process-environment mutation).
+#[test]
+fn config_precedence_is_explicit_then_env_then_auto() {
+    // Auto-detect floor: nothing configured → 1 worker, sequential.
+    let auto = FusionConfig::new();
+    assert_eq!(auto.resolved_workers(), 1);
+    assert_eq!(auto.resolved_engine(), Engine::Sequential);
+
+    // Environment beats auto-detect.
+    let env = FusionConfig::from_env_values(None, Some("4"));
+    assert_eq!(env.resolved_workers(), 4);
+    assert_eq!(env.resolved_engine(), Engine::Pooled);
+
+    // Explicit beats environment — for workers...
+    let explicit = FusionConfig::from_env_values(None, Some("4")).workers(2);
+    assert_eq!(explicit.resolved_workers(), 2);
+    // ...and for the engine, even when the env variables disagree.
+    let explicit =
+        FusionConfig::from_env_values(Some("pooled"), Some("8")).engine(Engine::Sequential);
+    assert_eq!(explicit.resolved_engine(), Engine::Sequential);
+    let session = explicit.build();
+    assert_eq!(session.engine(), Engine::Sequential);
+
+    // The env engine variable beats the worker-count auto-detection.
+    let env = FusionConfig::from_env_values(Some("sequential"), Some("8"));
+    assert_eq!(env.resolved_engine(), Engine::Sequential);
+    assert_eq!(env.resolved_workers(), 8);
+}
+
+/// The legacy free functions and system constructors remain available and
+/// agree with an explicitly configured session end to end (the "thin shim"
+/// contract at the facade level).
+#[test]
+fn facade_shims_agree_with_sessions_end_to_end() {
+    let machines = fig1_machines();
+    let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+
+    let (product, via_session) = session.generate_fusion_for_machines(&machines, 1).unwrap();
+    let (product_legacy, via_legacy) = generate_fusion_for_machines(&machines, 1).unwrap();
+    assert_eq!(product.size(), product_legacy.size());
+    assert_eq!(via_session.partitions, via_legacy.partitions);
+
+    let mut legacy = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+    let mut sessioned =
+        FusedSystem::with_session(&machines, 1, FaultModel::Crash, &mut session).unwrap();
+    let w = Workload::from_bits("0110100101");
+    legacy.apply_workload(&w);
+    sessioned.apply_workload(&w);
+    legacy.crash(0).unwrap();
+    sessioned.crash(0).unwrap();
+    let a = legacy.recover().unwrap();
+    let b = sessioned.recover().unwrap();
+    assert!(a.matches_oracle && b.matches_oracle);
+    assert_eq!(a.repaired, b.repaired);
+
+    // And the session type is reachable through the prelude.
+    let _: &FusionSession = &session;
+    let stats: CacheStats = session.cache_stats();
+    assert!(stats.hits + stats.misses > 0);
+}
