@@ -37,7 +37,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use fsm_dfsm::ReachableProduct;
-use fsm_fusion_bench::counter_family;
+use fsm_distsys::sim::sweep::{run_scenario, Scenario};
+use fsm_fusion_bench::{counter_family, SIM_SWEEP_SEEDS};
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
     generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
@@ -392,6 +393,27 @@ fn measure_all() -> Vec<Measurement> {
         push("alg2_sweep_cold_n729", iters, ns);
     }
 
+    // One deterministic simulation scenario end to end: spawn the simulated
+    // group, drive the seeded workload through the chaotic network, inject
+    // the scripted faults, decode and verify recovery.  A fixed seed keeps
+    // the measured world identical across runs (determinism is the point),
+    // so the op tracks the scheduler + network + recovery cost, not
+    // scenario-mix luck.
+    {
+        let scenario = Scenario::from_seed(11);
+        let iters = 20;
+        let ns = bench(iters, || {
+            let outcome = run_scenario(&scenario);
+            assert!(
+                outcome.is_ok(),
+                "seed 11 regressed: {:?}",
+                outcome.violations
+            );
+            outcome.trace_hash
+        });
+        push("sim_scenario_seed11", iters, ns);
+    }
+
     out
 }
 
@@ -495,6 +517,11 @@ fn render_json(ops: &[Measurement]) -> String {
         let comma = if i + 1 == ratios.len() { "" } else { "," };
         let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
     }
+    s.push_str("  },\n");
+    // The CI simulation gate's scenario count, recorded so the committed
+    // baseline documents how much seeded chaos the build withstood.
+    s.push_str("  \"sim_sweep\": {\n");
+    let _ = writeln!(s, "    \"seeds\": {SIM_SWEEP_SEEDS}");
     s.push_str("  }\n}\n");
     s
 }

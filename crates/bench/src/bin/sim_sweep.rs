@@ -1,0 +1,106 @@
+//! CI gate: a deterministic simulation sweep over seeded fault scenarios.
+//!
+//! Run with: `cargo run --release -p fsm-fusion-bench --bin sim_sweep`
+//!
+//! Drives [`SIM_SWEEP_SEEDS`] seeded scenarios through the
+//! `fsm_distsys::sim` runtime — replication and fusion backends, crash and
+//! Byzantine fault models, process kills up to `f`, message drops, reorders
+//! and duplicates — and fails the build if any scenario's recovery diverges
+//! from the oracle, if the replay spot-check is not bit-identical, or if
+//! the sweep never exercised one of the chaos modes (a silent-coverage gap
+//! would let the gate rot into a no-op).
+//!
+//! Flags:
+//!
+//! * `--seeds <n>` — override the scenario count (CI uses the default).
+//! * `--first <seed>` — first seed of the contiguous range (default 0).
+
+use std::process::ExitCode;
+
+use fsm_distsys::sim::sweep::{run_scenario, sweep, Scenario};
+use fsm_fusion_bench::SIM_SWEEP_SEEDS;
+
+fn main() -> ExitCode {
+    let mut seeds = SIM_SWEEP_SEEDS;
+    let mut first = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match (arg.as_str(), args.next()) {
+            ("--seeds", Some(v)) => match v.parse() {
+                Ok(n) => seeds = n,
+                Err(_) => return usage(),
+            },
+            ("--first", Some(v)) => match v.parse() {
+                Ok(n) => first = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    println!("sim_sweep: {seeds} scenarios from seed {first}");
+    let report = sweep(first, seeds);
+    println!("  passed            {}/{}", report.passed, report.scenarios);
+    println!(
+        "  backends          fusion {} / replication {}",
+        report.fusion_runs, report.replication_runs
+    );
+    println!(
+        "  fault models      crash {} / byzantine {}",
+        report.crash_runs, report.byzantine_runs
+    );
+    println!(
+        "  faults injected   {} ({} process kills)",
+        report.faults_injected, report.kills
+    );
+    println!("  network           {:?}", report.stats);
+
+    let mut failed = false;
+    if !report.all_passed() {
+        failed = true;
+        eprintln!(
+            "FAIL: {} scenario(s) violated recovery:",
+            report.violations.len()
+        );
+        for (seed, violation) in &report.violations {
+            eprintln!("  seed {seed}: {violation}");
+        }
+        eprintln!("reproduce one with: Scenario::from_seed(<seed>) + run_scenario");
+    }
+    if !report.chaos_covered() {
+        failed = true;
+        eprintln!(
+            "FAIL: coverage gap — the sweep must exercise drops, reorders, \
+             duplicates, kills, both backends and both fault models"
+        );
+    }
+
+    // Replay spot-check: re-run a handful of seeds and demand bit-identical
+    // trace hashes — the determinism contract, enforced in release mode on
+    // every CI run, not just under `cargo test`.
+    for seed in [first, first + seeds as u64 / 2, first + seeds as u64 - 1] {
+        let scenario = Scenario::from_seed(seed);
+        let a = run_scenario(&scenario);
+        let b = run_scenario(&scenario);
+        if a.trace_hash != b.trace_hash || a.trace_len != b.trace_len {
+            failed = true;
+            eprintln!(
+                "FAIL: seed {seed} did not replay bit-identically \
+                 ({:#018x}/{} vs {:#018x}/{})",
+                a.trace_hash, a.trace_len, b.trace_hash, b.trace_len
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("sim_sweep passed: every scenario recovered, every chaos mode fired");
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sim_sweep [--seeds N] [--first SEED]");
+    ExitCode::from(2)
+}

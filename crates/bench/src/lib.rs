@@ -12,6 +12,13 @@ use fsm_dfsm::Dfsm;
 use fsm_fusion_core::{FusionReport, FusionSession};
 use fsm_machines::{mod_counter, table1_rows, MachineSet};
 
+/// Seeds the CI `sim_sweep` gate runs (`cargo run --release -p
+/// fsm-fusion-bench --bin sim_sweep`).  Shared with `perf_baseline`, which
+/// records it in `BENCH_fusion.json` so the committed baseline documents
+/// how much simulated chaos the build withstood.  The acceptance floor is
+/// 200; a little headroom costs seconds.
+pub const SIM_SWEEP_SEEDS: usize = 256;
+
 /// The five machine sets of the paper's results table.
 pub fn table_rows() -> Vec<MachineSet> {
     table1_rows()

@@ -1,0 +1,358 @@
+//! The execution environment abstraction: time, randomness and server-group
+//! spawning behind one trait, so the same distributed-system code runs on OS
+//! threads ([`OsEnvironment`]) or inside the deterministic simulator
+//! ([`SimEnvironment`](crate::sim::SimEnvironment)).
+//!
+//! The paper's system model separates the machines from the environment that
+//! feeds them events; this module makes that separation literal in the API.
+//! Code written against [`Environment`] + [`ServerGroup`] never touches
+//! `std::thread`, `Instant` or ambient randomness directly, which is what
+//! makes byte-identical seeded replay possible.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fsm_dfsm::{Dfsm, Event, StateId};
+use fsm_fusion_core::MachineReport;
+use rand::RngCore;
+
+use crate::error::{DistsysError, Result};
+use crate::parallel::ParallelServerGroup;
+use crate::server::Server;
+use crate::sim::{Seeded, SimRng};
+
+/// Default liveness re-check interval during report collection.
+pub const DEFAULT_REPORT_POLL: Duration = Duration::from_millis(20);
+
+/// Default hard ceiling on one report collection.
+pub const DEFAULT_COLLECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Configuration for spawning a server group: the report-collection poll
+/// interval and overall deadline that used to be hardcoded in
+/// [`ParallelServerGroup`].
+///
+/// Follows the same explicit > environment > auto precedence convention as
+/// `fsm_fusion_core::FusionConfig`: builder setters win over the
+/// `FSM_DISTSYS_REPORT_POLL_MS` / `FSM_DISTSYS_COLLECT_TIMEOUT_MS`
+/// environment variables, which win over the defaults.  The environment is
+/// read once, at [`GroupConfig::from_env`].
+///
+/// ```
+/// use std::time::Duration;
+/// use fsm_distsys::GroupConfig;
+///
+/// let cfg = GroupConfig::new().collect_timeout(Duration::from_secs(5));
+/// assert_eq!(cfg.resolved_collect_timeout(), Duration::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupConfig {
+    report_poll: Option<Duration>,
+    env_report_poll: Option<Duration>,
+    collect_timeout: Option<Duration>,
+    env_collect_timeout: Option<Duration>,
+}
+
+impl GroupConfig {
+    /// An empty configuration: every knob resolves to its default.
+    pub fn new() -> Self {
+        GroupConfig::default()
+    }
+
+    /// A configuration snapshotting `FSM_DISTSYS_REPORT_POLL_MS` and
+    /// `FSM_DISTSYS_COLLECT_TIMEOUT_MS` (integer milliseconds; unset or
+    /// unparsable values fall through to the defaults).
+    pub fn from_env() -> Self {
+        Self::from_env_values(
+            std::env::var("FSM_DISTSYS_REPORT_POLL_MS").ok().as_deref(),
+            std::env::var("FSM_DISTSYS_COLLECT_TIMEOUT_MS")
+                .ok()
+                .as_deref(),
+        )
+    }
+
+    /// Pure core of [`GroupConfig::from_env`], separated so precedence is
+    /// testable without mutating process state.
+    pub fn from_env_values(poll_ms: Option<&str>, timeout_ms: Option<&str>) -> Self {
+        let parse = |v: Option<&str>| {
+            v.and_then(|s| s.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis)
+        };
+        GroupConfig {
+            report_poll: None,
+            env_report_poll: parse(poll_ms),
+            collect_timeout: None,
+            env_collect_timeout: parse(timeout_ms),
+        }
+    }
+
+    /// Explicitly sets the report poll interval (highest precedence).
+    pub fn report_poll(mut self, poll: Duration) -> Self {
+        self.report_poll = Some(poll);
+        self
+    }
+
+    /// Explicitly sets the collection deadline (highest precedence).
+    pub fn collect_timeout(mut self, timeout: Duration) -> Self {
+        self.collect_timeout = Some(timeout);
+        self
+    }
+
+    /// The poll interval after precedence: explicit > env > default.
+    pub fn resolved_report_poll(&self) -> Duration {
+        self.report_poll
+            .or(self.env_report_poll)
+            .unwrap_or(DEFAULT_REPORT_POLL)
+    }
+
+    /// The collection deadline after precedence: explicit > env > default.
+    pub fn resolved_collect_timeout(&self) -> Duration {
+        self.collect_timeout
+            .or(self.env_collect_timeout)
+            .unwrap_or(DEFAULT_COLLECT_TIMEOUT)
+    }
+}
+
+/// A monotonic clock anchored at environment creation, measuring elapsed
+/// time as a [`Duration`].
+///
+/// Deadline math in [`ParallelServerGroup`] goes through this type instead
+/// of raw `Instant::now()` calls, so the collection logic is written against
+/// "time since the environment started" — the same timeline the virtual
+/// clock of [`SimEnvironment`](crate::sim::SimEnvironment) exposes.
+#[derive(Debug, Clone, Copy)]
+pub struct OsClock {
+    start: Instant,
+}
+
+impl OsClock {
+    /// A clock starting now.
+    pub fn new() -> Self {
+        OsClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the clock was created.
+    pub fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Default for OsClock {
+    fn default() -> Self {
+        OsClock::new()
+    }
+}
+
+/// A group of servers driven through message passing: the abstraction both
+/// the threaded runner ([`ParallelServerGroup`]) and the simulated runner
+/// ([`SimServerGroup`](crate::sim::SimServerGroup)) implement.
+///
+/// Commands (events, faults, restores) are asynchronous and processed in
+/// per-server FIFO order; [`ServerGroup::collect_reports`] is the
+/// synchronization point, guaranteeing every previously sent command has
+/// been applied by the servers that answer.
+pub trait ServerGroup {
+    /// Number of servers in the group.
+    fn len(&self) -> usize;
+
+    /// Whether the group has no servers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Broadcasts one event to every server.
+    fn apply_event(&mut self, event: &Event);
+
+    /// Broadcasts a whole batch of events (one command per server).
+    fn apply_batch(&mut self, events: &[Event]);
+
+    /// Injects a modeled crash fault into server `i` (the server stays
+    /// reachable and reports [`MachineReport::Crashed`]).
+    fn crash(&mut self, i: usize);
+
+    /// Injects a Byzantine fault moving server `i` to `state`.
+    fn corrupt(&mut self, i: usize, state: StateId);
+
+    /// Restores server `i` to `state` (after recovery).
+    fn restore(&mut self, i: usize, state: StateId);
+
+    /// Kills server `i`'s *process* (thread or simulated process), distinct
+    /// from the modeled crash fault: a killed process stops answering
+    /// entirely, so its report goes missing instead of reading `Crashed`.
+    /// The kill is a command like any other — pending events are applied
+    /// first.
+    fn kill_process(&mut self, i: usize);
+
+    /// Collects a report from every server that answers before the
+    /// configured deadline; servers that never answer (dead or wedged
+    /// processes, dropped replies) yield `None` at their index.
+    fn try_collect_reports(&mut self) -> Vec<Option<MachineReport>>;
+
+    /// Collects a report from every server, failing with
+    /// [`DistsysError::MissingReports`] naming the servers that never
+    /// answered.
+    fn collect_reports(&mut self) -> Result<Vec<MachineReport>> {
+        let partial = self.try_collect_reports();
+        let missing: Vec<usize> = partial
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .collect();
+        if missing.is_empty() {
+            Ok(partial.into_iter().map(|r| r.expect("checked")).collect())
+        } else {
+            Err(DistsysError::MissingReports { servers: missing })
+        }
+    }
+
+    /// Tears the group down and returns the final `Server` values of every
+    /// server whose process can still produce one.  Processes that died
+    /// without a final value — panicked threads, killed simulated processes
+    /// — are omitted; a Stop-killed OS thread exits its command loop
+    /// gracefully and still returns its value.
+    fn shutdown(self: Box<Self>) -> Vec<Server>;
+}
+
+/// An execution environment: the clock, randomness and process substrate a
+/// distributed run executes on.
+///
+/// Two implementations exist: [`OsEnvironment`] (OS threads, wall-clock
+/// time, entropy-seeded randomness) and
+/// [`SimEnvironment`](crate::sim::SimEnvironment) (single-threaded
+/// cooperative scheduler, virtual time, seed-derived randomness).  Code
+/// parameterized over `&dyn Environment` behaves identically on both up to
+/// timing, and *byte-identically* across runs on the simulator.
+pub trait Environment {
+    /// Elapsed time on this environment's clock (wall-clock since creation,
+    /// or virtual time).
+    fn now(&self) -> Duration;
+
+    /// Sleeps for `duration` (advances virtual time in the simulator,
+    /// delivering any messages that come due).
+    fn sleep(&self, duration: Duration);
+
+    /// Draws 64 random bits from the environment's generator.
+    fn next_u64(&self) -> u64;
+
+    /// Spawns a server group running `machines`, one logical process each.
+    fn spawn_group(&self, machines: &[Dfsm], config: &GroupConfig) -> Box<dyn ServerGroup>;
+
+    /// A short name for diagnostics (`"os"` or `"sim"`).
+    fn name(&self) -> &'static str;
+
+    /// A [`Seeded`] handle drawn from the environment's generator, for
+    /// deriving reproducible workloads and fault plans in environment-
+    /// agnostic code.
+    fn seeded(&self) -> Seeded {
+        Seeded(self.next_u64())
+    }
+}
+
+/// The real-world environment: OS threads, wall-clock time and an
+/// entropy-seeded generator — exactly the behavior `ParallelServerGroup`
+/// always had, packaged behind [`Environment`].
+#[derive(Debug)]
+pub struct OsEnvironment {
+    clock: OsClock,
+    rng: Mutex<SimRng>,
+}
+
+impl OsEnvironment {
+    /// An environment with entropy-derived randomness.
+    pub fn new() -> Self {
+        let mut h = RandomState::new().build_hasher();
+        h.write_u64(0x5EED);
+        Self::seeded(h.finish())
+    }
+
+    /// An environment whose *randomness* is seed-derived (scheduling and
+    /// timing remain OS-driven, so runs are reproducible only in what they
+    /// draw, not in how threads interleave — full replay needs
+    /// [`SimEnvironment`](crate::sim::SimEnvironment)).
+    pub fn seeded(seed: u64) -> Self {
+        OsEnvironment {
+            clock: OsClock::new(),
+            rng: Mutex::new(SimRng::new(seed)),
+        }
+    }
+}
+
+impl Default for OsEnvironment {
+    fn default() -> Self {
+        OsEnvironment::new()
+    }
+}
+
+impl Environment for OsEnvironment {
+    fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    fn next_u64(&self) -> u64 {
+        self.rng.lock().expect("rng lock").next_u64()
+    }
+
+    fn spawn_group(&self, machines: &[Dfsm], config: &GroupConfig) -> Box<dyn ServerGroup> {
+        Box::new(ParallelServerGroup::spawn_clocked(
+            machines, config, self.clock,
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "os"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_config_precedence_explicit_over_env_over_default() {
+        let auto = GroupConfig::new();
+        assert_eq!(auto.resolved_report_poll(), DEFAULT_REPORT_POLL);
+        assert_eq!(auto.resolved_collect_timeout(), DEFAULT_COLLECT_TIMEOUT);
+
+        let env = GroupConfig::from_env_values(Some("5"), Some("1500"));
+        assert_eq!(env.resolved_report_poll(), Duration::from_millis(5));
+        assert_eq!(env.resolved_collect_timeout(), Duration::from_millis(1500));
+
+        let explicit = env
+            .clone()
+            .report_poll(Duration::from_millis(1))
+            .collect_timeout(Duration::from_secs(2));
+        assert_eq!(explicit.resolved_report_poll(), Duration::from_millis(1));
+        assert_eq!(explicit.resolved_collect_timeout(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn group_config_ignores_garbage_and_zero_env_values() {
+        let cfg = GroupConfig::from_env_values(Some("not-a-number"), Some("0"));
+        assert_eq!(cfg.resolved_report_poll(), DEFAULT_REPORT_POLL);
+        assert_eq!(cfg.resolved_collect_timeout(), DEFAULT_COLLECT_TIMEOUT);
+        let cfg = GroupConfig::from_env_values(None, None);
+        assert_eq!(cfg, GroupConfig::new());
+    }
+
+    #[test]
+    fn os_environment_clock_and_rng() {
+        let env = OsEnvironment::seeded(42);
+        assert_eq!(env.name(), "os");
+        let t0 = env.now();
+        // The seeded generator matches a bare SimRng with the same seed.
+        let mut reference = SimRng::new(42);
+        assert_eq!(env.next_u64(), reference.next_u64());
+        assert_eq!(env.next_u64(), reference.next_u64());
+        let s = env.seeded();
+        assert_eq!(s, Seeded(reference.next_u64()));
+        assert!(env.now() >= t0);
+    }
+}

@@ -22,6 +22,12 @@ pub enum DistsysError {
         /// Indices of the servers that never reported.
         servers: Vec<usize>,
     },
+    /// A fault plan with a placeholder corruption (resolved only against an
+    /// in-process `FusedSystem`) was executed against a remote server group.
+    UnresolvedCorruption {
+        /// The server whose corruption had no explicit target state.
+        server: usize,
+    },
     /// An error from the fusion layer (generation or recovery).
     Fusion(fsm_fusion_core::FusionError),
     /// An error from the DFSM layer.
@@ -46,6 +52,11 @@ impl fmt::Display for DistsysError {
             DistsysError::MissingReports { servers } => write!(
                 f,
                 "servers {servers:?} never reported (thread dead or unresponsive)"
+            ),
+            DistsysError::UnresolvedCorruption { server } => write!(
+                f,
+                "corruption of server {server} has no explicit target state; \
+                 use an explicit corruption plan for server groups"
             ),
             DistsysError::Fusion(e) => write!(f, "fusion error: {e}"),
             DistsysError::Dfsm(e) => write!(f, "dfsm error: {e}"),

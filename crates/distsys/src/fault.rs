@@ -7,10 +7,10 @@
 //! provisioned to tolerate (or deliberately exceed it, for negative tests).
 
 use fsm_dfsm::StateId;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 
+use crate::env::ServerGroup;
+use crate::error::{DistsysError, Result};
+use crate::sim::Seeded;
 use crate::system::FusedSystem;
 use crate::workload::Workload;
 
@@ -50,52 +50,31 @@ impl FaultPlan {
 
     /// A plan that crashes `count` distinct servers (chosen with `seed`) at
     /// random points of a `workload_len`-event run.
+    ///
+    /// Legacy shim over [`Seeded::crash_plan`]; produces the exact plan it
+    /// always did for a given seed.
     pub fn random_crashes(
         num_servers: usize,
         count: usize,
         workload_len: usize,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut servers: Vec<usize> = (0..num_servers).collect();
-        servers.shuffle(&mut rng);
-        let mut faults: Vec<ScheduledFault> = servers
-            .into_iter()
-            .take(count)
-            .map(|server| ScheduledFault {
-                after_event: rng.gen_range(0..=workload_len),
-                server,
-                kind: FaultKind::Crash,
-            })
-            .collect();
-        faults.sort_by_key(|f| f.after_event);
-        FaultPlan { faults }
+        Seeded(seed).crash_plan(num_servers, count, workload_len)
     }
 
     /// A plan that corrupts `count` distinct servers.  The corrupted state
     /// is chosen as "current state + 1 (mod machine size)" at injection
     /// time, so the placeholder state recorded here is resolved by
     /// [`FaultPlan::execute`].
+    ///
+    /// Legacy shim over [`Seeded::corruption_plan`].
     pub fn random_corruptions(
         num_servers: usize,
         count: usize,
         workload_len: usize,
         seed: u64,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut servers: Vec<usize> = (0..num_servers).collect();
-        servers.shuffle(&mut rng);
-        let mut faults: Vec<ScheduledFault> = servers
-            .into_iter()
-            .take(count)
-            .map(|server| ScheduledFault {
-                after_event: rng.gen_range(0..=workload_len),
-                server,
-                kind: FaultKind::Corrupt(StateId(usize::MAX)), // resolved at injection time
-            })
-            .collect();
-        faults.sort_by_key(|f| f.after_event);
-        FaultPlan { faults }
+        Seeded(seed).corruption_plan(num_servers, count, workload_len)
     }
 
     /// Number of scheduled faults.
@@ -144,6 +123,45 @@ impl FaultPlan {
             injected += fire(system, i + 1, &mut next_fault);
         }
         injected
+    }
+
+    /// Runs a workload against an externally spawned [`ServerGroup`]
+    /// (threaded or simulated), injecting the scheduled faults at their
+    /// positions, and returns how many faults were injected.
+    ///
+    /// Placeholder corruptions (the "current state + 1" faults of
+    /// [`FaultPlan::random_corruptions`]) cannot be resolved here — the
+    /// group's servers run remotely, so their current state is unknown at
+    /// injection time.  Use [`Seeded::explicit_corruption_plan`] for plans
+    /// aimed at server groups; a placeholder fault fails with
+    /// [`DistsysError::UnresolvedCorruption`] before anything is sent.
+    pub fn execute_in(&self, group: &mut dyn ServerGroup, workload: &Workload) -> Result<usize> {
+        if let Some(f) = self
+            .faults
+            .iter()
+            .find(|f| matches!(f.kind, FaultKind::Corrupt(state) if state.index() == usize::MAX))
+        {
+            return Err(DistsysError::UnresolvedCorruption { server: f.server });
+        }
+        let mut injected = 0usize;
+        let mut next_fault = 0usize;
+        let mut fire = |group: &mut dyn ServerGroup, upto: usize, next_fault: &mut usize| {
+            while *next_fault < self.faults.len() && self.faults[*next_fault].after_event <= upto {
+                let f = self.faults[*next_fault];
+                match f.kind {
+                    FaultKind::Crash => group.crash(f.server),
+                    FaultKind::Corrupt(state) => group.corrupt(f.server, state),
+                }
+                *next_fault += 1;
+                injected += 1;
+            }
+        };
+        fire(group, 0, &mut next_fault);
+        for (i, e) in workload.iter().enumerate() {
+            group.apply_event(e);
+            fire(group, i + 1, &mut next_fault);
+        }
+        Ok(injected)
     }
 }
 

@@ -20,24 +20,35 @@
 //!   including the 100-sensor configuration.
 //! * [`ParallelServerGroup`] — servers on OS threads with channel-based
 //!   event broadcast and report collection.
+//! * [`Environment`] / [`ServerGroup`] — the execution-environment
+//!   abstraction (time, randomness, spawning) with two implementations:
+//!   [`OsEnvironment`] (threads, wall clock) and
+//!   [`sim::SimEnvironment`] (virtual time, seeded chaos, byte-identical
+//!   replay).
+//! * [`sim`] — the deterministic simulation runtime and its
+//!   [`sweep`](sim::sweep) scenario harness.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod env;
 mod error;
 pub mod fault;
 pub mod parallel;
 pub mod replicated;
 pub mod scenario;
 pub mod server;
+pub mod sim;
 pub mod system;
 pub mod workload;
 
+pub use env::{Environment, GroupConfig, OsClock, OsEnvironment, ServerGroup};
 pub use error::{DistsysError, Result};
 pub use fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use parallel::ParallelServerGroup;
 pub use replicated::{ReplicaGroup, ReplicatedSystem};
 pub use scenario::{replay_oracle, SensorBackupMode, SensorNetwork};
 pub use server::{Server, ServerStatus};
-pub use system::{FusedSystem, RecoveryOutcome, SystemMetrics};
+pub use sim::{NetStats, Seeded, SimConfig, SimEnvironment, SimRng, TraceEvent};
+pub use system::{ExternalRecovery, FusedSystem, RecoveryOutcome, SystemMetrics};
 pub use workload::Workload;

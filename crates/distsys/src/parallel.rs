@@ -11,27 +11,15 @@
 
 use std::sync::Arc;
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fsm_dfsm::{Dfsm, Event, StateId};
 use fsm_fusion_core::MachineReport;
 
+use crate::env::{GroupConfig, OsClock, ServerGroup};
 use crate::error::{DistsysError, Result};
 use crate::server::Server;
-
-/// How often [`ParallelServerGroup::collect_reports`] re-checks the
-/// liveness of servers that have not reported yet.
-const REPORT_POLL: Duration = Duration::from_millis(20);
-
-/// Hard ceiling on one report collection: even a server thread that is
-/// alive but wedged cannot block the caller past this.  This deliberately
-/// narrows the pre-fix contract (which blocked forever): a healthy server
-/// that cannot drain its backlog within the deadline is reported missing,
-/// and its late answer is discarded by the generation filter.  The ceiling
-/// is sized orders of magnitude above any broadcast backlog the workloads
-/// here produce, so only a genuinely wedged (or dead) thread hits it.
-const REPORT_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Commands sent to a server thread.
 enum Command {
@@ -75,11 +63,39 @@ pub struct ParallelServerGroup {
     /// generation are stale (a previous collection gave up on them) and are
     /// discarded on receipt.
     generation: std::sync::atomic::AtomicU64,
+    /// How often collection re-checks the liveness of servers that have not
+    /// reported yet (resolved from [`GroupConfig`]).
+    report_poll: Duration,
+    /// Hard ceiling on one report collection: even a server thread that is
+    /// alive but wedged cannot block the caller past this.  A healthy
+    /// server that cannot drain its backlog within the deadline is reported
+    /// missing, and its late answer is discarded by the generation filter.
+    /// The default is sized orders of magnitude above any broadcast backlog
+    /// the workloads here produce, so only a genuinely wedged (or dead)
+    /// thread hits it.
+    collect_timeout: Duration,
+    /// The environment clock all deadline math goes through — never raw
+    /// `Instant::now()`, so the collection logic reads identically to the
+    /// virtual-time implementation in the simulator.
+    clock: OsClock,
 }
 
 impl ParallelServerGroup {
-    /// Spawns one thread per machine.
+    /// Spawns one thread per machine with the environment-variable
+    /// configuration ([`GroupConfig::from_env`]).
     pub fn spawn(machines: &[Dfsm]) -> Self {
+        Self::spawn_with(machines, &GroupConfig::from_env())
+    }
+
+    /// Spawns one thread per machine with an explicit [`GroupConfig`].
+    pub fn spawn_with(machines: &[Dfsm], config: &GroupConfig) -> Self {
+        Self::spawn_clocked(machines, config, OsClock::new())
+    }
+
+    /// [`ParallelServerGroup::spawn_with`] on a caller-owned clock, so all
+    /// groups of one [`OsEnvironment`](crate::OsEnvironment) share its
+    /// timeline.
+    pub fn spawn_clocked(machines: &[Dfsm], config: &GroupConfig, clock: OsClock) -> Self {
         let (report_sender, reports) = unbounded();
         let handles = machines
             .iter()
@@ -122,6 +138,9 @@ impl ParallelServerGroup {
             reports,
             report_sender,
             generation: std::sync::atomic::AtomicU64::new(0),
+            report_poll: config.resolved_report_poll(),
+            collect_timeout: config.resolved_collect_timeout(),
+            clock,
         }
     }
 
@@ -192,6 +211,13 @@ impl ParallelServerGroup {
         let _ = self.handles[i].commands.send(Command::Restore(state));
     }
 
+    /// Kills server `i`'s *thread* (distinct from the modeled crash fault,
+    /// which keeps answering): pending commands are processed first, then
+    /// the thread exits and the server's reports go missing.
+    pub fn kill_process(&self, i: usize) {
+        let _ = self.handles[i].commands.send(Command::Stop);
+    }
+
     /// Collects a state report from every server.  This is the
     /// synchronization point of the recovery protocol: it waits until every
     /// server has answered, which also guarantees all previously broadcast
@@ -209,6 +235,28 @@ impl ParallelServerGroup {
     /// recognized as stale and discarded by the next collection instead of
     /// being mistaken for its answer.
     pub fn collect_reports(&self) -> Result<Vec<MachineReport>> {
+        let out = self.try_collect_reports();
+        let missing: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .collect();
+        if missing.is_empty() {
+            Ok(out.into_iter().map(|r| r.expect("all received")).collect())
+        } else {
+            Err(DistsysError::MissingReports { servers: missing })
+        }
+    }
+
+    /// The partial form of [`ParallelServerGroup::collect_reports`]:
+    /// servers that never answered before the deadline yield `None` at
+    /// their index instead of failing the whole collection.
+    ///
+    /// All deadline math runs on the group's environment clock
+    /// ([`OsClock`]) — the collection loop never consults `Instant::now()`
+    /// directly, mirroring how the simulated runner computes the same
+    /// deadline on virtual time.
+    pub fn try_collect_reports(&self) -> Vec<Option<MachineReport>> {
         let generation = self
             .generation
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
@@ -222,9 +270,9 @@ impl ParallelServerGroup {
         let n = self.handles.len();
         let mut out: Vec<Option<MachineReport>> = vec![None; n];
         let mut received = 0;
-        let start = Instant::now();
+        let deadline = self.clock.now() + self.collect_timeout;
         while received < n {
-            match self.reports.recv_timeout(REPORT_POLL) {
+            match self.reports.recv_timeout(self.report_poll) {
                 Ok((_, gen, _)) if gen != generation => {
                     // Stale reply from a collection that already gave up.
                 }
@@ -235,20 +283,19 @@ impl ParallelServerGroup {
                     out[i] = Some(r);
                 }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
-                    let missing: Vec<usize> = (0..n).filter(|&i| out[i].is_none()).collect();
-                    let all_dead = missing.iter().all(|&i| {
+                    let all_dead = (0..n).filter(|&i| out[i].is_none()).all(|i| {
                         self.handles[i]
                             .join
                             .as_ref()
                             .map_or(true, |j| j.is_finished())
                     });
-                    if all_dead || start.elapsed() >= REPORT_DEADLINE {
-                        return Err(DistsysError::MissingReports { servers: missing });
+                    if all_dead || self.clock.now() >= deadline {
+                        break;
                     }
                 }
             }
         }
-        Ok(out.into_iter().map(|r| r.expect("all received")).collect())
+        out
     }
 
     /// Stops all threads and returns the final `Server` values (for
@@ -264,6 +311,51 @@ impl ParallelServerGroup {
             .iter_mut()
             .filter_map(|h| h.join.take().expect("joined once").join().ok())
             .collect()
+    }
+}
+
+/// The [`ServerGroup`] view of the threaded runner, delegating to the
+/// inherent methods (which remain available, `&self`, for existing
+/// callers).
+impl ServerGroup for ParallelServerGroup {
+    fn len(&self) -> usize {
+        ParallelServerGroup::len(self)
+    }
+
+    fn apply_event(&mut self, event: &Event) {
+        ParallelServerGroup::apply_event(self, event);
+    }
+
+    fn apply_batch(&mut self, events: &[Event]) {
+        ParallelServerGroup::apply_batch(self, events);
+    }
+
+    fn crash(&mut self, i: usize) {
+        ParallelServerGroup::crash(self, i);
+    }
+
+    fn corrupt(&mut self, i: usize, state: StateId) {
+        ParallelServerGroup::corrupt(self, i, state);
+    }
+
+    fn restore(&mut self, i: usize, state: StateId) {
+        ParallelServerGroup::restore(self, i, state);
+    }
+
+    fn kill_process(&mut self, i: usize) {
+        ParallelServerGroup::kill_process(self, i);
+    }
+
+    fn try_collect_reports(&mut self) -> Vec<Option<MachineReport>> {
+        ParallelServerGroup::try_collect_reports(self)
+    }
+
+    fn collect_reports(&mut self) -> Result<Vec<MachineReport>> {
+        ParallelServerGroup::collect_reports(self)
+    }
+
+    fn shutdown(self: Box<Self>) -> Vec<Server> {
+        ParallelServerGroup::shutdown(*self)
     }
 }
 
@@ -411,7 +503,7 @@ mod tests {
         let machines = fig1_machines();
         let group = ParallelServerGroup::spawn(&machines);
         group.apply_event(&Event::new("0"));
-        let _ = group.handles[0].commands.send(Command::Stop);
+        group.kill_process(0);
         match group.collect_reports() {
             Err(crate::DistsysError::MissingReports { servers }) => {
                 assert_eq!(servers, vec![0])
@@ -423,6 +515,29 @@ mod tests {
         let servers = group.shutdown();
         assert_eq!(servers.len(), 2);
         assert_eq!(servers[1].events_seen(), 1);
+    }
+
+    #[test]
+    fn try_collect_reports_returns_partial_results_with_configured_timeout() {
+        // The GroupConfig knobs replace the old hardcoded constants: a
+        // short explicit deadline keeps the partial collection fast, and
+        // the surviving server still answers.
+        let machines = fig1_machines();
+        let group = ParallelServerGroup::spawn_with(
+            &machines,
+            &GroupConfig::new()
+                .report_poll(Duration::from_millis(1))
+                .collect_timeout(Duration::from_millis(250)),
+        );
+        group.apply_event(&Event::new("1"));
+        group.kill_process(1);
+        let partial = group.try_collect_reports();
+        assert!(partial[0].is_some());
+        assert_eq!(partial[1], None);
+        // A Stop-killed thread exits its loop gracefully, so its final
+        // Server value is still collectable (unlike a panicked thread).
+        let servers = group.shutdown();
+        assert_eq!(servers.len(), 2);
     }
 
     #[test]

@@ -20,10 +20,9 @@
 
 use fsm_dfsm::{Dfsm, Event, Executor, StateId};
 use fsm_fusion_core::FaultModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::error::{DistsysError, Result};
+use crate::sim::Seeded;
 use crate::system::FusedSystem;
 use crate::workload::Workload;
 
@@ -161,10 +160,11 @@ impl SensorNetwork {
     }
 
     /// Records a random observation sequence (uniform over sensors).
+    ///
+    /// Legacy shim over [`Seeded::observations`]; observes the exact
+    /// sequence it always did for a given seed.
     pub fn observe_randomly(&mut self, count: usize, seed: u64) -> Result<()> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        for _ in 0..count {
-            let i = rng.gen_range(0..self.sensors.len());
+        for i in Seeded(seed).observations(self.sensors.len(), count) {
             self.observe(i)?;
         }
         Ok(())
@@ -172,10 +172,14 @@ impl SensorNetwork {
 
     /// A workload of `count` random observations (for exact-mode systems or
     /// external replay).
+    ///
+    /// Legacy shim over [`Seeded::observations`].
     pub fn random_workload(&self, count: usize, seed: u64) -> Workload {
-        let mut rng = StdRng::seed_from_u64(seed);
         Workload::scripted(
-            (0..count).map(|_| self.events[rng.gen_range(0..self.events.len())].clone()),
+            Seeded(seed)
+                .observations(self.events.len(), count)
+                .into_iter()
+                .map(|i| self.events[i].clone()),
         )
     }
 
@@ -275,6 +279,8 @@ pub fn replay_oracle(machine: &Dfsm, workload: &Workload) -> StateId {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn analytic_sensor_network_recovers_a_crashed_sensor() {

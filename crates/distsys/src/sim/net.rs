@@ -1,0 +1,548 @@
+//! The simulated world: virtual clock, message network and server
+//! processes, all advanced deterministically from one seed.
+//!
+//! Every interaction between a driver and its servers goes through the
+//! message queue: commands (events, faults, restores, report requests) and
+//! report replies.  Commands model the paper's reliable totally-ordered
+//! event broadcast, so they are delayed but never dropped or reordered
+//! per-server; report *replies* travel the chaotic network and may be
+//! dropped, delayed past other replies, or duplicated, according to the
+//! configured knobs.  All of it is scheduled off one SplitMix64 stream, so
+//! the same seed replays the same world byte for byte.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use fsm_dfsm::{Dfsm, Event, StateId};
+use fsm_fusion_core::MachineReport;
+use rand::Rng;
+
+use crate::server::Server;
+use crate::sim::rng::SimRng;
+use crate::sim::trace::{Trace, TraceEvent};
+
+/// Counters of what the simulated network did — used by tests to assert
+/// chaos coverage ("this sweep actually dropped/reordered something").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network (including ones then dropped).
+    pub sent: u64,
+    /// Messages delivered to a destination.
+    pub delivered: u64,
+    /// Messages dropped by the chaos knob.
+    pub dropped: u64,
+    /// Duplicate copies injected by the chaos knob.
+    pub duplicated: u64,
+    /// Replies delivered after a later-sent reply to the same collector.
+    pub reordered: u64,
+    /// Simulated processes killed.
+    pub killed: u64,
+}
+
+impl NetStats {
+    /// Accumulates another run's counters into this one.
+    pub fn absorb(&mut self, other: &NetStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.killed += other.killed;
+    }
+}
+
+/// Network chaos knobs, resolved from `SimConfig`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Chaos {
+    /// Minimum one-way message delay, virtual nanoseconds.
+    pub min_delay: u64,
+    /// Maximum one-way message delay, virtual nanoseconds.
+    pub max_delay: u64,
+    /// Probability a report reply is dropped.
+    pub drop: f64,
+    /// Probability a report reply is duplicated.
+    pub duplicate: f64,
+    /// Probability a report reply gets extra jitter pushing it past later
+    /// replies.
+    pub reorder: f64,
+}
+
+/// What a message carries.
+pub(crate) enum Payload {
+    Apply(Event),
+    Batch(Rc<[Event]>),
+    Crash,
+    Corrupt(StateId),
+    Restore(StateId),
+    ReportRequest(u64),
+    Reply {
+        server: usize,
+        generation: u64,
+        report: MachineReport,
+        /// Sequence number of the originating send (shared by duplicates),
+        /// used for reorder accounting at the collector.
+        sent_seq: u64,
+    },
+    Kill,
+}
+
+impl Payload {
+    fn kind(&self) -> u8 {
+        match self {
+            Payload::Apply(_) => 0,
+            Payload::Batch(_) => 1,
+            Payload::Crash => 2,
+            Payload::Corrupt(_) => 3,
+            Payload::Restore(_) => 4,
+            Payload::ReportRequest(_) => 5,
+            Payload::Reply { .. } => 6,
+            Payload::Kill => 7,
+        }
+    }
+}
+
+/// A message destination: a server's command queue, or a group's report
+/// collector.
+pub(crate) enum Dest {
+    Server { group: usize, server: usize },
+    Collector { group: usize },
+}
+
+/// A queued message.  Ordering (for the scheduler heap) is by delivery
+/// time, tie-broken by the globally unique sequence number — which is what
+/// makes the scheduler deterministic.
+pub(crate) struct Msg {
+    deliver_at: u64,
+    seq: u64,
+    dest: Dest,
+    payload: Payload,
+}
+
+impl PartialEq for Msg {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Msg {}
+impl PartialOrd for Msg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Msg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// One simulated process: a server plus a liveness bit.
+struct SimProcess {
+    server: Server,
+    alive: bool,
+}
+
+/// One spawned server group inside the world.
+struct SimGroup {
+    processes: Vec<SimProcess>,
+    /// Per-server FIFO floor: commands to a server are delivered strictly
+    /// after every earlier command to it (reliable ordered delivery).
+    fifo_floor: Vec<u64>,
+    /// Replies received for this group's collector, drained by `collect`.
+    inbox: Vec<(usize, u64, MachineReport)>,
+    /// Current collection generation.
+    generation: u64,
+    /// Highest originating send-sequence delivered to the collector, for
+    /// reorder accounting.
+    last_reply_seq: u64,
+}
+
+/// The deterministic world: virtual clock, scheduler queue, processes,
+/// chaos stream, trace.
+pub(crate) struct SimWorld {
+    now: u64,
+    next_seq: u64,
+    chaos: Chaos,
+    chaos_rng: SimRng,
+    /// A second, independent stream for user-facing draws
+    /// (`Environment::next_u64`), so workload generation does not perturb
+    /// network scheduling.
+    pub(crate) user_rng: SimRng,
+    queue: BinaryHeap<Reverse<Msg>>,
+    groups: Vec<SimGroup>,
+    /// Scripted kill times (virtual ns, server index), consumed by the
+    /// first group spawned.
+    pending_crash_points: Vec<(u64, usize)>,
+    pub(crate) trace: Trace,
+    pub(crate) stats: NetStats,
+}
+
+impl SimWorld {
+    pub(crate) fn new(seed: u64, chaos: Chaos, crash_points: Vec<(u64, usize)>) -> Self {
+        SimWorld {
+            now: 0,
+            next_seq: 0,
+            chaos,
+            chaos_rng: SimRng::new(seed ^ 0xC4A5_EED0_0000_0001),
+            user_rng: SimRng::new(seed ^ 0x0B5E_55ED_0000_0002),
+            queue: BinaryHeap::new(),
+            groups: Vec::new(),
+            pending_crash_points: crash_points,
+            trace: Trace::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    pub(crate) fn now(&self) -> u64 {
+        self.now
+    }
+
+    pub(crate) fn group_len(&self, group: usize) -> usize {
+        self.groups[group].processes.len()
+    }
+
+    /// Spawns a group of simulated processes; scripted crash points (if this
+    /// is the first group) are scheduled as absolute-time kill messages that
+    /// bypass the command FIFO — a power failure, not a graceful stop.
+    pub(crate) fn spawn_group(&mut self, machines: &[Dfsm]) -> usize {
+        let id = self.groups.len();
+        self.groups.push(SimGroup {
+            processes: machines
+                .iter()
+                .map(|m| SimProcess {
+                    server: Server::new(m.clone()),
+                    alive: true,
+                })
+                .collect(),
+            fifo_floor: vec![0; machines.len()],
+            inbox: Vec::new(),
+            generation: 0,
+            last_reply_seq: 0,
+        });
+        self.trace.record(TraceEvent::Spawn {
+            group: id,
+            servers: machines.len(),
+        });
+        if id == 0 {
+            for (at, server) in std::mem::take(&mut self.pending_crash_points) {
+                if server >= machines.len() {
+                    continue;
+                }
+                let seq = self.bump_seq();
+                self.trace.record(TraceEvent::Send {
+                    seq,
+                    at: self.now,
+                    group: id,
+                    server,
+                    kind: Payload::Kill.kind(),
+                    deliver_at: at,
+                });
+                self.stats.sent += 1;
+                self.queue.push(Reverse(Msg {
+                    deliver_at: at.max(self.now),
+                    seq,
+                    dest: Dest::Server { group: id, server },
+                    payload: Payload::Kill,
+                }));
+            }
+        }
+        id
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    fn sample_delay(&mut self) -> u64 {
+        let Chaos {
+            min_delay,
+            max_delay,
+            ..
+        } = self.chaos;
+        if max_delay <= min_delay {
+            min_delay
+        } else {
+            self.chaos_rng.gen_range(min_delay..=max_delay)
+        }
+    }
+
+    /// Sends a command to one server: reliable, per-server FIFO, delayed.
+    pub(crate) fn send_command(&mut self, group: usize, server: usize, payload: Payload) {
+        let seq = self.bump_seq();
+        let delay = self.sample_delay();
+        let floor = self.groups[group].fifo_floor[server];
+        let deliver_at = (self.now + delay).max(floor + 1);
+        self.groups[group].fifo_floor[server] = deliver_at;
+        self.stats.sent += 1;
+        self.trace.record(TraceEvent::Send {
+            seq,
+            at: self.now,
+            group,
+            server,
+            kind: payload.kind(),
+            deliver_at,
+        });
+        self.queue.push(Reverse(Msg {
+            deliver_at,
+            seq,
+            dest: Dest::Server { group, server },
+            payload,
+        }));
+    }
+
+    /// Broadcasts a command to every server of a group.
+    pub(crate) fn broadcast(&mut self, group: usize, mut payload: impl FnMut() -> Payload) {
+        for server in 0..self.groups[group].processes.len() {
+            self.send_command(group, server, payload());
+        }
+    }
+
+    /// Sends a report reply back to the group's collector through the
+    /// chaotic network: it may be dropped, jittered past later replies, or
+    /// duplicated.
+    fn send_reply(&mut self, group: usize, server: usize, generation: u64, report: MachineReport) {
+        let seq = self.bump_seq();
+        let mut delay = self.sample_delay();
+        if self.chaos.reorder > 0.0 && self.chaos_rng.gen_bool(self.chaos.reorder) {
+            // Extra jitter of up to 4 max-delays: enough to land after
+            // replies sent later.
+            delay += self
+                .chaos_rng
+                .gen_range(0..=self.chaos.max_delay.saturating_mul(4));
+        }
+        let deliver_at = self.now + delay;
+        self.stats.sent += 1;
+        self.trace.record(TraceEvent::Send {
+            seq,
+            at: self.now,
+            group,
+            server,
+            kind: 6,
+            deliver_at,
+        });
+        if self.chaos.drop > 0.0 && self.chaos_rng.gen_bool(self.chaos.drop) {
+            self.stats.dropped += 1;
+            self.trace.record(TraceEvent::Drop { seq });
+        } else {
+            self.queue.push(Reverse(Msg {
+                deliver_at,
+                seq,
+                dest: Dest::Collector { group },
+                payload: Payload::Reply {
+                    server,
+                    generation,
+                    report: report.clone(),
+                    sent_seq: seq,
+                },
+            }));
+        }
+        if self.chaos.duplicate > 0.0 && self.chaos_rng.gen_bool(self.chaos.duplicate) {
+            let dup = self.bump_seq();
+            let dup_delay = self.sample_delay();
+            self.stats.duplicated += 1;
+            self.trace.record(TraceEvent::Duplicate { orig: seq, dup });
+            self.queue.push(Reverse(Msg {
+                deliver_at: self.now + dup_delay,
+                seq: dup,
+                dest: Dest::Collector { group },
+                payload: Payload::Reply {
+                    server,
+                    generation,
+                    report,
+                    sent_seq: seq,
+                },
+            }));
+        }
+    }
+
+    /// Delivers the next due message, if any is scheduled at or before
+    /// `limit`.  Returns whether a message was delivered.
+    pub(crate) fn step(&mut self, limit: u64) -> bool {
+        match self.queue.peek() {
+            Some(Reverse(m)) if m.deliver_at <= limit => {}
+            _ => return false,
+        }
+        let Reverse(msg) = self.queue.pop().expect("peeked");
+        self.now = self.now.max(msg.deliver_at);
+        self.stats.delivered += 1;
+        self.trace.record(TraceEvent::Deliver {
+            seq: msg.seq,
+            at: self.now,
+        });
+        match msg.dest {
+            Dest::Server { group, server } => {
+                // Compute any reply outside the borrow of the process table.
+                let mut reply = None;
+                {
+                    let g = &mut self.groups[group];
+                    let Some(p) = g.processes.get_mut(server) else {
+                        return true;
+                    };
+                    if !p.alive {
+                        // A dead process consumes nothing; the message is
+                        // lost at its door.
+                        return true;
+                    }
+                    match msg.payload {
+                        Payload::Apply(e) => {
+                            p.server.apply(&e);
+                            self.trace.record(TraceEvent::Apply {
+                                group,
+                                server,
+                                state: p.server.current_state().index() as u64,
+                            });
+                        }
+                        Payload::Batch(events) => {
+                            for e in events.iter() {
+                                p.server.apply(e);
+                                self.trace.record(TraceEvent::Apply {
+                                    group,
+                                    server,
+                                    state: p.server.current_state().index() as u64,
+                                });
+                            }
+                        }
+                        Payload::Crash => {
+                            p.server.crash();
+                            self.trace.record(TraceEvent::Crash { group, server });
+                        }
+                        Payload::Corrupt(s) => {
+                            p.server.corrupt(s);
+                            self.trace.record(TraceEvent::Corrupt {
+                                group,
+                                server,
+                                state: s.index() as u64,
+                            });
+                        }
+                        Payload::Restore(s) => {
+                            p.server.restore(s);
+                            self.trace.record(TraceEvent::Restore {
+                                group,
+                                server,
+                                state: s.index() as u64,
+                            });
+                        }
+                        Payload::ReportRequest(generation) => {
+                            let report = p.server.report();
+                            self.trace.record(TraceEvent::Report {
+                                group,
+                                server,
+                                generation,
+                                state: match &report {
+                                    MachineReport::Crashed => u64::MAX,
+                                    MachineReport::State(s) => *s as u64,
+                                },
+                            });
+                            reply = Some((generation, report));
+                        }
+                        Payload::Kill => {
+                            p.alive = false;
+                            self.stats.killed += 1;
+                            self.trace.record(TraceEvent::Kill { group, server });
+                        }
+                        Payload::Reply { .. } => unreachable!("replies go to collectors"),
+                    }
+                }
+                if let Some((generation, report)) = reply {
+                    self.send_reply(group, server, generation, report);
+                }
+            }
+            Dest::Collector { group } => {
+                if let Payload::Reply {
+                    server,
+                    generation,
+                    report,
+                    sent_seq,
+                } = msg.payload
+                {
+                    let g = &mut self.groups[group];
+                    if sent_seq < g.last_reply_seq {
+                        self.stats.reordered += 1;
+                        self.trace.record(TraceEvent::Reorder { seq: sent_seq });
+                    } else {
+                        g.last_reply_seq = sent_seq;
+                    }
+                    g.inbox.push((server, generation, report));
+                }
+            }
+        }
+        true
+    }
+
+    /// Delivers everything currently scheduled, at any time.
+    pub(crate) fn run_until_idle(&mut self) {
+        while self.step(u64::MAX) {}
+    }
+
+    /// Advances the clock to `target`, delivering everything due on the
+    /// way.
+    pub(crate) fn advance_to(&mut self, target: u64) {
+        while self.step(target) {}
+        self.now = self.now.max(target);
+    }
+
+    /// One full report collection for a group: request a report from every
+    /// server, run the world until all have answered or nothing more can
+    /// arrive before the (virtual) deadline.  Servers that never answered —
+    /// dead processes, or every reply copy dropped — yield `None`.
+    ///
+    /// Stale replies (from a previous collection that gave up) and
+    /// duplicate replies are discarded, exactly like the threaded runner's
+    /// generation filter.
+    pub(crate) fn collect(&mut self, group: usize, timeout: u64) -> Vec<Option<MachineReport>> {
+        let n = self.groups[group].processes.len();
+        self.groups[group].generation += 1;
+        let generation = self.groups[group].generation;
+        self.trace.record(TraceEvent::CollectStart {
+            group,
+            generation,
+            at: self.now,
+        });
+        for server in 0..n {
+            self.send_command(group, server, Payload::ReportRequest(generation));
+        }
+        let deadline = self.now.saturating_add(timeout);
+        let mut out: Vec<Option<MachineReport>> = vec![None; n];
+        let mut received = 0usize;
+        loop {
+            let replies: Vec<(usize, u64, MachineReport)> =
+                self.groups[group].inbox.drain(..).collect();
+            for (server, gen, report) in replies {
+                if gen == generation && out[server].is_none() {
+                    out[server] = Some(report);
+                    received += 1;
+                }
+            }
+            if received == n {
+                break;
+            }
+            if !self.step(deadline) {
+                // Nothing else can arrive in time: the collection waits out
+                // its deadline (virtual time is free) and gives up on the
+                // missing servers.
+                self.now = self.now.max(deadline);
+                break;
+            }
+        }
+        self.trace.record(TraceEvent::CollectDone {
+            group,
+            generation,
+            missing: n - received,
+            at: self.now,
+        });
+        out
+    }
+
+    /// Tears a group down after draining the queue; processes still alive
+    /// yield their final `Server` values.
+    pub(crate) fn shutdown_group(&mut self, group: usize) -> Vec<Server> {
+        self.run_until_idle();
+        self.groups[group]
+            .processes
+            .drain(..)
+            .filter(|p| p.alive)
+            .map(|p| p.server)
+            .collect()
+    }
+}

@@ -1,0 +1,631 @@
+//! The simulation sweep harness: hundreds of seeded scenarios — workload ×
+//! fault schedule × network chaos — each run deterministically and checked
+//! for recovery correctness.
+//!
+//! One `u64` seed fully determines a [`Scenario`]: which machine set runs,
+//! whether fusion or plain replication backs it up, the fault model and
+//! budget `f`, the workload, which servers suffer modeled crashes /
+//! Byzantine corruptions / outright process kills and when, and how hostile
+//! the network is.  [`run_scenario`] plays the scenario inside a
+//! [`SimEnvironment`], decodes the surviving
+//! reports with the same machinery the paper prescribes (Algorithm 3 for
+//! fusion, survivor-copy / majority vote for replication), restores the
+//! group, and re-verifies — recording every divergence from the oracle as a
+//! violation.  [`sweep`] aggregates a seed range into a [`SweepReport`],
+//! which CI runs over ≥200 seeds in release mode.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use fsm_dfsm::{Dfsm, StateId};
+use fsm_fusion_core::{FaultModel, MachineReport, ReplicaSet};
+use rand::Rng;
+
+use crate::env::{Environment, GroupConfig, ServerGroup};
+use crate::fault::FaultKind;
+use crate::scenario::{replay_oracle, SensorNetwork};
+use crate::sim::{NetStats, Seeded, SimEnvironment};
+use crate::system::FusedSystem;
+
+/// Substream of the scenario seed that draws the scenario parameters.
+const STREAM_PARAMS: u64 = 0;
+/// Substream that generates the workload.
+const STREAM_WORKLOAD: u64 = 1;
+/// Substream that generates the fault schedule.
+const STREAM_FAULTS: u64 = 2;
+
+/// How often a collection is retried when replies to live servers keep
+/// getting dropped.  With per-reply drop probability ≤ 0.3 the chance of a
+/// seed exhausting this is ≈ 0.3³² — and being deterministic, any seed that
+/// did would fail reproducibly rather than flakily.
+const MAX_COLLECT_ATTEMPTS: usize = 32;
+
+/// Trace-note code recording the scenario parameters.
+const NOTE_SCENARIO: u64 = 0x5CE0;
+/// Trace-note code recording the decode outcome.
+const NOTE_VERDICT: u64 = 0xFA57;
+
+/// Which backup strategy a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Fused backups (Algorithm 2 generation, Algorithm 3 recovery).
+    Fusion,
+    /// Plain replication (`f` or `2f` extra copies per machine).
+    Replication,
+}
+
+/// The machine sets scenarios draw from.
+#[derive(Debug, Clone, Copy)]
+enum MachineSet {
+    /// The paper's Figure 1 pair of mod-3 counters.
+    Fig1,
+    /// A heterogeneous pair: MESI cache-line protocol + mod-3 counter.
+    MesiZc3,
+    /// A 3-sensor network of mod-3 counters (the motivating scenario).
+    Sensors3,
+}
+
+impl MachineSet {
+    fn machines(self) -> Vec<Dfsm> {
+        match self {
+            MachineSet::Fig1 => fsm_machines::fig1_machines(),
+            MachineSet::MesiZc3 => vec![fsm_machines::mesi(), fsm_machines::zero_counter_mod3()],
+            MachineSet::Sensors3 => SensorNetwork::sensor_machines(3),
+        }
+    }
+}
+
+/// The preset table: every (machine set, backend, model, budget) combination
+/// the sweep draws from.  Crash presets must satisfy `dmin > f`, Byzantine
+/// presets `dmin > 2f`, for the fusion that Algorithm 2 generates.
+const PRESETS: &[(&str, MachineSet, Backend, FaultModel, usize)] = &[
+    (
+        "fig1/fusion/crash/f1",
+        MachineSet::Fig1,
+        Backend::Fusion,
+        FaultModel::Crash,
+        1,
+    ),
+    (
+        "fig1/fusion/crash/f2",
+        MachineSet::Fig1,
+        Backend::Fusion,
+        FaultModel::Crash,
+        2,
+    ),
+    (
+        "fig1/fusion/byz/f1",
+        MachineSet::Fig1,
+        Backend::Fusion,
+        FaultModel::Byzantine,
+        1,
+    ),
+    (
+        "mesi+zc3/fusion/crash/f1",
+        MachineSet::MesiZc3,
+        Backend::Fusion,
+        FaultModel::Crash,
+        1,
+    ),
+    (
+        "mesi+zc3/fusion/byz/f1",
+        MachineSet::MesiZc3,
+        Backend::Fusion,
+        FaultModel::Byzantine,
+        1,
+    ),
+    (
+        "sensors3/fusion/crash/f1",
+        MachineSet::Sensors3,
+        Backend::Fusion,
+        FaultModel::Crash,
+        1,
+    ),
+    (
+        "fig1/replication/crash/f1",
+        MachineSet::Fig1,
+        Backend::Replication,
+        FaultModel::Crash,
+        1,
+    ),
+    (
+        "mesi+zc3/replication/crash/f2",
+        MachineSet::MesiZc3,
+        Backend::Replication,
+        FaultModel::Crash,
+        2,
+    ),
+    (
+        "sensors3/replication/byz/f1",
+        MachineSet::Sensors3,
+        Backend::Replication,
+        FaultModel::Byzantine,
+        1,
+    ),
+];
+
+/// One fully specified simulation scenario, derived deterministically from a
+/// seed by [`Scenario::from_seed`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The seed the scenario (and its simulated world) is derived from.
+    pub seed: u64,
+    /// Human-readable preset name (`"fig1/fusion/crash/f1"`, …).
+    pub preset: &'static str,
+    /// Fusion or replication.
+    pub backend: Backend,
+    /// Crash or Byzantine faults.
+    pub fault_model: FaultModel,
+    /// The fault budget the system is provisioned for.
+    pub f: usize,
+    /// The original machines.
+    pub machines: Vec<Dfsm>,
+    /// Number of workload events.
+    pub workload_len: usize,
+    /// Modeled crash faults to inject (server answers `Crashed`).
+    pub modeled_crashes: usize,
+    /// Process kills to inject (server stops answering entirely).
+    pub kills: usize,
+    /// Byzantine corruptions to inject (explicit in-range lies).
+    pub corruptions: usize,
+    /// Reply drop probability.
+    pub drop: f64,
+    /// Reply duplication probability.
+    pub duplicate: f64,
+    /// Reply reorder-jitter probability.
+    pub reorder: f64,
+}
+
+impl Scenario {
+    /// Derives the full scenario from one seed.  Fault counts never exceed
+    /// the preset's budget `f`; crash budgets are split between modeled
+    /// crashes and process kills, Byzantine budgets go entirely to explicit
+    /// corruptions (a kill would *add* a crash fault on top of `f` lies).
+    pub fn from_seed(seed: u64) -> Scenario {
+        let mut rng = Seeded(seed).split(STREAM_PARAMS).rng();
+        let (preset, set, backend, fault_model, f) = PRESETS[rng.gen_range(0..PRESETS.len())];
+        let workload_len = rng.gen_range(20..=100usize);
+        let budget = rng.gen_range(0..=f);
+        let (modeled_crashes, kills, corruptions) = match fault_model {
+            FaultModel::Crash => {
+                let kills = rng.gen_range(0..=budget);
+                (budget - kills, kills, 0)
+            }
+            FaultModel::Byzantine => (0, 0, budget),
+        };
+        let drop = rng.gen_range(0..=30u32) as f64 / 100.0;
+        let duplicate = rng.gen_range(0..=20u32) as f64 / 100.0;
+        let reorder = rng.gen_range(0..=30u32) as f64 / 100.0;
+        Scenario {
+            seed,
+            preset,
+            backend,
+            fault_model,
+            f,
+            machines: set.machines(),
+            workload_len,
+            modeled_crashes,
+            kills,
+            corruptions,
+            drop,
+            duplicate,
+            reorder,
+        }
+    }
+
+    /// Total faults the scenario injects.
+    pub fn total_faults(&self) -> usize {
+        self.modeled_crashes + self.kills + self.corruptions
+    }
+}
+
+/// What one scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario seed.
+    pub seed: u64,
+    /// The preset that ran.
+    pub preset: &'static str,
+    /// Fusion or replication.
+    pub backend: Backend,
+    /// Crash or Byzantine.
+    pub fault_model: FaultModel,
+    /// The world's rolling trace hash at the end of the run — the replay
+    /// identity: running the same seed again must reproduce it bit for bit.
+    pub trace_hash: u64,
+    /// Number of trace events recorded.
+    pub trace_len: usize,
+    /// What the network did.
+    pub stats: NetStats,
+    /// Faults actually injected.
+    pub injected: usize,
+    /// Process kills among them.
+    pub kills: usize,
+    /// Every detected divergence from the oracle (empty = correct run).
+    pub violations: Vec<String>,
+}
+
+impl ScenarioOutcome {
+    /// Whether the run recovered correctly end to end.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Collects reports, retrying while replies to *live* servers are missing
+/// (dropped); killed servers are expected to stay silent.  Attempts are
+/// merged: the servers are quiescent during collection, so a report heard
+/// in any attempt is the server's final answer.
+fn collect_until_settled(
+    group: &mut dyn ServerGroup,
+    killed: &HashSet<usize>,
+) -> Vec<Option<MachineReport>> {
+    let mut merged = group.try_collect_reports();
+    for _ in 1..MAX_COLLECT_ATTEMPTS {
+        let settled = merged
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.is_some() || killed.contains(&i));
+        if settled {
+            break;
+        }
+        for (slot, heard) in merged.iter_mut().zip(group.try_collect_reports()) {
+            if slot.is_none() {
+                *slot = heard;
+            }
+        }
+    }
+    merged
+}
+
+/// Runs one scenario inside a fresh simulated world and checks it end to
+/// end: inject the schedule, collect the surviving reports, decode (fusion's
+/// Algorithm 3 or replication's per-group vote), restore every live server,
+/// and re-verify against the oracle.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
+    let env = Seeded(scenario.seed)
+        .sim()
+        .drop_probability(scenario.drop)
+        .duplicate_probability(scenario.duplicate)
+        .reorder_probability(scenario.reorder)
+        .build();
+    let mut violations: Vec<String> = Vec::new();
+
+    let w = Seeded(scenario.seed)
+        .split(STREAM_WORKLOAD)
+        .workload_over_machines(&scenario.machines, scenario.workload_len);
+
+    // The server roster the group runs, the oracle state every server must
+    // end at, and (for fusion) the system holding Algorithm 3.
+    let mut fusion_sys: Option<FusedSystem> = None;
+    let (roster, expected): (Vec<Dfsm>, Vec<usize>) = match scenario.backend {
+        Backend::Fusion => {
+            match FusedSystem::new(&scenario.machines, scenario.f, scenario.fault_model) {
+                Ok(mut sys) => {
+                    sys.apply_workload(&w);
+                    let roster = sys.all_machines();
+                    let expected = (0..sys.num_servers())
+                        .map(|i| sys.oracle_state_of(i).index())
+                        .collect();
+                    fusion_sys = Some(sys);
+                    (roster, expected)
+                }
+                Err(e) => {
+                    return failed_outcome(scenario, &env, format!("construction failed: {e}"));
+                }
+            }
+        }
+        Backend::Replication => {
+            let per = scenario.fault_model.copies_per_machine(scenario.f) + 1;
+            let mut roster = Vec::new();
+            let mut expected = Vec::new();
+            for m in &scenario.machines {
+                let truth = replay_oracle(m, &w).index();
+                for _ in 0..per {
+                    roster.push(m.clone());
+                    expected.push(truth);
+                }
+            }
+            (roster, expected)
+        }
+    };
+    let n = roster.len();
+
+    env.note(
+        NOTE_SCENARIO,
+        &[
+            matches!(scenario.backend, Backend::Replication) as u64,
+            matches!(scenario.fault_model, FaultModel::Byzantine) as u64,
+            scenario.f as u64,
+            scenario.workload_len as u64,
+            scenario.modeled_crashes as u64,
+            scenario.kills as u64,
+            scenario.corruptions as u64,
+        ],
+    );
+
+    // Collections stay short: virtual time is free, but there is no point
+    // waiting 30 virtual seconds per retry.
+    let config = GroupConfig::new().collect_timeout(Duration::from_secs(2));
+    let mut group = env.spawn_group(&roster, &config);
+
+    // The fault schedule: distinct victims at seeded workload positions.
+    // Crash budgets reuse the crash-plan stream with the first `kills`
+    // entries escalated from modeled crash to process kill; Byzantine
+    // budgets draw explicit in-range lies.
+    let faults = Seeded(scenario.seed).split(STREAM_FAULTS);
+    let plan = match scenario.fault_model {
+        FaultModel::Crash => {
+            faults.crash_plan(n, scenario.modeled_crashes + scenario.kills, w.len())
+        }
+        FaultModel::Byzantine => {
+            let sizes: Vec<usize> = roster.iter().map(|m| m.size()).collect();
+            faults.explicit_corruption_plan(&sizes, scenario.corruptions, w.len())
+        }
+    };
+    let mut killed: HashSet<usize> = HashSet::new();
+    let mut kill_budget = scenario.kills;
+    let mut next_fault = 0usize;
+    let mut fire = |group: &mut dyn ServerGroup, upto: usize| {
+        while next_fault < plan.faults.len() && plan.faults[next_fault].after_event <= upto {
+            let f = plan.faults[next_fault];
+            match f.kind {
+                FaultKind::Crash if kill_budget > 0 => {
+                    kill_budget -= 1;
+                    killed.insert(f.server);
+                    group.kill_process(f.server);
+                }
+                FaultKind::Crash => group.crash(f.server),
+                FaultKind::Corrupt(state) => group.corrupt(f.server, state),
+            }
+            next_fault += 1;
+        }
+    };
+    fire(&mut *group, 0);
+    for (i, e) in w.iter().enumerate() {
+        group.apply_event(e);
+        fire(&mut *group, i + 1);
+    }
+    let injected = plan.faults.len();
+
+    // Collect the surviving reports and decode them.
+    let partial = collect_until_settled(&mut *group, &killed);
+    let mut restore_to: Vec<StateId> = vec![StateId(0); n];
+    match scenario.backend {
+        Backend::Fusion => {
+            let sys = fusion_sys.as_mut().expect("fusion backend keeps a system");
+            // A silent server is indistinguishable from a crashed one — the
+            // decoder treats both as erasures.
+            let reports: Vec<MachineReport> = partial
+                .iter()
+                .map(|r| r.clone().unwrap_or(MachineReport::Crashed))
+                .collect();
+            match sys.recover_external(&reports) {
+                Ok(ext) => {
+                    if !ext.matches_oracle {
+                        violations.push("recovered top state diverges from oracle".into());
+                    }
+                    for (i, want) in expected.iter().enumerate() {
+                        if ext.states[i].index() != *want {
+                            violations.push(format!(
+                                "server {i}: recovered state {} != oracle {want}",
+                                ext.states[i].index()
+                            ));
+                        }
+                    }
+                    restore_to = ext.states;
+                }
+                Err(e) => violations.push(format!("fusion recovery failed: {e}")),
+            }
+        }
+        Backend::Replication => {
+            let per = scenario.fault_model.copies_per_machine(scenario.f) + 1;
+            for (mi, m) in scenario.machines.iter().enumerate() {
+                let replica_set = ReplicaSet::new(m.clone(), scenario.f, scenario.fault_model);
+                let reports: Vec<Option<usize>> = (0..per)
+                    .map(|j| match &partial[mi * per + j] {
+                        Some(MachineReport::State(s)) => Some(*s),
+                        _ => None,
+                    })
+                    .collect();
+                match replica_set.recover(&reports) {
+                    Ok(state) => {
+                        if state != expected[mi * per] {
+                            violations.push(format!(
+                                "machine {mi}: recovered state {state} != oracle {}",
+                                expected[mi * per]
+                            ));
+                        }
+                        for j in 0..per {
+                            restore_to[mi * per + j] = StateId(state);
+                        }
+                    }
+                    Err(e) => violations.push(format!("replication recovery failed: {e}")),
+                }
+            }
+        }
+    }
+
+    // Restore every live server and re-verify the whole group against the
+    // oracle (killed processes stay dark, as a real power failure would).
+    if violations.is_empty() {
+        for (i, state) in restore_to.iter().enumerate() {
+            if !killed.contains(&i) {
+                group.restore(i, *state);
+            }
+        }
+        let verify = collect_until_settled(&mut *group, &killed);
+        for (i, r) in verify.iter().enumerate() {
+            match r {
+                Some(MachineReport::State(s)) if *s == expected[i] => {}
+                None if killed.contains(&i) => {}
+                other => violations.push(format!(
+                    "server {i} after restore: reported {other:?}, expected state {}",
+                    expected[i]
+                )),
+            }
+        }
+    }
+
+    env.note(NOTE_VERDICT, &[violations.len() as u64, injected as u64]);
+    ScenarioOutcome {
+        seed: scenario.seed,
+        preset: scenario.preset,
+        backend: scenario.backend,
+        fault_model: scenario.fault_model,
+        trace_hash: env.trace_hash(),
+        trace_len: env.trace_len(),
+        stats: env.net_stats(),
+        injected,
+        kills: killed.len(),
+        violations,
+    }
+}
+
+/// An outcome for a scenario that could not even be constructed.
+fn failed_outcome(scenario: &Scenario, env: &SimEnvironment, violation: String) -> ScenarioOutcome {
+    env.note(NOTE_VERDICT, &[u64::MAX]);
+    ScenarioOutcome {
+        seed: scenario.seed,
+        preset: scenario.preset,
+        backend: scenario.backend,
+        fault_model: scenario.fault_model,
+        trace_hash: env.trace_hash(),
+        trace_len: env.trace_len(),
+        stats: env.net_stats(),
+        injected: 0,
+        kills: 0,
+        violations: vec![violation],
+    }
+}
+
+/// Aggregate results of a seed sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Scenarios run.
+    pub scenarios: usize,
+    /// Scenarios with no violations.
+    pub passed: usize,
+    /// Runs on the fusion backend.
+    pub fusion_runs: usize,
+    /// Runs on the replication backend.
+    pub replication_runs: usize,
+    /// Runs under the crash fault model.
+    pub crash_runs: usize,
+    /// Runs under the Byzantine fault model.
+    pub byzantine_runs: usize,
+    /// Faults injected across all runs.
+    pub faults_injected: usize,
+    /// Process kills among them.
+    pub kills: usize,
+    /// Network chaos counters summed over all runs.
+    pub stats: NetStats,
+    /// Every violation, tagged with its seed.
+    pub violations: Vec<(u64, String)>,
+}
+
+impl SweepReport {
+    /// Whether every scenario recovered correctly.
+    pub fn all_passed(&self) -> bool {
+        self.violations.is_empty() && self.passed == self.scenarios
+    }
+
+    /// Whether the sweep actually exercised the chaos it is meant to cover:
+    /// drops, reorders, kills, and both backends under both fault models.
+    pub fn chaos_covered(&self) -> bool {
+        self.stats.dropped > 0
+            && self.stats.reordered > 0
+            && self.stats.duplicated > 0
+            && self.kills > 0
+            && self.fusion_runs > 0
+            && self.replication_runs > 0
+            && self.crash_runs > 0
+            && self.byzantine_runs > 0
+    }
+
+    fn absorb(&mut self, outcome: &ScenarioOutcome) {
+        self.scenarios += 1;
+        if outcome.is_ok() {
+            self.passed += 1;
+        }
+        match outcome.backend {
+            Backend::Fusion => self.fusion_runs += 1,
+            Backend::Replication => self.replication_runs += 1,
+        }
+        match outcome.fault_model {
+            FaultModel::Crash => self.crash_runs += 1,
+            FaultModel::Byzantine => self.byzantine_runs += 1,
+        }
+        self.faults_injected += outcome.injected;
+        self.kills += outcome.kills;
+        self.stats.absorb(&outcome.stats);
+        for v in &outcome.violations {
+            self.violations.push((outcome.seed, v.clone()));
+        }
+    }
+}
+
+/// Runs `count` scenarios for the seeds `first_seed..first_seed + count` and
+/// aggregates the results.
+pub fn sweep(first_seed: u64, count: usize) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in first_seed..first_seed + count as u64 {
+        let scenario = Scenario::from_seed(seed);
+        let outcome = run_scenario(&scenario);
+        report.absorb(&outcome);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_reproducible_and_within_budget() {
+        for seed in 0..50u64 {
+            let a = Scenario::from_seed(seed);
+            let b = Scenario::from_seed(seed);
+            assert_eq!(a.preset, b.preset);
+            assert_eq!(a.workload_len, b.workload_len);
+            assert_eq!(
+                (a.modeled_crashes, a.kills, a.corruptions),
+                (b.modeled_crashes, b.kills, b.corruptions)
+            );
+            assert!(a.total_faults() <= a.f, "seed {seed}");
+            assert!((20..=100).contains(&a.workload_len));
+            assert!(a.drop <= 0.30 && a.duplicate <= 0.20 && a.reorder <= 0.30);
+        }
+    }
+
+    #[test]
+    fn same_seed_replays_the_identical_world() {
+        for seed in [3u64, 17, 40] {
+            let s = Scenario::from_seed(seed);
+            let a = run_scenario(&s);
+            let b = run_scenario(&s);
+            assert_eq!(a.trace_hash, b.trace_hash, "seed {seed}");
+            assert_eq!(a.trace_len, b.trace_len, "seed {seed}");
+            assert_eq!(a.stats, b.stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mini_sweep_recovers_every_scenario() {
+        let report = sweep(100, 30);
+        assert_eq!(report.scenarios, 30);
+        assert!(
+            report.all_passed(),
+            "violations: {:?}",
+            &report.violations[..report.violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn a_larger_sweep_covers_all_chaos_modes() {
+        let report = sweep(0, 60);
+        assert!(report.all_passed(), "violations: {:?}", report.violations);
+        assert!(report.chaos_covered(), "coverage gap: {report:?}");
+        assert!(report.faults_injected > 0);
+    }
+}

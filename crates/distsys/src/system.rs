@@ -23,6 +23,7 @@ use fsm_fusion_core::{
     MachineReport, Partition, Recovery, RecoveryEngine,
 };
 
+use crate::env::{Environment, GroupConfig, ServerGroup};
 use crate::error::{DistsysError, Result};
 use crate::server::{Server, ServerStatus};
 use crate::workload::Workload;
@@ -51,6 +52,19 @@ pub struct RecoveryOutcome {
     pub repaired: Vec<usize>,
     /// Whether the recovered top state matches the oracle (always true when
     /// the number of faults was within the tolerated bound).
+    pub matches_oracle: bool,
+}
+
+/// The outcome of recovering from *externally collected* reports (servers
+/// running in an [`Environment`] rather than inside the [`FusedSystem`]).
+#[derive(Debug, Clone)]
+pub struct ExternalRecovery {
+    /// The correct state of every server, in each machine's own state
+    /// numbering — what the external servers should be restored to.
+    pub states: Vec<StateId>,
+    /// The raw Algorithm 3 result.
+    pub recovery: Recovery,
+    /// Whether the recovered top state matches the oracle.
     pub matches_oracle: bool,
 }
 
@@ -379,6 +393,74 @@ impl FusedSystem {
         })
     }
 
+    /// The full machine set (originals then backups) — what an
+    /// [`Environment`] spawns to run this system's servers externally.
+    pub fn all_machines(&self) -> Vec<Dfsm> {
+        self.servers.iter().map(|s| s.machine().clone()).collect()
+    }
+
+    /// Spawns this system's machine set as a server group in `env`.
+    ///
+    /// The group executes independently of the in-process [`Server`]s; keep
+    /// feeding this system the same workload so its oracle stays the ground
+    /// truth for [`FusedSystem::recover_external`].
+    pub fn spawn_group(&self, env: &dyn Environment, config: &GroupConfig) -> Box<dyn ServerGroup> {
+        env.spawn_group(&self.all_machines(), config)
+    }
+
+    /// Runs recovery (Algorithm 3) on reports collected from *external*
+    /// servers (e.g. a simulated or threaded [`ServerGroup`]), translating
+    /// each reported machine state into partition blocks and the recovered
+    /// blocks back into machine states.
+    ///
+    /// Unlike [`FusedSystem::recover`] this does not touch the in-process
+    /// servers: the caller restores the external group from
+    /// [`ExternalRecovery::states`].
+    pub fn recover_external(&mut self, reports: &[MachineReport]) -> Result<ExternalRecovery> {
+        if reports.len() != self.servers.len() {
+            return Err(DistsysError::NoSuchServer {
+                server: reports.len(),
+                count: self.servers.len(),
+            });
+        }
+        let mut translated = Vec::with_capacity(reports.len());
+        for (i, r) in reports.iter().enumerate() {
+            translated.push(match r {
+                MachineReport::Crashed => MachineReport::Crashed,
+                MachineReport::State(state) => {
+                    if *state >= self.block_of_state[i].len() {
+                        return Err(DistsysError::InvalidState {
+                            server: i,
+                            state: *state,
+                            size: self.block_of_state[i].len(),
+                        });
+                    }
+                    MachineReport::State(self.block_of_state[i][*state])
+                }
+            });
+        }
+        let recovery = match self.engine.recover(&translated) {
+            Ok(r) => r,
+            Err(e) => {
+                self.metrics.failed_recoveries += 1;
+                return Err(e.into());
+            }
+        };
+        let states = recovery
+            .machine_states
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| self.state_of_block[i][b])
+            .collect();
+        self.metrics.recoveries += 1;
+        let matches_oracle = recovery.top_state == self.oracle.current().index();
+        Ok(ExternalRecovery {
+            states,
+            recovery,
+            matches_oracle,
+        })
+    }
+
     /// Whether every healthy server's state is consistent with the oracle
     /// (useful as a system invariant in tests).
     pub fn consistent_with_oracle(&self) -> bool {
@@ -599,6 +681,30 @@ mod tests {
         assert!(sys.crash(99).is_err());
         assert!(sys.corrupt(0, StateId(99)).is_err());
         assert!(FusedSystem::new(&[], 1, FaultModel::Crash).is_err());
+    }
+
+    #[test]
+    fn external_recovery_translates_raw_machine_reports() {
+        let machines = vec![mesi(), zero_counter_mod3()];
+        let mut sys = FusedSystem::new(&machines, 1, FaultModel::Crash).unwrap();
+        let w = Workload::uniform_over_machines(&machines, 321, 17);
+        sys.apply_workload(&w);
+        // Reports as an external server group would produce them: raw
+        // machine states in each machine's own numbering, one crashed.
+        let mut reports: Vec<MachineReport> = (0..sys.num_servers())
+            .map(|i| MachineReport::State(sys.oracle_state_of(i).index()))
+            .collect();
+        reports[0] = MachineReport::Crashed;
+        let ext = sys.recover_external(&reports).unwrap();
+        assert!(ext.matches_oracle);
+        for i in 0..sys.num_servers() {
+            assert_eq!(ext.states[i], sys.oracle_state_of(i), "server {i}");
+        }
+        assert_eq!(sys.all_machines().len(), sys.num_servers());
+        // Shape and bounds errors.
+        assert!(sys.recover_external(&reports[..1]).is_err());
+        reports[1] = MachineReport::State(999);
+        assert!(sys.recover_external(&reports).is_err());
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! reproducible.
 
 use fsm_dfsm::{Alphabet, Dfsm, Event};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::sim::Seeded;
 
 /// A reproducible event workload.
 #[derive(Debug, Clone)]
@@ -36,43 +36,26 @@ impl Workload {
     }
 
     /// `length` events drawn uniformly from `alphabet` with the given seed.
+    ///
+    /// Legacy shim over [`Seeded::uniform_workload`]; produces the exact
+    /// event stream it always did.
     pub fn uniform(alphabet: &Alphabet, length: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let events = (0..length)
-            .map(|_| {
-                let i = rng.gen_range(0..alphabet.len());
-                alphabet.events()[i].clone()
-            })
-            .collect();
-        Workload { events }
+        Seeded(seed).uniform_workload(alphabet, length)
     }
 
     /// `length` events drawn uniformly from the union alphabet of the given
     /// machines — the natural workload for a heterogeneous server group.
+    ///
+    /// Legacy shim over [`Seeded::workload_over_machines`].
     pub fn uniform_over_machines(machines: &[Dfsm], length: usize, seed: u64) -> Self {
-        let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
-        Self::uniform(&alphabet, length, seed)
+        Seeded(seed).workload_over_machines(machines, length)
     }
 
     /// `length` events drawn from `choices` with the given relative weights.
+    ///
+    /// Legacy shim over [`Seeded::weighted_workload`].
     pub fn weighted(choices: &[(Event, u32)], length: usize, seed: u64) -> Self {
-        assert!(!choices.is_empty(), "weighted workload needs choices");
-        let total: u64 = choices.iter().map(|(_, w)| *w as u64).sum();
-        assert!(total > 0, "weights must not all be zero");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let events = (0..length)
-            .map(|_| {
-                let mut pick = rng.gen_range(0..total);
-                for (e, w) in choices {
-                    if pick < *w as u64 {
-                        return e.clone();
-                    }
-                    pick -= *w as u64;
-                }
-                choices.last().expect("non-empty").0.clone()
-            })
-            .collect();
-        Workload { events }
+        Seeded(seed).weighted_workload(choices, length)
     }
 
     /// The events, in order.

@@ -15,9 +15,12 @@
 //! * [`machines`] — the machine library used by the paper's evaluation
 //!   (MESI, TCP, counters, parity checkers, shift registers, dividers,
 //!   pattern detectors) plus random machine generation.
-//! * [`distsys`] — the simulated distributed system: servers, workloads,
-//!   fault injection, fusion-backed and replicated recovery, the
-//!   sensor-network scenario and a threaded runner.
+//! * [`distsys`] — the distributed system: servers, workloads, fault
+//!   injection, fusion-backed and replicated recovery, the sensor-network
+//!   scenario, and an [`distsys::Environment`] abstraction with two
+//!   runtimes — a threaded [`distsys::OsEnvironment`] and a deterministic,
+//!   seeded [`distsys::SimEnvironment`] (virtual clock, scripted message
+//!   chaos, byte-identical replay; see [`distsys::sim`]).
 //! * [`erasure`] — the coding-theory analogy substrate (Hamming distances,
 //!   repetition/parity/Hamming codes).
 //!
@@ -67,8 +70,11 @@ pub mod prelude {
         Dfsm, DfsmBuilder, Event, Executor, ProductBuilder, ProductStrategy, ReachableProduct,
         StateId,
     };
+    pub use fsm_distsys::sim::sweep::{sweep, Scenario, SweepReport};
     pub use fsm_distsys::{
-        FaultPlan, FusedSystem, ReplicatedSystem, SensorBackupMode, SensorNetwork, Workload,
+        Environment, FaultPlan, FusedSystem, GroupConfig, OsEnvironment, ReplicatedSystem, Seeded,
+        SensorBackupMode, SensorNetwork, ServerGroup, SimConfig, SimEnvironment, TraceEvent,
+        Workload,
     };
     pub use fsm_fusion_core::{
         generate_fusion, generate_fusion_for_machines, BitsetPartition, CachePolicy, CacheStats,

@@ -34,6 +34,34 @@ fn prelude_exposes_quickstart_surface() {
     assert!(!rows.is_empty());
 }
 
+/// The deterministic-simulation surface added by the `Environment` redesign
+/// must also be importable from the prelude alone.
+#[test]
+fn prelude_exposes_simulation_surface() {
+    // Types usable in signatures straight from the prelude.
+    fn _takes_env(_: &dyn Environment) {}
+    fn _takes_group(_: &dyn ServerGroup) {}
+    fn _takes_group_config(_: &GroupConfig) {}
+    fn _takes_sim_config(_: &SimConfig) {}
+    fn _takes_sim_env(_: &SimEnvironment) {}
+    fn _takes_os_env(_: &OsEnvironment) {}
+    fn _takes_trace_event(_: &TraceEvent) {}
+    fn _takes_scenario(_: &Scenario) {}
+    fn _takes_sweep_report(_: &SweepReport) {}
+
+    // Constructors reachable without naming a sub-crate.
+    let _ = GroupConfig::new().report_poll(std::time::Duration::from_millis(5));
+    let sim = Seeded(42).sim().drop_probability(0.1).build();
+    assert_eq!(sim.now(), std::time::Duration::ZERO);
+    let os = OsEnvironment::seeded(42);
+    assert_eq!(os.name(), "os");
+
+    // The sweep harness is callable from the facade.
+    let report = sweep(7, 2);
+    assert_eq!(report.scenarios, 2);
+    assert!(report.all_passed(), "violations: {:?}", report.violations);
+}
+
 /// The `src/lib.rs` doctest scenario, as a plain test: crash one of the
 /// Figure 1 mod-3 counters, recover, and match the oracle.
 #[test]
