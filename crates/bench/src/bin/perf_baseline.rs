@@ -15,6 +15,10 @@
 //! (`alg2_search_spawn_*`), and the session's warm closure cache
 //! (`alg2_sweep_cached_*`) next to the cold free-function sweep
 //! (`alg2_sweep_cold_*`); the JSON records all four speedup ratio sets.
+//! The crash-recovery pipeline is covered by `wal_append_frame`,
+//! `recover_replay_n512` and `recover_decode_f1`, and the `sim_sweep`
+//! section records a fusion-vs-replication cost comparison over identical
+//! seeds (`backend_comparison`).
 //! Each figure is the median of five rounds of at least [`MIN_ITERS`]
 //! iterations, so one scheduler hiccup on a shared runner cannot fake (or
 //! hide) a regression.
@@ -36,13 +40,14 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use fsm_dfsm::ReachableProduct;
-use fsm_distsys::sim::sweep::{run_scenario, Scenario};
+use fsm_dfsm::{Event, ReachableProduct};
+use fsm_distsys::sim::sweep::{compare_backends, run_scenario, BackendCost, Scenario};
+use fsm_distsys::{shared, wal, DurabilityConfig, DurableServer, FusedSystem, MemStore};
 use fsm_fusion_bench::{counter_family, SIM_SWEEP_SEEDS};
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
     generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
-    Engine, FaultGraph, FusionConfig, Partition,
+    Engine, FaultGraph, FaultModel, FusionConfig, MachineReport, Partition,
 };
 
 /// Regression threshold for `--check`: calibration-normalized ns/op may grow
@@ -414,6 +419,80 @@ fn measure_all() -> Vec<Measurement> {
         push("sim_scenario_seed11", iters, ns);
     }
 
+    // The crash-recovery hot paths, one op per stage of the rejoin
+    // pipeline: append-before-ack (every event a durable server ever
+    // acknowledges pays this), log replay on restart, and the Algorithm-3
+    // decode used when a rejoining server resyncs from its peers instead.
+
+    // One WAL frame: encode, checksum, append to an in-memory store.  The
+    // log is reset every 4096 frames so the figure tracks per-frame cost,
+    // not the cost of copying an ever-growing file.
+    {
+        let store = shared(MemStore::new());
+        let name = wal::wal_name("perf");
+        let event = Event::new("e0");
+        let mut seq = 0u64;
+        let iters = 20_000;
+        let ns = bench(iters, || {
+            seq += 1;
+            wal::append(&store, &name, seq, &event).expect("wal append");
+            if seq % 4096 == 0 {
+                wal::truncate(&store, &name, 0).expect("wal truncate");
+                seq = 0;
+            }
+            seq
+        });
+        push("wal_append_frame", iters, ns);
+    }
+
+    // Restart-from-log: rebuild a durable server by replaying a 512-frame
+    // WAL suffix (snapshotting disabled so every frame is replayed — the
+    // worst case a `snapshot_every` misconfiguration can produce).
+    {
+        let machines = counter_family(3, 3);
+        let store = shared(MemStore::new());
+        let config = DurabilityConfig::new().snapshot_every(1 << 20);
+        let mut seeded = DurableServer::fresh(machines[0].clone(), store.clone(), "rp", &config)
+            .expect("fresh durable server");
+        let event = Event::new("e0");
+        for _ in 0..512 {
+            seeded.apply(&event).expect("seed apply");
+        }
+        drop(seeded);
+        let iters = 300;
+        let ns = bench(iters, || {
+            let (server, stats) =
+                DurableServer::recover(machines[0].clone(), store.clone(), "rp", &config)
+                    .expect("recover");
+            assert_eq!(stats.frames_replayed, 512);
+            black_box(server.acked_seq())
+        });
+        push("recover_replay_n512", iters, ns);
+    }
+
+    // Peer-resync decode: Algorithm 3 reconstructing one crashed server's
+    // state from the surviving reports — what a rejoining server runs when
+    // its log gap makes replay more expensive than asking its peers.
+    {
+        let machines = counter_family(3, 3);
+        let mut sys =
+            FusedSystem::new(&machines, 1, FaultModel::Crash).expect("fused counter system");
+        for i in 0..24usize {
+            sys.apply_event(&Event::new(format!("e{}", i % 3)));
+        }
+        let mut reports: Vec<MachineReport> = (0..sys.num_servers())
+            .map(|i| MachineReport::State(sys.oracle_state_of(i).index()))
+            .collect();
+        reports[0] = MachineReport::Crashed;
+        let iters = 2_000;
+        let ns = bench(iters, || {
+            let ext = sys.recover_external(&reports).expect("external decode");
+            assert!(ext.matches_oracle, "decode diverged from oracle");
+            black_box(ext.states[0].index())
+        });
+        push("recover_decode_f1", iters, ns);
+    }
+
     out
 }
 
@@ -476,7 +555,26 @@ fn cached_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
         .collect()
 }
 
-fn render_json(ops: &[Measurement]) -> String {
+/// Seeds for the fusion-vs-replication comparison recorded in the JSON's
+/// `sim_sweep.backend_comparison` section.  Both backends run the same
+/// seeds, so the message and latency totals are directly comparable.
+const COMPARE_SEEDS: usize = 24;
+
+/// Renders one backend's cost counters as a JSON object line.
+fn render_backend(s: &mut String, label: &str, cost: &BackendCost, comma: &str) {
+    let _ = writeln!(
+        s,
+        "      \"{label}\": {{ \"servers\": {}, \"messages_sent\": {}, \
+         \"messages_delivered\": {}, \"virtual_nanos\": {}, \"violations\": {} }}{comma}",
+        cost.servers,
+        cost.messages_sent,
+        cost.messages_delivered,
+        cost.virtual_nanos,
+        cost.violations
+    );
+}
+
+fn render_json(ops: &[Measurement], comparison: &(BackendCost, BackendCost)) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"fsm-fusion-perf-baseline/v1\",\n");
@@ -519,9 +617,16 @@ fn render_json(ops: &[Measurement]) -> String {
     }
     s.push_str("  },\n");
     // The CI simulation gate's scenario count, recorded so the committed
-    // baseline documents how much seeded chaos the build withstood.
+    // baseline documents how much seeded chaos the build withstood, plus
+    // the measured fusion-vs-replication overhead: identical seeds,
+    // workloads and chaos knobs on both backends, one modeled crash each.
     s.push_str("  \"sim_sweep\": {\n");
-    let _ = writeln!(s, "    \"seeds\": {SIM_SWEEP_SEEDS}");
+    let _ = writeln!(s, "    \"seeds\": {SIM_SWEEP_SEEDS},");
+    s.push_str("    \"backend_comparison\": {\n");
+    let _ = writeln!(s, "      \"seeds\": {COMPARE_SEEDS},");
+    render_backend(&mut s, "fusion", &comparison.0, ",");
+    render_backend(&mut s, "replication", &comparison.1, "");
+    s.push_str("    }\n");
     s.push_str("  }\n}\n");
     s
 }
@@ -676,7 +781,21 @@ fn main() -> ExitCode {
         println!("speedup {name:<34} {ratio:>6.2}x vs cold free-function sweep");
     }
 
+    let comparison = compare_backends(0, COMPARE_SEEDS);
     let mut failed = false;
+    for (label, cost) in [("fusion", &comparison.0), ("replication", &comparison.1)] {
+        println!(
+            "compare {label:<11} servers={:<3} sent={:<6} delivered={:<6} virtual_ns={}",
+            cost.servers, cost.messages_sent, cost.messages_delivered, cost.virtual_nanos
+        );
+        if cost.violations > 0 {
+            eprintln!(
+                "backend comparison: {label} violated recovery in {} runs",
+                cost.violations
+            );
+            failed = true;
+        }
+    }
     if let Some(path) = check_path {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
@@ -695,7 +814,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = render_json(&ops);
+    let json = render_json(&ops, &comparison);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::from(2);

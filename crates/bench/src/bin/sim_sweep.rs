@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --release -p fsm-fusion-bench --bin sim_sweep`
 //!
-//! Drives [`SIM_SWEEP_SEEDS`] seeded scenarios through the
+//! Drives [`sim_sweep_seeds`] seeded scenarios through the
 //! `fsm_distsys::sim` runtime — replication and fusion backends, crash and
 //! Byzantine fault models, process kills up to `f`, message drops, reorders
 //! and duplicates — and fails the build if any scenario's recovery diverges
@@ -10,34 +10,56 @@
 //! the sweep never exercised one of the chaos modes (a silent-coverage gap
 //! would let the gate rot into a no-op).
 //!
-//! Flags:
+//! With `--recovery` it instead runs the crash-recovery sweep: durable
+//! fusion groups whose processes are killed under load and rejoin from
+//! write-ahead logs and snapshots, gated on the recovery invariants (no
+//! acked event lost, sequence numbers never regress, bit-identical replay)
+//! plus rejoin coverage (restarts, log replays, peer-decode resyncs, and
+//! torn final WAL frames must all have fired).
 //!
+//! Flags and environment:
+//!
+//! * `--recovery` — run the crash-recovery sweep instead of the fault sweep.
 //! * `--seeds <n>` — override the scenario count (CI uses the default).
 //! * `--first <seed>` — first seed of the contiguous range (default 0).
+//! * `SIM_SWEEP_SEEDS=<n>` — environment override of the scenario count;
+//!   the nightly workflow sets 4096.
 
 use std::process::ExitCode;
 
-use fsm_distsys::sim::sweep::{run_scenario, sweep, Scenario};
-use fsm_fusion_bench::SIM_SWEEP_SEEDS;
+use fsm_distsys::sim::sweep::{
+    run_recovery_scenario, run_scenario, sweep, sweep_recovery, RecoveryScenario, Scenario,
+};
+use fsm_fusion_bench::sim_sweep_seeds;
 
 fn main() -> ExitCode {
-    let mut seeds = SIM_SWEEP_SEEDS;
+    let mut seeds = sim_sweep_seeds();
     let mut first = 0u64;
+    let mut recovery = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match (arg.as_str(), args.next()) {
-            ("--seeds", Some(v)) => match v.parse() {
-                Ok(n) => seeds = n,
-                Err(_) => return usage(),
+        match arg.as_str() {
+            "--recovery" => recovery = true,
+            "--seeds" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => return usage(),
             },
-            ("--first", Some(v)) => match v.parse() {
-                Ok(n) => first = n,
-                Err(_) => return usage(),
+            "--first" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => first = n,
+                None => return usage(),
             },
             _ => return usage(),
         }
     }
 
+    if recovery {
+        recovery_sweep(first, seeds)
+    } else {
+        fault_sweep(first, seeds)
+    }
+}
+
+fn fault_sweep(first: u64, seeds: usize) -> ExitCode {
     println!("sim_sweep: {seeds} scenarios from seed {first}");
     let report = sweep(first, seeds);
     println!("  passed            {}/{}", report.passed, report.scenarios);
@@ -100,7 +122,67 @@ fn main() -> ExitCode {
     }
 }
 
+fn recovery_sweep(first: u64, seeds: usize) -> ExitCode {
+    println!("sim_sweep --recovery: {seeds} scenarios from seed {first}");
+    let report = sweep_recovery(first, seeds);
+    println!("  passed            {}/{}", report.passed, report.scenarios);
+    println!(
+        "  rejoins           {} restarts ({} log replays, {} peer resyncs)",
+        report.restarts, report.replays, report.peer_resyncs
+    );
+    println!(
+        "  kills             {} ({} torn WAL tails)",
+        report.kills, report.stats.torn_tails
+    );
+    println!("  network           {:?}", report.stats);
+
+    let mut failed = false;
+    if !report.all_passed() {
+        failed = true;
+        eprintln!(
+            "FAIL: {} scenario(s) violated a recovery invariant:",
+            report.violations.len()
+        );
+        for (seed, violation) in &report.violations {
+            eprintln!("  seed {seed}: {violation}");
+        }
+        eprintln!(
+            "reproduce one with: RecoveryScenario::from_seed(<seed>) + run_recovery_scenario"
+        );
+    }
+    if !report.recovery_covered() {
+        failed = true;
+        eprintln!(
+            "FAIL: coverage gap — the recovery sweep must exercise restarts, \
+             log replays, peer-decode resyncs and torn WAL tails"
+        );
+    }
+
+    // Replay spot-check, same contract as the fault sweep: killing and
+    // rejoining servers must not cost a single bit of determinism.
+    for seed in [first, first + seeds as u64 / 2, first + seeds as u64 - 1] {
+        let scenario = RecoveryScenario::from_seed(seed);
+        let a = run_recovery_scenario(&scenario);
+        let b = run_recovery_scenario(&scenario);
+        if a.trace_hash != b.trace_hash || a.trace_len != b.trace_len {
+            failed = true;
+            eprintln!(
+                "FAIL: seed {seed} did not replay bit-identically \
+                 ({:#018x}/{} vs {:#018x}/{})",
+                a.trace_hash, a.trace_len, b.trace_hash, b.trace_len
+            );
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("sim_sweep --recovery passed: no acked event lost, every rejoin path fired");
+        ExitCode::SUCCESS
+    }
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: sim_sweep [--seeds N] [--first SEED]");
+    eprintln!("usage: sim_sweep [--recovery] [--seeds N] [--first SEED]");
     ExitCode::from(2)
 }

@@ -19,6 +19,17 @@ use fsm_machines::{mod_counter, table1_rows, MachineSet};
 /// 200; a little headroom costs seconds.
 pub const SIM_SWEEP_SEEDS: usize = 256;
 
+/// [`SIM_SWEEP_SEEDS`] unless the `SIM_SWEEP_SEEDS` environment variable
+/// overrides it — how the nightly workflow deepens the same gates (e.g.
+/// `SIM_SWEEP_SEEDS=4096`) without a separate binary.
+pub fn sim_sweep_seeds() -> usize {
+    std::env::var("SIM_SWEEP_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(SIM_SWEEP_SEEDS)
+}
+
 /// The five machine sets of the paper's results table.
 pub fn table_rows() -> Vec<MachineSet> {
     table1_rows()

@@ -20,8 +20,10 @@ use rand::RngCore;
 
 use crate::error::{DistsysError, Result};
 use crate::parallel::ParallelServerGroup;
+use crate::recovery::{DurabilityConfig, ReplayStats};
 use crate::server::Server;
 use crate::sim::{Seeded, SimRng};
+use crate::storage::{shared, MemStore, SharedStore};
 
 /// Default liveness re-check interval during report collection.
 pub const DEFAULT_REPORT_POLL: Duration = Duration::from_millis(20);
@@ -52,6 +54,7 @@ pub struct GroupConfig {
     env_report_poll: Option<Duration>,
     collect_timeout: Option<Duration>,
     env_collect_timeout: Option<Duration>,
+    durability: Option<DurabilityConfig>,
 }
 
 impl GroupConfig {
@@ -85,6 +88,7 @@ impl GroupConfig {
             env_report_poll: parse(poll_ms),
             collect_timeout: None,
             env_collect_timeout: parse(timeout_ms),
+            durability: None,
         }
     }
 
@@ -112,6 +116,25 @@ impl GroupConfig {
         self.collect_timeout
             .or(self.env_collect_timeout)
             .unwrap_or(DEFAULT_COLLECT_TIMEOUT)
+    }
+
+    /// Enables durability with default [`DurabilityConfig`] knobs: spawned
+    /// servers keep a write-ahead log and periodic snapshots in the
+    /// environment's [`SharedStore`], and support
+    /// [`ServerGroup::restart_process`] / [`ServerGroup::resync`].
+    pub fn durable(self) -> Self {
+        self.durable_with(DurabilityConfig::new())
+    }
+
+    /// Enables durability with explicit [`DurabilityConfig`] knobs.
+    pub fn durable_with(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// The durability configuration, if durability is enabled.
+    pub fn durability(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref()
     }
 }
 
@@ -167,6 +190,10 @@ pub trait ServerGroup {
     /// Broadcasts one event to every server.
     fn apply_event(&mut self, event: &Event);
 
+    /// Sends one event to server `i` only — the rejoin-replay path, where a
+    /// recovered server catches up on events its peers already applied.
+    fn apply_event_to(&mut self, i: usize, event: &Event);
+
     /// Broadcasts a whole batch of events (one command per server).
     fn apply_batch(&mut self, events: &[Event]);
 
@@ -186,6 +213,29 @@ pub trait ServerGroup {
     /// The kill is a command like any other — pending events are applied
     /// first.
     fn kill_process(&mut self, i: usize);
+
+    /// Restarts server `i`'s killed process from its durable state: loads
+    /// the latest valid snapshot, replays the WAL suffix (dropping a torn
+    /// tail) and brings the process back up, healthy, at the returned
+    /// [`ReplayStats::acked_seq`].  Fails with [`DistsysError::ServerUp`]
+    /// if the process was never killed and [`DistsysError::NotDurable`] if
+    /// the group was spawned without durability (the default
+    /// implementation).
+    fn restart_process(&mut self, i: usize) -> Result<ReplayStats> {
+        Err(DistsysError::NotDurable { server: i })
+    }
+
+    /// Adopts a peer-decoded state for server `i` at the group's sequence
+    /// number `seq` — the peer-resync path after
+    /// [`restart_process`](ServerGroup::restart_process) came back behind
+    /// the group.  Durable groups persist a snapshot at `seq` so the
+    /// sequence number never regresses; the default implementation (plain
+    /// groups) restores the state and ignores `seq`.
+    fn resync(&mut self, i: usize, seq: u64, state: StateId) -> Result<()> {
+        let _ = seq;
+        self.restore(i, state);
+        Ok(())
+    }
 
     /// Collects a report from every server that answers before the
     /// configured deadline; servers that never answer (dead or wedged
@@ -241,6 +291,12 @@ pub trait Environment {
     /// Spawns a server group running `machines`, one logical process each.
     fn spawn_group(&self, machines: &[Dfsm], config: &GroupConfig) -> Box<dyn ServerGroup>;
 
+    /// The environment's durable store: where groups spawned with
+    /// [`GroupConfig::durable`] keep their write-ahead logs and snapshots.
+    /// In-memory by default for both environments;
+    /// [`OsEnvironment::with_store`] mounts real files.
+    fn store(&self) -> SharedStore;
+
     /// A short name for diagnostics (`"os"` or `"sim"`).
     fn name(&self) -> &'static str;
 
@@ -255,10 +311,19 @@ pub trait Environment {
 /// The real-world environment: OS threads, wall-clock time and an
 /// entropy-seeded generator — exactly the behavior `ParallelServerGroup`
 /// always had, packaged behind [`Environment`].
-#[derive(Debug)]
 pub struct OsEnvironment {
     clock: OsClock,
     rng: Mutex<SimRng>,
+    store: SharedStore,
+    groups_spawned: std::sync::atomic::AtomicUsize,
+}
+
+impl std::fmt::Debug for OsEnvironment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsEnvironment")
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
 }
 
 impl OsEnvironment {
@@ -277,7 +342,16 @@ impl OsEnvironment {
         OsEnvironment {
             clock: OsClock::new(),
             rng: Mutex::new(SimRng::new(seed)),
+            store: shared(MemStore::new()),
+            groups_spawned: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Replaces the environment's durable store (e.g. a
+    /// [`DirStore`](crate::DirStore) for real files on disk).
+    pub fn with_store(mut self, store: SharedStore) -> Self {
+        self.store = store;
+        self
     }
 }
 
@@ -301,9 +375,31 @@ impl Environment for OsEnvironment {
     }
 
     fn spawn_group(&self, machines: &[Dfsm], config: &GroupConfig) -> Box<dyn ServerGroup> {
-        Box::new(ParallelServerGroup::spawn_clocked(
-            machines, config, self.clock,
-        ))
+        match config.durability() {
+            None => Box::new(ParallelServerGroup::spawn_clocked(
+                machines, config, self.clock,
+            )),
+            Some(durability) => {
+                let n = self
+                    .groups_spawned
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Box::new(
+                    ParallelServerGroup::spawn_durable(
+                        machines,
+                        config,
+                        self.clock,
+                        self.store.clone(),
+                        &format!("os-g{n}"),
+                        durability.clone(),
+                    )
+                    .expect("durable spawn: could not initialize server storage"),
+                )
+            }
+        }
+    }
+
+    fn store(&self) -> SharedStore {
+        self.store.clone()
     }
 
     fn name(&self) -> &'static str {
@@ -340,6 +436,31 @@ mod tests {
         assert_eq!(cfg.resolved_collect_timeout(), DEFAULT_COLLECT_TIMEOUT);
         let cfg = GroupConfig::from_env_values(None, None);
         assert_eq!(cfg, GroupConfig::new());
+    }
+
+    #[test]
+    fn os_environment_spawns_durable_groups_that_rejoin() {
+        use fsm_dfsm::Event;
+        let env = OsEnvironment::seeded(1);
+        let machines = fsm_machines::fig1_machines();
+        let mut group = env.spawn_group(&machines, &GroupConfig::new().durable());
+        group.apply_event(&Event::new("0"));
+        group.apply_event(&Event::new("1"));
+        group.kill_process(0);
+        let stats = group.restart_process(0).expect("durable group restarts");
+        assert_eq!(stats.acked_seq, 2);
+        // The default ServerGroup::resync falls back to a plain restore on
+        // non-durable groups; here it snapshots at the group seq.
+        group.resync(0, 5, fsm_dfsm::StateId(1)).unwrap();
+        // A plain group spawned by the same environment cannot restart.
+        let mut plain = env.spawn_group(&machines, &GroupConfig::new());
+        plain.kill_process(1);
+        assert!(matches!(
+            plain.restart_process(1),
+            Err(crate::DistsysError::NotDurable { server: 1 })
+        ));
+        // The environment exposes the store both groups live in.
+        assert!(crate::storage::with_store(&env.store(), |_| Ok(())).is_ok());
     }
 
     #[test]

@@ -28,6 +28,20 @@ pub enum DistsysError {
         /// The server whose corruption had no explicit target state.
         server: usize,
     },
+    /// A kill (or crash/corrupt) fault targeted a server whose process is
+    /// already down.
+    ServerDown { server: usize },
+    /// A restart targeted a server whose process is still up.
+    ServerUp { server: usize },
+    /// A restart or resync targeted a server that has no durable state
+    /// (the group was spawned without durability).
+    NotDurable { server: usize },
+    /// Durable storage failed (I/O error, corrupt blob, poisoned lock, or a
+    /// log that cannot be replayed).
+    Storage {
+        /// Human-readable description of what failed.
+        message: String,
+    },
     /// An error from the fusion layer (generation or recovery).
     Fusion(fsm_fusion_core::FusionError),
     /// An error from the DFSM layer.
@@ -58,6 +72,17 @@ impl fmt::Display for DistsysError {
                 "corruption of server {server} has no explicit target state; \
                  use an explicit corruption plan for server groups"
             ),
+            DistsysError::ServerDown { server } => {
+                write!(f, "server {server} is already down")
+            }
+            DistsysError::ServerUp { server } => {
+                write!(f, "server {server} is still up; kill it before restarting")
+            }
+            DistsysError::NotDurable { server } => write!(
+                f,
+                "server {server} has no durable state; spawn the group with durability enabled"
+            ),
+            DistsysError::Storage { message } => write!(f, "storage error: {message}"),
             DistsysError::Fusion(e) => write!(f, "fusion error: {e}"),
             DistsysError::Dfsm(e) => write!(f, "dfsm error: {e}"),
         }
@@ -111,5 +136,22 @@ mod tests {
         };
         assert!(e.to_string().contains("[0, 2]"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn recovery_variants_display() {
+        assert!(DistsysError::ServerDown { server: 1 }
+            .to_string()
+            .contains("already down"));
+        assert!(DistsysError::ServerUp { server: 2 }
+            .to_string()
+            .contains("still up"));
+        assert!(DistsysError::NotDurable { server: 0 }
+            .to_string()
+            .contains("durable"));
+        let e = DistsysError::Storage {
+            message: "disk on fire".into(),
+        };
+        assert!(e.to_string().contains("disk on fire"));
     }
 }

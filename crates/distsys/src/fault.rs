@@ -21,6 +21,13 @@ pub enum FaultKind {
     Crash,
     /// Move the server to the given state (Byzantine corruption).
     Corrupt(StateId),
+    /// Kill the server's *process* (it stops answering entirely, unlike the
+    /// modeled crash fault).  Against an in-process [`FusedSystem`], which
+    /// has no processes, this degrades to a modeled crash.
+    Kill,
+    /// Restart the server's killed process from its durable state (WAL +
+    /// snapshot).  Only meaningful against durable server groups.
+    Restart,
 }
 
 /// One scheduled fault.
@@ -92,6 +99,12 @@ impl FaultPlan {
     /// injected.  Recovery is *not* triggered automatically; callers decide
     /// when to recover (typically at the end, as in the paper's model where
     /// the environment pauses during recovery).
+    ///
+    /// An in-process system has no processes or durable state, so
+    /// [`FaultKind::Kill`] degrades to a modeled crash and
+    /// [`FaultKind::Restart`] is skipped (not counted as injected) — plans
+    /// that exercise kill/restart belong on server groups via
+    /// [`FaultPlan::execute_in`].
     pub fn execute(&self, system: &mut FusedSystem, workload: &Workload) -> usize {
         let mut injected = 0usize;
         let mut next_fault = 0usize;
@@ -101,7 +114,7 @@ impl FaultPlan {
             while *next_fault < self.faults.len() && self.faults[*next_fault].after_event <= upto {
                 let f = self.faults[*next_fault];
                 match f.kind {
-                    FaultKind::Crash => {
+                    FaultKind::Crash | FaultKind::Kill => {
                         let _ = system.crash(f.server);
                     }
                     FaultKind::Corrupt(state) => {
@@ -110,6 +123,10 @@ impl FaultPlan {
                         } else {
                             let _ = system.corrupt(f.server, state);
                         }
+                    }
+                    FaultKind::Restart => {
+                        *next_fault += 1;
+                        continue;
                     }
                 }
                 *next_fault += 1;
@@ -135,6 +152,13 @@ impl FaultPlan {
     /// injection time.  Use [`Seeded::explicit_corruption_plan`] for plans
     /// aimed at server groups; a placeholder fault fails with
     /// [`DistsysError::UnresolvedCorruption`] before anything is sent.
+    ///
+    /// Kill and restart faults are validated against the plan's own
+    /// kill/restart history: a [`FaultKind::Kill`] targeting a server this
+    /// plan already took down fails with [`DistsysError::ServerDown`], and a
+    /// [`FaultKind::Restart`] targeting a server that is *not* down fails
+    /// with [`DistsysError::ServerUp`] — neither is silently skipped, so a
+    /// malformed plan surfaces instead of under-injecting.
     pub fn execute_in(&self, group: &mut dyn ServerGroup, workload: &Workload) -> Result<usize> {
         if let Some(f) = self
             .faults
@@ -145,21 +169,41 @@ impl FaultPlan {
         }
         let mut injected = 0usize;
         let mut next_fault = 0usize;
-        let mut fire = |group: &mut dyn ServerGroup, upto: usize, next_fault: &mut usize| {
+        let mut down: Vec<usize> = Vec::new();
+        let mut fire = |group: &mut dyn ServerGroup,
+                        upto: usize,
+                        next_fault: &mut usize,
+                        down: &mut Vec<usize>|
+         -> Result<()> {
             while *next_fault < self.faults.len() && self.faults[*next_fault].after_event <= upto {
                 let f = self.faults[*next_fault];
                 match f.kind {
                     FaultKind::Crash => group.crash(f.server),
                     FaultKind::Corrupt(state) => group.corrupt(f.server, state),
+                    FaultKind::Kill => {
+                        if down.contains(&f.server) {
+                            return Err(DistsysError::ServerDown { server: f.server });
+                        }
+                        group.kill_process(f.server);
+                        down.push(f.server);
+                    }
+                    FaultKind::Restart => {
+                        let Some(pos) = down.iter().position(|&s| s == f.server) else {
+                            return Err(DistsysError::ServerUp { server: f.server });
+                        };
+                        group.restart_process(f.server)?;
+                        down.swap_remove(pos);
+                    }
                 }
                 *next_fault += 1;
                 injected += 1;
             }
+            Ok(())
         };
-        fire(group, 0, &mut next_fault);
+        fire(group, 0, &mut next_fault, &mut down)?;
         for (i, e) in workload.iter().enumerate() {
             group.apply_event(e);
-            fire(group, i + 1, &mut next_fault);
+            fire(group, i + 1, &mut next_fault, &mut down)?;
         }
         Ok(injected)
     }
@@ -218,6 +262,95 @@ mod tests {
             let outcome = sys.recover().unwrap();
             assert!(outcome.matches_oracle, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn execute_in_surfaces_kill_and_restart_plan_errors() {
+        use crate::env::{Environment, GroupConfig};
+
+        let machines = fig1_machines();
+        let env = Seeded(7).sim().build();
+        let config = GroupConfig::new().durable();
+        let w = Workload::from_bits("010101");
+
+        // Regression: a Kill aimed at a server the plan already took down
+        // must fail with the typed error, not silently skip the fault.
+        let mut group = env.spawn_group(&machines, &config);
+        let plan = FaultPlan {
+            faults: vec![
+                ScheduledFault {
+                    after_event: 1,
+                    server: 0,
+                    kind: FaultKind::Kill,
+                },
+                ScheduledFault {
+                    after_event: 3,
+                    server: 0,
+                    kind: FaultKind::Kill,
+                },
+            ],
+        };
+        assert!(matches!(
+            plan.execute_in(&mut *group, &w),
+            Err(DistsysError::ServerDown { server: 0 })
+        ));
+
+        // …and a Restart aimed at a server that is still up fails likewise.
+        let mut group = env.spawn_group(&machines, &config);
+        let plan = FaultPlan {
+            faults: vec![ScheduledFault {
+                after_event: 2,
+                server: 1,
+                kind: FaultKind::Restart,
+            }],
+        };
+        assert!(matches!(
+            plan.execute_in(&mut *group, &w),
+            Err(DistsysError::ServerUp { server: 1 })
+        ));
+
+        // A well-formed kill → restart pair executes and counts both.
+        let mut group = env.spawn_group(&machines, &config);
+        let plan = FaultPlan {
+            faults: vec![
+                ScheduledFault {
+                    after_event: 1,
+                    server: 0,
+                    kind: FaultKind::Kill,
+                },
+                ScheduledFault {
+                    after_event: 2,
+                    server: 0,
+                    kind: FaultKind::Restart,
+                },
+            ],
+        };
+        assert_eq!(plan.execute_in(&mut *group, &w).unwrap(), 2);
+    }
+
+    #[test]
+    fn execute_degrades_kill_to_crash_and_skips_restart_in_process() {
+        let mut sys = FusedSystem::new(&fig1_machines(), 1, FaultModel::Crash).unwrap();
+        let w = Workload::from_bits("0101");
+        let plan = FaultPlan {
+            faults: vec![
+                ScheduledFault {
+                    after_event: 1,
+                    server: 0,
+                    kind: FaultKind::Kill,
+                },
+                ScheduledFault {
+                    after_event: 2,
+                    server: 0,
+                    kind: FaultKind::Restart,
+                },
+            ],
+        };
+        // Kill counts as an injected (modeled) crash; Restart is skipped.
+        assert_eq!(plan.execute(&mut sys, &w), 1);
+        assert_eq!(sys.metrics().crashes_injected, 1);
+        let outcome = sys.recover().unwrap();
+        assert!(outcome.matches_oracle);
     }
 
     #[test]

@@ -35,20 +35,26 @@ pub mod env;
 mod error;
 pub mod fault;
 pub mod parallel;
+pub mod recovery;
 pub mod replicated;
 pub mod scenario;
 pub mod server;
 pub mod sim;
+pub mod snapshot;
+pub mod storage;
 pub mod system;
+pub mod wal;
 pub mod workload;
 
 pub use env::{Environment, GroupConfig, OsClock, OsEnvironment, ServerGroup};
 pub use error::{DistsysError, Result};
 pub use fault::{FaultKind, FaultPlan, ScheduledFault};
 pub use parallel::ParallelServerGroup;
+pub use recovery::{DurabilityConfig, DurableServer, RejoinPath, ReplayStats, REPLAY_CUTOVER};
 pub use replicated::{ReplicaGroup, ReplicatedSystem};
 pub use scenario::{replay_oracle, SensorBackupMode, SensorNetwork};
 pub use server::{Server, ServerStatus};
 pub use sim::{NetStats, Seeded, SimConfig, SimEnvironment, SimRng, TraceEvent};
+pub use storage::{shared, DirStore, MemStore, SharedStore, Store};
 pub use system::{ExternalRecovery, FusedSystem, RecoveryOutcome, SystemMetrics};
 pub use workload::Workload;

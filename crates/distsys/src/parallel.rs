@@ -9,7 +9,7 @@
 //! The implementation uses `crossbeam-channel` for the per-server command
 //! queues and a shared response channel for reports.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
@@ -19,7 +19,9 @@ use fsm_fusion_core::MachineReport;
 
 use crate::env::{GroupConfig, OsClock, ServerGroup};
 use crate::error::{DistsysError, Result};
+use crate::recovery::{DurabilityConfig, DurableServer, ProcessServer, ReplayStats};
 use crate::server::Server;
+use crate::storage::SharedStore;
 
 /// Commands sent to a server thread.
 enum Command {
@@ -35,10 +37,48 @@ enum Command {
     Corrupt(StateId),
     /// Restore the server to the given state (post-recovery).
     Restore(StateId),
+    /// Adopt a peer-decoded state at the group sequence number
+    /// (post-recovery resync; snapshots durably on durable servers).
+    Resync(u64, StateId),
     /// Ask for a state report for the given collection generation.
     Report(u64),
     /// Shut the thread down.
     Stop,
+}
+
+/// The command loop every server thread runs; returns the final `Server`
+/// value when stopped.
+fn run_server(
+    index: usize,
+    mut ps: ProcessServer,
+    rx: Receiver<Command>,
+    report_tx: Sender<(usize, u64, MachineReport)>,
+) -> Server {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Apply(e) => ps.apply(&e),
+            Command::ApplyBatch(batch) => {
+                for e in batch.iter() {
+                    ps.apply(e);
+                }
+            }
+            Command::Crash => ps.server_mut().crash(),
+            Command::Corrupt(s) => {
+                ps.server_mut().corrupt(s);
+            }
+            Command::Restore(s) => ps.server_mut().restore(s),
+            Command::Resync(seq, state) => match ps.resync(seq, state) {
+                Ok(()) => {}
+                Err(DistsysError::NotDurable { .. }) => ps.server_mut().restore(state),
+                Err(e) => panic!("resync failed: {e}"),
+            },
+            Command::Report(generation) => {
+                let _ = report_tx.send((index, generation, ps.server().report()));
+            }
+            Command::Stop => break,
+        }
+    }
+    ps.into_server()
 }
 
 /// A server running on its own thread.
@@ -78,6 +118,27 @@ pub struct ParallelServerGroup {
     /// `Instant::now()`, so the collection logic reads identically to the
     /// virtual-time implementation in the simulator.
     clock: OsClock,
+    /// The machines the group runs, kept for restarting killed processes.
+    roster: Vec<Dfsm>,
+    /// Durable-group info (store, id prefix, knobs); `None` for plain
+    /// groups, which cannot restart.
+    durable: Option<DurableGroupInfo>,
+    /// Which servers' processes were killed (and not yet restarted).
+    /// Mutex-guarded so the `&self` inherent API can keep its signatures.
+    down: Mutex<Vec<bool>>,
+}
+
+/// What a durable group needs to rebuild a killed server from storage.
+struct DurableGroupInfo {
+    store: SharedStore,
+    prefix: String,
+    config: DurabilityConfig,
+}
+
+impl DurableGroupInfo {
+    fn server_id(&self, i: usize) -> String {
+        format!("{}-s{i}", self.prefix)
+    }
 }
 
 impl ParallelServerGroup {
@@ -96,42 +157,66 @@ impl ParallelServerGroup {
     /// groups of one [`OsEnvironment`](crate::OsEnvironment) share its
     /// timeline.
     pub fn spawn_clocked(machines: &[Dfsm], config: &GroupConfig, clock: OsClock) -> Self {
-        let (report_sender, reports) = unbounded();
-        let handles = machines
+        let servers = machines
+            .iter()
+            .map(|m| ProcessServer::Plain(Server::new(m.clone())))
+            .collect();
+        Self::spawn_processes(machines, servers, config, clock, None)
+    }
+
+    /// Spawns a *durable* group: each server keeps a write-ahead log and
+    /// periodic snapshots under `prefix`-derived ids in `store`, and killed
+    /// processes can be brought back with
+    /// [`ParallelServerGroup::restart_process`].  Any leftover durable
+    /// state under the same ids is wiped first (this is a fresh group, not
+    /// a recovery).
+    pub fn spawn_durable(
+        machines: &[Dfsm],
+        config: &GroupConfig,
+        clock: OsClock,
+        store: SharedStore,
+        prefix: &str,
+        durability: DurabilityConfig,
+    ) -> Result<Self> {
+        let info = DurableGroupInfo {
+            store,
+            prefix: prefix.to_string(),
+            config: durability,
+        };
+        let servers = machines
             .iter()
             .enumerate()
-            .map(|(index, machine)| {
-                let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
-                let report_tx = report_sender.clone();
-                let machine = machine.clone();
-                let join = thread::spawn(move || {
-                    let mut server = Server::new(machine);
-                    while let Ok(cmd) = rx.recv() {
-                        match cmd {
-                            Command::Apply(e) => server.apply(&e),
-                            Command::ApplyBatch(batch) => {
-                                for e in batch.iter() {
-                                    server.apply(e);
-                                }
-                            }
-                            Command::Crash => server.crash(),
-                            Command::Corrupt(s) => {
-                                server.corrupt(s);
-                            }
-                            Command::Restore(s) => server.restore(s),
-                            Command::Report(generation) => {
-                                let _ = report_tx.send((index, generation, server.report()));
-                            }
-                            Command::Stop => break,
-                        }
-                    }
-                    server
-                });
-                ServerHandle {
-                    commands: tx,
-                    join: Some(join),
-                }
+            .map(|(i, m)| {
+                Ok(ProcessServer::Durable(DurableServer::fresh(
+                    m.clone(),
+                    info.store.clone(),
+                    info.server_id(i),
+                    &info.config,
+                )?))
             })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self::spawn_processes(
+            machines,
+            servers,
+            config,
+            clock,
+            Some(info),
+        ))
+    }
+
+    fn spawn_processes(
+        machines: &[Dfsm],
+        servers: Vec<ProcessServer>,
+        config: &GroupConfig,
+        clock: OsClock,
+        durable: Option<DurableGroupInfo>,
+    ) -> Self {
+        let (report_sender, reports) = unbounded();
+        let n = servers.len();
+        let handles = servers
+            .into_iter()
+            .enumerate()
+            .map(|(index, ps)| Self::spawn_thread(index, ps, report_sender.clone()))
             .collect();
         ParallelServerGroup {
             handles,
@@ -141,6 +226,22 @@ impl ParallelServerGroup {
             report_poll: config.resolved_report_poll(),
             collect_timeout: config.resolved_collect_timeout(),
             clock,
+            roster: machines.to_vec(),
+            durable,
+            down: Mutex::new(vec![false; n]),
+        }
+    }
+
+    fn spawn_thread(
+        index: usize,
+        ps: ProcessServer,
+        report_tx: Sender<(usize, u64, MachineReport)>,
+    ) -> ServerHandle {
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+        let join = thread::spawn(move || run_server(index, ps, rx, report_tx));
+        ServerHandle {
+            commands: tx,
+            join: Some(join),
         }
     }
 
@@ -164,6 +265,11 @@ impl ParallelServerGroup {
         for h in &self.handles {
             let _ = h.commands.send(Command::Apply(event.clone()));
         }
+    }
+
+    /// Sends one event to server `i` only — the rejoin-replay path.
+    pub fn apply_event_to(&self, i: usize, event: &Event) {
+        let _ = self.handles[i].commands.send(Command::Apply(event.clone()));
     }
 
     /// Broadcasts a whole batch of events with **one channel send per
@@ -216,6 +322,56 @@ impl ParallelServerGroup {
     /// the thread exits and the server's reports go missing.
     pub fn kill_process(&self, i: usize) {
         let _ = self.handles[i].commands.send(Command::Stop);
+        self.down.lock().expect("down lock")[i] = true;
+    }
+
+    /// Restarts server `i`'s killed thread from durable state: joins the
+    /// old thread, runs [`DurableServer::recover`] against the group's
+    /// store (snapshot + WAL-suffix replay, torn tail dropped), and spawns
+    /// a fresh thread hosting the recovered server.
+    ///
+    /// Fails with [`DistsysError::NotDurable`] on plain groups,
+    /// [`DistsysError::ServerUp`] if the process was never killed, and
+    /// [`DistsysError::NoSuchServer`] for an out-of-range index.
+    pub fn restart_process(&mut self, i: usize) -> Result<ReplayStats> {
+        if i >= self.handles.len() {
+            return Err(DistsysError::NoSuchServer {
+                server: i,
+                count: self.handles.len(),
+            });
+        }
+        let Some(info) = &self.durable else {
+            return Err(DistsysError::NotDurable { server: i });
+        };
+        if !self.down.lock().expect("down lock")[i] {
+            return Err(DistsysError::ServerUp { server: i });
+        }
+        // The Stop behind the `down` flag guarantees the old thread exits
+        // once it drains its queue; join it so its final WAL writes are
+        // visible before recovery reads the store.
+        if let Some(join) = self.handles[i].join.take() {
+            let _ = join.join();
+        }
+        let (recovered, stats) = DurableServer::recover(
+            self.roster[i].clone(),
+            info.store.clone(),
+            info.server_id(i),
+            &info.config,
+        )?;
+        self.handles[i] = Self::spawn_thread(
+            i,
+            ProcessServer::Durable(recovered),
+            self.report_sender.clone(),
+        );
+        self.down.lock().expect("down lock")[i] = false;
+        Ok(stats)
+    }
+
+    /// Sends server `i` a peer-decoded state to adopt at group sequence
+    /// `seq` (durable servers snapshot at `seq`; plain servers just
+    /// restore).
+    pub fn resync(&self, i: usize, seq: u64, state: StateId) {
+        let _ = self.handles[i].commands.send(Command::Resync(seq, state));
     }
 
     /// Collects a state report from every server.  This is the
@@ -326,6 +482,10 @@ impl ServerGroup for ParallelServerGroup {
         ParallelServerGroup::apply_event(self, event);
     }
 
+    fn apply_event_to(&mut self, i: usize, event: &Event) {
+        ParallelServerGroup::apply_event_to(self, i, event);
+    }
+
     fn apply_batch(&mut self, events: &[Event]) {
         ParallelServerGroup::apply_batch(self, events);
     }
@@ -344,6 +504,15 @@ impl ServerGroup for ParallelServerGroup {
 
     fn kill_process(&mut self, i: usize) {
         ParallelServerGroup::kill_process(self, i);
+    }
+
+    fn restart_process(&mut self, i: usize) -> Result<ReplayStats> {
+        ParallelServerGroup::restart_process(self, i)
+    }
+
+    fn resync(&mut self, i: usize, seq: u64, state: StateId) -> Result<()> {
+        ParallelServerGroup::resync(self, i, seq, state);
+        Ok(())
     }
 
     fn try_collect_reports(&mut self) -> Vec<Option<MachineReport>> {
@@ -538,6 +707,116 @@ mod tests {
         // Server value is still collectable (unlike a panicked thread).
         let servers = group.shutdown();
         assert_eq!(servers.len(), 2);
+    }
+
+    #[test]
+    fn durable_restart_replays_the_log_and_rejoins() {
+        let machines = fig1_machines();
+        let store = crate::storage::shared(crate::storage::MemStore::new());
+        let mut group = ParallelServerGroup::spawn_durable(
+            &machines,
+            &GroupConfig::new(),
+            OsClock::new(),
+            store,
+            "t",
+            DurabilityConfig::new().snapshot_every(3),
+        )
+        .unwrap();
+        let events: Vec<Event> = "011010011"
+            .chars()
+            .map(|c| Event::new(c.to_string()))
+            .collect();
+        for e in &events[..5] {
+            group.apply_event(e);
+        }
+        // Stop drains the queue first, so all five events hit the log
+        // before the thread exits.
+        group.kill_process(0);
+        // Events broadcast while a process is down are lost to it — the
+        // missed suffix the rejoin replay has to make up.
+        for e in &events[5..] {
+            group.apply_event(e);
+        }
+        let stats = group.restart_process(0).unwrap();
+        assert_eq!(stats.acked_seq, 5);
+        assert_eq!(stats.snapshot_seq, 3); // snapshot_every = 3
+        assert_eq!(stats.frames_replayed, 2);
+        assert_eq!(stats.state, machines[0].run(events[..5].iter()));
+        // Catch the rejoiner up on what it missed.
+        for e in &events[5..] {
+            group.apply_event_to(0, e);
+        }
+        let reports = group.collect_reports().unwrap();
+        for (i, m) in machines.iter().enumerate() {
+            assert_eq!(
+                reports[i],
+                MachineReport::State(m.run(events.iter()).index()),
+                "server {i}"
+            );
+        }
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn durable_resync_adopts_peer_state_at_group_seq() {
+        let machines = fig1_machines();
+        let store = crate::storage::shared(crate::storage::MemStore::new());
+        let mut group = ParallelServerGroup::spawn_durable(
+            &machines,
+            &GroupConfig::new(),
+            OsClock::new(),
+            store,
+            "t",
+            DurabilityConfig::new().snapshot_every(32),
+        )
+        .unwrap();
+        group.apply_event(&Event::new("0"));
+        group.resync(0, 10, StateId(2));
+        let reports = group.collect_reports().unwrap();
+        assert_eq!(reports[0], MachineReport::State(2));
+        // The resync snapshotted at the group sequence number, so a
+        // kill/restart resumes from seq 10 — never regressing.
+        group.kill_process(0);
+        let stats = group.restart_process(0).unwrap();
+        assert_eq!(stats.acked_seq, 10);
+        assert_eq!(stats.state, StateId(2));
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn restart_process_error_paths() {
+        let machines = fig1_machines();
+        // A plain group has nothing to restart from.
+        let mut plain = ParallelServerGroup::spawn(&machines);
+        plain.kill_process(0);
+        assert!(matches!(
+            plain.restart_process(0),
+            Err(crate::DistsysError::NotDurable { server: 0 })
+        ));
+        let _ = plain.shutdown();
+        // A durable group refuses to restart a live server or a bad index.
+        let store = crate::storage::shared(crate::storage::MemStore::new());
+        let mut group = ParallelServerGroup::spawn_durable(
+            &machines,
+            &GroupConfig::new(),
+            OsClock::new(),
+            store,
+            "t",
+            DurabilityConfig::new(),
+        )
+        .unwrap();
+        assert!(matches!(
+            group.restart_process(0),
+            Err(crate::DistsysError::ServerUp { server: 0 })
+        ));
+        assert!(matches!(
+            group.restart_process(9),
+            Err(crate::DistsysError::NoSuchServer {
+                server: 9,
+                count: 2
+            })
+        ));
+        let _ = group.shutdown();
     }
 
     #[test]

@@ -1,0 +1,566 @@
+//! Crash-recovery for servers: the durable wrapper that writes a WAL entry
+//! before acknowledging each event, snapshots periodically, and can rebuild
+//! itself from storage after a process death.
+//!
+//! The protocol in one paragraph: every event is appended to the server's
+//! write-ahead log *before* it is applied (append-before-ack), so the set
+//! of acknowledged events is exactly the set of valid log frames beyond the
+//! last snapshot.  Every `snapshot_every` events a `[seq, state]` snapshot
+//! is written atomically and the log is compacted.  [`DurableServer::recover`]
+//! loads the latest valid snapshot, replays the log suffix, and drops a
+//! torn final frame (which, by append-before-ack, was never acknowledged).
+//! When the local log is *behind* the group, [`RejoinPath::choose`] decides
+//! between replaying the missed events and decoding the current state from
+//! live peers' reports via Algorithm 3 — peer decode wins for large gaps.
+
+use fsm_dfsm::{Dfsm, Event, StateId};
+
+use crate::error::{DistsysError, Result};
+use crate::server::Server;
+use crate::snapshot::{self, snapshot_name};
+use crate::storage::SharedStore;
+use crate::wal::{self, wal_name};
+
+/// Durability knobs for a server group.
+///
+/// Resolution order for each knob: explicit builder value, then the
+/// environment (`FSM_DISTSYS_SNAPSHOT_EVERY`), then the default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Snapshot (and compact the log) after this many acknowledged events.
+    /// `None` means "resolve from the environment or default".
+    pub snapshot_every: Option<u64>,
+}
+
+impl DurabilityConfig {
+    /// Default snapshot interval when neither the builder nor the
+    /// environment specifies one.
+    pub const DEFAULT_SNAPSHOT_EVERY: u64 = 32;
+
+    /// A config with every knob left to resolve from the environment.
+    pub fn new() -> Self {
+        DurabilityConfig::default()
+    }
+
+    /// Sets an explicit snapshot interval (clamped to at least 1).
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = Some(every.max(1));
+        self
+    }
+
+    /// Resolution against explicit environment values — the pure core of
+    /// [`DurabilityConfig::resolved_snapshot_every`], testable without
+    /// touching the process environment.
+    pub fn resolved_snapshot_every_from(&self, env_value: Option<u64>) -> u64 {
+        self.snapshot_every
+            .or(env_value)
+            .unwrap_or(Self::DEFAULT_SNAPSHOT_EVERY)
+            .max(1)
+    }
+
+    /// The effective snapshot interval: explicit value, else
+    /// `FSM_DISTSYS_SNAPSHOT_EVERY`, else
+    /// [`DurabilityConfig::DEFAULT_SNAPSHOT_EVERY`].
+    pub fn resolved_snapshot_every(&self) -> u64 {
+        let env_value = std::env::var("FSM_DISTSYS_SNAPSHOT_EVERY")
+            .ok()
+            .and_then(|v| v.trim().parse().ok());
+        self.resolved_snapshot_every_from(env_value)
+    }
+}
+
+/// What [`DurableServer::recover`] found and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Sequence number the loaded snapshot covered (0 if none existed).
+    pub snapshot_seq: u64,
+    /// Log entries replayed beyond the snapshot.
+    pub frames_replayed: usize,
+    /// Log entries at or below the snapshot sequence, skipped.
+    pub stale_frames: usize,
+    /// Bytes of torn (unacknowledged) log tail dropped.
+    pub torn_tail_bytes: usize,
+    /// Highest acknowledged sequence number after recovery.
+    pub acked_seq: u64,
+    /// Execution state after recovery.
+    pub state: StateId,
+}
+
+/// How a rejoining server catches up to the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejoinPath {
+    /// Local durable state already matches the group — nothing to do.
+    Current,
+    /// Replay the `gap` missed events from the group's stream.
+    Replay {
+        /// Events the local log is behind by.
+        gap: u64,
+    },
+    /// Decode the current state from live peers' reports (Algorithm 3) —
+    /// cheaper than replaying a long stream.
+    PeerDecode {
+        /// Events the local log is behind by.
+        gap: u64,
+    },
+}
+
+/// Gap above which peer decode beats replay.  Replay costs one transition
+/// per missed event; a peer decode costs one report round plus one
+/// Algorithm-3 pass, which is roughly this many transitions' worth of work
+/// in the simulator's cost model.
+pub const REPLAY_CUTOVER: u64 = 16;
+
+impl RejoinPath {
+    /// Chooses the cheaper catch-up path given the local and group
+    /// sequence numbers.
+    pub fn choose(local_acked: u64, group_seq: u64) -> RejoinPath {
+        let gap = group_seq.saturating_sub(local_acked);
+        if gap == 0 {
+            RejoinPath::Current
+        } else if gap <= REPLAY_CUTOVER {
+            RejoinPath::Replay { gap }
+        } else {
+            RejoinPath::PeerDecode { gap }
+        }
+    }
+}
+
+/// A [`Server`] wrapped with durable state: WAL + snapshots in a
+/// [`SharedStore`].
+pub struct DurableServer {
+    server: Server,
+    store: SharedStore,
+    id: String,
+    snapshot_every: u64,
+    acked_seq: u64,
+    since_snapshot: u64,
+}
+
+impl DurableServer {
+    /// A brand-new durable server: wipes any leftover durable state under
+    /// `id` and starts the machine from its initial state.
+    pub fn fresh(
+        machine: Dfsm,
+        store: SharedStore,
+        id: impl Into<String>,
+        config: &DurabilityConfig,
+    ) -> Result<Self> {
+        let id = id.into();
+        crate::storage::with_store(&store, |s| {
+            s.remove(&wal_name(&id))?;
+            s.remove(&snapshot_name(&id))
+        })?;
+        Ok(DurableServer {
+            server: Server::new(machine),
+            store,
+            id,
+            snapshot_every: config.resolved_snapshot_every(),
+            acked_seq: 0,
+            since_snapshot: 0,
+        })
+    }
+
+    /// Rebuilds a durable server from storage: latest valid snapshot, then
+    /// the log suffix, dropping a torn tail.  The returned server is
+    /// healthy and ready to rejoin.
+    pub fn recover(
+        machine: Dfsm,
+        store: SharedStore,
+        id: impl Into<String>,
+        config: &DurabilityConfig,
+    ) -> Result<(Self, ReplayStats)> {
+        let id = id.into();
+        let snap_name = snapshot_name(&id);
+        let log_name = wal_name(&id);
+        let mut server = Server::new(machine);
+        let mut snapshot_seq = 0u64;
+        if let Some(words) = snapshot::load_words(&store, &snap_name)? {
+            if words.len() != 2 {
+                return Err(DistsysError::Storage {
+                    message: format!(
+                        "snapshot {snap_name}: expected 2 words, found {}",
+                        words.len()
+                    ),
+                });
+            }
+            let state = words[1] as usize;
+            if state >= server.machine().size() {
+                return Err(DistsysError::Storage {
+                    message: format!("snapshot {snap_name}: state {state} out of range"),
+                });
+            }
+            snapshot_seq = words[0];
+            server.restore(StateId(state));
+        }
+        let scan = wal::read(&store, &log_name)?;
+        let mut acked_seq = snapshot_seq;
+        let mut frames_replayed = 0usize;
+        let mut stale_frames = 0usize;
+        for entry in &scan.entries {
+            if entry.seq <= snapshot_seq {
+                stale_frames += 1;
+                continue;
+            }
+            if entry.seq != acked_seq + 1 {
+                return Err(wal::corrupt(
+                    &log_name,
+                    format!(
+                        "sequence gap: expected {}, found {}",
+                        acked_seq + 1,
+                        entry.seq
+                    ),
+                ));
+            }
+            server.apply(&entry.event);
+            acked_seq = entry.seq;
+            frames_replayed += 1;
+        }
+        let stats = ReplayStats {
+            snapshot_seq,
+            frames_replayed,
+            stale_frames,
+            torn_tail_bytes: scan.torn_tail_bytes,
+            acked_seq,
+            state: server.current_state(),
+        };
+        // A recovered tail may leave torn bytes on storage; rewrite the log
+        // to its valid prefix so a later append starts clean.
+        if scan.torn_tail_bytes > 0 {
+            wal::truncate(&store, &log_name, scan.valid_len)?;
+        }
+        Ok((
+            DurableServer {
+                server,
+                store,
+                id,
+                snapshot_every: config.resolved_snapshot_every(),
+                acked_seq,
+                since_snapshot: acked_seq.saturating_sub(snapshot_seq),
+            },
+            stats,
+        ))
+    }
+
+    /// The durable id (WAL and snapshot blob prefix).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Highest acknowledged (logged-then-applied) sequence number.
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// Mutable access to the wrapped server, for fault injection paths that
+    /// do not touch durable state (crash, corrupt, restore).
+    pub fn server_mut(&mut self) -> &mut Server {
+        &mut self.server
+    }
+
+    /// Unwraps into the plain server.
+    pub fn into_server(self) -> Server {
+        self.server
+    }
+
+    /// Logs then applies one event (append-before-ack).  On return the
+    /// event is both durable and applied; a crash at any earlier point
+    /// loses only this unacknowledged event.
+    pub fn apply(&mut self, event: &Event) -> Result<()> {
+        wal::append(&self.store, &wal_name(&self.id), self.acked_seq + 1, event)?;
+        self.server.apply(event);
+        self.acked_seq += 1;
+        self.since_snapshot += 1;
+        if self.since_snapshot >= self.snapshot_every
+            && self.server.status() == crate::server::ServerStatus::Healthy
+        {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a `[seq, state]` snapshot and compacts the log.  Only valid
+    /// while healthy (a crashed or Byzantine state must never be made
+    /// durable).
+    pub fn snapshot(&mut self) -> Result<()> {
+        snapshot::save_words(
+            &self.store,
+            &snapshot_name(&self.id),
+            &[self.acked_seq, self.server.current_state().index() as u64],
+        )?;
+        wal::truncate(&self.store, &wal_name(&self.id), 0)?;
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Adopts a peer-decoded state at the group's sequence number: restores
+    /// the server, snapshots at `seq`, and compacts.  Afterwards the local
+    /// sequence number equals the group's — it never regresses.
+    pub fn resync(&mut self, seq: u64, state: StateId) -> Result<()> {
+        self.server.restore(state);
+        self.acked_seq = seq;
+        self.snapshot()
+    }
+}
+
+impl std::fmt::Debug for DurableServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableServer")
+            .field("id", &self.id)
+            .field("acked_seq", &self.acked_seq)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("server", &self.server)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A server slot that may or may not carry durable state — what the
+/// threaded and simulated runners actually host.
+#[derive(Debug)]
+pub(crate) enum ProcessServer {
+    /// A plain in-memory server (no durability configured).
+    Plain(Server),
+    /// A durable server with WAL + snapshots.
+    Durable(DurableServer),
+}
+
+impl ProcessServer {
+    pub(crate) fn is_durable(&self) -> bool {
+        matches!(self, ProcessServer::Durable(_))
+    }
+
+    pub(crate) fn server(&self) -> &Server {
+        match self {
+            ProcessServer::Plain(s) => s,
+            ProcessServer::Durable(d) => d.server(),
+        }
+    }
+
+    pub(crate) fn server_mut(&mut self) -> &mut Server {
+        match self {
+            ProcessServer::Plain(s) => s,
+            ProcessServer::Durable(d) => d.server_mut(),
+        }
+    }
+
+    pub(crate) fn into_server(self) -> Server {
+        match self {
+            ProcessServer::Plain(s) => s,
+            ProcessServer::Durable(d) => d.into_server(),
+        }
+    }
+
+    /// Applies an event, logging first when durable.  Storage failure here
+    /// is unrecoverable for the hosting process (the event can be neither
+    /// acknowledged nor dropped), so it panics like a real fsync failure
+    /// would abort a database process.
+    pub(crate) fn apply(&mut self, event: &Event) {
+        match self {
+            ProcessServer::Plain(s) => s.apply(event),
+            ProcessServer::Durable(d) => d
+                .apply(event)
+                .expect("WAL append failed; cannot acknowledge event"),
+        }
+    }
+
+    pub(crate) fn resync(&mut self, seq: u64, state: StateId) -> Result<()> {
+        match self {
+            ProcessServer::Plain(_) => Err(DistsysError::NotDurable { server: 0 }),
+            ProcessServer::Durable(d) => d.resync(seq, state),
+        }
+    }
+
+    pub(crate) fn durable_id(&self) -> Option<&str> {
+        match self {
+            ProcessServer::Plain(_) => None,
+            ProcessServer::Durable(d) => Some(d.id()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{shared, with_store, MemStore};
+    use fsm_machines::{mod_counter, toggle_switch};
+
+    fn ev(s: &str) -> Event {
+        Event::new(s)
+    }
+
+    fn counter3() -> Dfsm {
+        mod_counter("Count3", 3, "1", &["0", "1"])
+    }
+
+    fn cfg(every: u64) -> DurabilityConfig {
+        DurabilityConfig::new().snapshot_every(every)
+    }
+
+    #[test]
+    fn config_resolution_order() {
+        let c = DurabilityConfig::new();
+        assert_eq!(
+            c.resolved_snapshot_every_from(None),
+            DurabilityConfig::DEFAULT_SNAPSHOT_EVERY
+        );
+        assert_eq!(c.resolved_snapshot_every_from(Some(7)), 7);
+        let c = c.snapshot_every(5);
+        assert_eq!(c.resolved_snapshot_every_from(Some(7)), 5);
+        // Zero clamps to 1 everywhere.
+        assert_eq!(cfg(0).resolved_snapshot_every_from(None), 1);
+        assert_eq!(
+            DurabilityConfig::new().resolved_snapshot_every_from(Some(0)),
+            1
+        );
+    }
+
+    #[test]
+    fn rejoin_path_chooser() {
+        assert_eq!(RejoinPath::choose(10, 10), RejoinPath::Current);
+        assert_eq!(RejoinPath::choose(12, 10), RejoinPath::Current);
+        assert_eq!(RejoinPath::choose(5, 10), RejoinPath::Replay { gap: 5 });
+        assert_eq!(
+            RejoinPath::choose(0, REPLAY_CUTOVER),
+            RejoinPath::Replay {
+                gap: REPLAY_CUTOVER
+            }
+        );
+        assert_eq!(
+            RejoinPath::choose(0, REPLAY_CUTOVER + 1),
+            RejoinPath::PeerDecode {
+                gap: REPLAY_CUTOVER + 1
+            }
+        );
+    }
+
+    #[test]
+    fn crash_recover_resume_matches_uninterrupted() {
+        let store = shared(MemStore::new());
+        let events: Vec<Event> = ["1", "0", "1", "1", "0", "1", "1", "1"]
+            .iter()
+            .map(|s| ev(s))
+            .collect();
+        // Uninterrupted reference.
+        let mut reference = Server::new(counter3());
+        for e in &events {
+            reference.apply(e);
+        }
+        // Durable run killed after 5 events, recovered, resumed.
+        let mut d = DurableServer::fresh(counter3(), store.clone(), "s0", &cfg(3)).unwrap();
+        for e in &events[..5] {
+            d.apply(e).unwrap();
+        }
+        drop(d); // process death: only storage survives
+        let (mut d, stats) =
+            DurableServer::recover(counter3(), store.clone(), "s0", &cfg(3)).unwrap();
+        assert_eq!(stats.acked_seq, 5);
+        assert_eq!(stats.torn_tail_bytes, 0);
+        // Snapshot fired at event 3, so only events 4..5 replayed.
+        assert_eq!(stats.snapshot_seq, 3);
+        assert_eq!(stats.frames_replayed, 2);
+        for e in &events[5..] {
+            d.apply(e).unwrap();
+        }
+        assert_eq!(d.server().current_state(), reference.current_state());
+        assert_eq!(d.acked_seq(), events.len() as u64);
+    }
+
+    #[test]
+    fn torn_final_frame_is_dropped_and_log_repaired() {
+        let store = shared(MemStore::new());
+        let mut d = DurableServer::fresh(toggle_switch(), store.clone(), "s1", &cfg(100)).unwrap();
+        for _ in 0..4 {
+            d.apply(&ev("1")).unwrap();
+        }
+        drop(d);
+        // Tear the final frame: chop 3 bytes off the log.
+        with_store(&store, |s| {
+            let bytes = s.read("s1.wal")?.unwrap();
+            s.write_atomic("s1.wal", &bytes[..bytes.len() - 3])
+        })
+        .unwrap();
+        let (d, stats) =
+            DurableServer::recover(toggle_switch(), store.clone(), "s1", &cfg(100)).unwrap();
+        // The torn 4th event was never acknowledged under this failure
+        // model; the 3 complete frames replay.
+        assert_eq!(stats.acked_seq, 3);
+        assert_eq!(stats.frames_replayed, 3);
+        assert!(stats.torn_tail_bytes > 0);
+        assert_eq!(d.server().current_state(), StateId(1)); // 3 toggles
+                                                            // Recovery repaired the log: a second recover sees no torn tail.
+        drop(d);
+        let (_, stats2) = DurableServer::recover(toggle_switch(), store, "s1", &cfg(100)).unwrap();
+        assert_eq!(stats2.torn_tail_bytes, 0);
+        assert_eq!(stats2.acked_seq, 3);
+    }
+
+    #[test]
+    fn sequence_gap_is_a_hard_error() {
+        let store = shared(MemStore::new());
+        // Frames 1 and 3 with no 2: scan stops at the non-contiguous frame,
+        // treating it as a torn tail, so recovery sees only frame 1... make
+        // the gap survive the scan by making seqs increase: 1 then 3.
+        let mut bytes = crate::wal::encode_frame(1, b"1");
+        bytes.extend_from_slice(&crate::wal::encode_frame(3, b"1"));
+        with_store(&store, |s| s.write_atomic("s2.wal", &bytes)).unwrap();
+        let err = DurableServer::recover(toggle_switch(), store, "s2", &cfg(8)).unwrap_err();
+        assert!(matches!(err, DistsysError::Storage { .. }));
+        assert!(err.to_string().contains("sequence gap"));
+    }
+
+    #[test]
+    fn resync_snapshots_at_group_seq() {
+        let store = shared(MemStore::new());
+        let mut d = DurableServer::fresh(toggle_switch(), store.clone(), "s3", &cfg(100)).unwrap();
+        d.apply(&ev("1")).unwrap();
+        d.server_mut().crash();
+        // Peer decode said: at group seq 40 the state is 0.
+        d.resync(40, StateId(0)).unwrap();
+        assert_eq!(d.acked_seq(), 40);
+        drop(d);
+        let (d, stats) = DurableServer::recover(toggle_switch(), store, "s3", &cfg(100)).unwrap();
+        // Sequence numbers never regress across the resync + recover.
+        assert_eq!(stats.snapshot_seq, 40);
+        assert_eq!(stats.frames_replayed, 0);
+        assert_eq!(d.acked_seq(), 40);
+        assert_eq!(d.server().current_state(), StateId(0));
+    }
+
+    #[test]
+    fn fresh_wipes_previous_incarnation() {
+        let store = shared(MemStore::new());
+        let mut d = DurableServer::fresh(toggle_switch(), store.clone(), "s4", &cfg(2)).unwrap();
+        for _ in 0..5 {
+            d.apply(&ev("1")).unwrap();
+        }
+        drop(d);
+        let d = DurableServer::fresh(toggle_switch(), store.clone(), "s4", &cfg(2)).unwrap();
+        assert_eq!(d.acked_seq(), 0);
+        drop(d);
+        let (_, stats) = DurableServer::recover(toggle_switch(), store, "s4", &cfg(2)).unwrap();
+        assert_eq!(stats.acked_seq, 0);
+        assert_eq!(stats.snapshot_seq, 0);
+    }
+
+    #[test]
+    fn process_server_delegates() {
+        let store = shared(MemStore::new());
+        let mut plain = ProcessServer::Plain(Server::new(toggle_switch()));
+        plain.apply(&ev("1"));
+        assert_eq!(plain.server().current_state(), StateId(1));
+        assert!(!plain.is_durable());
+        assert_eq!(plain.durable_id(), None);
+        assert!(plain.resync(1, StateId(0)).is_err());
+        let durable = DurableServer::fresh(toggle_switch(), store, "s5", &cfg(8)).unwrap();
+        let mut durable = ProcessServer::Durable(durable);
+        durable.apply(&ev("1"));
+        assert!(durable.is_durable());
+        assert_eq!(durable.durable_id(), Some("s5"));
+        assert!(durable.resync(9, StateId(0)).is_ok());
+        assert_eq!(durable.into_server().current_state(), StateId(0));
+    }
+}

@@ -54,7 +54,10 @@ use fsm_fusion_core::MachineReport;
 use rand::RngCore;
 
 use crate::env::{Environment, GroupConfig, ServerGroup};
+use crate::error::Result;
+use crate::recovery::ReplayStats;
 use crate::server::Server;
+use crate::storage::SharedStore;
 use net::{Chaos, Payload, SimWorld};
 
 /// Builder for a deterministic simulated world.
@@ -71,6 +74,7 @@ pub struct SimConfig {
     drop: f64,
     duplicate: f64,
     reorder: f64,
+    torn: f64,
     crash_points: Vec<(Duration, usize)>,
 }
 
@@ -84,6 +88,7 @@ impl SimConfig {
             drop: 0.0,
             duplicate: 0.0,
             reorder: 0.0,
+            torn: 0.0,
             crash_points: Vec::new(),
         }
     }
@@ -119,6 +124,15 @@ impl SimConfig {
         self
     }
 
+    /// Probability that killing a *durable* process tears the final
+    /// write-ahead-log frame (a partial write at the moment of the power
+    /// failure).  May go all the way to 1.0 — a torn tail never blocks
+    /// recovery, it only drops the final unacknowledged event.
+    pub fn torn_write_probability(mut self, p: f64) -> Self {
+        self.torn = p.clamp(0.0, 1.0);
+        self
+    }
+
     /// Schedules a scripted process kill: server `server` of the first
     /// spawned group dies at virtual time `at` (a power failure — pending
     /// commands are lost with it).
@@ -135,6 +149,7 @@ impl SimConfig {
             drop: self.drop,
             duplicate: self.duplicate,
             reorder: self.reorder,
+            torn: self.torn,
         };
         let crash_points = self
             .crash_points
@@ -224,12 +239,19 @@ impl Environment for SimEnvironment {
     }
 
     fn spawn_group(&self, machines: &[Dfsm], config: &GroupConfig) -> Box<dyn ServerGroup> {
-        let group = self.world.borrow_mut().spawn_group(machines);
+        let group = self
+            .world
+            .borrow_mut()
+            .spawn_group(machines, config.durability());
         Box::new(SimServerGroup {
             world: Rc::clone(&self.world),
             group,
             collect_timeout: config.resolved_collect_timeout().as_nanos() as u64,
         })
+    }
+
+    fn store(&self) -> SharedStore {
+        self.world.borrow().store.clone()
     }
 
     fn name(&self) -> &'static str {
@@ -253,6 +275,12 @@ impl ServerGroup for SimServerGroup {
     fn apply_event(&mut self, event: &Event) {
         let mut w = self.world.borrow_mut();
         w.broadcast(self.group, || Payload::Apply(event.clone()));
+    }
+
+    fn apply_event_to(&mut self, i: usize, event: &Event) {
+        self.world
+            .borrow_mut()
+            .send_command(self.group, i, Payload::Apply(event.clone()));
     }
 
     fn apply_batch(&mut self, events: &[Event]) {
@@ -286,6 +314,22 @@ impl ServerGroup for SimServerGroup {
         self.world
             .borrow_mut()
             .send_command(self.group, i, Payload::Kill);
+    }
+
+    fn restart_process(&mut self, i: usize) -> Result<ReplayStats> {
+        let mut world = self.world.borrow_mut();
+        // Deliver everything in flight first: the kill that took the process
+        // down — and any command racing it — must land before the revival,
+        // exactly as an operator restarting a crashed node observes it.
+        world.run_until_idle();
+        world.restart(self.group, i)
+    }
+
+    fn resync(&mut self, i: usize, seq: u64, state: StateId) -> Result<()> {
+        self.world
+            .borrow_mut()
+            .send_command(self.group, i, Payload::Resync(seq, state));
+        Ok(())
     }
 
     fn try_collect_reports(&mut self) -> Vec<Option<MachineReport>> {

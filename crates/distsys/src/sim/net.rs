@@ -18,9 +18,13 @@ use fsm_dfsm::{Dfsm, Event, StateId};
 use fsm_fusion_core::MachineReport;
 use rand::Rng;
 
+use crate::error::{DistsysError, Result};
+use crate::recovery::{DurabilityConfig, DurableServer, ProcessServer, ReplayStats};
 use crate::server::Server;
 use crate::sim::rng::SimRng;
 use crate::sim::trace::{Trace, TraceEvent};
+use crate::storage::{shared, MemStore, SharedStore};
+use crate::wal;
 
 /// Counters of what the simulated network did — used by tests to assert
 /// chaos coverage ("this sweep actually dropped/reordered something").
@@ -38,6 +42,11 @@ pub struct NetStats {
     pub reordered: u64,
     /// Simulated processes killed.
     pub killed: u64,
+    /// Kills that tore the final write-ahead-log frame (partial-write
+    /// injection).
+    pub torn_tails: u64,
+    /// Killed durable processes brought back up from storage.
+    pub restarts: u64,
 }
 
 impl NetStats {
@@ -49,6 +58,8 @@ impl NetStats {
         self.duplicated += other.duplicated;
         self.reordered += other.reordered;
         self.killed += other.killed;
+        self.torn_tails += other.torn_tails;
+        self.restarts += other.restarts;
     }
 }
 
@@ -66,6 +77,9 @@ pub(crate) struct Chaos {
     /// Probability a report reply gets extra jitter pushing it past later
     /// replies.
     pub reorder: f64,
+    /// Probability a kill of a *durable* process tears the final
+    /// write-ahead-log frame (partial write at power failure).
+    pub torn: f64,
 }
 
 /// What a message carries.
@@ -85,6 +99,9 @@ pub(crate) enum Payload {
         sent_seq: u64,
     },
     Kill,
+    /// Adopt a peer-decoded state at the group sequence number (the
+    /// post-restart resync path; durable servers snapshot at `seq`).
+    Resync(u64, StateId),
 }
 
 impl Payload {
@@ -98,6 +115,7 @@ impl Payload {
             Payload::ReportRequest(_) => 5,
             Payload::Reply { .. } => 6,
             Payload::Kill => 7,
+            Payload::Resync(..) => 8,
         }
     }
 }
@@ -136,15 +154,19 @@ impl Ord for Msg {
     }
 }
 
-/// One simulated process: a server plus a liveness bit.
+/// One simulated process: a server (plain or durable) plus a liveness bit.
 struct SimProcess {
-    server: Server,
+    server: ProcessServer,
     alive: bool,
 }
 
 /// One spawned server group inside the world.
 struct SimGroup {
     processes: Vec<SimProcess>,
+    /// The machines the group runs, kept for restarting killed processes.
+    machines: Vec<Dfsm>,
+    /// Durability knobs if the group was spawned durable.
+    durability: Option<DurabilityConfig>,
     /// Per-server FIFO floor: commands to a server are delivered strictly
     /// after every earlier command to it (reliable ordered delivery).
     fifo_floor: Vec<u64>,
@@ -173,6 +195,10 @@ pub(crate) struct SimWorld {
     /// Scripted kill times (virtual ns, server index), consumed by the
     /// first group spawned.
     pending_crash_points: Vec<(u64, usize)>,
+    /// The world's durable store: a deterministic in-memory map shared by
+    /// all durable groups.  Held as a separate `Arc` so process code can
+    /// write through it without re-borrowing the world.
+    pub(crate) store: SharedStore,
     pub(crate) trace: Trace,
     pub(crate) stats: NetStats,
 }
@@ -188,6 +214,7 @@ impl SimWorld {
             queue: BinaryHeap::new(),
             groups: Vec::new(),
             pending_crash_points: crash_points,
+            store: shared(MemStore::new()),
             trace: Trace::new(),
             stats: NetStats::default(),
         }
@@ -204,16 +231,38 @@ impl SimWorld {
     /// Spawns a group of simulated processes; scripted crash points (if this
     /// is the first group) are scheduled as absolute-time kill messages that
     /// bypass the command FIFO — a power failure, not a graceful stop.
-    pub(crate) fn spawn_group(&mut self, machines: &[Dfsm]) -> usize {
+    pub(crate) fn spawn_group(
+        &mut self,
+        machines: &[Dfsm],
+        durability: Option<&DurabilityConfig>,
+    ) -> usize {
         let id = self.groups.len();
-        self.groups.push(SimGroup {
-            processes: machines
-                .iter()
-                .map(|m| SimProcess {
-                    server: Server::new(m.clone()),
+        let processes = machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let server = match durability {
+                    None => ProcessServer::Plain(Server::new(m.clone())),
+                    Some(cfg) => ProcessServer::Durable(
+                        DurableServer::fresh(
+                            m.clone(),
+                            self.store.clone(),
+                            format!("sim-g{id}-s{i}"),
+                            cfg,
+                        )
+                        .expect("in-memory store cannot fail on fresh spawn"),
+                    ),
+                };
+                SimProcess {
+                    server,
                     alive: true,
-                })
-                .collect(),
+                }
+            })
+            .collect();
+        self.groups.push(SimGroup {
+            processes,
+            machines: machines.to_vec(),
+            durability: durability.cloned(),
             fifo_floor: vec![0; machines.len()],
             inbox: Vec::new(),
             generation: 0,
@@ -390,7 +439,7 @@ impl SimWorld {
                             self.trace.record(TraceEvent::Apply {
                                 group,
                                 server,
-                                state: p.server.current_state().index() as u64,
+                                state: p.server.server().current_state().index() as u64,
                             });
                         }
                         Payload::Batch(events) => {
@@ -399,16 +448,16 @@ impl SimWorld {
                                 self.trace.record(TraceEvent::Apply {
                                     group,
                                     server,
-                                    state: p.server.current_state().index() as u64,
+                                    state: p.server.server().current_state().index() as u64,
                                 });
                             }
                         }
                         Payload::Crash => {
-                            p.server.crash();
+                            p.server.server_mut().crash();
                             self.trace.record(TraceEvent::Crash { group, server });
                         }
                         Payload::Corrupt(s) => {
-                            p.server.corrupt(s);
+                            p.server.server_mut().corrupt(s);
                             self.trace.record(TraceEvent::Corrupt {
                                 group,
                                 server,
@@ -416,15 +465,30 @@ impl SimWorld {
                             });
                         }
                         Payload::Restore(s) => {
-                            p.server.restore(s);
+                            p.server.server_mut().restore(s);
                             self.trace.record(TraceEvent::Restore {
                                 group,
                                 server,
                                 state: s.index() as u64,
                             });
                         }
+                        Payload::Resync(seq, s) => {
+                            match p.server.resync(seq, s) {
+                                Ok(()) => {}
+                                Err(DistsysError::NotDurable { .. }) => {
+                                    p.server.server_mut().restore(s)
+                                }
+                                Err(e) => panic!("sim resync failed: {e}"),
+                            }
+                            self.trace.record(TraceEvent::Resync {
+                                group,
+                                server,
+                                seq,
+                                state: s.index() as u64,
+                            });
+                        }
                         Payload::ReportRequest(generation) => {
-                            let report = p.server.report();
+                            let report = p.server.server().report();
                             self.trace.record(TraceEvent::Report {
                                 group,
                                 server,
@@ -440,6 +504,30 @@ impl SimWorld {
                             p.alive = false;
                             self.stats.killed += 1;
                             self.trace.record(TraceEvent::Kill { group, server });
+                            // Torn-write injection: with probability `torn`
+                            // the power failure interrupts an in-flight WAL
+                            // append, leaving a partial final frame on
+                            // storage.  Only durable processes draw from the
+                            // chaos stream here, so plain-group seeds replay
+                            // exactly as before this knob existed.
+                            if self.chaos.torn > 0.0
+                                && p.server.is_durable()
+                                && self.chaos_rng.gen_bool(self.chaos.torn)
+                            {
+                                if let Some(id) = p.server.durable_id() {
+                                    let name = wal::wal_name(id);
+                                    let dropped =
+                                        tear_wal_tail(&self.store, &name, &mut self.chaos_rng);
+                                    if dropped > 0 {
+                                        self.stats.torn_tails += 1;
+                                        self.trace.record(TraceEvent::TornTail {
+                                            group,
+                                            server,
+                                            dropped: dropped as u64,
+                                        });
+                                    }
+                                }
+                            }
                         }
                         Payload::Reply { .. } => unreachable!("replies go to collectors"),
                     }
@@ -534,6 +622,43 @@ impl SimWorld {
         out
     }
 
+    /// Restarts a killed durable process from its durable state: snapshot +
+    /// WAL-suffix replay (torn tail dropped), then the process is alive
+    /// again at the returned [`ReplayStats::acked_seq`].
+    pub(crate) fn restart(&mut self, group: usize, server: usize) -> Result<ReplayStats> {
+        let (machine, id) = {
+            let g = &self.groups[group];
+            let Some(p) = g.processes.get(server) else {
+                return Err(DistsysError::NoSuchServer {
+                    server,
+                    count: g.processes.len(),
+                });
+            };
+            if p.alive {
+                return Err(DistsysError::ServerUp { server });
+            }
+            let Some(id) = p.server.durable_id() else {
+                return Err(DistsysError::NotDurable { server });
+            };
+            (g.machines[server].clone(), id.to_string())
+        };
+        let cfg = self.groups[group]
+            .durability
+            .clone()
+            .expect("durable process implies durable group");
+        let (recovered, stats) = DurableServer::recover(machine, self.store.clone(), id, &cfg)?;
+        let p = &mut self.groups[group].processes[server];
+        p.server = ProcessServer::Durable(recovered);
+        p.alive = true;
+        self.stats.restarts += 1;
+        self.trace.record(TraceEvent::Restart {
+            group,
+            server,
+            acked: stats.acked_seq,
+        });
+        Ok(stats)
+    }
+
     /// Tears a group down after draining the queue; processes still alive
     /// yield their final `Server` values.
     pub(crate) fn shutdown_group(&mut self, group: usize) -> Vec<Server> {
@@ -542,7 +667,24 @@ impl SimWorld {
             .processes
             .drain(..)
             .filter(|p| p.alive)
-            .map(|p| p.server)
+            .map(|p| p.server.into_server())
             .collect()
     }
+}
+
+/// Chops a seeded number of bytes off the final valid WAL frame (at least
+/// one, possibly the whole frame), modeling a power failure mid-append.
+/// Returns how many bytes were dropped (0 if the log has no frames).
+fn tear_wal_tail(store: &SharedStore, name: &str, rng: &mut SimRng) -> usize {
+    let bytes = crate::storage::with_store(store, |s| s.read(name))
+        .expect("in-memory store cannot fail")
+        .unwrap_or_default();
+    let scan = wal::scan(&bytes);
+    let Some(start) = scan.last_frame_start else {
+        return 0;
+    };
+    // Keep anywhere from none to all-but-one byte of the final frame.
+    let cut = rng.gen_range(start..bytes.len());
+    wal::truncate(store, name, cut).expect("in-memory store cannot fail");
+    bytes.len() - cut
 }

@@ -251,7 +251,7 @@ mod tests {
         for f in &plan.faults {
             match f.kind {
                 FaultKind::Corrupt(s) => assert!(s.index() < sizes[f.server]),
-                FaultKind::Crash => panic!("corruption plan produced a crash"),
+                other => panic!("corruption plan produced {other:?}"),
             }
         }
     }

@@ -17,14 +17,15 @@
 use std::collections::HashSet;
 use std::time::Duration;
 
-use fsm_dfsm::{Dfsm, StateId};
+use fsm_dfsm::{Dfsm, Executor, StateId};
 use fsm_fusion_core::{FaultModel, MachineReport, ReplicaSet};
 use rand::Rng;
 
 use crate::env::{Environment, GroupConfig, ServerGroup};
 use crate::fault::FaultKind;
+use crate::recovery::{DurabilityConfig, RejoinPath};
 use crate::scenario::{replay_oracle, SensorNetwork};
-use crate::sim::{NetStats, Seeded, SimEnvironment};
+use crate::sim::{NetStats, Seeded, SimEnvironment, TraceEvent};
 use crate::system::FusedSystem;
 
 /// Substream of the scenario seed that draws the scenario parameters.
@@ -33,6 +34,8 @@ const STREAM_PARAMS: u64 = 0;
 const STREAM_WORKLOAD: u64 = 1;
 /// Substream that generates the fault schedule.
 const STREAM_FAULTS: u64 = 2;
+/// Substream that draws the kill/rejoin schedule of recovery scenarios.
+const STREAM_RECOVERY: u64 = 3;
 
 /// How often a collection is retried when replies to live servers keep
 /// getting dropped.  With per-reply drop probability ≤ 0.3 the chance of a
@@ -44,6 +47,8 @@ const MAX_COLLECT_ATTEMPTS: usize = 32;
 const NOTE_SCENARIO: u64 = 0x5CE0;
 /// Trace-note code recording the decode outcome.
 const NOTE_VERDICT: u64 = 0xFA57;
+/// Trace-note code recording each rejoin decision of a recovery scenario.
+const NOTE_REJOIN: u64 = 0x4E10;
 
 /// Which backup strategy a scenario exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -241,6 +246,15 @@ pub struct ScenarioOutcome {
     pub injected: usize,
     /// Process kills among them.
     pub kills: usize,
+    /// Killed processes brought back up from durable state (recovery
+    /// scenarios only; plain scenarios leave killed processes dark).
+    pub restarts: usize,
+    /// Rejoins that caught up by replaying the missed workload suffix.
+    pub replays: usize,
+    /// Rejoins that adopted a peer-decoded state (Algorithm 3 resync).
+    pub peer_resyncs: usize,
+    /// Virtual nanoseconds the world had consumed when the run finished.
+    pub virtual_nanos: u64,
     /// Every detected divergence from the oracle (empty = correct run).
     pub violations: Vec<String>,
 }
@@ -377,6 +391,15 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
                 }
                 FaultKind::Crash => group.crash(f.server),
                 FaultKind::Corrupt(state) => group.corrupt(f.server, state),
+                FaultKind::Kill => {
+                    killed.insert(f.server);
+                    group.kill_process(f.server);
+                }
+                FaultKind::Restart => {
+                    if group.restart_process(f.server).is_ok() {
+                        killed.remove(&f.server);
+                    }
+                }
             }
             next_fault += 1;
         }
@@ -478,6 +501,10 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioOutcome {
         stats: env.net_stats(),
         injected,
         kills: killed.len(),
+        restarts: 0,
+        replays: 0,
+        peer_resyncs: 0,
+        virtual_nanos: env.now().as_nanos() as u64,
         violations,
     }
 }
@@ -495,6 +522,10 @@ fn failed_outcome(scenario: &Scenario, env: &SimEnvironment, violation: String) 
         stats: env.net_stats(),
         injected: 0,
         kills: 0,
+        restarts: 0,
+        replays: 0,
+        peer_resyncs: 0,
+        virtual_nanos: env.now().as_nanos() as u64,
         violations: vec![violation],
     }
 }
@@ -518,6 +549,12 @@ pub struct SweepReport {
     pub faults_injected: usize,
     /// Process kills among them.
     pub kills: usize,
+    /// Killed processes brought back from durable state.
+    pub restarts: usize,
+    /// Rejoins that replayed the missed workload suffix from the log.
+    pub replays: usize,
+    /// Rejoins that adopted a peer-decoded state (Algorithm 3 resync).
+    pub peer_resyncs: usize,
     /// Network chaos counters summed over all runs.
     pub stats: NetStats,
     /// Every violation, tagged with its seed.
@@ -543,6 +580,13 @@ impl SweepReport {
             && self.byzantine_runs > 0
     }
 
+    /// Whether a recovery sweep exercised every rejoin mechanism it gates:
+    /// restarts from durable state, log-replay catch-up, peer-decode resync,
+    /// and at least one torn final WAL frame survived.
+    pub fn recovery_covered(&self) -> bool {
+        self.restarts > 0 && self.replays > 0 && self.peer_resyncs > 0 && self.stats.torn_tails > 0
+    }
+
     fn absorb(&mut self, outcome: &ScenarioOutcome) {
         self.scenarios += 1;
         if outcome.is_ok() {
@@ -558,6 +602,9 @@ impl SweepReport {
         }
         self.faults_injected += outcome.injected;
         self.kills += outcome.kills;
+        self.restarts += outcome.restarts;
+        self.replays += outcome.replays;
+        self.peer_resyncs += outcome.peer_resyncs;
         self.stats.absorb(&outcome.stats);
         for v in &outcome.violations {
             self.violations.push((outcome.seed, v.clone()));
@@ -575,6 +622,434 @@ pub fn sweep(first_seed: u64, count: usize) -> SweepReport {
         report.absorb(&outcome);
     }
     report
+}
+
+/// The recovery preset table: machine set, crash budget, and whether the
+/// scenario rolls kills across `f` victims in sequence or kills once.
+/// Recovery scenarios run fusion under the crash model only — a rejoining
+/// server trusts its own log, which a Byzantine server cannot.
+const RECOVERY_PRESETS: &[(&str, MachineSet, usize, bool)] = &[
+    ("fig1/fusion/crash/f1/rejoin", MachineSet::Fig1, 1, false),
+    ("fig1/fusion/crash/f2/rolling", MachineSet::Fig1, 2, true),
+    (
+        "mesi+zc3/fusion/crash/f1/rejoin",
+        MachineSet::MesiZc3,
+        1,
+        false,
+    ),
+    (
+        "sensors3/fusion/crash/f1/rejoin",
+        MachineSet::Sensors3,
+        1,
+        false,
+    ),
+];
+
+/// One fully specified crash-recovery scenario: a durable fusion group whose
+/// processes get killed under load and rejoin from their write-ahead logs
+/// and snapshots.  Derived deterministically from a seed by
+/// [`RecoveryScenario::from_seed`].
+#[derive(Debug, Clone)]
+pub struct RecoveryScenario {
+    /// The seed the scenario (and its simulated world) is derived from.
+    pub seed: u64,
+    /// Human-readable preset name (`"fig1/fusion/crash/f1/rejoin"`, …).
+    pub preset: &'static str,
+    /// The crash budget the fusion is provisioned for.
+    pub f: usize,
+    /// The original machines.
+    pub machines: Vec<Dfsm>,
+    /// Whether kills roll across `f` victims in sequence (one at a time)
+    /// instead of killing a single victim once.
+    pub rolling: bool,
+    /// Number of workload events.
+    pub workload_len: usize,
+    /// Snapshot cadence of the durable servers.
+    pub snapshot_every: u64,
+    /// Probability that a kill tears the final WAL frame.
+    pub torn: f64,
+    /// Reply drop probability.
+    pub drop: f64,
+    /// Reply duplication probability.
+    pub duplicate: f64,
+    /// Reply reorder-jitter probability.
+    pub reorder: f64,
+}
+
+impl RecoveryScenario {
+    /// Derives the full recovery scenario from one seed.
+    pub fn from_seed(seed: u64) -> RecoveryScenario {
+        let mut rng = Seeded(seed).split(STREAM_PARAMS).rng();
+        let (preset, set, f, rolling) = RECOVERY_PRESETS[rng.gen_range(0..RECOVERY_PRESETS.len())];
+        let workload_len = rng.gen_range(40..=120usize);
+        let snapshot_every = rng.gen_range(1..=48u64);
+        let torn = rng.gen_range(0..=60u32) as f64 / 100.0;
+        let drop = rng.gen_range(0..=20u32) as f64 / 100.0;
+        let duplicate = rng.gen_range(0..=15u32) as f64 / 100.0;
+        let reorder = rng.gen_range(0..=20u32) as f64 / 100.0;
+        RecoveryScenario {
+            seed,
+            preset,
+            f,
+            machines: set.machines(),
+            rolling,
+            workload_len,
+            snapshot_every,
+            torn,
+            drop,
+            duplicate,
+            reorder,
+        }
+    }
+
+    /// Kills the scenario schedules (1, or `f` when rolling).
+    pub fn kills(&self) -> usize {
+        if self.rolling {
+            self.f.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+/// Runs one crash-recovery scenario: spawn a durable fusion group, kill
+/// processes at seeded positions under load, bring each back with
+/// [`ServerGroup::restart_process`], catch it up via the cheaper of log
+/// replay or peer decode ([`RejoinPath::choose`]), and assert the recovery
+/// invariants — no acked event lost (the acknowledged sequence number equals
+/// the kill position, one less only when the final frame was torn),
+/// sequence numbers never regress, the replayed state matches an
+/// uninterrupted run of the log prefix, and the whole group converges on
+/// the oracle at the end.
+pub fn run_recovery_scenario(scenario: &RecoveryScenario) -> ScenarioOutcome {
+    let env = Seeded(scenario.seed)
+        .sim()
+        .drop_probability(scenario.drop)
+        .duplicate_probability(scenario.duplicate)
+        .reorder_probability(scenario.reorder)
+        .torn_write_probability(scenario.torn)
+        .build();
+    let mut violations: Vec<String> = Vec::new();
+
+    let w = Seeded(scenario.seed)
+        .split(STREAM_WORKLOAD)
+        .workload_over_machines(&scenario.machines, scenario.workload_len);
+
+    let fake = Scenario {
+        seed: scenario.seed,
+        preset: scenario.preset,
+        backend: Backend::Fusion,
+        fault_model: FaultModel::Crash,
+        f: scenario.f,
+        machines: scenario.machines.clone(),
+        workload_len: scenario.workload_len,
+        modeled_crashes: 0,
+        kills: scenario.kills(),
+        corruptions: 0,
+        drop: scenario.drop,
+        duplicate: scenario.duplicate,
+        reorder: scenario.reorder,
+    };
+    let mut sys = match FusedSystem::new(&scenario.machines, scenario.f, FaultModel::Crash) {
+        Ok(sys) => sys,
+        Err(e) => return failed_outcome(&fake, &env, format!("construction failed: {e}")),
+    };
+    let roster = sys.all_machines();
+    let n = roster.len();
+
+    env.note(
+        NOTE_SCENARIO,
+        &[
+            2, // recovery-scenario marker (0/1 are the plain backends)
+            scenario.f as u64,
+            scenario.workload_len as u64,
+            scenario.rolling as u64,
+            scenario.snapshot_every,
+        ],
+    );
+
+    let config = GroupConfig::new()
+        .collect_timeout(Duration::from_secs(2))
+        .durable_with(DurabilityConfig::new().snapshot_every(scenario.snapshot_every));
+    let mut group = env.spawn_group(&roster, &config);
+
+    // The kill/rejoin schedule: each kill gets its own disjoint window of
+    // the workload, so at most one process is ever down at a time and every
+    // victim rejoins before the run ends.
+    let mut rng = Seeded(scenario.seed).split(STREAM_RECOVERY).rng();
+    let kills = scenario.kills();
+    let span = (scenario.workload_len - 1) / kills;
+    // (kill_pos, rejoin_pos, victim): kill after `kill_pos` events, rejoin
+    // after `rejoin_pos` events.  Victims may repeat across windows — a
+    // server crashing twice is exactly how sequence regression would show.
+    let schedule: Vec<(usize, usize, usize)> = (0..kills)
+        .map(|k| {
+            let lo = 1 + k * span;
+            let hi = lo + span - 1;
+            let kill_pos = rng.gen_range(lo..hi);
+            let rejoin_pos = rng.gen_range(kill_pos + 1..=hi);
+            (kill_pos, rejoin_pos, rng.gen_range(0..n))
+        })
+        .collect();
+
+    let mut restarts = 0usize;
+    let mut replays = 0usize;
+    let mut peer_resyncs = 0usize;
+    let mut last_acked: Vec<u64> = vec![0; n];
+    let mut torn_seen: Vec<usize> = vec![0; n];
+    let mut next = 0usize;
+    let mut down: Option<(usize, usize, usize)> = None; // (victim, kill_pos, rejoin_pos)
+
+    for pos in 0..w.len() {
+        if down.is_none() && next < schedule.len() && schedule[next].0 == pos {
+            let (kill_pos, rejoin_pos, victim) = schedule[next];
+            group.kill_process(victim);
+            down = Some((victim, kill_pos, rejoin_pos));
+            next += 1;
+        }
+        if let Some((victim, kill_pos, rejoin_pos)) = down {
+            if rejoin_pos == pos {
+                // Drain the world first: apply commands queued to the dead
+                // process must be dropped *before* it comes back, exactly as
+                // a real network flushes in-flight packets to a dead port.
+                env.run_until_idle();
+                // A torn tail may cut exactly at the final frame's start,
+                // leaving a *clean* shorter log — `ReplayStats` then reports
+                // no torn bytes, so tears are detected from the trace.
+                let torn_now = env
+                    .trace_events()
+                    .iter()
+                    .filter(
+                        |ev| matches!(ev, TraceEvent::TornTail { server, .. } if *server == victim),
+                    )
+                    .count();
+                let torn_fired = torn_now > torn_seen[victim];
+                torn_seen[victim] = torn_now;
+                match group.restart_process(victim) {
+                    Ok(stats) => {
+                        restarts += 1;
+                        let acked = stats.acked_seq;
+                        let kp = kill_pos as u64;
+                        // No acked event may be lost.  A torn final frame
+                        // loses exactly the one in-flight write.
+                        if !(acked == kp || (torn_fired && acked + 1 == kp)) {
+                            violations.push(format!(
+                                "server {victim}: recovered acked {acked} after kill at {kp} \
+                                 (torn {} bytes)",
+                                stats.torn_tail_bytes
+                            ));
+                        }
+                        if acked < last_acked[victim] {
+                            violations.push(format!(
+                                "server {victim}: acked regressed {} -> {acked}",
+                                last_acked[victim]
+                            ));
+                        }
+                        // Snapshot + replay must equal an uninterrupted run
+                        // of the acked prefix.
+                        let mut ex = Executor::new(roster[victim].clone());
+                        for e in w.iter().take(acked as usize) {
+                            ex.apply(e);
+                        }
+                        if stats.state != ex.current() {
+                            violations.push(format!(
+                                "server {victim}: replayed state {} != prefix oracle {}",
+                                stats.state.index(),
+                                ex.current().index()
+                            ));
+                        }
+                        // Catch up to the group: replay the missed suffix
+                        // from the shared event stream, or decode the
+                        // current state from live peers when the gap is too
+                        // wide (Algorithm 3).
+                        let path = RejoinPath::choose(acked, pos as u64);
+                        env.note(
+                            NOTE_REJOIN,
+                            &[
+                                victim as u64,
+                                acked,
+                                pos as u64,
+                                match path {
+                                    RejoinPath::Current => 0,
+                                    RejoinPath::Replay { .. } => 1,
+                                    RejoinPath::PeerDecode { .. } => 2,
+                                },
+                            ],
+                        );
+                        match path {
+                            RejoinPath::Current => {}
+                            RejoinPath::Replay { .. } => {
+                                replays += 1;
+                                for e in &w.events()[acked as usize..pos] {
+                                    group.apply_event_to(victim, e);
+                                }
+                            }
+                            RejoinPath::PeerDecode { .. } => {
+                                peer_resyncs += 1;
+                                let stale: HashSet<usize> = [victim].into_iter().collect();
+                                let partial = collect_until_settled(&mut *group, &stale);
+                                let reports: Vec<MachineReport> = partial
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, r)| {
+                                        if i == victim {
+                                            MachineReport::Crashed
+                                        } else {
+                                            r.clone().unwrap_or(MachineReport::Crashed)
+                                        }
+                                    })
+                                    .collect();
+                                match sys.recover_external(&reports) {
+                                    Ok(ext) => {
+                                        if !ext.matches_oracle {
+                                            violations
+                                                .push("peer decode diverged from oracle".into());
+                                        }
+                                        if let Err(e) =
+                                            group.resync(victim, pos as u64, ext.states[victim])
+                                        {
+                                            violations
+                                                .push(format!("resync of {victim} failed: {e}"));
+                                        }
+                                    }
+                                    Err(e) => {
+                                        violations.push(format!("peer decode failed: {e}"));
+                                    }
+                                }
+                            }
+                        }
+                        last_acked[victim] = pos as u64;
+                    }
+                    Err(e) => violations.push(format!("restart of {victim} failed: {e}")),
+                }
+                down = None;
+            }
+        }
+        let e = &w.events()[pos];
+        group.apply_event(e);
+        sys.apply_event(e);
+    }
+
+    // Everyone — including every rejoined process — must converge on the
+    // oracle once the stream ends.
+    env.run_until_idle();
+    let verify = collect_until_settled(&mut *group, &HashSet::new());
+    for (i, r) in verify.iter().enumerate() {
+        let want = sys.oracle_state_of(i).index();
+        match r {
+            Some(MachineReport::State(s)) if *s == want => {}
+            other => violations.push(format!(
+                "server {i} after recovery sweep: reported {other:?}, expected state {want}"
+            )),
+        }
+    }
+
+    env.note(NOTE_VERDICT, &[violations.len() as u64, kills as u64]);
+    ScenarioOutcome {
+        seed: scenario.seed,
+        preset: scenario.preset,
+        backend: Backend::Fusion,
+        fault_model: FaultModel::Crash,
+        trace_hash: env.trace_hash(),
+        trace_len: env.trace_len(),
+        stats: env.net_stats(),
+        injected: kills,
+        kills,
+        restarts,
+        replays,
+        peer_resyncs,
+        virtual_nanos: env.now().as_nanos() as u64,
+        violations,
+    }
+}
+
+/// Runs `count` crash-recovery scenarios for the seeds
+/// `first_seed..first_seed + count` and aggregates the results.
+pub fn sweep_recovery(first_seed: u64, count: usize) -> SweepReport {
+    let mut report = SweepReport::default();
+    for seed in first_seed..first_seed + count as u64 {
+        let scenario = RecoveryScenario::from_seed(seed);
+        let outcome = run_recovery_scenario(&scenario);
+        report.absorb(&outcome);
+    }
+    report
+}
+
+/// Cost counters for one backend across a comparison run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BackendCost {
+    /// Scenarios run on this backend.
+    pub runs: usize,
+    /// Servers spawned across all runs (originals + backups / replicas).
+    pub servers: usize,
+    /// Messages handed to the simulated network.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Virtual nanoseconds consumed.
+    pub virtual_nanos: u64,
+    /// Runs that violated recovery.
+    pub violations: usize,
+}
+
+impl BackendCost {
+    fn absorb(&mut self, outcome: &ScenarioOutcome, servers: usize) {
+        self.runs += 1;
+        self.servers += servers;
+        self.messages_sent += outcome.stats.sent;
+        self.messages_delivered += outcome.stats.delivered;
+        self.virtual_nanos += outcome.virtual_nanos;
+        self.violations += usize::from(!outcome.is_ok());
+    }
+}
+
+/// Runs the same seeds — identical machine sets, workloads, chaos knobs and
+/// one modeled crash — once fused and once replicated, and returns the
+/// accumulated cost of each backend (message counts and virtual latency).
+/// The paper's overhead argument, measured instead of asserted.
+pub fn compare_backends(first_seed: u64, count: usize) -> (BackendCost, BackendCost) {
+    let mut fusion = BackendCost::default();
+    let mut replication = BackendCost::default();
+    for seed in first_seed..first_seed + count as u64 {
+        let mut rng = Seeded(seed).split(STREAM_PARAMS).rng();
+        let set =
+            [MachineSet::Fig1, MachineSet::MesiZc3, MachineSet::Sensors3][rng.gen_range(0..3usize)];
+        let workload_len = rng.gen_range(20..=100usize);
+        let drop = rng.gen_range(0..=20u32) as f64 / 100.0;
+        let duplicate = rng.gen_range(0..=15u32) as f64 / 100.0;
+        let reorder = rng.gen_range(0..=20u32) as f64 / 100.0;
+        for backend in [Backend::Fusion, Backend::Replication] {
+            let scenario = Scenario {
+                seed,
+                preset: "compare/crash/f1",
+                backend,
+                fault_model: FaultModel::Crash,
+                f: 1,
+                machines: set.machines(),
+                workload_len,
+                modeled_crashes: 1,
+                kills: 0,
+                corruptions: 0,
+                drop,
+                duplicate,
+                reorder,
+            };
+            let servers = match backend {
+                Backend::Fusion => FusedSystem::new(&scenario.machines, 1, FaultModel::Crash)
+                    .map(|s| s.num_servers())
+                    .unwrap_or(0),
+                Backend::Replication => {
+                    scenario.machines.len() * (FaultModel::Crash.copies_per_machine(1) + 1)
+                }
+            };
+            let outcome = run_scenario(&scenario);
+            match backend {
+                Backend::Fusion => fusion.absorb(&outcome, servers),
+                Backend::Replication => replication.absorb(&outcome, servers),
+            }
+        }
+    }
+    (fusion, replication)
 }
 
 #[cfg(test)]
@@ -627,5 +1102,67 @@ mod tests {
         assert!(report.all_passed(), "violations: {:?}", report.violations);
         assert!(report.chaos_covered(), "coverage gap: {report:?}");
         assert!(report.faults_injected > 0);
+    }
+
+    #[test]
+    fn recovery_scenarios_are_reproducible_and_bounded() {
+        for seed in 0..50u64 {
+            let a = RecoveryScenario::from_seed(seed);
+            let b = RecoveryScenario::from_seed(seed);
+            assert_eq!(a.preset, b.preset);
+            assert_eq!(a.workload_len, b.workload_len);
+            assert_eq!(a.snapshot_every, b.snapshot_every);
+            assert!((40..=120).contains(&a.workload_len));
+            assert!((1..=48).contains(&a.snapshot_every));
+            assert!(a.kills() >= 1 && a.kills() <= a.f.max(1));
+            assert!(a.torn <= 0.60 && a.drop <= 0.20 && a.reorder <= 0.20);
+        }
+    }
+
+    #[test]
+    fn recovery_scenarios_replay_the_identical_world() {
+        for seed in [2u64, 19, 41] {
+            let s = RecoveryScenario::from_seed(seed);
+            let a = run_recovery_scenario(&s);
+            let b = run_recovery_scenario(&s);
+            assert_eq!(a.trace_hash, b.trace_hash, "seed {seed}");
+            assert_eq!(a.trace_len, b.trace_len, "seed {seed}");
+            assert_eq!(a.stats, b.stats, "seed {seed}");
+            assert_eq!(a.restarts, b.restarts, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mini_recovery_sweep_loses_no_acked_events() {
+        let report = sweep_recovery(0, 40);
+        assert_eq!(report.scenarios, 40);
+        assert!(
+            report.all_passed(),
+            "violations: {:?}",
+            &report.violations[..report.violations.len().min(5)]
+        );
+        assert!(report.restarts > 0);
+        assert!(
+            report.recovery_covered(),
+            "coverage gap: restarts {} replays {} peer_resyncs {} torn {}",
+            report.restarts,
+            report.replays,
+            report.peer_resyncs,
+            report.stats.torn_tails
+        );
+    }
+
+    #[test]
+    fn backend_comparison_runs_clean_and_counts_costs() {
+        let (fusion, replication) = compare_backends(0, 6);
+        assert_eq!(fusion.runs, 6);
+        assert_eq!(replication.runs, 6);
+        assert_eq!(fusion.violations, 0, "fusion runs must recover");
+        assert_eq!(replication.violations, 0, "replication runs must recover");
+        assert!(fusion.messages_sent > 0 && replication.messages_sent > 0);
+        assert!(fusion.virtual_nanos > 0 && replication.virtual_nanos > 0);
+        // The whole point of fusion: fewer backup servers than replication
+        // for the same budget, hence less report traffic per recovery.
+        assert!(fusion.servers <= replication.servers);
     }
 }

@@ -142,6 +142,37 @@ pub enum TraceEvent {
         /// Caller-chosen payload words.
         data: Vec<u64>,
     },
+    /// A durable server adopted a peer-decoded state at the group sequence
+    /// number (peer resync).
+    Resync {
+        /// Group index.
+        group: usize,
+        /// Server index.
+        server: usize,
+        /// Group sequence number adopted.
+        seq: u64,
+        /// The adopted state.
+        state: u64,
+    },
+    /// A killed durable process came back up from its durable state.
+    Restart {
+        /// Group index.
+        group: usize,
+        /// Server index.
+        server: usize,
+        /// Acknowledged sequence number after snapshot + WAL replay.
+        acked: u64,
+    },
+    /// A kill tore the final write-ahead-log frame (partial-write
+    /// injection): the listed byte count was chopped off the log tail.
+    TornTail {
+        /// Group index.
+        group: usize,
+        /// Server index.
+        server: usize,
+        /// Bytes removed from the log tail.
+        dropped: u64,
+    },
 }
 
 impl TraceEvent {
@@ -272,6 +303,38 @@ impl TraceEvent {
                 for w in data {
                     put(*w);
                 }
+            }
+            TraceEvent::Resync {
+                group,
+                server,
+                seq,
+                state,
+            } => {
+                put(15);
+                put(*group as u64);
+                put(*server as u64);
+                put(*seq);
+                put(*state);
+            }
+            TraceEvent::Restart {
+                group,
+                server,
+                acked,
+            } => {
+                put(16);
+                put(*group as u64);
+                put(*server as u64);
+                put(*acked);
+            }
+            TraceEvent::TornTail {
+                group,
+                server,
+                dropped,
+            } => {
+                put(17);
+                put(*group as u64);
+                put(*server as u64);
+                put(*dropped);
             }
         }
     }

@@ -1,0 +1,108 @@
+//! Periodic state snapshots: a checksummed word vector written atomically
+//! through a [`Store`](crate::storage::Store).
+//!
+//! Layout (all little-endian u64): `[count][words...][crc]` where `crc` is
+//! FNV-1a over the count and the words.  Snapshots are always written via
+//! `write_atomic`, so a snapshot is either the complete previous version or
+//! the complete new one — torn-write injection applies only to WAL appends.
+//! A snapshot that fails its checksum is reported as a storage error rather
+//! than silently ignored: recovery must know it is falling back to genesis.
+
+use crate::error::{DistsysError, Result};
+use crate::storage::{with_store, SharedStore};
+
+/// The snapshot blob name for a durable-server id.
+pub fn snapshot_name(id: &str) -> String {
+    format!("{id}.snap")
+}
+
+fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Atomically replaces the snapshot `name` with the word vector `words`.
+pub fn save_words(store: &SharedStore, name: &str, words: &[u64]) -> Result<()> {
+    let mut buf = Vec::with_capacity((words.len() + 2) * 8);
+    buf.extend_from_slice(&(words.len() as u64).to_le_bytes());
+    for &w in words {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut checked = Vec::with_capacity(words.len() + 1);
+    checked.push(words.len() as u64);
+    checked.extend_from_slice(words);
+    buf.extend_from_slice(&fnv1a_words(&checked).to_le_bytes());
+    with_store(store, |s| s.write_atomic(name, &buf))
+}
+
+/// Loads and verifies the snapshot `name`.  Returns `Ok(None)` if no
+/// snapshot exists, and a storage error if one exists but is malformed.
+pub fn load_words(store: &SharedStore, name: &str) -> Result<Option<Vec<u64>>> {
+    let Some(bytes) = with_store(store, |s| s.read(name))? else {
+        return Ok(None);
+    };
+    let malformed = |why: &str| DistsysError::Storage {
+        message: format!("snapshot {name}: {why}"),
+    };
+    if bytes.len() < 16 || bytes.len() % 8 != 0 {
+        return Err(malformed("truncated"));
+    }
+    let mut words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    let crc = words.pop().expect("len checked above");
+    let count = words[0] as usize;
+    if count != words.len() - 1 {
+        return Err(malformed("word count mismatch"));
+    }
+    if fnv1a_words(&words) != crc {
+        return Err(malformed("checksum mismatch"));
+    }
+    words.remove(0);
+    Ok(Some(words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{shared, MemStore};
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = shared(MemStore::new());
+        assert_eq!(load_words(&store, "x.snap").unwrap(), None);
+        save_words(&store, "x.snap", &[7, 0, u64::MAX]).unwrap();
+        assert_eq!(
+            load_words(&store, "x.snap").unwrap(),
+            Some(vec![7, 0, u64::MAX])
+        );
+        // Overwrite replaces wholesale.
+        save_words(&store, "x.snap", &[]).unwrap();
+        assert_eq!(load_words(&store, "x.snap").unwrap(), Some(vec![]));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_an_error_not_none() {
+        let store = shared(MemStore::new());
+        save_words(&store, "x.snap", &[1, 2, 3]).unwrap();
+        with_store(&store, |s| {
+            let mut bytes = s.read("x.snap")?.unwrap();
+            bytes[9] ^= 0xFF; // flip a word byte
+            s.write_atomic("x.snap", &bytes)
+        })
+        .unwrap();
+        assert!(matches!(
+            load_words(&store, "x.snap"),
+            Err(DistsysError::Storage { .. })
+        ));
+        // Truncated blob too.
+        with_store(&store, |s| s.write_atomic("x.snap", &[1, 2, 3])).unwrap();
+        assert!(load_words(&store, "x.snap").is_err());
+    }
+}

@@ -70,11 +70,15 @@ pub mod prelude {
         Dfsm, DfsmBuilder, Event, Executor, ProductBuilder, ProductStrategy, ReachableProduct,
         StateId,
     };
-    pub use fsm_distsys::sim::sweep::{sweep, Scenario, SweepReport};
+    pub use fsm_distsys::sim::sweep::{
+        compare_backends, sweep, sweep_recovery, BackendCost, RecoveryScenario, Scenario,
+        SweepReport,
+    };
     pub use fsm_distsys::{
-        Environment, FaultPlan, FusedSystem, GroupConfig, OsEnvironment, ReplicatedSystem, Seeded,
-        SensorBackupMode, SensorNetwork, ServerGroup, SimConfig, SimEnvironment, TraceEvent,
-        Workload,
+        shared, DirStore, DurabilityConfig, DurableServer, Environment, FaultKind, FaultPlan,
+        FusedSystem, GroupConfig, MemStore, OsEnvironment, RejoinPath, ReplayStats,
+        ReplicatedSystem, Seeded, SensorBackupMode, SensorNetwork, ServerGroup, SharedStore,
+        SimConfig, SimEnvironment, Store, TraceEvent, Workload, REPLAY_CUTOVER,
     };
     pub use fsm_fusion_core::{
         generate_fusion, generate_fusion_for_machines, BitsetPartition, CachePolicy, CacheStats,

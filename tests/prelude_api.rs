@@ -62,6 +62,50 @@ fn prelude_exposes_simulation_surface() {
     assert!(report.all_passed(), "violations: {:?}", report.violations);
 }
 
+/// The crash-recovery surface — durable servers, stores, rejoin paths and
+/// the recovery sweep harness — must be importable from the prelude alone.
+#[test]
+fn prelude_exposes_recovery_surface() {
+    // Types usable in signatures straight from the prelude.
+    fn _takes_durable(_: &DurableServer) {}
+    fn _takes_durability(_: &DurabilityConfig) {}
+    fn _takes_rejoin(_: RejoinPath) {}
+    fn _takes_replay_stats(_: &ReplayStats) {}
+    fn _takes_store(_: &dyn Store) {}
+    fn _takes_shared_store(_: &SharedStore) {}
+    fn _takes_dir_store(_: &DirStore) {}
+    fn _takes_fault_kind(_: FaultKind) {}
+    fn _takes_recovery_scenario(_: &RecoveryScenario) {}
+    fn _takes_backend_cost(_: &BackendCost) {}
+
+    // Constructors reachable without naming a sub-crate.
+    let config = DurabilityConfig::new().snapshot_every(8);
+    let store = shared(MemStore::new());
+    let machine = fig1_machines().remove(0);
+    let mut server = DurableServer::fresh(machine.clone(), store.clone(), "s0", &config).unwrap();
+    server.apply(&Event::new("0")).unwrap();
+    drop(server);
+    let (recovered, stats) = DurableServer::recover(machine, store, "s0", &config).unwrap();
+    assert_eq!(stats.acked_seq, 1);
+    assert_eq!(recovered.acked_seq(), 1);
+
+    // The rejoin-path policy and its cutover are part of the surface.
+    assert_eq!(RejoinPath::choose(5, 5), RejoinPath::Current);
+    assert_eq!(
+        RejoinPath::choose(0, REPLAY_CUTOVER + 1),
+        RejoinPath::PeerDecode {
+            gap: REPLAY_CUTOVER + 1
+        }
+    );
+
+    // The recovery sweep and backend comparison are callable.
+    let report = sweep_recovery(3, 2);
+    assert!(report.all_passed(), "violations: {:?}", report.violations);
+    let (fusion, replication) = compare_backends(3, 1);
+    assert_eq!(fusion.runs, 1);
+    assert_eq!(replication.runs, 1);
+}
+
 /// The `src/lib.rs` doctest scenario, as a plain test: crash one of the
 /// Figure 1 mod-3 counters, recover, and match the oracle.
 #[test]
