@@ -18,7 +18,12 @@
 //! The crash-recovery pipeline is covered by `wal_append_frame`,
 //! `recover_replay_n512` and `recover_decode_f1`, and the `sim_sweep`
 //! section records a fusion-vs-replication cost comparison over identical
-//! seeds (`backend_comparison`).
+//! seeds (`backend_comparison`).  The scaling workloads past the old
+//! `10⁴` wall are `alg2_search_n6561`, `product_build_n6561` and
+//! `product_build_stream_n59049` (the last one asserts the memory-budgeted
+//! streaming builder actually spills), and every op records the peak
+//! resident set observed during its section as a documentation-only
+//! `peak_rss_kb` field.
 //! Each figure is the median of five rounds of at least [`MIN_ITERS`]
 //! iterations, so one scheduler hiccup on a shared runner cannot fake (or
 //! hide) a regression.
@@ -40,10 +45,10 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use fsm_dfsm::{Event, ReachableProduct};
+use fsm_dfsm::{Event, ProductBuilder, ProductStrategy, ReachableProduct};
 use fsm_distsys::sim::sweep::{compare_backends, run_scenario, BackendCost, Scenario};
 use fsm_distsys::{shared, wal, DurabilityConfig, DurableServer, FusedSystem, MemStore};
-use fsm_fusion_bench::{counter_family, SIM_SWEEP_SEEDS};
+use fsm_fusion_bench::{counter_family, peak_rss_kb, reset_peak_rss, SIM_SWEEP_SEEDS};
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
     generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
@@ -117,19 +122,30 @@ struct Measurement {
     name: &'static str,
     ns_per_op: f64,
     iters: u64,
+    /// Peak resident set (KiB) observed since the previous op finished —
+    /// the op's own setup plus its timed rounds.  `None` off Linux.
+    peak_rss_kb: Option<u64>,
 }
 
 fn measure_all() -> Vec<Measurement> {
     let mut out = Vec::new();
+    reset_peak_rss();
     let mut push = |name: &'static str, iters: u64, ns: f64| {
         // Record the clamp `bench` applies, so the JSON documents the
         // iteration count that actually ran.
         let iters = iters.max(MIN_ITERS);
+        // Sample the high-water mark accumulated since the previous push
+        // (this op's setup + timed rounds), then reset it for the next op.
+        // Where the reset is rejected the figure degrades to the
+        // process-lifetime peak, which is still an upper bound.
+        let peak = peak_rss_kb();
+        reset_peak_rss();
         println!("{name:<36} {:>14.1} ns/op   ({iters} iters)", ns);
         out.push(Measurement {
             name,
             ns_per_op: ns,
             iters,
+            peak_rss_kb: peak,
         });
     };
 
@@ -346,6 +362,49 @@ fn measure_all() -> Vec<Measurement> {
             ReachableProduct::new_reference(&machines).unwrap()
         });
         push("product_build_scan_n729", iters, ns);
+    }
+
+    // Past the 10⁴ wall: the scaling workloads this PR's sharded fault
+    // graph and streaming product builder exist for.  |⊤| = 3⁸ = 6561 runs
+    // the full pipeline (packed product build, then the Algorithm-2 descent
+    // over a ~21.5M-edge fault graph with per-stripe trackers); the
+    // `peak_rss_kb` field recorded with every op documents the memory side.
+    {
+        let machines = counter_family(8, 3);
+        let iters = 50;
+        let ns = bench(iters, || {
+            ReachableProduct::with_workers(&machines, 1).unwrap()
+        });
+        push("product_build_n6561", iters, ns);
+
+        let product = ReachableProduct::with_workers(&machines, 1).unwrap();
+        let originals = projection_partitions(&product);
+        let top = product.top();
+        let ns = bench(MIN_ITERS, || {
+            generate_fusion_seq(top, &originals, 1).unwrap()
+        });
+        push("alg2_search_n6561", MIN_ITERS, ns);
+    }
+
+    // |⊤| = 3¹⁰ = 59049 through the memory-budgeted streaming builder: a
+    // 128 KiB budget is below the ~236 KiB dense interner table alone, so
+    // the build must take the map-interner path and spill sealed successor
+    // pages to disk — asserted every iteration, so the op keeps measuring
+    // the spill path (not a silently-degraded resident build).
+    {
+        let machines = counter_family(10, 3);
+        let builder = ProductBuilder::new()
+            .strategy(ProductStrategy::Streaming)
+            .mem_budget(128 << 10);
+        let iters = 5;
+        let ns = bench(iters, || {
+            let (product, stats) = builder.build_with_stats(&machines).unwrap();
+            assert_eq!(product.size(), 59_049);
+            assert!(!stats.dense_interner, "budget must force the map interner");
+            assert!(stats.spilled_pages > 0, "budget must force page spilling");
+            product.size()
+        });
+        push("product_build_stream_n59049", iters, ns);
     }
 
     // Pool amortization at |⊤| = 81 — the size where thread start-up used
@@ -581,10 +640,16 @@ fn render_json(ops: &[Measurement], comparison: &(BackendCost, BackendCost)) -> 
     s.push_str("  \"ops\": {\n");
     for (i, m) in ops.iter().enumerate() {
         let comma = if i + 1 == ops.len() { "" } else { "," };
+        // peak_rss_kb is documentation only: `check` gates ns_per_op and
+        // ignores extra same-line fields, so RSS noise cannot fail CI.
+        let rss = m
+            .peak_rss_kb
+            .map(|kb| format!(", \"peak_rss_kb\": {kb}"))
+            .unwrap_or_default();
         let _ = writeln!(
             s,
-            "    \"{}\": {{ \"ns_per_op\": {:.1}, \"iters\": {} }}{}",
-            m.name, m.ns_per_op, m.iters, comma
+            "    \"{}\": {{ \"ns_per_op\": {:.1}, \"iters\": {}{} }}{}",
+            m.name, m.ns_per_op, m.iters, rss, comma
         );
     }
     s.push_str("  },\n");

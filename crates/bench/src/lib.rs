@@ -30,6 +30,24 @@ pub fn sim_sweep_seeds() -> usize {
         .unwrap_or(SIM_SWEEP_SEEDS)
 }
 
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux / when procfs is unreadable.
+/// Paired with [`reset_peak_rss`], this lets `perf_baseline` attribute a
+/// peak-memory figure to each measured op.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Resets the kernel's peak-RSS water mark (`VmHWM`) to the current RSS by
+/// writing `5` to `/proc/self/clear_refs` (see `proc(5)`).  Best-effort: on
+/// kernels or sandboxes that reject the write, the mark simply keeps
+/// accumulating and [`peak_rss_kb`] reports the process-lifetime peak.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// The five machine sets of the paper's results table.
 pub fn table_rows() -> Vec<MachineSet> {
     table1_rows()
@@ -149,6 +167,16 @@ mod tests {
         }
         let product = fsm_dfsm::ReachableProduct::new(&family).unwrap();
         assert_eq!(product.size(), 27);
+    }
+
+    #[test]
+    fn peak_rss_reads_a_plausible_figure() {
+        // Linux CI and the dev containers all have procfs; elsewhere the
+        // helper degrades to None and perf_baseline omits the field.
+        if let Some(kb) = peak_rss_kb() {
+            assert!(kb > 100, "a Rust test process uses more than 100 KiB");
+        }
+        reset_peak_rss(); // must never panic, whatever the kernel says
     }
 
     #[test]

@@ -1,0 +1,332 @@
+//! A memory-budgeted, spill-capable page arena for the streaming product
+//! builder.
+//!
+//! [`crate::ProductBuilder`]'s streaming strategy discovers product states
+//! one at a time and appends each state's `k` successor ids here instead of
+//! growing an all-in-RAM `Vec<Vec<StateId>>`.  The arena seals fixed-size
+//! pages of `u32` elements as they fill; once the resident set reaches the
+//! configured byte budget, newly sealed pages are written to an anonymous
+//! temp file and only their `(offset, len)` is retained.  When the BFS
+//! finishes, [`PageArena::into_rows`] replays resident and spilled pages in
+//! append order to assemble the final transition table — so the *peak*
+//! resident footprint during construction is the budget, not the output
+//! size, and the output-sized allocation happens only once, after the BFS
+//! scratch is gone.
+//!
+//! Spilling is best-effort: if the temp file cannot be created or a page
+//! write fails, the page stays resident (the budget becomes advisory) and
+//! the failure is counted in [`PageArena::spill_fallbacks`] — construction
+//! never fails because `/tmp` does.  Read-back errors of pages that *were*
+//! written are real data loss and surface as [`DfsmError::Spill`].  The
+//! temp file is unlinked when the arena is dropped.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{DfsmError, Result};
+
+/// Sealed pages target this many bytes; tiny budgets shrink pages so at
+/// least two fit in half the budget.
+const TARGET_PAGE_BYTES: u64 = 64 * 1024;
+
+/// Pages never shrink below this many bytes, however small the budget.
+const MIN_PAGE_BYTES: u64 = 1024;
+
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A sealed page: either still resident or swapped out to the spill file.
+#[derive(Debug)]
+enum PageSlot {
+    Resident(Vec<u32>),
+    Spilled { offset: u64, len: usize },
+}
+
+/// The spill file, unlinked on drop.
+#[derive(Debug)]
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    write_pos: u64,
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// An append-only sequence of `u32` elements with a resident-memory budget
+/// (see the module docs).
+#[derive(Debug)]
+pub struct PageArena {
+    /// Elements per sealed page.
+    page_len: usize,
+    /// Sealed pages allowed to stay resident before spilling starts.
+    max_resident: usize,
+    pages: Vec<PageSlot>,
+    /// The open page being appended to.
+    current: Vec<u32>,
+    /// Sealed pages currently resident.
+    resident: usize,
+    len: usize,
+    spill: Option<SpillFile>,
+    spill_attempted: bool,
+    spilled_pages: usize,
+    spilled_bytes: u64,
+    spill_fallbacks: usize,
+    /// Reused byte buffer for page serialization.
+    io_buf: Vec<u8>,
+}
+
+impl PageArena {
+    /// An arena aiming to keep its sealed resident pages within
+    /// `budget_bytes / 2` (the other half is headroom for the open page,
+    /// the caller's per-row scratch, and read-back buffers).
+    pub fn with_budget(budget_bytes: u64) -> Self {
+        let page_bytes = (budget_bytes / 4).clamp(MIN_PAGE_BYTES, TARGET_PAGE_BYTES);
+        let page_len = (page_bytes / 4).max(1) as usize;
+        let max_resident = ((budget_bytes / 2) / page_bytes).max(1) as usize;
+        PageArena {
+            page_len,
+            max_resident,
+            pages: Vec::new(),
+            current: Vec::with_capacity(page_len),
+            resident: 0,
+            len: 0,
+            spill: None,
+            spill_attempted: false,
+            spilled_pages: 0,
+            spilled_bytes: 0,
+            spill_fallbacks: 0,
+            io_buf: Vec::new(),
+        }
+    }
+
+    /// Total elements appended.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Elements per sealed page.
+    pub fn page_len(&self) -> usize {
+        self.page_len
+    }
+
+    /// Sealed pages written to the spill file so far.
+    pub fn spilled_pages(&self) -> usize {
+        self.spilled_pages
+    }
+
+    /// Bytes written to the spill file so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes
+    }
+
+    /// Pages that should have spilled but stayed resident because the
+    /// spill file could not be created or written.
+    pub fn spill_fallbacks(&self) -> usize {
+        self.spill_fallbacks
+    }
+
+    /// Appends one element, sealing (and possibly spilling) the open page
+    /// when it fills.
+    pub fn push(&mut self, v: u32) {
+        self.current.push(v);
+        self.len += 1;
+        if self.current.len() == self.page_len {
+            self.seal();
+        }
+    }
+
+    fn seal(&mut self) {
+        let page = std::mem::replace(&mut self.current, Vec::with_capacity(self.page_len));
+        if self.resident < self.max_resident {
+            self.resident += 1;
+            self.pages.push(PageSlot::Resident(page));
+            return;
+        }
+        match self.write_page(&page) {
+            Some((offset, len)) => {
+                self.spilled_pages += 1;
+                self.spilled_bytes += 4 * len as u64;
+                self.pages.push(PageSlot::Spilled { offset, len });
+            }
+            None => {
+                self.spill_fallbacks += 1;
+                self.resident += 1;
+                self.pages.push(PageSlot::Resident(page));
+            }
+        }
+    }
+
+    /// Writes a page to the spill file, returning its `(offset, len)`, or
+    /// `None` when the file cannot be created or written.
+    fn write_page(&mut self, page: &[u32]) -> Option<(u64, usize)> {
+        if self.spill.is_none() && !self.spill_attempted {
+            self.spill_attempted = true;
+            self.spill = open_spill_file();
+        }
+        let spill = self.spill.as_mut()?;
+        self.io_buf.clear();
+        for &v in page {
+            self.io_buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let offset = spill.write_pos;
+        match spill
+            .file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| spill.file.write_all(&self.io_buf))
+        {
+            Ok(()) => {
+                spill.write_pos += self.io_buf.len() as u64;
+                Some((offset, page.len()))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Consumes the arena, replaying every page in append order and
+    /// chunking the elements into rows of `k`.  The element count must be
+    /// an exact multiple of `k`.
+    pub fn into_rows(mut self, k: usize) -> Result<Vec<Vec<u32>>> {
+        debug_assert!(k > 0 && self.len % k == 0);
+        let mut rows = Vec::with_capacity(self.len / k);
+        let mut row = Vec::with_capacity(k);
+        let pages = std::mem::take(&mut self.pages);
+        let emit = |vals: &[u32], rows: &mut Vec<Vec<u32>>, row: &mut Vec<u32>| {
+            for &v in vals {
+                row.push(v);
+                if row.len() == k {
+                    rows.push(std::mem::replace(row, Vec::with_capacity(k)));
+                }
+            }
+        };
+        let mut page_buf: Vec<u32> = Vec::new();
+        for slot in pages {
+            match slot {
+                PageSlot::Resident(page) => emit(&page, &mut rows, &mut row),
+                PageSlot::Spilled { offset, len } => {
+                    self.read_page(offset, len, &mut page_buf)?;
+                    emit(&page_buf, &mut rows, &mut row);
+                }
+            }
+        }
+        emit(&std::mem::take(&mut self.current), &mut rows, &mut row);
+        debug_assert!(row.is_empty());
+        Ok(rows)
+    }
+
+    fn read_page(&mut self, offset: u64, len: usize, out: &mut Vec<u32>) -> Result<()> {
+        let spill = self
+            .spill
+            .as_mut()
+            .ok_or_else(|| DfsmError::Spill("spill file vanished".into()))?;
+        self.io_buf.clear();
+        self.io_buf.resize(4 * len, 0);
+        spill
+            .file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| spill.file.read_exact(&mut self.io_buf))
+            .map_err(|e| DfsmError::Spill(e.to_string()))?;
+        out.clear();
+        out.extend(
+            self.io_buf
+                .chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        Ok(())
+    }
+}
+
+fn open_spill_file() -> Option<SpillFile> {
+    let dir = std::env::temp_dir();
+    let id = SPILL_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!(
+        "fsm-fusion-spill-{}-{}.bin",
+        std::process::id(),
+        id
+    ));
+    let file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create_new(true)
+        .open(&path)
+        .ok()?;
+    Some(SpillFile {
+        file,
+        path,
+        write_pos: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_budget_spills_and_replays_in_order() {
+        // Pages of MIN_PAGE_BYTES (256 elements), 1 resident page: pushing
+        // 10 pages' worth must spill most of them and still replay exactly.
+        let mut arena = PageArena::with_budget(2 * MIN_PAGE_BYTES);
+        assert_eq!(arena.page_len(), 256);
+        let total = 2560usize;
+        for v in 0..total as u32 {
+            arena.push(v);
+        }
+        assert!(arena.spilled_pages() > 0, "expected spilling");
+        assert_eq!(arena.spill_fallbacks(), 0);
+        assert_eq!(arena.len(), total);
+        let rows = arena.into_rows(4).unwrap();
+        assert_eq!(rows.len(), total / 4);
+        for (r, row) in rows.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                assert_eq!(v as usize, r * 4 + c);
+            }
+        }
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let mut arena = PageArena::with_budget(2 * MIN_PAGE_BYTES);
+        for v in 0..4096u32 {
+            arena.push(v);
+        }
+        assert!(arena.spilled_pages() > 0);
+        let path = arena.spill.as_ref().unwrap().path.clone();
+        assert!(path.exists());
+        drop(arena);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn large_budget_never_touches_disk() {
+        let mut arena = PageArena::with_budget(64 << 20);
+        for v in 0..100_000u32 {
+            arena.push(v);
+        }
+        assert_eq!(arena.spilled_pages(), 0);
+        assert_eq!(arena.spilled_bytes(), 0);
+        let rows = arena.into_rows(5).unwrap();
+        assert_eq!(rows.len(), 20_000);
+        assert_eq!(rows[19_999][4], 99_999);
+    }
+
+    #[test]
+    fn partial_trailing_page_is_replayed() {
+        let mut arena = PageArena::with_budget(2 * MIN_PAGE_BYTES);
+        // Not a multiple of the page length, but a multiple of k = 3.
+        for v in 0..999u32 {
+            arena.push(v);
+        }
+        let rows = arena.into_rows(3).unwrap();
+        assert_eq!(rows.len(), 333);
+        assert_eq!(rows[332], vec![996, 997, 998]);
+    }
+}

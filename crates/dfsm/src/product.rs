@@ -38,19 +38,48 @@
 //! discovery order, so state numbering is bit-identical to the sequential
 //! build (`tests/product_properties.rs` pins packed, parallel and reference
 //! constructions against each other).
+//!
+//! ## Streaming construction
+//!
+//! Past the dense-table regime the level-synchronized BFS has two
+//! output-sized RAM costs *on top of* the final product: the per-level
+//! successor-key buffer and the growing `Vec<Vec<StateId>>` transition
+//! table.  [`ProductStrategy::Streaming`] removes both: states are expanded
+//! one at a time straight out of the discovery order (the implicit FIFO —
+//! state `t` is expanded once `t < num_states`), each row's `k` successor
+//! ids are appended to a [`PageArena`], and sealed pages past
+//! the configured memory budget are spilled to a temp file and replayed
+//! only during final assembly.  The interner is chosen against the same
+//! budget (a dense table must fit in half of it), so the peak resident
+//! footprint during the BFS is `tuple_flat + interner + budget` instead of
+//! everything at once.  Intern order is identical to the packed build —
+//! frontier × event order — so the streamed product is bit-identical to
+//! every other strategy.  The budget follows the workspace knob precedence:
+//! explicit [`ProductBuilder::mem_budget`] > `FSM_FUSION_MEM_BUDGET` >
+//! [`DEFAULT_MEM_BUDGET`]; the dense-interner crossover is likewise
+//! [`ProductBuilder::dense_limit`] > `FSM_FUSION_DENSE_LIMIT` >
+//! [`DEFAULT_DENSE_LIMIT`].
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::arena::PageArena;
 use crate::dfsm::Dfsm;
 use crate::error::Result;
 use crate::event::Alphabet;
 use crate::state::{StateId, StateInfo};
-use crate::workers::configured_workers;
+use crate::workers::{configured_dense_limit, configured_mem_budget, configured_workers};
 
-/// Full-product sizes up to this use the dense direct-indexed interner
-/// (`4 bytes × limit` = 16 MiB at the cap); larger products hash packed
-/// keys.
-const DENSE_LIMIT: u64 = 1 << 22;
+/// Default dense-interner crossover: full-product sizes up to this use the
+/// dense direct-indexed interner (`4 bytes × limit` = 16 MiB at the cap);
+/// larger products hash packed keys.  Overridable per builder
+/// ([`ProductBuilder::dense_limit`]) or process (`FSM_FUSION_DENSE_LIMIT`).
+pub const DEFAULT_DENSE_LIMIT: u64 = 1 << 22;
+
+/// Default memory budget for [`ProductStrategy::Streaming`] builds:
+/// 256 MiB of resident BFS scratch before successor pages spill to disk.
+/// Overridable per builder ([`ProductBuilder::mem_budget`]) or process
+/// (`FSM_FUSION_MEM_BUDGET`).
+pub const DEFAULT_MEM_BUDGET: u64 = 256 << 20;
 
 /// Minimum frontier size before a BFS level is chunked across worker
 /// threads; below this the per-level spawn cost exceeds the successor
@@ -73,8 +102,33 @@ pub enum ProductStrategy {
     Packed,
     /// The packed build with frontier-chunked scoped worker threads.
     Parallel,
+    /// The memory-budgeted sequential build: successor rows stream into a
+    /// spill-capable [`PageArena`] instead of an all-in-RAM
+    /// table (see the module docs).
+    Streaming,
     /// The seed tuple-keyed BFS ([`ReachableProduct::new_reference`]).
     Reference,
+}
+
+/// What a [`ProductBuilder::build_with_stats`] construction actually did —
+/// which paths were taken and how much the streaming arena spilled.  Zeroed
+/// for non-streaming strategies except `dense_interner`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProductBuildStats {
+    /// Whether the streaming (arena-backed) BFS ran.
+    pub streamed: bool,
+    /// Whether the interner was the dense direct-indexed table (as opposed
+    /// to the packed-key hash map or the tuple-keyed fallback).
+    pub dense_interner: bool,
+    /// The memory budget the build ran under (streaming only; 0 otherwise).
+    pub mem_budget: u64,
+    /// Successor pages written to the spill file.
+    pub spilled_pages: usize,
+    /// Bytes written to the spill file.
+    pub spilled_bytes: u64,
+    /// Pages that should have spilled but stayed resident because the
+    /// spill file was unavailable.
+    pub spill_fallbacks: usize,
 }
 
 /// Config-driven constructor for [`ReachableProduct`].
@@ -88,9 +142,10 @@ pub enum ProductStrategy {
 /// with it.  `fsm-fusion-core`'s `FusionSession` owns one and threads it
 /// through the whole pipeline.
 ///
-/// Worker-count precedence is explicit > environment snapshot > 1 (the
-/// sequential default): a count set through [`ProductBuilder::workers`]
-/// always wins, even on a builder created by [`ProductBuilder::from_env`].
+/// Every sizing knob follows the same precedence — explicit > environment
+/// snapshot > default: a value set through [`ProductBuilder::workers`] /
+/// [`ProductBuilder::dense_limit`] / [`ProductBuilder::mem_budget`] always
+/// wins, even on a builder created by [`ProductBuilder::from_env`].
 ///
 /// Note: when `∏ |Si|` overflows `u64` the packed strategies cannot
 /// represent the tuples and every strategy falls back to the reference
@@ -101,6 +156,11 @@ pub struct ProductBuilder {
     strategy: ProductStrategy,
     workers: Option<usize>,
     env_workers: Option<usize>,
+    dense_limit: Option<u64>,
+    env_dense_limit: Option<u64>,
+    mem_budget: Option<u64>,
+    env_mem_budget: Option<u64>,
+    packed_capacity: Option<u64>,
 }
 
 impl ProductBuilder {
@@ -110,13 +170,32 @@ impl ProductBuilder {
         Self::default()
     }
 
-    /// A builder whose fallback worker count is snapshotted from
-    /// `FSM_FUSION_WORKERS` ([`configured_workers`]) **now** — later
-    /// changes to the environment do not affect it, and an explicit
-    /// [`ProductBuilder::workers`] call still takes precedence.
+    /// A builder whose fallback worker count, dense-interner limit and
+    /// memory budget are snapshotted from `FSM_FUSION_WORKERS` /
+    /// `FSM_FUSION_DENSE_LIMIT` / `FSM_FUSION_MEM_BUDGET` **now** — later
+    /// changes to the environment do not affect it, and the explicit
+    /// setters still take precedence.
     pub fn from_env() -> Self {
         ProductBuilder {
             env_workers: Some(configured_workers()),
+            env_dense_limit: configured_dense_limit(),
+            env_mem_budget: configured_mem_budget(),
+            ..Self::default()
+        }
+    }
+
+    /// Pure form of [`ProductBuilder::from_env`]: builds from already-read
+    /// environment values so the precedence rules are testable without
+    /// mutating the process environment (`None` = variable unset).
+    pub fn from_env_values(
+        workers: Option<usize>,
+        dense_limit: Option<u64>,
+        mem_budget: Option<u64>,
+    ) -> Self {
+        ProductBuilder {
+            env_workers: workers,
+            env_dense_limit: dense_limit,
+            env_mem_budget: mem_budget,
             ..Self::default()
         }
     }
@@ -139,31 +218,120 @@ impl ProductBuilder {
         self
     }
 
+    /// Sets an explicit dense-interner limit (full-product state count up
+    /// to which the direct-indexed table is used), overriding any
+    /// environment snapshot.
+    pub fn dense_limit(mut self, limit: u64) -> Self {
+        self.dense_limit = Some(limit);
+        self
+    }
+
+    /// Sets an explicit streaming memory budget in bytes, overriding any
+    /// environment snapshot.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Caps the full-product size representable by packed `u64` keys;
+    /// products larger than this take the tuple-keyed reference fallback,
+    /// exactly as if `∏ |Si|` had overflowed `u64`.  A test/diagnostic
+    /// knob: it makes the overflow fallback exercisable on small machines
+    /// instead of requiring a genuine 2⁶⁴-state product
+    /// (`tests/product_properties.rs`).
+    pub fn packed_key_capacity(mut self, cap: u64) -> Self {
+        self.packed_capacity = Some(cap);
+        self
+    }
+
     /// The worker count this builder resolves to: explicit > environment
     /// snapshot > 1.
     pub fn resolved_workers(&self) -> usize {
         self.workers.or(self.env_workers).unwrap_or(1).max(1)
     }
 
+    /// The dense-interner limit this builder resolves to: explicit >
+    /// environment snapshot > [`DEFAULT_DENSE_LIMIT`].
+    pub fn resolved_dense_limit(&self) -> u64 {
+        self.dense_limit
+            .or(self.env_dense_limit)
+            .unwrap_or(DEFAULT_DENSE_LIMIT)
+    }
+
+    /// The streaming memory budget this builder resolves to: explicit >
+    /// environment snapshot > [`DEFAULT_MEM_BUDGET`].
+    pub fn resolved_mem_budget(&self) -> u64 {
+        self.mem_budget
+            .or(self.env_mem_budget)
+            .unwrap_or(DEFAULT_MEM_BUDGET)
+    }
+
     /// Builds the reachable cross product of `machines` under this
     /// configuration.
     pub fn build(&self, machines: &[Dfsm]) -> Result<ReachableProduct> {
+        self.build_with_stats(machines).map(|(p, _)| p)
+    }
+
+    /// [`ProductBuilder::build`] plus a [`ProductBuildStats`] describing
+    /// which paths the construction took and how much it spilled.
+    pub fn build_with_stats(
+        &self,
+        machines: &[Dfsm],
+    ) -> Result<(ReachableProduct, ProductBuildStats)> {
+        assert!(
+            !machines.is_empty(),
+            "reachable cross product of zero machines is undefined"
+        );
         let name = self.name.clone().unwrap_or_else(|| "top".into());
+        let cap = self.packed_capacity.unwrap_or(u64::MAX);
+        let dense_limit = self.resolved_dense_limit();
         let workers = match self.strategy {
             ProductStrategy::Auto => self.resolved_workers(),
-            ProductStrategy::Packed => 1,
+            ProductStrategy::Packed | ProductStrategy::Streaming => 1,
             // An explicitly parallel build with no count configured still
             // has to fan out; two workers is the smallest parallel build.
             ProductStrategy::Parallel => self.resolved_workers().max(2),
             ProductStrategy::Reference => {
-                assert!(
-                    !machines.is_empty(),
-                    "reachable cross product of zero machines is undefined"
-                );
-                return ReachableProduct::build_reference(machines, name);
+                let p = ReachableProduct::build_reference(machines, name)?;
+                return Ok((p, ProductBuildStats::default()));
             }
         };
-        ReachableProduct::with_name_workers(machines, name, workers)
+        match Radix::new(machines, cap) {
+            Some((radix, full)) if self.strategy == ProductStrategy::Streaming => {
+                ReachableProduct::build_streaming(
+                    machines,
+                    name,
+                    radix,
+                    full,
+                    dense_limit,
+                    self.resolved_mem_budget(),
+                )
+            }
+            Some((radix, full)) => {
+                let dense = full <= dense_limit;
+                let p = ReachableProduct::build_packed(
+                    machines,
+                    name,
+                    workers,
+                    radix,
+                    full,
+                    dense_limit,
+                )?;
+                Ok((
+                    p,
+                    ProductBuildStats {
+                        dense_interner: dense,
+                        ..Default::default()
+                    },
+                ))
+            }
+            // ∏ |Si| overflows u64 (or the configured cap): packed keys
+            // cannot represent the tuples.
+            None => {
+                let p = ReachableProduct::build_reference(machines, name)?;
+                Ok((p, ProductBuildStats::default()))
+            }
+        }
     }
 }
 
@@ -177,9 +345,11 @@ struct Radix {
 }
 
 impl Radix {
-    /// `None` when `∏ |Si|` overflows `u64` (the packed builders then fall
-    /// back to the tuple-keyed reference construction).
-    fn new(machines: &[Dfsm]) -> Option<(Radix, u64)> {
+    /// `None` when `∏ |Si|` overflows `u64` or exceeds `cap` (the packed
+    /// builders then fall back to the tuple-keyed reference construction).
+    /// `cap` is `u64::MAX` everywhere except through
+    /// [`ProductBuilder::packed_key_capacity`].
+    fn new(machines: &[Dfsm], cap: u64) -> Option<(Radix, u64)> {
         let mut strides = Vec::with_capacity(machines.len());
         let mut sizes = Vec::with_capacity(machines.len());
         let mut acc: u64 = 1;
@@ -187,7 +357,7 @@ impl Radix {
             strides.push(acc);
             let size = m.size() as u64;
             sizes.push(size);
-            acc = acc.checked_mul(size)?;
+            acc = acc.checked_mul(size).filter(|&a| a <= cap)?;
         }
         Some((Radix { sizes, strides }, acc))
     }
@@ -233,6 +403,75 @@ enum TupleIndex {
     /// The seed construction's tuple-keyed map: the reference path, and the
     /// fallback when `∏ |Si|` overflows `u64`.
     Tuples(HashMap<Vec<StateId>, StateId>),
+}
+
+/// The packed-key interner shared by the packed and streaming builds.
+enum Interner {
+    Dense(Vec<u32>),
+    Map(HashMap<u64, u32>),
+}
+
+impl Interner {
+    /// Interns `key`, appending its decoded tuple to `tuple_flat` on first
+    /// sight, and returns the state's id.
+    fn intern(
+        &mut self,
+        key: u64,
+        num_states: &mut usize,
+        radix: &Radix,
+        tuple_flat: &mut Vec<StateId>,
+    ) -> u32 {
+        let slot = match self {
+            Interner::Dense(table) => &mut table[key as usize],
+            Interner::Map(map) => map.entry(key).or_insert(u32::MAX),
+        };
+        if *slot == u32::MAX {
+            *slot = *num_states as u32;
+            *num_states += 1;
+            radix.decode_into(key, tuple_flat);
+        }
+        *slot
+    }
+
+    fn into_index(self, radix: Radix) -> TupleIndex {
+        match self {
+            Interner::Dense(table) => TupleIndex::Dense { radix, table },
+            Interner::Map(map) => TupleIndex::Packed { radix, map },
+        }
+    }
+}
+
+/// Flat per-machine successor tables, pre-multiplied by each machine's
+/// stride: expanding state `t` on event `e` is then
+/// `Σ_i step[i][e · |Si| + si]` — pure additions, no per-edge multiply and
+/// no tuple materialization.
+fn step_tables(machines: &[Dfsm], alphabet: &Alphabet, radix: &Radix) -> Vec<Vec<u64>> {
+    let k = alphabet.len();
+    machines
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let size = m.size();
+            let stride = radix.strides[i];
+            let mut table = Vec::with_capacity(k * size);
+            for ev in alphabet.events() {
+                match m.alphabet().id_of(ev) {
+                    Some(id) => {
+                        for s in 0..size {
+                            table.push(m.next(StateId(s), id).index() as u64 * stride);
+                        }
+                    }
+                    // The machine ignores this event: stay in place.
+                    None => {
+                        for s in 0..size {
+                            table.push(s as u64 * stride);
+                        }
+                    }
+                }
+            }
+            table
+        })
+        .collect()
 }
 
 /// The reachable cross product `R(A)` of a set of machines, together with
@@ -288,8 +527,15 @@ impl ReachableProduct {
             !machines.is_empty(),
             "reachable cross product of zero machines is undefined"
         );
-        match Radix::new(machines) {
-            Some((radix, full)) => Self::build_packed(machines, name.into(), workers, radix, full),
+        match Radix::new(machines, u64::MAX) {
+            Some((radix, full)) => Self::build_packed(
+                machines,
+                name.into(),
+                workers,
+                radix,
+                full,
+                DEFAULT_DENSE_LIMIT,
+            ),
             // ∏ |Si| overflows u64: packed keys cannot represent the tuples.
             None => Self::build_reference(machines, name.into()),
         }
@@ -319,47 +565,14 @@ impl ReachableProduct {
         workers: usize,
         radix: Radix,
         full: u64,
+        dense_limit: u64,
     ) -> Result<Self> {
         let arity = machines.len();
         let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
         let k = alphabet.len();
+        let step = step_tables(machines, &alphabet, &radix);
 
-        // Flat per-machine successor tables, pre-multiplied by the
-        // machine's stride: expanding state `t` on event `e` is then
-        // `Σ_i step[i][e · |Si| + si]` — pure additions, no per-edge
-        // multiply and no tuple materialization.
-        let step: Vec<Vec<u64>> = machines
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                let size = m.size();
-                let stride = radix.strides[i];
-                let mut table = Vec::with_capacity(k * size);
-                for ev in alphabet.events() {
-                    match m.alphabet().id_of(ev) {
-                        Some(id) => {
-                            for s in 0..size {
-                                table.push(m.next(StateId(s), id).index() as u64 * stride);
-                            }
-                        }
-                        // The machine ignores this event: stay in place.
-                        None => {
-                            for s in 0..size {
-                                table.push(s as u64 * stride);
-                            }
-                        }
-                    }
-                }
-                table
-            })
-            .collect();
-
-        // The packed-key interner.
-        enum Interner {
-            Dense(Vec<u32>),
-            Map(HashMap<u64, u32>),
-        }
-        let mut interner = if full <= DENSE_LIMIT {
+        let mut interner = if full <= dense_limit {
             Interner::Dense(vec![u32::MAX; full as usize])
         } else {
             Interner::Map(HashMap::new())
@@ -372,16 +585,7 @@ impl ReachableProduct {
         let mut tuple_flat: Vec<StateId> = Vec::new();
         // Interns `key`, appending its decoded tuple on first sight.
         let mut intern = |key: u64, num_states: &mut usize, tuple_flat: &mut Vec<StateId>| -> u32 {
-            let slot = match &mut interner {
-                Interner::Dense(table) => &mut table[key as usize],
-                Interner::Map(map) => map.entry(key).or_insert(u32::MAX),
-            };
-            if *slot == u32::MAX {
-                *slot = *num_states as u32;
-                *num_states += 1;
-                radix.decode_into(key, tuple_flat);
-            }
-            *slot
+            interner.intern(key, num_states, &radix, tuple_flat)
         };
 
         let initial_tuple: Vec<StateId> = machines.iter().map(|m| m.initial()).collect();
@@ -459,10 +663,7 @@ impl ReachableProduct {
             level_start = level_end;
         }
 
-        let index = match interner {
-            Interner::Dense(table) => TupleIndex::Dense { radix, table },
-            Interner::Map(map) => TupleIndex::Packed { radix, map },
-        };
+        let index = interner.into_index(radix);
         Self::finish(
             machines,
             name,
@@ -472,6 +673,104 @@ impl ReachableProduct {
             transitions,
             index,
         )
+    }
+
+    /// The memory-budgeted streaming BFS (see the module docs): states are
+    /// expanded one at a time in discovery order (the state counter is the
+    /// implicit FIFO), each row's successor ids stream into a
+    /// [`PageArena`] that spills sealed pages past the budget, and the
+    /// interner only gets the dense table when it fits in half the budget.
+    /// Intern order is frontier × event order — identical to
+    /// [`ReachableProduct::build_packed`] — so the result is bit-identical
+    /// to every other strategy.
+    fn build_streaming(
+        machines: &[Dfsm],
+        name: String,
+        radix: Radix,
+        full: u64,
+        dense_limit: u64,
+        budget: u64,
+    ) -> Result<(Self, ProductBuildStats)> {
+        let arity = machines.len();
+        let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
+        let k = alphabet.len();
+        let step = step_tables(machines, &alphabet, &radix);
+
+        // The dense table must fit in half the budget (the arena gets the
+        // rest) as well as under the configured dense limit.
+        let dense = full <= dense_limit && full.saturating_mul(4) <= budget / 2;
+        let mut interner = if dense {
+            Interner::Dense(vec![u32::MAX; full as usize])
+        } else {
+            Interner::Map(HashMap::new())
+        };
+        let arena_budget = if dense { budget / 2 } else { budget };
+        let mut arena = PageArena::with_budget(arena_budget);
+
+        let mut num_states = 0usize;
+        let mut tuple_flat: Vec<StateId> = Vec::new();
+        let initial_tuple: Vec<StateId> = machines.iter().map(|m| m.initial()).collect();
+        let initial_key = radix
+            .pack(&initial_tuple)
+            .expect("initial states are in range");
+        interner.intern(initial_key, &mut num_states, &radix, &mut tuple_flat);
+
+        // One reusable row of successor keys: computed fully (reading the
+        // expanded state's components) before interning, which appends to
+        // `tuple_flat`.
+        let mut row_keys = vec![0u64; k];
+        let mut comps: Vec<StateId> = Vec::with_capacity(arity);
+        let mut t = 0usize;
+        while t < num_states {
+            comps.clear();
+            comps.extend_from_slice(&tuple_flat[t * arity..(t + 1) * arity]);
+            for (e, slot) in row_keys.iter_mut().enumerate() {
+                *slot = comps
+                    .iter()
+                    .zip(step.iter())
+                    .zip(radix.sizes.iter())
+                    .map(|((&s, table), &size)| table[e * size as usize + s.index()])
+                    .sum();
+            }
+            for &key in &row_keys {
+                let id = interner.intern(key, &mut num_states, &radix, &mut tuple_flat);
+                arena.push(id);
+            }
+            t += 1;
+        }
+
+        let stats = ProductBuildStats {
+            streamed: true,
+            dense_interner: dense,
+            mem_budget: budget,
+            spilled_pages: arena.spilled_pages(),
+            spilled_bytes: arena.spilled_bytes(),
+            spill_fallbacks: arena.spill_fallbacks(),
+        };
+        // Final assembly: replay the arena into the output-sized transition
+        // table.  This is the first output-sized allocation besides
+        // `tuple_flat`; the BFS scratch above stayed within the budget.
+        let transitions: Vec<Vec<StateId>> = if k == 0 {
+            vec![Vec::new(); num_states]
+        } else {
+            arena
+                .into_rows(k)?
+                .into_iter()
+                .map(|row| row.into_iter().map(|id| StateId(id as usize)).collect())
+                .collect()
+        };
+
+        let index = interner.into_index(radix);
+        let p = Self::finish(
+            machines,
+            name,
+            alphabet,
+            arity,
+            tuple_flat,
+            transitions,
+            index,
+        )?;
+        Ok((p, stats))
     }
 
     /// The seed BFS over explicit tuples with a tuple-keyed hash map.
@@ -855,6 +1154,124 @@ mod tests {
         assert_eq!(ProductBuilder::new().workers(7).resolved_workers(), 7);
         assert_eq!(ProductBuilder::from_env().workers(7).resolved_workers(), 7);
         assert_eq!(ProductBuilder::new().workers(0).resolved_workers(), 1);
+    }
+
+    #[test]
+    fn streaming_build_matches_packed_and_spills_under_tiny_budget() {
+        let machines = [
+            counter("a", "0", 8),
+            counter("b", "1", 9),
+            counter("c", "2", 6),
+        ];
+        let packed = ReachableProduct::with_workers(&machines, 1).unwrap();
+        // A comfortable budget: no spilling, dense interner.
+        let (roomy, stats) = ProductBuilder::new()
+            .strategy(ProductStrategy::Streaming)
+            .build_with_stats(&machines)
+            .unwrap();
+        assert!(stats.streamed);
+        assert!(stats.dense_interner);
+        assert_eq!(stats.spilled_pages, 0);
+        assert_same_product(&packed, &roomy);
+        // A starvation budget: the dense table (432 states × 4 bytes) no
+        // longer fits in half of it, and the 432 × 3 successor ids overflow
+        // the single resident page the floored budget allows, so the arena
+        // must spill.
+        let (tight, stats) = ProductBuilder::new()
+            .strategy(ProductStrategy::Streaming)
+            .mem_budget(512)
+            .build_with_stats(&machines)
+            .unwrap();
+        assert!(stats.streamed);
+        assert!(!stats.dense_interner);
+        assert!(stats.spilled_pages > 0, "expected spilling: {stats:?}");
+        assert_eq!(stats.spill_fallbacks, 0);
+        assert_same_product(&packed, &tight);
+        assert_eq!(
+            tight.find_tuple(&[StateId(7), StateId(8), StateId(5)]),
+            packed.find_tuple(&[StateId(7), StateId(8), StateId(5)])
+        );
+    }
+
+    #[test]
+    fn streaming_build_handles_the_empty_alphabet() {
+        let mut b = DfsmBuilder::new("still");
+        b.add_state("only");
+        b.set_initial("only");
+        let m = b.build().unwrap();
+        let (p, stats) = ProductBuilder::new()
+            .strategy(ProductStrategy::Streaming)
+            .build_with_stats(std::slice::from_ref(&m))
+            .unwrap();
+        assert!(stats.streamed);
+        assert_eq!(p.size(), 1);
+        let reference = ReachableProduct::new_reference(std::slice::from_ref(&m)).unwrap();
+        assert_same_product(&p, &reference);
+    }
+
+    #[test]
+    fn dense_limit_knob_flips_the_interner_without_changing_the_product() {
+        let machines = [counter("a", "0", 3), counter("b", "1", 4)];
+        let (dense, stats) = ProductBuilder::new().build_with_stats(&machines).unwrap();
+        assert!(stats.dense_interner);
+        assert!(matches!(dense.index, TupleIndex::Dense { .. }));
+        // Forcing the limit below the 12-state full product switches to the
+        // packed hash map; the product itself is bit-identical.
+        let (mapped, stats) = ProductBuilder::new()
+            .dense_limit(11)
+            .build_with_stats(&machines)
+            .unwrap();
+        assert!(!stats.dense_interner);
+        assert!(matches!(mapped.index, TupleIndex::Packed { .. }));
+        assert_same_product(&dense, &mapped);
+        for s0 in 0..4 {
+            for s1 in 0..5 {
+                let tuple = [StateId(s0), StateId(s1)];
+                assert_eq!(mapped.find_tuple(&tuple), dense.find_tuple(&tuple));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_knob_precedence_is_explicit_env_default() {
+        let b = ProductBuilder::new();
+        assert_eq!(b.resolved_dense_limit(), DEFAULT_DENSE_LIMIT);
+        assert_eq!(b.resolved_mem_budget(), DEFAULT_MEM_BUDGET);
+        let b = ProductBuilder::from_env_values(Some(3), Some(1000), Some(1 << 16));
+        assert_eq!(b.resolved_workers(), 3);
+        assert_eq!(b.resolved_dense_limit(), 1000);
+        assert_eq!(b.resolved_mem_budget(), 1 << 16);
+        let b = b.workers(7).dense_limit(5).mem_budget(42);
+        assert_eq!(b.resolved_workers(), 7);
+        assert_eq!(b.resolved_dense_limit(), 5);
+        assert_eq!(b.resolved_mem_budget(), 42);
+        // Unset env values fall through to the defaults.
+        let b = ProductBuilder::from_env_values(None, None, None);
+        assert_eq!(b.resolved_workers(), 1);
+        assert_eq!(b.resolved_dense_limit(), DEFAULT_DENSE_LIMIT);
+        assert_eq!(b.resolved_mem_budget(), DEFAULT_MEM_BUDGET);
+    }
+
+    #[test]
+    fn packed_key_capacity_forces_the_tuple_fallback() {
+        // 3 × 4 = 12 full states: far under u64, but over a cap of 11 — the
+        // builder must take the reference path, and the result is pinned
+        // identical to the packed build.
+        let machines = [counter("a", "0", 3), counter("b", "1", 4)];
+        let packed = ProductBuilder::new().build(&machines).unwrap();
+        let capped = ProductBuilder::new()
+            .packed_key_capacity(11)
+            .build(&machines)
+            .unwrap();
+        assert!(matches!(capped.index, TupleIndex::Tuples(_)));
+        assert_same_product(&packed, &capped);
+        // A cap the product fits under changes nothing.
+        let roomy = ProductBuilder::new()
+            .packed_key_capacity(12)
+            .build(&machines)
+            .unwrap();
+        assert!(matches!(roomy.index, TupleIndex::Dense { .. }));
+        assert_same_product(&packed, &roomy);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * the worker count for the pooled engines and the parallel product
 //!   builder,
 //! * [`ProductStrategy`] (re-exported from [`fsm_dfsm`]) — how the
-//!   reachable cross product is constructed,
+//!   reachable cross product is constructed, together with its sizing
+//!   knobs: the dense-interner limit ([`FusionConfig::dense_limit`],
+//!   `FSM_FUSION_DENSE_LIMIT`) and the streaming build's memory budget
+//!   ([`FusionConfig::mem_budget`], `FSM_FUSION_MEM_BUDGET`),
 //! * [`CachePolicy`] — whether the session keeps a cross-call closure
 //!   cache, and how large it may grow.
 //!
@@ -24,8 +27,8 @@
 //!
 //! Build the configured session with [`FusionConfig::build`].
 
-use fsm_dfsm::parse_workers;
 pub use fsm_dfsm::ProductStrategy;
+use fsm_dfsm::{parse_byte_size, parse_workers, DEFAULT_DENSE_LIMIT, DEFAULT_MEM_BUDGET};
 
 use crate::session::FusionSession;
 
@@ -110,6 +113,10 @@ pub struct FusionConfig {
     env_engine: Option<Engine>,
     workers: Option<usize>,
     env_workers: Option<usize>,
+    dense_limit: Option<u64>,
+    env_dense_limit: Option<u64>,
+    mem_budget: Option<u64>,
+    env_mem_budget: Option<u64>,
     product: ProductStrategy,
     cache: CachePolicy,
 }
@@ -124,24 +131,35 @@ impl FusionConfig {
 
     /// A config whose `Auto` fallbacks are snapshotted from the environment
     /// **now**: `FSM_FUSION_WORKERS` (worker count, the same convention as
-    /// [`fsm_dfsm::configured_workers`]) and `FSM_FUSION_ENGINE` (engine, see
-    /// [`Engine::parse`]).  Later changes to the environment do not affect
-    /// the config, and explicit [`FusionConfig::workers`] /
-    /// [`FusionConfig::engine`] calls still take precedence.
+    /// [`fsm_dfsm::configured_workers`]), `FSM_FUSION_ENGINE` (engine, see
+    /// [`Engine::parse`]), and the product-builder sizing knobs
+    /// `FSM_FUSION_DENSE_LIMIT` / `FSM_FUSION_MEM_BUDGET` (the
+    /// [`fsm_dfsm::parse_byte_size`] convention).  Later changes to the
+    /// environment do not affect the config, and explicit builder calls
+    /// still take precedence.
     pub fn from_env() -> Self {
         Self::from_env_values(
             std::env::var("FSM_FUSION_ENGINE").ok().as_deref(),
             std::env::var("FSM_FUSION_WORKERS").ok().as_deref(),
+            std::env::var("FSM_FUSION_DENSE_LIMIT").ok().as_deref(),
+            std::env::var("FSM_FUSION_MEM_BUDGET").ok().as_deref(),
         )
     }
 
     /// The pure form of [`FusionConfig::from_env`]: resolution from
     /// explicit variable values, so the precedence rules are testable
     /// without mutating the process environment.
-    pub fn from_env_values(engine: Option<&str>, workers: Option<&str>) -> Self {
+    pub fn from_env_values(
+        engine: Option<&str>,
+        workers: Option<&str>,
+        dense_limit: Option<&str>,
+        mem_budget: Option<&str>,
+    ) -> Self {
         FusionConfig {
             env_engine: engine.map(Engine::parse),
             env_workers: workers.map(parse_workers),
+            env_dense_limit: dense_limit.and_then(parse_byte_size),
+            env_mem_budget: mem_budget.and_then(parse_byte_size),
             ..Self::default()
         }
     }
@@ -163,6 +181,22 @@ impl FusionConfig {
     /// [`ProductStrategy::Auto`]).
     pub fn product(mut self, strategy: ProductStrategy) -> Self {
         self.product = strategy;
+        self
+    }
+
+    /// Sets the product builder's dense-interner limit (a full-product
+    /// *state count*) explicitly, overriding any `FSM_FUSION_DENSE_LIMIT`
+    /// snapshot.
+    pub fn dense_limit(mut self, limit: u64) -> Self {
+        self.dense_limit = Some(limit);
+        self
+    }
+
+    /// Sets the streaming product builder's resident-memory budget
+    /// (bytes) explicitly, overriding any `FSM_FUSION_MEM_BUDGET`
+    /// snapshot.
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
         self
     }
 
@@ -207,6 +241,24 @@ impl FusionConfig {
         }
     }
 
+    /// The dense-interner limit this config resolves to:
+    /// **explicit > environment snapshot >
+    /// [`fsm_dfsm::DEFAULT_DENSE_LIMIT`]**.
+    pub fn resolved_dense_limit(&self) -> u64 {
+        self.dense_limit
+            .or(self.env_dense_limit)
+            .unwrap_or(DEFAULT_DENSE_LIMIT)
+    }
+
+    /// The streaming memory budget this config resolves to:
+    /// **explicit > environment snapshot >
+    /// [`fsm_dfsm::DEFAULT_MEM_BUDGET`]**.
+    pub fn resolved_mem_budget(&self) -> u64 {
+        self.mem_budget
+            .or(self.env_mem_budget)
+            .unwrap_or(DEFAULT_MEM_BUDGET)
+    }
+
     /// The configured cache policy.
     pub fn cache_policy(&self) -> CachePolicy {
         self.cache
@@ -236,7 +288,7 @@ mod tests {
     fn precedence_explicit_beats_env_beats_default() {
         // Workers: explicit > env > auto-detect (1).
         assert_eq!(FusionConfig::new().resolved_workers(), 1);
-        let env = FusionConfig::from_env_values(None, Some("4"));
+        let env = FusionConfig::from_env_values(None, Some("4"), None, None);
         assert_eq!(env.resolved_workers(), 4);
         assert_eq!(env.clone().workers(2).resolved_workers(), 2);
         assert_eq!(env.workers(1).resolved_workers(), 1);
@@ -247,7 +299,7 @@ mod tests {
             FusionConfig::new().workers(4).resolved_engine(),
             Engine::Pooled
         );
-        let env = FusionConfig::from_env_values(Some("spawn"), Some("4"));
+        let env = FusionConfig::from_env_values(Some("spawn"), Some("4"), None, None);
         assert_eq!(env.resolved_engine(), Engine::Spawn);
         assert_eq!(
             env.engine(Engine::Sequential).resolved_engine(),
@@ -255,7 +307,7 @@ mod tests {
         );
         // An explicitly sequential engine wins even when the env asks for
         // workers — the regression the session API exists to fix.
-        let env = FusionConfig::from_env_values(None, Some("8"));
+        let env = FusionConfig::from_env_values(None, Some("8"), None, None);
         assert_eq!(env.resolved_engine(), Engine::Pooled);
         assert_eq!(
             env.engine(Engine::Sequential).resolved_engine(),
@@ -283,9 +335,34 @@ mod tests {
 
     #[test]
     fn unparseable_env_values_fall_back() {
-        let c = FusionConfig::from_env_values(Some("bogus"), Some("bogus"));
+        let c = FusionConfig::from_env_values(Some("bogus"), Some("bogus"), None, None);
         assert_eq!(c.resolved_workers(), 1);
         assert_eq!(c.resolved_engine(), Engine::Sequential);
+    }
+
+    #[test]
+    fn sizing_knobs_follow_the_same_precedence() {
+        use fsm_dfsm::{DEFAULT_DENSE_LIMIT, DEFAULT_MEM_BUDGET};
+
+        // Defaults come from the dfsm crate's compiled-in constants.
+        let c = FusionConfig::new();
+        assert_eq!(c.resolved_dense_limit(), DEFAULT_DENSE_LIMIT);
+        assert_eq!(c.resolved_mem_budget(), DEFAULT_MEM_BUDGET);
+
+        // Environment snapshots use the byte-size grammar...
+        let env = FusionConfig::from_env_values(None, None, Some("4k"), Some("64m"));
+        assert_eq!(env.resolved_dense_limit(), 4 << 10);
+        assert_eq!(env.resolved_mem_budget(), 64 << 20);
+
+        // ...explicit builder calls beat them...
+        let explicit = env.clone().dense_limit(100).mem_budget(1 << 16);
+        assert_eq!(explicit.resolved_dense_limit(), 100);
+        assert_eq!(explicit.resolved_mem_budget(), 1 << 16);
+
+        // ...and unparseable env values fall through to the defaults.
+        let bad = FusionConfig::from_env_values(None, None, Some("bogus"), Some("-3"));
+        assert_eq!(bad.resolved_dense_limit(), DEFAULT_DENSE_LIMIT);
+        assert_eq!(bad.resolved_mem_budget(), DEFAULT_MEM_BUDGET);
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub use bitset::{BitsetPartition, BlockMatrix};
 pub use closed::{check_closed, close, is_closed, quotient_machine, CloseScratch, ClosureKernel};
 pub use config::{CachePolicy, Engine, FusionConfig, ProductStrategy};
 pub use error::{FusionError, Result};
-pub use fault_graph::FaultGraph;
+pub use fault_graph::{FaultGraph, WeightRepr};
 #[doc(hidden)]
 pub use generate::generate_fusion_par_spawn;
 pub use generate::{

@@ -388,11 +388,14 @@ impl FusionSession {
     }
 
     /// Builds the reachable cross product of `machines` with the session's
-    /// product strategy and worker count.
+    /// product strategy, worker count and sizing knobs (dense-interner
+    /// limit and streaming memory budget).
     pub fn build_product(&self, machines: &[Dfsm]) -> Result<ReachableProduct> {
         Ok(ProductBuilder::new()
             .strategy(self.product)
             .workers(self.workers)
+            .dense_limit(self.config.resolved_dense_limit())
+            .mem_budget(self.config.resolved_mem_budget())
             .build(machines)?)
     }
 

@@ -62,6 +62,29 @@ fn assert_products_identical(
     Ok(())
 }
 
+/// `find_tuple` agreement over the whole full product (reachable or not),
+/// enumerated via mixed-radix counting.
+fn assert_find_tuple_sweep(
+    a: &ReachableProduct,
+    b: &ReachableProduct,
+    machines: &[Dfsm],
+) -> std::result::Result<(), TestCaseError> {
+    let sizes: Vec<usize> = machines.iter().map(|m| m.size()).collect();
+    let full: usize = sizes.iter().product();
+    for mut code in 0..full {
+        let tuple: Vec<StateId> = sizes
+            .iter()
+            .map(|&s| {
+                let c = StateId(code % s);
+                code /= s;
+                c
+            })
+            .collect();
+        prop_assert_eq!(a.find_tuple(&tuple), b.find_tuple(&tuple));
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -115,6 +138,57 @@ proptest! {
     /// says), and the downstream fusion pipeline sees identical inputs:
     /// projection partitions built from packed and reference products are
     /// equal.
+    /// The streaming builder — both with the roomy default budget and with
+    /// a tiny one that forces the map interner and page spilling on larger
+    /// products — equals the reference build in every observable.
+    #[test]
+    fn streaming_products_match_reference(
+        seed in 0u64..100_000,
+        count in 1usize..4,
+    ) {
+        let machines = machine_family(seed, count);
+        let reference = ReachableProduct::new_reference(&machines).unwrap();
+        let builder = ProductBuilder::new().strategy(ProductStrategy::Streaming);
+        let (roomy, stats) = builder.build_with_stats(&machines).unwrap();
+        prop_assert!(stats.streamed);
+        assert_products_identical(&reference, &roomy)?;
+        assert_find_tuple_sweep(&reference, &roomy, &machines)?;
+
+        let (tiny, stats) = builder
+            .clone()
+            .mem_budget(64)
+            .build_with_stats(&machines)
+            .unwrap();
+        prop_assert!(stats.streamed);
+        prop_assert_eq!(stats.mem_budget, 64);
+        assert_products_identical(&reference, &tiny)?;
+        assert_find_tuple_sweep(&reference, &tiny, &machines)?;
+    }
+
+    /// Capping the packed-key capacity forces the `u64`-overflow fallback
+    /// (tuple-keyed interning, as used when `∏|Sᵢ|` does not fit a packed
+    /// key) on machines small enough to sweep exhaustively; every
+    /// observable must still equal the packed build.
+    #[test]
+    fn capped_packed_keys_match_the_packed_build(
+        seed in 0u64..100_000,
+        count in 1usize..4,
+    ) {
+        let machines = machine_family(seed, count);
+        let full: u64 = machines.iter().map(|m| m.size() as u64).product();
+        let packed = ProductBuilder::new().build(&machines).unwrap();
+        let capped = ProductBuilder::new()
+            .packed_key_capacity(full - 1)
+            .build(&machines)
+            .unwrap();
+        assert_products_identical(&packed, &capped)?;
+        assert_find_tuple_sweep(&packed, &capped, &machines)?;
+        // Out-of-range and wrong-arity probes behave identically too.
+        let bogus: Vec<StateId> = machines.iter().map(|m| StateId(m.size())).collect();
+        prop_assert_eq!(capped.find_tuple(&bogus), None);
+        prop_assert_eq!(capped.find_tuple(&[]), None);
+    }
+
     #[test]
     fn projection_partitions_are_engine_independent(seed in 0u64..100_000) {
         let machines = machine_family(seed, 2);

@@ -200,22 +200,22 @@ fn config_precedence_is_explicit_then_env_then_auto() {
     assert_eq!(auto.resolved_engine(), Engine::Sequential);
 
     // Environment beats auto-detect.
-    let env = FusionConfig::from_env_values(None, Some("4"));
+    let env = FusionConfig::from_env_values(None, Some("4"), None, None);
     assert_eq!(env.resolved_workers(), 4);
     assert_eq!(env.resolved_engine(), Engine::Pooled);
 
     // Explicit beats environment — for workers...
-    let explicit = FusionConfig::from_env_values(None, Some("4")).workers(2);
+    let explicit = FusionConfig::from_env_values(None, Some("4"), None, None).workers(2);
     assert_eq!(explicit.resolved_workers(), 2);
     // ...and for the engine, even when the env variables disagree.
-    let explicit =
-        FusionConfig::from_env_values(Some("pooled"), Some("8")).engine(Engine::Sequential);
+    let explicit = FusionConfig::from_env_values(Some("pooled"), Some("8"), None, None)
+        .engine(Engine::Sequential);
     assert_eq!(explicit.resolved_engine(), Engine::Sequential);
     let session = explicit.build();
     assert_eq!(session.engine(), Engine::Sequential);
 
     // The env engine variable beats the worker-count auto-detection.
-    let env = FusionConfig::from_env_values(Some("sequential"), Some("8"));
+    let env = FusionConfig::from_env_values(Some("sequential"), Some("8"), None, None);
     assert_eq!(env.resolved_engine(), Engine::Sequential);
     assert_eq!(env.resolved_workers(), 8);
 }
