@@ -48,7 +48,10 @@ use std::time::Instant;
 use fsm_dfsm::{Event, ProductBuilder, ProductStrategy, ReachableProduct};
 use fsm_distsys::sim::sweep::{compare_backends, run_scenario, BackendCost, Scenario};
 use fsm_distsys::{shared, wal, DurabilityConfig, DurableServer, FusedSystem, MemStore};
-use fsm_fusion_bench::{counter_family, peak_rss_kb, reset_peak_rss, SIM_SWEEP_SEEDS};
+use fsm_fusion_bench::{
+    counter_family, extract_json_section, peak_rss_kb, reset_peak_rss, upsert_json_section,
+    SIM_SWEEP_SEEDS,
+};
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
     generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
@@ -879,7 +882,15 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = render_json(&ops, &comparison);
+    // `ingest_bench` owns the `ingest` section; regenerating the rest of
+    // the baseline must not silently drop its committed numbers.
+    let mut json = render_json(&ops, &comparison);
+    if let Some(ingest) = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|old| extract_json_section(&old, "ingest"))
+    {
+        json = upsert_json_section(&json, "ingest", &ingest);
+    }
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {out_path}: {e}");
         return ExitCode::from(2);

@@ -48,6 +48,62 @@ pub fn reset_peak_rss() {
     let _ = std::fs::write("/proc/self/clear_refs", "5");
 }
 
+/// Nearest-rank percentile of `samples` (sorted in place): the smallest
+/// sample such that at least `p`% of the data is ≤ it.  `p` is a percentage
+/// in `[0, 100]`; an empty slice yields 0.  Used by `ingest_bench` for the
+/// p50/p99 enqueue-to-apply latency figures.
+pub fn percentile(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    samples[rank.clamp(1, n) - 1]
+}
+
+/// Extracts one top-level `"key": { ... }` section from a JSON document
+/// written by this harness, returned verbatim (key through matching closing
+/// brace, no trailing comma).  Brace counting, not a real parser: the
+/// harness's renderers never put braces inside strings, which keeps the
+/// committed `BENCH_fusion.json` round-trippable by `perf_baseline` and
+/// `ingest_bench` without a JSON dependency.
+pub fn extract_json_section(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)?;
+    let brace = start + text[start..].find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in text[brace..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[start..=brace + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Replaces the `"key": { ... }` section of `text` with `section` (which
+/// must itself be a full `"key": { ... }` block), or appends it as the last
+/// top-level section when absent.  How `ingest_bench` upserts its `ingest`
+/// section into `BENCH_fusion.json` without disturbing `perf_baseline`'s
+/// sections, and how `perf_baseline` preserves `ingest` when regenerating.
+pub fn upsert_json_section(text: &str, key: &str, section: &str) -> String {
+    if let Some(old) = extract_json_section(text, key) {
+        return text.replacen(&old, section, 1);
+    }
+    let Some(end) = text.rfind('}') else {
+        return format!("{{\n  {section}\n}}\n");
+    };
+    let head = text[..end].trim_end();
+    format!("{head},\n  {section}\n}}\n")
+}
+
 /// The five machine sets of the paper's results table.
 pub fn table_rows() -> Vec<MachineSet> {
     table1_rows()
@@ -167,6 +223,50 @@ mod tests {
         }
         let product = fsm_dfsm::ReachableProduct::new(&family).unwrap();
         assert_eq!(product.size(), 27);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let mut v = [15u64, 20, 35, 40, 50];
+        assert_eq!(percentile(&mut v, 30.0), 20); // the textbook example
+        assert_eq!(percentile(&mut v, 50.0), 35);
+        assert_eq!(percentile(&mut v, 100.0), 50);
+        assert_eq!(percentile(&mut v, 0.0), 15); // rank clamps to 1
+        let mut one = [7u64];
+        assert_eq!(percentile(&mut one, 99.0), 7);
+        assert_eq!(percentile(&mut [], 50.0), 0);
+        let mut unsorted = [9u64, 1, 5];
+        assert_eq!(percentile(&mut unsorted, 50.0), 5); // sorts in place
+    }
+
+    #[test]
+    fn json_section_round_trips_through_extract_and_upsert() {
+        let doc = "{\n  \"ops\": {\n    \"a\": { \"ns\": 1 }\n  },\n  \"sim_sweep\": {\n    \"seeds\": 2\n  }\n}\n";
+        let ops = extract_json_section(doc, "ops").unwrap();
+        assert_eq!(ops, "\"ops\": {\n    \"a\": { \"ns\": 1 }\n  }");
+        assert!(extract_json_section(doc, "missing").is_none());
+
+        // Insert a new section: it lands before the final brace, comma'd.
+        let with_ingest = upsert_json_section(doc, "ingest", "\"ingest\": {\n    \"eps\": 3\n  }");
+        assert!(with_ingest.contains("\"sim_sweep\""));
+        assert_eq!(
+            extract_json_section(&with_ingest, "ingest").unwrap(),
+            "\"ingest\": {\n    \"eps\": 3\n  }"
+        );
+
+        // Replace it: the other sections survive untouched.
+        let replaced = upsert_json_section(&with_ingest, "ingest", "\"ingest\": { \"eps\": 4 }");
+        assert!(replaced.contains("\"eps\": 4"));
+        assert!(!replaced.contains("\"eps\": 3"));
+        assert_eq!(
+            extract_json_section(&replaced, "ops").unwrap(),
+            ops,
+            "untouched sections must survive the upsert byte for byte"
+        );
+
+        // Upserting into an empty document builds a minimal one.
+        let fresh = upsert_json_section("", "ingest", "\"ingest\": { \"eps\": 5 }");
+        assert!(extract_json_section(&fresh, "ingest").is_some());
     }
 
     #[test]

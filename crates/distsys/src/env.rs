@@ -197,6 +197,18 @@ pub trait ServerGroup {
     /// Broadcasts a whole batch of events (one command per server).
     fn apply_batch(&mut self, events: &[Event]);
 
+    /// Sends a whole batch of events to server `i` only — the degraded-mode
+    /// ingestion path, where healthy lanes receive their batches
+    /// individually while a sick sibling's are diverted, and the rejoin
+    /// path replaying a diverted backlog.  The default implementation loops
+    /// [`ServerGroup::apply_event_to`]; both runners override it with one
+    /// shared-batch command.
+    fn apply_batch_to(&mut self, i: usize, events: &[Event]) {
+        for e in events {
+            self.apply_event_to(i, e);
+        }
+    }
+
     /// Injects a modeled crash fault into server `i` (the server stays
     /// reachable and reports [`MachineReport::Crashed`]).
     fn crash(&mut self, i: usize);

@@ -36,6 +36,23 @@ pub enum DistsysError {
     /// A restart or resync targeted a server that has no durable state
     /// (the group was spawned without durability).
     NotDurable { server: usize },
+    /// A client pushed into a full ingestion queue: the typed, non-blocking
+    /// face of backpressure (`ClientHandle::try_push`).
+    Backpressure {
+        /// The client whose queue is full.
+        client: usize,
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The diverted backlog for a down server overflowed and was dropped,
+    /// so a rejoin replay can no longer catch it up; rejoin must go through
+    /// peer resync instead.
+    BacklogLost {
+        /// The server whose backlog was dropped.
+        server: usize,
+        /// How many diverted events were lost.
+        dropped: u64,
+    },
     /// Durable storage failed (I/O error, corrupt blob, poisoned lock, or a
     /// log that cannot be replayed).
     Storage {
@@ -81,6 +98,16 @@ impl fmt::Display for DistsysError {
             DistsysError::NotDurable { server } => write!(
                 f,
                 "server {server} has no durable state; spawn the group with durability enabled"
+            ),
+            DistsysError::Backpressure { client, capacity } => write!(
+                f,
+                "client {client}'s queue is full (capacity {capacity}); \
+                 the aggregator is behind — retry after a pump or block"
+            ),
+            DistsysError::BacklogLost { server, dropped } => write!(
+                f,
+                "server {server} lost {dropped} diverted events (divert buffer overflow); \
+                 rejoin via peer resync, not replay"
             ),
             DistsysError::Storage { message } => write!(f, "storage error: {message}"),
             DistsysError::Fusion(e) => write!(f, "fusion error: {e}"),
@@ -153,5 +180,22 @@ mod tests {
             message: "disk on fire".into(),
         };
         assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn ingest_variants_display() {
+        let e = DistsysError::Backpressure {
+            client: 3,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("client 3"));
+        assert!(e.to_string().contains("64"));
+        let e = DistsysError::BacklogLost {
+            server: 1,
+            dropped: 42,
+        };
+        assert!(e.to_string().contains("server 1"));
+        assert!(e.to_string().contains("42"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

@@ -1,0 +1,1158 @@
+//! Batched ingestion front-end between N clients and a [`ServerGroup`].
+//!
+//! The north star asks the system to serve heavy traffic; this module is the
+//! serving path.  Clients push events into bounded per-client queues
+//! (mutex + condvar over a fixed-capacity `VecDeque`); an aggregator
+//! ([`IngestPipeline::pump`]) drains them round-robin into one shared batch
+//! flushed to the group when it reaches [`IngestConfig::resolved_batch_max`]
+//! events (*size* trigger) or when
+//! [`IngestConfig::resolved_flush_interval`] has elapsed since the last
+//! flush (*time* trigger).  Full queues exert **backpressure**: the caller
+//! chooses between the typed [`DistsysError::Backpressure`] error
+//! ([`ClientHandle::try_push`]) and blocking until the aggregator makes
+//! room ([`ClientHandle::push_blocking`]).
+//!
+//! The design follows the fustor stability spec (SNIPPETS.md #1): bounded
+//! ring buffers, batch aggregation, exponential-backoff retry on a
+//! struggling server, and **exception isolation** — a dead server's batches
+//! are diverted into a bounded side buffer while the pipeline keeps feeding
+//! its siblings at full speed, its reports degrade to the existing
+//! [`DistsysError::MissingReports`] path, and a successful
+//! [`ServerGroup::restart_process`] replays the backlog to rejoin it.
+//!
+//! Time is injected by the caller (every entry point takes `now`), so the
+//! same pipeline runs on the wall clock of
+//! [`OsEnvironment`](crate::OsEnvironment) and on the virtual clock of
+//! [`SimEnvironment`](crate::sim::SimEnvironment) — where the flush timer
+//! fires on *virtual* deadlines and seeded replay stays bit-identical.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use fsm_dfsm::Event;
+
+use crate::env::ServerGroup;
+use crate::error::{DistsysError, Result};
+
+/// Default per-client queue capacity.
+pub const DEFAULT_QUEUE_CAP: usize = 1024;
+
+/// Default size trigger: flush once this many events are pending.
+pub const DEFAULT_BATCH_MAX: usize = 256;
+
+/// Default time trigger: flush pending events once this much time has
+/// passed since the last flush.
+pub const DEFAULT_FLUSH_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Default base delay of the exponential-backoff restart schedule.
+pub const DEFAULT_RETRY_BASE: Duration = Duration::from_millis(5);
+
+/// Default ceiling of the exponential-backoff restart schedule.
+pub const DEFAULT_RETRY_CAP: Duration = Duration::from_secs(1);
+
+/// Default number of failed restart probes before a lane is isolated.
+pub const DEFAULT_MAX_RETRIES: u32 = 5;
+
+/// Default capacity of the per-lane divert buffer holding batches for a
+/// down server until it rejoins.
+pub const DEFAULT_DIVERT_CAP: usize = 4096;
+
+/// Most enqueue-to-flush latency samples a pipeline retains (covers a
+/// full 1M-event benchmark run without unbounded growth).
+pub const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+
+/// Configuration for an [`IngestPipeline`]: queue capacity, batch size,
+/// flush interval and the restart-retry schedule.
+///
+/// Follows the same explicit > environment > default precedence convention
+/// as [`GroupConfig`](crate::GroupConfig): builder setters win over the
+/// `FSM_DISTSYS_QUEUE_CAP` / `FSM_DISTSYS_BATCH_MAX` /
+/// `FSM_DISTSYS_FLUSH_INTERVAL_MS` / `FSM_DISTSYS_RETRY_BASE_MS`
+/// environment variables, which win over the defaults.  The environment is
+/// read once, at [`IngestConfig::from_env`].
+///
+/// ```
+/// use fsm_distsys::ingest::{IngestConfig, DEFAULT_BATCH_MAX};
+///
+/// let cfg = IngestConfig::new().batch_max(64);
+/// assert_eq!(cfg.resolved_batch_max(), 64);
+/// assert_eq!(IngestConfig::new().resolved_batch_max(), DEFAULT_BATCH_MAX);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestConfig {
+    queue_cap: Option<usize>,
+    env_queue_cap: Option<usize>,
+    batch_max: Option<usize>,
+    env_batch_max: Option<usize>,
+    flush_interval: Option<Duration>,
+    env_flush_interval: Option<Duration>,
+    retry_base: Option<Duration>,
+    env_retry_base: Option<Duration>,
+    retry_cap: Option<Duration>,
+    max_retries: Option<u32>,
+    divert_cap: Option<usize>,
+}
+
+impl IngestConfig {
+    /// An empty configuration: every knob resolves to its default.
+    pub fn new() -> Self {
+        IngestConfig::default()
+    }
+
+    /// A configuration snapshotting the `FSM_DISTSYS_QUEUE_CAP`,
+    /// `FSM_DISTSYS_BATCH_MAX`, `FSM_DISTSYS_FLUSH_INTERVAL_MS` and
+    /// `FSM_DISTSYS_RETRY_BASE_MS` environment variables (positive
+    /// integers; unset or unparsable values fall through to the defaults).
+    pub fn from_env() -> Self {
+        Self::from_env_values(
+            std::env::var("FSM_DISTSYS_QUEUE_CAP").ok().as_deref(),
+            std::env::var("FSM_DISTSYS_BATCH_MAX").ok().as_deref(),
+            std::env::var("FSM_DISTSYS_FLUSH_INTERVAL_MS")
+                .ok()
+                .as_deref(),
+            std::env::var("FSM_DISTSYS_RETRY_BASE_MS").ok().as_deref(),
+        )
+    }
+
+    /// Pure core of [`IngestConfig::from_env`], separated so precedence is
+    /// testable without mutating process state.
+    pub fn from_env_values(
+        queue_cap: Option<&str>,
+        batch_max: Option<&str>,
+        flush_ms: Option<&str>,
+        retry_ms: Option<&str>,
+    ) -> Self {
+        let count = |v: Option<&str>| {
+            v.and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        };
+        let millis = |v: Option<&str>| {
+            v.and_then(|s| s.trim().parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis)
+        };
+        IngestConfig {
+            env_queue_cap: count(queue_cap),
+            env_batch_max: count(batch_max),
+            env_flush_interval: millis(flush_ms),
+            env_retry_base: millis(retry_ms),
+            ..IngestConfig::default()
+        }
+    }
+
+    /// Explicitly sets the per-client queue capacity (highest precedence).
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Explicitly sets the size trigger (highest precedence).
+    pub fn batch_max(mut self, max: usize) -> Self {
+        self.batch_max = Some(max.max(1));
+        self
+    }
+
+    /// Explicitly sets the time trigger (highest precedence).
+    pub fn flush_interval(mut self, interval: Duration) -> Self {
+        self.flush_interval = Some(interval);
+        self
+    }
+
+    /// Explicitly sets the backoff base delay (highest precedence).
+    pub fn retry_base(mut self, base: Duration) -> Self {
+        self.retry_base = Some(base);
+        self
+    }
+
+    /// Sets the backoff ceiling (explicit-only knob).
+    pub fn retry_cap(mut self, cap: Duration) -> Self {
+        self.retry_cap = Some(cap);
+        self
+    }
+
+    /// Sets how many failed restart probes isolate a lane (explicit-only
+    /// knob).
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Sets the per-lane divert-buffer capacity (explicit-only knob).
+    pub fn divert_cap(mut self, cap: usize) -> Self {
+        self.divert_cap = Some(cap);
+        self
+    }
+
+    /// The queue capacity after precedence: explicit > env > default.
+    pub fn resolved_queue_cap(&self) -> usize {
+        self.queue_cap
+            .or(self.env_queue_cap)
+            .unwrap_or(DEFAULT_QUEUE_CAP)
+    }
+
+    /// The size trigger after precedence: explicit > env > default.
+    pub fn resolved_batch_max(&self) -> usize {
+        self.batch_max
+            .or(self.env_batch_max)
+            .unwrap_or(DEFAULT_BATCH_MAX)
+    }
+
+    /// The time trigger after precedence: explicit > env > default.
+    pub fn resolved_flush_interval(&self) -> Duration {
+        self.flush_interval
+            .or(self.env_flush_interval)
+            .unwrap_or(DEFAULT_FLUSH_INTERVAL)
+    }
+
+    /// The backoff base after precedence: explicit > env > default.
+    pub fn resolved_retry_base(&self) -> Duration {
+        self.retry_base
+            .or(self.env_retry_base)
+            .unwrap_or(DEFAULT_RETRY_BASE)
+    }
+
+    /// The backoff ceiling (explicit or default).
+    pub fn resolved_retry_cap(&self) -> Duration {
+        self.retry_cap.unwrap_or(DEFAULT_RETRY_CAP)
+    }
+
+    /// The isolation threshold (explicit or default).
+    pub fn resolved_max_retries(&self) -> u32 {
+        self.max_retries.unwrap_or(DEFAULT_MAX_RETRIES)
+    }
+
+    /// The divert-buffer capacity (explicit or default).
+    pub fn resolved_divert_cap(&self) -> usize {
+        self.divert_cap.unwrap_or(DEFAULT_DIVERT_CAP)
+    }
+}
+
+/// One client's bounded queue: a fixed-capacity `VecDeque` of
+/// `(event, enqueue-time nanos)` behind a mutex, with a condvar the
+/// aggregator signals when it makes room.
+struct ClientQueue {
+    items: Mutex<VecDeque<(Event, u64)>>,
+    space: Condvar,
+    cap: usize,
+    client: usize,
+}
+
+/// A cloneable, `Send` handle to one client's bounded queue, so real client
+/// threads can push while the aggregator drains.
+#[derive(Clone)]
+pub struct ClientHandle {
+    queue: Arc<ClientQueue>,
+}
+
+impl ClientHandle {
+    /// Enqueues one event, failing with [`DistsysError::Backpressure`] when
+    /// the queue is full — the typed, non-blocking face of backpressure.
+    ///
+    /// `now` stamps the event's enqueue time (on whichever clock the caller
+    /// drives the pipeline with) for the enqueue-to-flush latency samples.
+    pub fn try_push(&self, event: Event, now: Duration) -> Result<()> {
+        let mut items = self.queue.items.lock().expect("queue lock");
+        if items.len() >= self.queue.cap {
+            return Err(DistsysError::Backpressure {
+                client: self.queue.client,
+                capacity: self.queue.cap,
+            });
+        }
+        items.push_back((event, now.as_nanos() as u64));
+        Ok(())
+    }
+
+    /// Enqueues one event, blocking until the aggregator makes room — the
+    /// blocking face of backpressure, for real client threads.  Never call
+    /// this from the thread that runs [`IngestPipeline::pump`] (in the
+    /// single-threaded simulator, use [`ClientHandle::try_push`] and pump
+    /// on [`DistsysError::Backpressure`] instead): nobody else can drain.
+    pub fn push_blocking(&self, event: Event, now: Duration) {
+        let mut items = self.queue.items.lock().expect("queue lock");
+        while items.len() >= self.queue.cap {
+            items = self.queue.space.wait(items).expect("queue lock");
+        }
+        items.push_back((event, now.as_nanos() as u64));
+    }
+
+    /// The client index this handle pushes as.
+    pub fn client(&self) -> usize {
+        self.queue.client
+    }
+
+    /// Number of events currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.items.lock().expect("queue lock").len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.queue.cap
+    }
+}
+
+/// The health of one server's lane through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneStatus {
+    /// Batches flow to the server.
+    Healthy,
+    /// The server is down: batches are diverted into the lane's side buffer
+    /// and a [`ServerGroup::restart_process`] probe fires once the
+    /// exponential-backoff deadline passes.  `attempt` counts failed probes
+    /// so far.
+    Retrying {
+        /// Failed restart probes so far (sets the next backoff delay).
+        attempt: u32,
+    },
+    /// Retries are exhausted, the group is not durable, or the divert
+    /// buffer overflowed: batches for this lane are counted and dropped,
+    /// its reports degrade to [`DistsysError::MissingReports`], and only an
+    /// explicit [`IngestPipeline::mark_up_current`] (after a peer resync)
+    /// or [`IngestPipeline::mark_up_replay`] rejoins it.  Siblings are
+    /// unaffected throughout.
+    Isolated,
+}
+
+/// One server's lane: health status, diverted backlog, backoff deadline.
+struct Lane {
+    status: LaneStatus,
+    /// Events flushed while the server was down, kept for rejoin replay.
+    diverted: VecDeque<Event>,
+    /// Set once overflow dropped diverted events: a *partial* backlog can
+    /// no longer be replayed without corrupting the server relative to its
+    /// peers, so the buffer is cleared and only peer resync can rejoin it.
+    lossy: bool,
+    /// Dropped-event count while `lossy` (reported by
+    /// [`DistsysError::BacklogLost`]).
+    dropped: u64,
+    next_retry_ns: u64,
+}
+
+impl Lane {
+    fn healthy() -> Self {
+        Lane {
+            status: LaneStatus::Healthy,
+            diverted: VecDeque::new(),
+            lossy: false,
+            dropped: 0,
+            next_retry_ns: 0,
+        }
+    }
+}
+
+/// Counters describing everything an [`IngestPipeline`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // each field is described inline
+pub struct IngestMetrics {
+    /// Events flushed to the group so far (each broadcast event counted
+    /// once, whether every lane or only the healthy ones received it).
+    pub flushed_events: u64,
+    /// Batches flushed (size, time and forced triggers combined).
+    pub batches: u64,
+    /// Flushes triggered by the batch filling to `batch_max`.
+    pub size_flushes: u64,
+    /// Flushes triggered by the flush interval elapsing.
+    pub time_flushes: u64,
+    /// Flushes forced by [`IngestPipeline::flush`] / drain / kill.
+    pub forced_flushes: u64,
+    /// Largest single batch flushed.
+    pub max_batch: u64,
+    /// Events diverted into down lanes' side buffers.
+    pub diverted: u64,
+    /// Diverted events dropped because a side buffer overflowed.
+    pub diverted_dropped: u64,
+    /// Diverted events replayed to rejoining servers.
+    pub replayed: u64,
+    /// Restart probes attempted on down lanes.
+    pub retries: u32,
+    /// Lanes brought back to `Healthy` (by probe or by the caller).
+    pub recoveries: u32,
+    /// Lanes that ended up `Isolated`.
+    pub isolated: u32,
+}
+
+/// The batching aggregator: client queues in, per-server batches out.
+///
+/// The pipeline is a *pure state machine over injected time* — it owns no
+/// clock and no thread.  The caller (a serving loop, a benchmark, a test)
+/// drives it by pushing events through [`ClientHandle`]s and calling
+/// [`IngestPipeline::pump`] with the current time; the pipeline drains the
+/// queues fairly (round-robin, one event per queue per rotation, with a
+/// persistent cursor), flushes on size/time triggers, and manages per-lane
+/// fault isolation.  This is what lets the identical pipeline code run on
+/// OS threads and inside the deterministic simulator.
+pub struct IngestPipeline {
+    queues: Vec<Arc<ClientQueue>>,
+    /// Round-robin position, persistent across pumps so no queue is
+    /// favored.
+    cursor: usize,
+    /// The batch being assembled, with per-event enqueue timestamps.
+    pending: Vec<Event>,
+    pending_ts: Vec<u64>,
+    last_flush_ns: u64,
+    lanes: Vec<Lane>,
+    batch_max: usize,
+    flush_interval_ns: u64,
+    retry_base_ns: u64,
+    retry_cap_ns: u64,
+    max_retries: u32,
+    divert_cap: usize,
+    metrics: IngestMetrics,
+    /// Enqueue-to-flush latency samples in flush order, capped at
+    /// [`LATENCY_SAMPLE_CAP`].
+    latency_ns: Vec<u64>,
+}
+
+enum FlushKind {
+    Size,
+    Time,
+    Forced,
+}
+
+impl IngestPipeline {
+    /// A pipeline between `clients` bounded queues and a group of
+    /// `servers` lanes (all initially healthy).
+    pub fn new(clients: usize, servers: usize, config: &IngestConfig) -> Self {
+        let clients = clients.max(1);
+        let cap = config.resolved_queue_cap();
+        let queues = (0..clients)
+            .map(|client| {
+                Arc::new(ClientQueue {
+                    items: Mutex::new(VecDeque::with_capacity(cap)),
+                    space: Condvar::new(),
+                    cap,
+                    client,
+                })
+            })
+            .collect();
+        IngestPipeline {
+            queues,
+            cursor: 0,
+            pending: Vec::new(),
+            pending_ts: Vec::new(),
+            last_flush_ns: 0,
+            lanes: (0..servers).map(|_| Lane::healthy()).collect(),
+            batch_max: config.resolved_batch_max(),
+            flush_interval_ns: config.resolved_flush_interval().as_nanos() as u64,
+            retry_base_ns: config.resolved_retry_base().as_nanos() as u64,
+            retry_cap_ns: config.resolved_retry_cap().as_nanos() as u64,
+            max_retries: config.resolved_max_retries(),
+            divert_cap: config.resolved_divert_cap(),
+            metrics: IngestMetrics::default(),
+            latency_ns: Vec::new(),
+        }
+    }
+
+    /// Number of client queues.
+    pub fn clients(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// A pushable handle for client `i` (cloneable, `Send` — hand it to a
+    /// client thread).
+    pub fn client(&self, i: usize) -> ClientHandle {
+        ClientHandle {
+            queue: Arc::clone(&self.queues[i]),
+        }
+    }
+
+    /// [`ClientHandle::try_push`] without materializing a handle.
+    pub fn try_push(&self, client: usize, event: Event, now: Duration) -> Result<()> {
+        ClientHandle {
+            queue: Arc::clone(&self.queues[client]),
+        }
+        .try_push(event, now)
+    }
+
+    /// Single-threaded convenience: push, pumping the aggregator first when
+    /// the queue is full (a pump empties it, so the push always lands).
+    /// This is the simulator-friendly equivalent of
+    /// [`ClientHandle::push_blocking`] — only valid on the driving thread,
+    /// with no concurrent producers on the same queue.
+    pub fn push(
+        &mut self,
+        group: &mut dyn ServerGroup,
+        client: usize,
+        event: Event,
+        now: Duration,
+    ) {
+        let full =
+            self.queues[client].items.lock().expect("queue lock").len() >= self.queues[client].cap;
+        if full {
+            self.pump(group, now);
+        }
+        self.try_push(client, event, now)
+            .expect("pump emptied the queue; no concurrent producers on push()");
+    }
+
+    /// Drains the client queues into the pending batch and flushes on the
+    /// size and time triggers; also fires due restart probes on down lanes.
+    /// Returns `true` if at least one batch was flushed.
+    ///
+    /// Drain order is round-robin with a persistent cursor — one event per
+    /// queue per rotation — so clients pushing round-robin see their global
+    /// order reconstructed exactly (the property the equivalence proptest
+    /// pins).
+    pub fn pump(&mut self, group: &mut dyn ServerGroup, now: Duration) -> bool {
+        let now_ns = now.as_nanos() as u64;
+        self.retry_lanes(group, now_ns);
+        let mut flushed = false;
+        let n = self.queues.len();
+        let mut empty_streak = 0;
+        while empty_streak < n {
+            let qi = self.cursor;
+            self.cursor = (self.cursor + 1) % n;
+            let popped = self.queues[qi]
+                .items
+                .lock()
+                .expect("queue lock")
+                .pop_front();
+            match popped {
+                Some((event, ts)) => {
+                    self.queues[qi].space.notify_one();
+                    empty_streak = 0;
+                    self.pending.push(event);
+                    self.pending_ts.push(ts);
+                    if self.pending.len() >= self.batch_max {
+                        self.flush_pending(group, now_ns, FlushKind::Size);
+                        flushed = true;
+                    }
+                }
+                None => empty_streak += 1,
+            }
+        }
+        if !self.pending.is_empty()
+            && now_ns.saturating_sub(self.last_flush_ns) >= self.flush_interval_ns
+        {
+            self.flush_pending(group, now_ns, FlushKind::Time);
+            flushed = true;
+        }
+        flushed
+    }
+
+    /// Forces the pending batch out regardless of the triggers (no-op when
+    /// nothing is pending).  Does *not* drain the client queues first —
+    /// that is [`IngestPipeline::pump`] / [`IngestPipeline::drain`].
+    pub fn flush(&mut self, group: &mut dyn ServerGroup, now: Duration) {
+        if !self.pending.is_empty() {
+            self.flush_pending(group, now.as_nanos() as u64, FlushKind::Forced);
+        }
+    }
+
+    /// Pumps and force-flushes until the queues and the pending batch are
+    /// both observed empty — the end-of-stream barrier.  With concurrent
+    /// client threads still pushing, this loops until they pause; call it
+    /// after the producers finish.
+    pub fn drain(&mut self, group: &mut dyn ServerGroup, now: Duration) {
+        loop {
+            self.pump(group, now);
+            self.flush(group, now);
+            if self.pending.is_empty() && self.queued() == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Flushes everything pending, kills server `i`'s process through the
+    /// group, and marks its lane down — in that order, so the victim's FIFO
+    /// sees exactly the events flushed before the kill and the rejoin
+    /// replay owes it exactly the events diverted after.
+    pub fn kill_server(&mut self, group: &mut dyn ServerGroup, i: usize, now: Duration) {
+        self.pump(group, now);
+        self.flush(group, now);
+        group.kill_process(i);
+        self.mark_down(i, now);
+    }
+
+    /// Marks server `i`'s lane down without touching the process (the
+    /// caller observed the failure elsewhere): subsequent batches are
+    /// diverted and restart probes begin on the backoff schedule.
+    /// Idempotent on already-down lanes.
+    pub fn mark_down(&mut self, i: usize, now: Duration) {
+        if self.lanes[i].status == LaneStatus::Healthy {
+            self.lanes[i].status = LaneStatus::Retrying { attempt: 0 };
+            self.lanes[i].next_retry_ns =
+                (now.as_nanos() as u64).saturating_add(self.backoff_ns(0));
+        }
+    }
+
+    /// Rejoins server `i` after the *caller* brought its process back (e.g.
+    /// its own [`ServerGroup::restart_process`] call): replays the diverted
+    /// backlog so the server catches up, and marks the lane healthy.
+    /// Returns how many events were replayed.
+    ///
+    /// Fails with [`DistsysError::BacklogLost`] — leaving the lane isolated
+    /// — if the divert buffer overflowed while the server was down: a
+    /// partial replay would corrupt it relative to its peers, so rejoin
+    /// must go through peer resync and [`IngestPipeline::mark_up_current`]
+    /// instead.
+    pub fn mark_up_replay(&mut self, group: &mut dyn ServerGroup, i: usize) -> Result<usize> {
+        if self.lanes[i].lossy {
+            self.lanes[i].status = LaneStatus::Isolated;
+            return Err(DistsysError::BacklogLost {
+                server: i,
+                dropped: self.lanes[i].dropped,
+            });
+        }
+        let backlog: Vec<Event> = self.lanes[i].diverted.drain(..).collect();
+        if !backlog.is_empty() {
+            group.apply_batch_to(i, &backlog);
+            self.metrics.replayed += backlog.len() as u64;
+        }
+        self.lanes[i].status = LaneStatus::Healthy;
+        self.metrics.recoveries += 1;
+        Ok(backlog.len())
+    }
+
+    /// Rejoins server `i` after the caller resynced it to the group's
+    /// *current* state (peer decode): the diverted backlog is already
+    /// reflected in that state, so it is discarded, not replayed.  Returns
+    /// how many buffered events were discarded.
+    pub fn mark_up_current(&mut self, i: usize) -> usize {
+        let lane = &mut self.lanes[i];
+        let discarded = lane.diverted.len();
+        lane.diverted.clear();
+        lane.lossy = false;
+        lane.dropped = 0;
+        if lane.status != LaneStatus::Healthy {
+            lane.status = LaneStatus::Healthy;
+            self.metrics.recoveries += 1;
+        }
+        discarded
+    }
+
+    /// The health of server `i`'s lane.
+    pub fn lane_status(&self, i: usize) -> LaneStatus {
+        self.lanes[i].status
+    }
+
+    /// Events currently buffered in the divert buffer of lane `i`.
+    pub fn diverted_len(&self, i: usize) -> usize {
+        self.lanes[i].diverted.len()
+    }
+
+    /// Events currently sitting in client queues (not yet drained).
+    pub fn queued(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.items.lock().expect("queue lock").len())
+            .sum()
+    }
+
+    /// Events drained from queues but not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The pipeline's counters so far.
+    pub fn metrics(&self) -> IngestMetrics {
+        self.metrics
+    }
+
+    /// Takes the enqueue-to-flush latency samples accumulated so far (in
+    /// flush order, nanoseconds, capped at [`LATENCY_SAMPLE_CAP`]).
+    pub fn take_latency_samples(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.latency_ns)
+    }
+
+    fn backoff_ns(&self, attempt: u32) -> u64 {
+        let factor = 1u64 << attempt.min(20);
+        self.retry_base_ns
+            .saturating_mul(factor)
+            .min(self.retry_cap_ns)
+    }
+
+    /// Fires due restart probes on `Retrying` lanes.
+    fn retry_lanes(&mut self, group: &mut dyn ServerGroup, now_ns: u64) {
+        for i in 0..self.lanes.len() {
+            let LaneStatus::Retrying { attempt } = self.lanes[i].status else {
+                continue;
+            };
+            if now_ns < self.lanes[i].next_retry_ns {
+                continue;
+            }
+            self.metrics.retries += 1;
+            match group.restart_process(i) {
+                // Restarted from durable state — or found already running
+                // (revived externally); either way it missed exactly the
+                // diverted events, so replay rejoins it.
+                Ok(_) | Err(DistsysError::ServerUp { .. }) => {
+                    let _ = self.mark_up_replay(group, i);
+                }
+                // A plain group can never restart: isolate immediately
+                // rather than burn the whole backoff schedule.
+                Err(DistsysError::NotDurable { .. }) => self.isolate(i),
+                Err(_) => {
+                    let next = attempt + 1;
+                    if next >= self.max_retries {
+                        self.isolate(i);
+                    } else {
+                        self.lanes[i].status = LaneStatus::Retrying { attempt: next };
+                        self.lanes[i].next_retry_ns = now_ns.saturating_add(self.backoff_ns(next));
+                    }
+                }
+            }
+        }
+    }
+
+    fn isolate(&mut self, i: usize) {
+        if self.lanes[i].status != LaneStatus::Isolated {
+            self.lanes[i].status = LaneStatus::Isolated;
+            self.metrics.isolated += 1;
+        }
+    }
+
+    fn flush_pending(&mut self, group: &mut dyn ServerGroup, now_ns: u64, kind: FlushKind) {
+        debug_assert!(!self.pending.is_empty());
+        if self.lanes.iter().all(|l| l.status == LaneStatus::Healthy) {
+            // The common case: one shared batch broadcast to every lane.
+            group.apply_batch(&self.pending);
+        } else {
+            // Degraded: healthy lanes get the batch individually; down
+            // lanes get it diverted (or counted and dropped once their
+            // buffer overflows).  Siblings never wait on the sick lane.
+            let mut overflowed: Vec<usize> = Vec::new();
+            for (i, lane) in self.lanes.iter_mut().enumerate() {
+                if lane.status == LaneStatus::Healthy {
+                    group.apply_batch_to(i, &self.pending);
+                    continue;
+                }
+                for event in &self.pending {
+                    if lane.lossy || lane.diverted.len() >= self.divert_cap {
+                        if !lane.lossy {
+                            // The whole partial backlog becomes unreplayable
+                            // the moment one event is dropped.
+                            lane.lossy = true;
+                            lane.dropped += lane.diverted.len() as u64;
+                            self.metrics.diverted_dropped += lane.diverted.len() as u64;
+                            self.metrics.diverted -= lane.diverted.len() as u64;
+                            lane.diverted.clear();
+                            overflowed.push(i);
+                        }
+                        lane.dropped += 1;
+                        self.metrics.diverted_dropped += 1;
+                    } else {
+                        lane.diverted.push_back(event.clone());
+                        self.metrics.diverted += 1;
+                    }
+                }
+            }
+            for i in overflowed {
+                self.isolate(i);
+            }
+        }
+        self.metrics.batches += 1;
+        self.metrics.flushed_events += self.pending.len() as u64;
+        self.metrics.max_batch = self.metrics.max_batch.max(self.pending.len() as u64);
+        match kind {
+            FlushKind::Size => self.metrics.size_flushes += 1,
+            FlushKind::Time => self.metrics.time_flushes += 1,
+            FlushKind::Forced => self.metrics.forced_flushes += 1,
+        }
+        for &ts in &self.pending_ts {
+            if self.latency_ns.len() < LATENCY_SAMPLE_CAP {
+                self.latency_ns.push(now_ns.saturating_sub(ts));
+            }
+        }
+        self.pending.clear();
+        self.pending_ts.clear();
+        self.last_flush_ns = now_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::GroupConfig;
+    use crate::parallel::ParallelServerGroup;
+    use crate::recovery::DurabilityConfig;
+    use crate::storage::{shared, MemStore};
+    use fsm_fusion_core::MachineReport;
+    use fsm_machines::fig1_machines;
+
+    fn bits(s: &str) -> Vec<Event> {
+        s.chars().map(|c| Event::new(c.to_string())).collect()
+    }
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn config_precedence_explicit_over_env_over_default() {
+        let auto = IngestConfig::new();
+        assert_eq!(auto.resolved_queue_cap(), DEFAULT_QUEUE_CAP);
+        assert_eq!(auto.resolved_batch_max(), DEFAULT_BATCH_MAX);
+        assert_eq!(auto.resolved_flush_interval(), DEFAULT_FLUSH_INTERVAL);
+        assert_eq!(auto.resolved_retry_base(), DEFAULT_RETRY_BASE);
+        assert_eq!(auto.resolved_retry_cap(), DEFAULT_RETRY_CAP);
+        assert_eq!(auto.resolved_max_retries(), DEFAULT_MAX_RETRIES);
+        assert_eq!(auto.resolved_divert_cap(), DEFAULT_DIVERT_CAP);
+
+        let env = IngestConfig::from_env_values(Some("8"), Some("16"), Some("7"), Some("3"));
+        assert_eq!(env.resolved_queue_cap(), 8);
+        assert_eq!(env.resolved_batch_max(), 16);
+        assert_eq!(env.resolved_flush_interval(), Duration::from_millis(7));
+        assert_eq!(env.resolved_retry_base(), Duration::from_millis(3));
+
+        let explicit = env
+            .clone()
+            .queue_cap(2)
+            .batch_max(4)
+            .flush_interval(Duration::from_millis(1))
+            .retry_base(Duration::from_millis(9))
+            .retry_cap(Duration::from_secs(2))
+            .max_retries(1)
+            .divert_cap(10);
+        assert_eq!(explicit.resolved_queue_cap(), 2);
+        assert_eq!(explicit.resolved_batch_max(), 4);
+        assert_eq!(explicit.resolved_flush_interval(), Duration::from_millis(1));
+        assert_eq!(explicit.resolved_retry_base(), Duration::from_millis(9));
+        assert_eq!(explicit.resolved_retry_cap(), Duration::from_secs(2));
+        assert_eq!(explicit.resolved_max_retries(), 1);
+        assert_eq!(explicit.resolved_divert_cap(), 10);
+    }
+
+    #[test]
+    fn config_ignores_garbage_and_zero_env_values() {
+        let cfg = IngestConfig::from_env_values(Some("nope"), Some("0"), Some("-3"), Some(""));
+        assert_eq!(cfg, IngestConfig::new());
+        assert_eq!(cfg.resolved_queue_cap(), DEFAULT_QUEUE_CAP);
+        assert_eq!(cfg.resolved_batch_max(), DEFAULT_BATCH_MAX);
+        assert_eq!(cfg.resolved_flush_interval(), DEFAULT_FLUSH_INTERVAL);
+        assert_eq!(cfg.resolved_retry_base(), DEFAULT_RETRY_BASE);
+    }
+
+    #[test]
+    fn full_queue_returns_typed_backpressure_error() {
+        let pipeline = IngestPipeline::new(2, 2, &IngestConfig::new().queue_cap(3));
+        let h = pipeline.client(1);
+        assert_eq!(h.client(), 1);
+        assert_eq!(h.capacity(), 3);
+        for k in 0..3 {
+            assert_eq!(h.len(), k);
+            h.try_push(Event::new("0"), MS).unwrap();
+        }
+        match h.try_push(Event::new("0"), MS) {
+            Err(DistsysError::Backpressure { client, capacity }) => {
+                assert_eq!(client, 1);
+                assert_eq!(capacity, 3);
+            }
+            other => panic!("expected Backpressure, got {other:?}"),
+        }
+        // The other client's queue is unaffected.
+        assert!(pipeline.client(0).is_empty());
+        pipeline.try_push(0, Event::new("1"), MS).unwrap();
+        assert_eq!(pipeline.queued(), 4);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_the_aggregator() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        let mut pipeline =
+            IngestPipeline::new(1, machines.len(), &IngestConfig::new().queue_cap(2));
+        let h = pipeline.client(0);
+        h.try_push(Event::new("0"), MS).unwrap();
+        h.try_push(Event::new("1"), MS).unwrap();
+        // A real client thread blocks on the full queue until a pump below
+        // makes room.
+        let producer = std::thread::spawn(move || {
+            h.push_blocking(Event::new("0"), MS);
+        });
+        let clock = crate::env::OsClock::new();
+        while pipeline.metrics().flushed_events < 3 {
+            pipeline.pump(&mut group, clock.now() + DEFAULT_FLUSH_INTERVAL);
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        pipeline.drain(&mut group, clock.now());
+        let reports = group.collect_reports().unwrap();
+        // Two zeros, one one.
+        assert_eq!(reports[0], MachineReport::State(2));
+        assert_eq!(reports[1], MachineReport::State(1));
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn size_trigger_flushes_at_batch_max() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        let cfg = IngestConfig::new()
+            .batch_max(4)
+            .flush_interval(Duration::from_secs(3600));
+        let mut pipeline = IngestPipeline::new(1, machines.len(), &cfg);
+        for e in bits("0110101") {
+            pipeline.try_push(0, e, MS).unwrap();
+        }
+        // 7 events, batch_max 4, huge interval: exactly one size flush, 3
+        // left pending.
+        assert!(pipeline.pump(&mut group, MS));
+        let m = pipeline.metrics();
+        assert_eq!(m.size_flushes, 1);
+        assert_eq!(m.time_flushes, 0);
+        assert_eq!(m.flushed_events, 4);
+        assert_eq!(m.max_batch, 4);
+        assert_eq!(pipeline.pending_len(), 3);
+        // The forced flush delivers the tail.
+        pipeline.flush(&mut group, MS);
+        assert_eq!(pipeline.metrics().forced_flushes, 1);
+        assert_eq!(pipeline.metrics().flushed_events, 7);
+        let reports = group.collect_reports().unwrap();
+        assert_eq!(reports[0], MachineReport::State(3 % 3));
+        assert_eq!(reports[1], MachineReport::State(4 % 3));
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn time_trigger_flushes_after_the_interval() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        let cfg = IngestConfig::new()
+            .batch_max(1000)
+            .flush_interval(Duration::from_millis(10));
+        let mut pipeline = IngestPipeline::new(1, machines.len(), &cfg);
+        pipeline.try_push(0, Event::new("0"), MS).unwrap();
+        // Before the interval: drained into pending, not flushed.
+        assert!(!pipeline.pump(&mut group, Duration::from_millis(5)));
+        assert_eq!(pipeline.pending_len(), 1);
+        // Past the interval (injected time — no sleeping): time flush.
+        assert!(pipeline.pump(&mut group, Duration::from_millis(11)));
+        let m = pipeline.metrics();
+        assert_eq!(m.time_flushes, 1);
+        assert_eq!(m.flushed_events, 1);
+        // Latency sample measures enqueue (1ms) to flush (11ms).
+        assert_eq!(pipeline.take_latency_samples(), vec![10_000_000]);
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn round_robin_drain_reconstructs_round_robin_push_order() {
+        // Events pushed j → client j % c must come back out in j order, so
+        // the batched path is event-for-event comparable to the per-event
+        // reference.  Interleave pumps at awkward points to exercise the
+        // persistent cursor.
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        let events = bits("011010010110110");
+        let mut pipeline =
+            IngestPipeline::new(3, machines.len(), &IngestConfig::new().batch_max(4));
+        let mut reference: Vec<Event> = Vec::new();
+        for (j, e) in events.iter().enumerate() {
+            pipeline.try_push(j % 3, e.clone(), MS).unwrap();
+            reference.push(e.clone());
+            if j == 4 || j == 7 {
+                pipeline.pump(&mut group, MS);
+            }
+        }
+        pipeline.drain(&mut group, MS);
+        let reports = group.collect_reports().unwrap();
+        for (i, m) in machines.iter().enumerate() {
+            assert_eq!(
+                reports[i],
+                MachineReport::State(m.run(reference.iter()).index()),
+                "server {i}"
+            );
+        }
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn kill_diverts_batches_and_isolates_plain_groups() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        let cfg = IngestConfig::new().retry_base(Duration::ZERO);
+        let mut pipeline = IngestPipeline::new(1, machines.len(), &cfg);
+        let head = bits("0110");
+        let tail = bits("10101");
+        for e in &head {
+            pipeline.try_push(0, e.clone(), MS).unwrap();
+        }
+        pipeline.kill_server(&mut group, 1, MS);
+        assert_eq!(pipeline.lane_status(1), LaneStatus::Retrying { attempt: 0 });
+        for e in &tail {
+            pipeline.try_push(0, e.clone(), MS).unwrap();
+        }
+        // The next pump's restart probe hits NotDurable (plain group) and
+        // isolates the lane; the tail is diverted, dropped only by
+        // isolation bookkeeping — counted, never silent.
+        pipeline.pump(&mut group, MS * 2);
+        pipeline.drain(&mut group, MS * 2);
+        assert_eq!(pipeline.lane_status(1), LaneStatus::Isolated);
+        let m = pipeline.metrics();
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.isolated, 1);
+        assert_eq!(m.flushed_events, (head.len() + tail.len()) as u64);
+        assert_eq!(m.diverted, tail.len() as u64);
+        assert_eq!(pipeline.diverted_len(1), tail.len());
+        // The survivor got everything; the victim's report degrades to the
+        // MissingReports path without stalling the survivor.
+        match group.collect_reports() {
+            Err(DistsysError::MissingReports { servers }) => assert_eq!(servers, vec![1]),
+            other => panic!("expected MissingReports, got {other:?}"),
+        }
+        let partial = ServerGroup::try_collect_reports(&mut group);
+        let full = bits("011010101");
+        assert_eq!(
+            partial[0],
+            Some(MachineReport::State(machines[0].run(full.iter()).index()))
+        );
+        assert_eq!(partial[1], None);
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn durable_kill_retries_replays_and_rejoins() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_durable(
+            &machines,
+            &GroupConfig::new(),
+            crate::env::OsClock::new(),
+            shared(MemStore::new()),
+            "ingest-t",
+            DurabilityConfig::new(),
+        )
+        .unwrap();
+        let cfg = IngestConfig::new().retry_base(Duration::from_millis(4));
+        let mut pipeline = IngestPipeline::new(1, machines.len(), &cfg);
+        let events = bits("0110100101");
+        for e in &events[..5] {
+            pipeline.try_push(0, e.clone(), MS).unwrap();
+        }
+        pipeline.kill_server(&mut group, 0, MS);
+        for e in &events[5..] {
+            pipeline.try_push(0, e.clone(), MS).unwrap();
+        }
+        // Before the backoff deadline (1ms + 4ms): the probe does not fire,
+        // and the flush diverts the tail instead of stalling the survivor.
+        pipeline.pump(&mut group, Duration::from_millis(2));
+        pipeline.flush(&mut group, Duration::from_millis(2));
+        assert_eq!(pipeline.metrics().retries, 0);
+        assert_eq!(pipeline.diverted_len(0), 5);
+        assert_eq!(pipeline.lane_status(0), LaneStatus::Retrying { attempt: 0 });
+        // Past the deadline: restart succeeds, the diverted tail replays,
+        // the lane rejoins.
+        pipeline.pump(&mut group, Duration::from_millis(6));
+        assert_eq!(pipeline.lane_status(0), LaneStatus::Healthy);
+        let m = pipeline.metrics();
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.recoveries, 1);
+        assert_eq!(m.replayed, 5);
+        assert_eq!(m.diverted, 5);
+        let reports = group.collect_reports().unwrap();
+        for (i, mach) in machines.iter().enumerate() {
+            assert_eq!(
+                reports[i],
+                MachineReport::State(mach.run(events.iter()).index()),
+                "server {i}"
+            );
+        }
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_up_to_the_cap() {
+        let cfg = IngestConfig::new()
+            .retry_base(Duration::from_millis(5))
+            .retry_cap(Duration::from_millis(35));
+        let pipeline = IngestPipeline::new(1, 1, &cfg);
+        assert_eq!(pipeline.backoff_ns(0), 5_000_000);
+        assert_eq!(pipeline.backoff_ns(1), 10_000_000);
+        assert_eq!(pipeline.backoff_ns(2), 20_000_000);
+        assert_eq!(pipeline.backoff_ns(3), 35_000_000); // capped
+        assert_eq!(pipeline.backoff_ns(63), 35_000_000); // shift clamped
+    }
+
+    #[test]
+    fn divert_overflow_drops_counted_and_requires_resync() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        // Huge retry base: the probe never fires, so the lane stays
+        // Retrying while its 3-event divert buffer overflows.
+        let cfg = IngestConfig::new()
+            .divert_cap(3)
+            .retry_base(Duration::from_secs(3600));
+        let mut pipeline = IngestPipeline::new(1, machines.len(), &cfg);
+        pipeline.kill_server(&mut group, 1, MS);
+        for e in bits("01101") {
+            pipeline.try_push(0, e, MS).unwrap();
+        }
+        pipeline.drain(&mut group, MS);
+        // 5 events into a 3-slot buffer: overflow drops the whole partial
+        // backlog (3) plus the overflowing events (2), all counted, and
+        // isolates the lane.
+        assert_eq!(pipeline.lane_status(1), LaneStatus::Isolated);
+        let m = pipeline.metrics();
+        assert_eq!(m.diverted, 0);
+        assert_eq!(m.diverted_dropped, 5);
+        assert_eq!(m.isolated, 1);
+        // A replay rejoin is refused — the backlog is gone.
+        match pipeline.mark_up_replay(&mut group, 1) {
+            Err(DistsysError::BacklogLost {
+                server: 1,
+                dropped: 5,
+            }) => {}
+            other => panic!("expected BacklogLost, got {other:?}"),
+        }
+        // The resync path rejoins: restore to the peers' current state and
+        // mark the lane current.  (The thread is dead in this plain group,
+        // so just verify the pipeline-side bookkeeping.)
+        assert_eq!(pipeline.mark_up_current(1), 0);
+        assert_eq!(pipeline.lane_status(1), LaneStatus::Healthy);
+        assert_eq!(pipeline.metrics().recoveries, 1);
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn mark_up_current_discards_the_covered_backlog() {
+        let machines = fig1_machines();
+        let mut group = ParallelServerGroup::spawn_with(&machines, &GroupConfig::new());
+        let cfg = IngestConfig::new().retry_base(Duration::from_secs(3600));
+        let mut pipeline = IngestPipeline::new(1, machines.len(), &cfg);
+        pipeline.mark_down(0, MS);
+        pipeline.mark_down(0, MS); // idempotent
+        for e in bits("011") {
+            pipeline.try_push(0, e, MS).unwrap();
+        }
+        pipeline.drain(&mut group, MS);
+        assert_eq!(pipeline.diverted_len(0), 3);
+        // Caller resyncs server 0 from peer reports, then marks current:
+        // the backlog is already covered by the adopted state.
+        assert_eq!(pipeline.mark_up_current(0), 3);
+        assert_eq!(pipeline.diverted_len(0), 0);
+        assert_eq!(pipeline.lane_status(0), LaneStatus::Healthy);
+        let _ = group.shutdown();
+    }
+
+    #[test]
+    fn sim_time_flush_fires_on_virtual_deadlines_bit_identically() {
+        use crate::env::Environment;
+        use crate::sim::SimConfig;
+        // The flush timer runs on injected time, so under the simulator it
+        // fires on *virtual* deadlines: two seeded runs replay the same
+        // trace byte for byte, and no wall-clock time is spent waiting.
+        let run = |seed: u64| {
+            let env = SimConfig::new(seed).drop_probability(0.2).build();
+            let mut group = env.spawn_group(&fig1_machines(), &GroupConfig::new());
+            let cfg = IngestConfig::new()
+                .batch_max(100)
+                .flush_interval(Duration::from_millis(2));
+            let mut pipeline = IngestPipeline::new(2, 2, &cfg);
+            for (j, e) in bits("0110").into_iter().enumerate() {
+                pipeline.push(group.as_mut(), j % 2, e, env.now());
+            }
+            assert!(!pipeline.pump(group.as_mut(), env.now()), "too early");
+            env.sleep(Duration::from_millis(2));
+            assert!(pipeline.pump(group.as_mut(), env.now()), "virtual deadline");
+            assert_eq!(pipeline.metrics().time_flushes, 1);
+            let _ = group.try_collect_reports();
+            env.trace_hash()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

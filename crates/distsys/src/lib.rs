@@ -27,6 +27,10 @@
 //!   replay).
 //! * [`sim`] — the deterministic simulation runtime and its
 //!   [`sweep`](sim::sweep) scenario harness.
+//! * [`ingest`] — the batched ingestion front-end: bounded client queues
+//!   with backpressure, size/time-triggered batch flushing, and per-server
+//!   fault isolation with exponential-backoff rejoin (the serving path
+//!   measured by `ingest_bench`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -34,6 +38,7 @@
 pub mod env;
 mod error;
 pub mod fault;
+pub mod ingest;
 pub mod parallel;
 pub mod recovery;
 pub mod replicated;
@@ -49,10 +54,11 @@ pub mod workload;
 pub use env::{Environment, GroupConfig, OsClock, OsEnvironment, ServerGroup};
 pub use error::{DistsysError, Result};
 pub use fault::{FaultKind, FaultPlan, ScheduledFault};
+pub use ingest::{ClientHandle, IngestConfig, IngestMetrics, IngestPipeline, LaneStatus};
 pub use parallel::ParallelServerGroup;
 pub use recovery::{DurabilityConfig, DurableServer, RejoinPath, ReplayStats, REPLAY_CUTOVER};
 pub use replicated::{ReplicaGroup, ReplicatedSystem};
-pub use scenario::{replay_oracle, SensorBackupMode, SensorNetwork};
+pub use scenario::{replay_oracle, SensorBackupMode, SensorNetwork, ServeReport};
 pub use server::{Server, ServerStatus};
 pub use sim::{NetStats, Seeded, SimConfig, SimEnvironment, SimRng, TraceEvent};
 pub use storage::{shared, DirStore, MemStore, SharedStore, Store};

@@ -272,6 +272,22 @@ impl ParallelServerGroup {
         let _ = self.handles[i].commands.send(Command::Apply(event.clone()));
     }
 
+    /// Clones a sequence of events into the shared `Arc<[Event]>` every
+    /// batch command hands around — or `None` for an empty sequence, so no
+    /// batch path allocates an `Arc` (or sends a single command) for
+    /// nothing.  The one clone-into-Arc site shared by
+    /// [`ParallelServerGroup::apply_batch`],
+    /// [`ParallelServerGroup::apply_all`] and
+    /// [`ParallelServerGroup::apply_batch_to`].
+    fn shared_batch<'a, I: IntoIterator<Item = &'a Event>>(events: I) -> Option<Arc<[Event]>> {
+        let batch: Vec<Event> = events.into_iter().cloned().collect();
+        if batch.is_empty() {
+            None
+        } else {
+            Some(Arc::from(batch))
+        }
+    }
+
     /// Broadcasts a whole batch of events with **one channel send per
     /// server**: the events are cloned once into a shared `Arc<[Event]>`
     /// and every server thread walks the same slice in order.  Command
@@ -279,21 +295,26 @@ impl ParallelServerGroup {
     /// the same events sent through [`ParallelServerGroup::apply_event`]
     /// one at a time.
     pub fn apply_batch(&self, events: &[Event]) {
-        if events.is_empty() {
-            return;
+        if let Some(batch) = Self::shared_batch(events) {
+            self.send_batch(batch);
         }
-        self.send_batch(events.into());
     }
 
     /// Broadcasts a sequence of events, batched: the whole sequence is
     /// submitted per server as one shared batch (events borrowed from the
     /// iterator are cloned exactly once, into the `Arc` slice itself).
     pub fn apply_all<'a, I: IntoIterator<Item = &'a Event>>(&self, events: I) {
-        let batch: Vec<Event> = events.into_iter().cloned().collect();
-        if batch.is_empty() {
-            return;
+        if let Some(batch) = Self::shared_batch(events) {
+            self.send_batch(batch);
         }
-        self.send_batch(Arc::from(batch));
+    }
+
+    /// Sends a whole batch of events to server `i` only, as one command —
+    /// the degraded-mode ingestion and rejoin-replay path.
+    pub fn apply_batch_to(&self, i: usize, events: &[Event]) {
+        if let Some(batch) = Self::shared_batch(events) {
+            let _ = self.handles[i].commands.send(Command::ApplyBatch(batch));
+        }
     }
 
     fn send_batch(&self, batch: Arc<[Event]>) {
@@ -454,6 +475,44 @@ impl ParallelServerGroup {
         out
     }
 
+    /// Posts a report request to every server under a fresh generation tag
+    /// and returns the tag *without waiting* — the asynchronous half of
+    /// report collection.  Because commands are applied in per-server FIFO
+    /// order, once every live server has answered this generation (drain
+    /// with [`ParallelServerGroup::try_recv_report`] /
+    /// [`ParallelServerGroup::recv_report_timeout`]), every command sent
+    /// before the request has been applied.  The ingestion benchmark uses
+    /// this as a batch marker to measure enqueue-to-apply latency without
+    /// blocking the aggregator.
+    ///
+    /// Do not interleave with [`ParallelServerGroup::collect_reports`]:
+    /// each call bumps the shared generation, and a collection discards
+    /// replies from older tags as stale.
+    pub fn request_reports(&self) -> u64 {
+        let generation = self
+            .generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        for h in &self.handles {
+            let _ = h.commands.send(Command::Report(generation));
+        }
+        generation
+    }
+
+    /// Receives one `(server, generation, report)` reply if one is already
+    /// waiting (non-blocking half of [`request_reports`]).
+    ///
+    /// [`request_reports`]: ParallelServerGroup::request_reports
+    pub fn try_recv_report(&self) -> Option<(usize, u64, MachineReport)> {
+        self.reports.try_recv().ok()
+    }
+
+    /// Receives one `(server, generation, report)` reply, waiting at most
+    /// `timeout` for it.
+    pub fn recv_report_timeout(&self, timeout: Duration) -> Option<(usize, u64, MachineReport)> {
+        self.reports.recv_timeout(timeout).ok()
+    }
+
     /// Stops all threads and returns the final `Server` values (for
     /// inspection in tests).  Servers whose threads panicked have no final
     /// value and are omitted, matching the recoverable-error contract of
@@ -488,6 +547,10 @@ impl ServerGroup for ParallelServerGroup {
 
     fn apply_batch(&mut self, events: &[Event]) {
         ParallelServerGroup::apply_batch(self, events);
+    }
+
+    fn apply_batch_to(&mut self, i: usize, events: &[Event]) {
+        ParallelServerGroup::apply_batch_to(self, i, events);
     }
 
     fn crash(&mut self, i: usize) {
@@ -603,6 +666,42 @@ mod tests {
             assert_eq!(bs.current_state(), rs.current_state());
             assert_eq!(bs.events_seen(), rs.events_seen());
         }
+    }
+
+    #[test]
+    fn batch_to_one_server_and_async_report_markers() {
+        let machines = fig1_machines();
+        let group = ParallelServerGroup::spawn(&machines);
+        let events: Vec<Event> = "01101".chars().map(|c| Event::new(c.to_string())).collect();
+        // The single-lane batch path: one command, one server.
+        group.apply_batch_to(0, &events);
+        // Empty batches are a no-op on every batch path (no Arc, no send).
+        group.apply_batch_to(0, &[]);
+        group.apply_batch(&[]);
+        group.apply_all([].iter());
+        // The async marker: request now, drain replies later.  FIFO order
+        // guarantees the batch above is applied once server 0 answers.
+        assert!(group.try_recv_report().is_none());
+        let generation = group.request_reports();
+        let mut got: Vec<Option<MachineReport>> = vec![None; 2];
+        let mut received = 0;
+        while received < 2 {
+            let (i, g, r) = group
+                .recv_report_timeout(Duration::from_secs(5))
+                .expect("live servers answer the marker");
+            if g == generation && got[i].is_none() {
+                got[i] = Some(r);
+                received += 1;
+            }
+        }
+        let expected = machines[0].run(events.iter()).index();
+        assert_eq!(got[0], Some(MachineReport::State(expected)));
+        assert_eq!(
+            got[1],
+            Some(MachineReport::State(0)),
+            "server 1 saw nothing"
+        );
+        let _ = group.shutdown();
     }
 
     #[test]

@@ -18,10 +18,14 @@
 //!   mode (tests cross-check the two modes on small `n`), and single-sensor
 //!   recovery solves `backup − Σ others (mod 3)` directly.
 
-use fsm_dfsm::{Dfsm, Event, Executor, StateId};
-use fsm_fusion_core::FaultModel;
+use std::time::Duration;
 
+use fsm_dfsm::{Dfsm, DfsmBuilder, Event, Executor, StateId};
+use fsm_fusion_core::{FaultModel, MachineReport};
+
+use crate::env::{Environment, GroupConfig};
 use crate::error::{DistsysError, Result};
+use crate::ingest::{IngestConfig, IngestMetrics, IngestPipeline};
 use crate::sim::Seeded;
 use crate::system::FusedSystem;
 use crate::workload::Workload;
@@ -247,6 +251,96 @@ impl SensorNetwork {
         Ok(self.sensors.iter().map(|s| s.expect("restored")).collect())
     }
 
+    /// The analytically known fused backup as a real DFSM: a mod-3 counter
+    /// over *every* sensor event — the machine Algorithm 2 finds in exact
+    /// mode (the cross-mode tests pin this) — so analytic-mode networks can
+    /// drive a real server group without building the 3ⁿ-state product.
+    pub fn analytic_backup_machine(n: usize) -> Dfsm {
+        let mut b = DfsmBuilder::new("FusedSum");
+        for s in 0..Self::MODULUS {
+            b.add_state_with_output(format!("FusedSum{s}"), s.to_string());
+        }
+        b.set_initial("FusedSum0");
+        for s in 0..Self::MODULUS {
+            for i in 0..n {
+                b.add_transition(
+                    format!("FusedSum{s}"),
+                    Event::new(format!("sensor{i}")),
+                    format!("FusedSum{}", (s + 1) % Self::MODULUS),
+                );
+            }
+        }
+        b.build().expect("the sum counter is a valid DFSM")
+    }
+
+    /// The server roster a serving run spawns: every sensor machine plus
+    /// the fused backup (Algorithm 2's in exact mode,
+    /// [`SensorNetwork::analytic_backup_machine`] otherwise).
+    pub fn serving_machines(&self) -> Vec<Dfsm> {
+        match &self.exact {
+            Some(sys) => sys.all_machines(),
+            None => {
+                let n = self.num_sensors();
+                let mut machines = Self::sensor_machines(n);
+                machines.push(Self::analytic_backup_machine(n));
+                machines
+            }
+        }
+    }
+
+    /// Serves `workload` from `clients` simulated clients through a fused
+    /// server group spawned on `env` — the end-to-end traffic path: events
+    /// are pushed round-robin into the bounded client queues of an
+    /// [`IngestPipeline`] configured by `config`, batched on its size/time
+    /// triggers, applied by the group, and report collection closes the
+    /// run.  Works identically on [`crate::OsEnvironment`] (wall clock,
+    /// real threads) and [`crate::sim::SimEnvironment`] (virtual time,
+    /// seeded chaos, bit-identical replay).
+    ///
+    /// A server that dies mid-run degrades to a `None` report (the
+    /// [`DistsysError::MissingReports`] path) in
+    /// [`ServeReport::reports`] without stalling its siblings.
+    pub fn serve(
+        &self,
+        env: &dyn Environment,
+        clients: usize,
+        workload: &Workload,
+        config: &IngestConfig,
+    ) -> Result<ServeReport> {
+        let machines = self.serving_machines();
+        let mut group = env.spawn_group(&machines, &GroupConfig::from_env());
+        let clients = clients.max(1);
+        let mut pipeline = IngestPipeline::new(clients, machines.len(), config);
+        let start = env.now();
+        for (j, event) in workload.iter().enumerate() {
+            pipeline.push(group.as_mut(), j % clients, event.clone(), env.now());
+            pipeline.pump(group.as_mut(), env.now());
+        }
+        pipeline.drain(group.as_mut(), env.now());
+        let reports = group.try_collect_reports();
+        let elapsed = env.now().saturating_sub(start);
+        let missing: Vec<usize> = reports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .collect();
+        let events = workload.len();
+        let events_per_sec = events as f64 / elapsed.max(Duration::from_nanos(1)).as_secs_f64();
+        let metrics = pipeline.metrics();
+        let flush_latency_ns = pipeline.take_latency_samples();
+        let _ = group.shutdown();
+        Ok(ServeReport {
+            events,
+            clients,
+            elapsed,
+            events_per_sec,
+            metrics,
+            reports,
+            missing,
+            flush_latency_ns,
+        })
+    }
+
     /// Backup state space used by fusion (a single 3-state machine) vs. the
     /// replication baseline (`3ⁿ` for one crash fault), as the paper's
     /// introduction argues.
@@ -265,6 +359,34 @@ impl SensorNetwork {
         let total: usize = self.sensors.iter().map(|s| s.unwrap()).sum();
         total % Self::MODULUS == self.backup
     }
+}
+
+/// What one [`SensorNetwork::serve`] run measured: the first end-to-end
+/// serving numbers (events/sec over the environment clock) plus the
+/// pipeline's own counters and latency samples.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Events served end to end.
+    pub events: usize,
+    /// Client queues that fed the pipeline.
+    pub clients: usize,
+    /// Environment-clock time from first push to final drain (virtual under
+    /// the simulator).
+    pub elapsed: Duration,
+    /// Sustained events per second over `elapsed` (a virtual rate under the
+    /// simulator).
+    pub events_per_sec: f64,
+    /// The pipeline's counters (batches, flush triggers, diversions,
+    /// retries).
+    pub metrics: IngestMetrics,
+    /// Final per-server reports; `None` marks a server that degraded to the
+    /// missing-reports path.
+    pub reports: Vec<Option<MachineReport>>,
+    /// Indices of the servers that never reported.
+    pub missing: Vec<usize>,
+    /// Enqueue-to-flush latency samples (nanoseconds, flush order, capped
+    /// at [`crate::ingest::LATENCY_SAMPLE_CAP`]).
+    pub flush_latency_ns: Vec<u64>,
 }
 
 /// A reference oracle for scenario tests: replays a workload on a single
@@ -386,6 +508,89 @@ mod tests {
         assert_eq!(net.backup_state(), 1);
         // No crash: recover is a no-op returning all states.
         assert_eq!(net.recover().unwrap(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn analytic_backup_machine_counts_every_sensor_event_mod_3() {
+        let n = 4;
+        let m = SensorNetwork::analytic_backup_machine(n);
+        assert_eq!(m.size(), SensorNetwork::MODULUS);
+        let net = SensorNetwork::new(n, SensorBackupMode::Analytic).unwrap();
+        let w = net.random_workload(120, 3);
+        // The backup counts *every* observation: final state = |w| mod 3.
+        assert_eq!(replay_oracle(&m, &w).index(), w.len() % 3);
+        // Serving rosters: sensors + the one backup, in both modes.
+        assert_eq!(net.serving_machines().len(), n + 1);
+        let exact = SensorNetwork::new(3, SensorBackupMode::Exact).unwrap();
+        assert_eq!(exact.serving_machines().len(), 4);
+    }
+
+    #[test]
+    fn serve_runs_the_batched_path_end_to_end_on_both_backends() {
+        use crate::env::{Environment, OsEnvironment};
+        use crate::sim::SimConfig;
+        let n = 3;
+        let net = SensorNetwork::new(n, SensorBackupMode::Analytic).unwrap();
+        let w = net.random_workload(400, 7);
+        let cfg = IngestConfig::new().batch_max(32).queue_cap(64);
+        let check = |env: &dyn Environment| {
+            let report = net.serve(env, 2, &w, &cfg).unwrap();
+            assert_eq!(report.events, 400);
+            assert_eq!(report.clients, 2);
+            assert!(report.events_per_sec > 0.0);
+            assert!(
+                report.missing.is_empty(),
+                "{}: {:?}",
+                env.name(),
+                report.missing
+            );
+            assert_eq!(report.metrics.flushed_events, 400);
+            assert!(report.metrics.batches >= 400 / 32);
+            assert_eq!(report.flush_latency_ns.len(), 400);
+            // Every sensor's served state equals its observation count mod
+            // 3; the backup counts everything.
+            for i in 0..n {
+                let count = w
+                    .iter()
+                    .filter(|e| e.name() == format!("sensor{i}"))
+                    .count();
+                assert_eq!(
+                    report.reports[i],
+                    Some(fsm_fusion_core::MachineReport::State(
+                        count % SensorNetwork::MODULUS
+                    )),
+                    "{}: sensor {i}",
+                    env.name()
+                );
+            }
+            assert_eq!(
+                report.reports[n],
+                Some(fsm_fusion_core::MachineReport::State(
+                    400 % SensorNetwork::MODULUS
+                ))
+            );
+        };
+        check(&OsEnvironment::seeded(1));
+        check(&SimConfig::new(9).build());
+    }
+
+    #[test]
+    fn serve_replays_bit_identically_under_the_simulator() {
+        use crate::sim::SimConfig;
+        let net = SensorNetwork::new(3, SensorBackupMode::Exact).unwrap();
+        let w = net.random_workload(150, 5);
+        let cfg = IngestConfig::new().batch_max(16);
+        let run = |seed: u64| {
+            let env = SimConfig::new(seed).drop_probability(0.15).build();
+            let report = net.serve(&env, 4, &w, &cfg).unwrap();
+            (report.reports, env.trace_hash())
+        };
+        let (r1, h1) = run(3);
+        let (r2, h2) = run(3);
+        assert_eq!(r1, r2);
+        assert_eq!(h1, h2);
+        let (_, h3) = run(4);
+        assert_ne!(h1, h3);
     }
 
     #[test]

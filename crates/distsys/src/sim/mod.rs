@@ -292,6 +292,15 @@ impl ServerGroup for SimServerGroup {
         w.broadcast(self.group, || Payload::Batch(Rc::clone(&batch)));
     }
 
+    fn apply_batch_to(&mut self, i: usize, events: &[Event]) {
+        if events.is_empty() {
+            return;
+        }
+        self.world
+            .borrow_mut()
+            .send_command(self.group, i, Payload::Batch(events.into()));
+    }
+
     fn crash(&mut self, i: usize) {
         self.world
             .borrow_mut()

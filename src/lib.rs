@@ -75,10 +75,11 @@ pub mod prelude {
         SweepReport,
     };
     pub use fsm_distsys::{
-        shared, DirStore, DurabilityConfig, DurableServer, Environment, FaultKind, FaultPlan,
-        FusedSystem, GroupConfig, MemStore, OsEnvironment, RejoinPath, ReplayStats,
-        ReplicatedSystem, Seeded, SensorBackupMode, SensorNetwork, ServerGroup, SharedStore,
-        SimConfig, SimEnvironment, Store, TraceEvent, Workload, REPLAY_CUTOVER,
+        shared, ClientHandle, DirStore, DurabilityConfig, DurableServer, Environment, FaultKind,
+        FaultPlan, FusedSystem, GroupConfig, IngestConfig, IngestMetrics, IngestPipeline,
+        LaneStatus, MemStore, OsEnvironment, RejoinPath, ReplayStats, ReplicatedSystem, Seeded,
+        SensorBackupMode, SensorNetwork, ServeReport, ServerGroup, SharedStore, SimConfig,
+        SimEnvironment, Store, TraceEvent, Workload, REPLAY_CUTOVER,
     };
     pub use fsm_fusion_core::{
         generate_fusion, generate_fusion_for_machines, BitsetPartition, CachePolicy, CacheStats,

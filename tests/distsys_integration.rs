@@ -1,13 +1,17 @@
 //! Cross-crate integration tests of the simulated distributed system:
-//! fault plans, the threaded runner, the sensor-network scenario and the
-//! replication baseline, all wired against the fusion core.
+//! fault plans, the threaded runner, the batched ingestion front-end, the
+//! sensor-network scenario and the replication baseline, all wired against
+//! the fusion core.
+
+use std::time::Duration;
 
 use fsm_fusion::distsys::{
-    FaultPlan, ParallelServerGroup, SensorBackupMode, SensorNetwork, ServerStatus,
+    DistsysError, FaultPlan, ParallelServerGroup, SensorBackupMode, SensorNetwork, ServerStatus,
 };
 use fsm_fusion::fusion::projection_partitions;
 use fsm_fusion::machines::{mesi, table1_rows, tcp, zero_counter_mod3};
 use fsm_fusion::prelude::*;
+use proptest::prelude::*;
 
 #[test]
 fn randomized_fault_plans_stay_recoverable_within_budget() {
@@ -175,6 +179,185 @@ fn replication_and_fusion_agree_on_byzantine_recovery() {
     assert_eq!(replicated_states[1], truth);
     // Fusion spent far less backup state than 2f replication.
     assert!(fused.fusion_state_space() <= replicated.backup_state_space());
+}
+
+/// Drives `workload` through a batched [`IngestPipeline`] on `env`'s group:
+/// round-robin pushes across `clients` queues, a pump after every push, an
+/// optional kill before event `at`, and a final drain.  Returns the partial
+/// reports.  The retry base is an hour so no rejoin probe can fire mid-run
+/// (the reference's victim stays dead; so must the pipeline's).
+fn batched_reports(
+    env: &dyn Environment,
+    machines: &[Dfsm],
+    workload: &Workload,
+    clients: usize,
+    batch_max: usize,
+    kill: Option<(usize, usize)>,
+) -> Vec<Option<MachineReport>> {
+    let mut group = env.spawn_group(machines, &GroupConfig::new());
+    let config = IngestConfig::new()
+        .batch_max(batch_max)
+        .retry_base(Duration::from_secs(3600))
+        .divert_cap(workload.len());
+    let mut pipeline = IngestPipeline::new(clients, machines.len(), &config);
+    for (j, event) in workload.iter().enumerate() {
+        if let Some((victim, at)) = kill {
+            if j == at {
+                pipeline.kill_server(group.as_mut(), victim, env.now());
+            }
+        }
+        pipeline.push(group.as_mut(), j % clients, event.clone(), env.now());
+        pipeline.pump(group.as_mut(), env.now());
+    }
+    pipeline.drain(group.as_mut(), env.now());
+    group.try_collect_reports()
+}
+
+/// The per-event reference the pipeline must be indistinguishable from:
+/// broadcast each event individually, killing the same victim at the same
+/// point in the stream.
+fn per_event_reports(
+    env: &dyn Environment,
+    machines: &[Dfsm],
+    workload: &Workload,
+    kill: Option<(usize, usize)>,
+) -> Vec<Option<MachineReport>> {
+    let mut group = env.spawn_group(machines, &GroupConfig::new());
+    for (j, event) in workload.iter().enumerate() {
+        if let Some((victim, at)) = kill {
+            if j == at {
+                group.kill_process(victim);
+            }
+        }
+        group.apply_event(event);
+    }
+    group.try_collect_reports()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole equivalence: under any client count, batch size and
+    /// kill schedule, batched ingestion lands every server in exactly the
+    /// state the per-event reference produces — on the threaded backend and
+    /// on the simulator (where the seeded run is additionally pinned
+    /// bit-identical across replays).
+    #[test]
+    fn batched_ingest_matches_per_event_reference(
+        seed in 0u64..10_000,
+        clients in 1usize..5,
+        batch_max in 1usize..64,
+        kill_pick in 0usize..9,
+    ) {
+        let net = SensorNetwork::new(3, SensorBackupMode::Analytic).unwrap();
+        let machines = net.serving_machines();
+        let workload = net.random_workload(90, seed);
+        // 0 = fault-free; otherwise kill server (pick-1)%4 at event pick*9.
+        let kill = (kill_pick > 0)
+            .then(|| ((kill_pick - 1) % machines.len(), kill_pick * 9));
+
+        // Threaded backend.
+        let os = OsEnvironment::seeded(seed);
+        let batched = batched_reports(&os, &machines, &workload, clients, batch_max, kill);
+        let reference = per_event_reports(&os, &machines, &workload, kill);
+        prop_assert_eq!(&batched, &reference);
+
+        // Simulated backend under report-drop chaos, twice with the same
+        // seed: byte-identical across replays.  The batched and per-event
+        // runs send different message counts, so they consume the chaos
+        // RNG differently — drops are only comparable run-to-run, not
+        // batched-to-reference.
+        let sim_run = || {
+            let env = Seeded(seed).sim().drop_probability(0.1).build();
+            let reports = batched_reports(&env, &machines, &workload, clients, batch_max, kill);
+            (reports, env.trace_hash())
+        };
+        let (sim_batched, hash_a) = sim_run();
+        let (sim_again, hash_b) = sim_run();
+        prop_assert_eq!(&sim_batched, &sim_again);
+        prop_assert_eq!(hash_a, hash_b);
+
+        // Equivalence to the per-event reference needs a lossless reply
+        // path (delivery delays stay on); a dropped reply legitimately
+        // degrades that server's report to None, by design.
+        let quiet_batched = {
+            let env = Seeded(seed).sim().build();
+            batched_reports(&env, &machines, &workload, clients, batch_max, kill)
+        };
+        let quiet_reference = {
+            let env = Seeded(seed).sim().build();
+            per_event_reports(&env, &machines, &workload, kill)
+        };
+        prop_assert_eq!(&quiet_batched, &quiet_reference);
+        prop_assert_eq!(&quiet_batched, &batched);
+
+        // Ground truth for the survivors: a bare replay of the workload.
+        for (i, report) in batched.iter().enumerate() {
+            if kill.map(|(victim, _)| victim) == Some(i) {
+                prop_assert_eq!(report.clone(), None);
+            } else {
+                let expected = machines[i].run(workload.iter());
+                prop_assert_eq!(
+                    report.clone(),
+                    Some(MachineReport::State(expected.index()))
+                );
+            }
+        }
+    }
+}
+
+/// The regression the ISSUE pins: when a queue is full *and* a server is
+/// dead, `try_push` must surface the typed [`DistsysError::Backpressure`]
+/// error — never silently drop the event — and the queued events must still
+/// reach the healthy servers (the dead lane diverts) once the aggregator
+/// catches up.
+#[test]
+fn full_queue_on_a_dead_server_is_typed_backpressure_not_a_silent_drop() {
+    let net = SensorNetwork::new(3, SensorBackupMode::Analytic).unwrap();
+    let machines = net.serving_machines();
+    let env = OsEnvironment::seeded(5);
+    let mut group = env.spawn_group(&machines, &GroupConfig::new());
+    let config = IngestConfig::new()
+        .queue_cap(2)
+        .batch_max(8)
+        .retry_base(Duration::from_secs(3600))
+        .divert_cap(64);
+    let mut pipeline = IngestPipeline::new(1, machines.len(), &config);
+
+    // A dead server must not change the backpressure contract.
+    pipeline.kill_server(group.as_mut(), 0, env.now());
+
+    let events: Vec<_> = net.random_workload(3, 5).iter().cloned().collect();
+    pipeline.try_push(0, events[0].clone(), env.now()).unwrap();
+    pipeline.try_push(0, events[1].clone(), env.now()).unwrap();
+    match pipeline.try_push(0, events[2].clone(), env.now()) {
+        Err(DistsysError::Backpressure { client, capacity }) => {
+            assert_eq!(client, 0);
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected the typed Backpressure error, got {other:?}"),
+    }
+    // Nothing was dropped to make room: both queued events are still there.
+    assert_eq!(pipeline.queued(), 2);
+
+    // Once the aggregator drains, the rejected event fits and everything
+    // flows: healthy servers apply, the dead lane diverts.
+    pipeline.pump(group.as_mut(), env.now());
+    pipeline.try_push(0, events[2].clone(), env.now()).unwrap();
+    pipeline.drain(group.as_mut(), env.now());
+    assert_eq!(pipeline.queued(), 0);
+    assert_eq!(pipeline.metrics().flushed_events, 3);
+    assert_eq!(pipeline.diverted_len(0), 3);
+    let reports = group.try_collect_reports();
+    assert!(reports[0].is_none(), "the victim stays down");
+    for (i, report) in reports.iter().enumerate().skip(1) {
+        let expected = machines[i].run(events.iter());
+        assert_eq!(
+            report,
+            &Some(MachineReport::State(expected.index())),
+            "server {i}"
+        );
+    }
 }
 
 #[test]

@@ -106,6 +106,39 @@ fn prelude_exposes_recovery_surface() {
     assert_eq!(replication.runs, 1);
 }
 
+/// The batched-ingestion surface — the pipeline, its config, the typed
+/// backpressure error and the serving scenario report — must be importable
+/// from the prelude alone.
+#[test]
+fn prelude_exposes_ingest_surface() {
+    // Types usable in signatures straight from the prelude.
+    fn _takes_pipeline(_: &IngestPipeline) {}
+    fn _takes_ingest_config(_: &IngestConfig) {}
+    fn _takes_ingest_metrics(_: IngestMetrics) {}
+    fn _takes_client(_: &ClientHandle) {}
+    fn _takes_lane_status(_: LaneStatus) {}
+    fn _takes_serve_report(_: &ServeReport) {}
+
+    // Constructors and the end-to-end serving path, reachable without
+    // naming a sub-crate.
+    let config = IngestConfig::new()
+        .queue_cap(8)
+        .batch_max(4)
+        .flush_interval(std::time::Duration::from_millis(1));
+    assert_eq!(config.resolved_batch_max(), 4);
+    let pipeline = IngestPipeline::new(2, 3, &config);
+    assert_eq!(pipeline.clients(), 2);
+    assert_eq!(pipeline.lane_status(0), LaneStatus::Healthy);
+
+    let net = SensorNetwork::new(3, SensorBackupMode::Analytic).unwrap();
+    let env = Seeded(11).sim().build();
+    let workload = net.random_workload(60, 11);
+    let report = net.serve(&env, 2, &workload, &config).unwrap();
+    assert_eq!(report.events, 60);
+    assert!(report.missing.is_empty());
+    assert_eq!(report.metrics.flushed_events, 60);
+}
+
 /// The `src/lib.rs` doctest scenario, as a plain test: crash one of the
 /// Figure 1 mod-3 counters, recover, and match the oracle.
 #[test]
