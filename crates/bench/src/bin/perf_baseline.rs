@@ -12,9 +12,12 @@
 //! tuple-keyed `ReachableProduct::new_reference`), every `_par` op next to
 //! its sequential twin, the persistent-pool engine
 //! (`alg2_search_pooled_*`) next to its per-search-spawn twin
-//! (`alg2_search_spawn_*`), and the session's warm closure cache
+//! (`alg2_search_spawn_*`), the session's warm closure cache
 //! (`alg2_sweep_cached_*`) next to the cold free-function sweep
-//! (`alg2_sweep_cold_*`); the JSON records all four speedup ratio sets.
+//! (`alg2_sweep_cold_*`), and the delta-aware update paths
+//! (`alg2_update_add_machine_*`, `product_extend_factor_*`) next to cold
+//! rebuilds of the evolved context; the JSON records all five speedup
+//! ratio sets.
 //! The crash-recovery pipeline is covered by `wal_append_frame`,
 //! `recover_replay_n512` and `recover_decode_f1`, and the `sim_sweep`
 //! section records a fusion-vs-replication cost comparison over identical
@@ -55,7 +58,7 @@ use fsm_fusion_bench::{
 use fsm_fusion_core::reference;
 use fsm_fusion_core::{
     generate_fusion_par, generate_fusion_par_spawn, generate_fusion_seq, projection_partitions,
-    Engine, FaultGraph, FaultModel, FusionConfig, MachineReport, Partition,
+    Engine, FaultGraph, FaultModel, FusionConfig, MachineReport, Partition, TopDelta,
 };
 
 /// Regression threshold for `--check`: calibration-normalized ns/op may grow
@@ -460,6 +463,89 @@ fn measure_all() -> Vec<Measurement> {
         push("alg2_sweep_cold_n729", iters, ns);
     }
 
+    // Delta-aware re-fusion at |⊤| = 729: one add/remove cycle through
+    // `FusionSession::update_top` — product stride-extension, the fused
+    // fault-graph pullback-with-delta passes, closure-cache remap and
+    // context reinstall — against materializing the same two fusion
+    // contexts (product, projection partitions, fault graph) cold at both
+    // endpoints of the cycle.  The machine set is replication-shaped: six
+    // mod-3 counters, each deployed as four copies — the replication
+    // baseline the paper compares fusion against at three crash faults.
+    // `⊤` stays at 729 states while the cold side pays one bitset pass
+    // *per machine* (24 of them, twice) and the warm side a constant few;
+    // the cycled machine is the last replica.  The generation walk itself
+    // is excluded from both sides: `tests/delta_properties.rs` pins it
+    // bit-identical, so it would only add the same constant to both
+    // figures.  The `_cold` op is a documentation twin like `_scan` /
+    // `_spawn` and never gates.
+    {
+        let mut family = counter_family(6, 3);
+        let primaries = family.clone();
+        for _ in 0..3 {
+            family.extend(primaries.iter().cloned());
+        }
+        let last = family.len() - 1;
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        session.install_top(&family[..last]).unwrap();
+        // Prime the session's graph slot: the very first add has nothing to
+        // remap and cold-builds; every cycle after it stays warm.
+        session
+            .update_top(TopDelta::AddMachine(family[last].clone()))
+            .unwrap();
+        session.update_top(TopDelta::RemoveMachine(last)).unwrap();
+        let iters = 10;
+        let ns = bench(iters, || {
+            let up = session
+                .update_top(TopDelta::AddMachine(family[last].clone()))
+                .unwrap();
+            assert!(!up.graph_rebuilt, "cycle must stay on the warm graph path");
+            assert_eq!(session.top_product().unwrap().size(), 729);
+            let down = session.update_top(TopDelta::RemoveMachine(last)).unwrap();
+            assert!(!down.graph_rebuilt, "contraction must reuse the graph");
+            up.graph_stripes_touched + down.graph_stripes_touched
+        });
+        push("alg2_update_add_machine_n729", iters, ns);
+        let builder = ProductBuilder::new().workers(1);
+        let ns = bench(iters, || {
+            let grown = builder.build(&family).unwrap();
+            let originals = projection_partitions(&grown);
+            let graph = FaultGraph::from_partitions(grown.size(), &originals);
+            let back = builder.build(&family[..last]).unwrap();
+            let shrunk = projection_partitions(&back);
+            let graph_back = FaultGraph::from_partitions(back.size(), &shrunk);
+            graph.dmin() as usize + graph_back.dmin() as usize + grown.size() + back.size()
+        });
+        push("alg2_cold_add_machine_n729", iters, ns);
+    }
+
+    // The product layer of the same add-one-machine delta in isolation:
+    // `extend_factor`'s pair walk against the cold rebuild of the grown
+    // product, on the same 24-machine replicated family.  This is where
+    // the stride-extension design earns its keep structurally: the
+    // extension interns `(base state, new coordinate)` pairs — a space
+    // that stays small and dense no matter the arity — while the cold
+    // build's mixed-radix tuple space (3²⁴) has long outgrown the dense
+    // interner and degrades to hashed interning.
+    {
+        let mut family = counter_family(6, 3);
+        let primaries = family.clone();
+        for _ in 0..3 {
+            family.extend(primaries.iter().cloned());
+        }
+        let last = family.len() - 1;
+        let base = ReachableProduct::with_workers(&family[..last], 1).unwrap();
+        let builder = ProductBuilder::new().workers(1);
+        let iters = 50;
+        let ns = bench(iters, || {
+            let (grown, ext) = builder.extend_factor(&base, &family[last]).unwrap();
+            assert_eq!(grown.size(), 729);
+            ext.reexpanded
+        });
+        push("product_extend_factor_n729", iters, ns);
+        let ns = bench(iters, || builder.build(&family).unwrap().size());
+        push("product_extend_factor_cold_n729", iters, ns);
+    }
+
     // One deterministic simulation scenario end to end: spawn the simulated
     // group, drive the seeded workload through the chaotic network, inject
     // the scripted faults, decode and verify recovery.  A fixed seed keeps
@@ -617,6 +703,27 @@ fn cached_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Speedup ratios of the delta-aware update ops against their `_cold`
+/// twins — how much `FusionSession::update_top` / `extend_factor` save
+/// over rebuilding the evolved fusion context from scratch.
+fn update_speedups(ops: &[Measurement]) -> Vec<(String, f64)> {
+    const PAIRS: [(&str, &str); 2] = [
+        ("alg2_update_add_machine_n729", "alg2_cold_add_machine_n729"),
+        (
+            "product_extend_factor_n729",
+            "product_extend_factor_cold_n729",
+        ),
+    ];
+    PAIRS
+        .iter()
+        .filter_map(|(update, cold)| {
+            let u = ops.iter().find(|m| m.name == *update)?;
+            let c = ops.iter().find(|m| m.name == *cold)?;
+            Some((u.name.to_string(), c.ns_per_op / u.ns_per_op))
+        })
+        .collect()
+}
+
 /// Seeds for the fusion-vs-replication comparison recorded in the JSON's
 /// `sim_sweep.backend_comparison` section.  Both backends run the same
 /// seeds, so the message and latency totals are directly comparable.
@@ -679,6 +786,13 @@ fn render_json(ops: &[Measurement], comparison: &(BackendCost, BackendCost)) -> 
     s.push_str("  },\n");
     s.push_str("  \"speedup_cached_vs_cold\": {\n");
     let ratios = cached_speedups(ops);
+    for (i, (name, ratio)) in ratios.iter().enumerate() {
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"speedup_update_vs_cold\": {\n");
+    let ratios = update_speedups(ops);
     for (i, (name, ratio)) in ratios.iter().enumerate() {
         let comma = if i + 1 == ratios.len() { "" } else { "," };
         let _ = writeln!(s, "    \"{name}\": {ratio:.2}{comma}");
@@ -847,6 +961,9 @@ fn main() -> ExitCode {
     }
     for (name, ratio) in cached_speedups(&ops) {
         println!("speedup {name:<34} {ratio:>6.2}x vs cold free-function sweep");
+    }
+    for (name, ratio) in update_speedups(&ops) {
+        println!("speedup {name:<34} {ratio:>6.2}x vs cold context rebuild");
     }
 
     let comparison = compare_backends(0, COMPARE_SEEDS);

@@ -88,8 +88,8 @@ pub use executor::Executor;
 pub use isomorphism::{are_isomorphic, isomorphism};
 pub use minimize::{minimize_by_labels, minimize_by_output, Minimized};
 pub use product::{
-    ProductBuildStats, ProductBuilder, ProductStrategy, ReachableProduct, DEFAULT_DENSE_LIMIT,
-    DEFAULT_MEM_BUDGET,
+    FactorExtension, ProductBuildStats, ProductBuilder, ProductStrategy, ReachableProduct,
+    DEFAULT_DENSE_LIMIT, DEFAULT_MEM_BUDGET,
 };
 pub use state::{StateId, StateInfo};
 pub use workers::{

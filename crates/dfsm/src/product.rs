@@ -333,6 +333,212 @@ impl ProductBuilder {
             }
         }
     }
+
+    /// Extends `base` by one more factor machine, appended *last*, reusing
+    /// the base product instead of rebuilding from the component machines.
+    ///
+    /// The new product's transitions factorize: on every event of the old
+    /// union alphabet the base coordinate follows the base product's
+    /// *stored* transition row, and on events only the new machine knows
+    /// the base coordinate stays put — so expanding one state costs two
+    /// table lookups instead of the cold build's per-component successor
+    /// sum, and the base machines' step tables are never rebuilt.  Because
+    /// [`Alphabet::union_all`] preserves insertion order, the old union
+    /// alphabet is a prefix of the new one, and the incremental BFS visits
+    /// states in exactly the cold build's frontier × event discovery order:
+    /// the result is **bit-identical** (state numbering, names, transitions,
+    /// tuples, index variant) to building all `arity + 1` machines cold
+    /// through this builder.
+    ///
+    /// Returns the product together with a [`FactorExtension`] carrying the
+    /// new-state → base-state projection used by `fsm-fusion-core`'s
+    /// delta-aware fault-graph and closure-cache remapping.
+    pub fn extend_factor(
+        &self,
+        base: &ReachableProduct,
+        machine: &Dfsm,
+    ) -> Result<(ReachableProduct, FactorExtension)> {
+        let machines: Vec<Dfsm> = base
+            .components()
+            .iter()
+            .cloned()
+            .chain(std::iter::once(machine.clone()))
+            .collect();
+        let name = self.name.clone().unwrap_or_else(|| "top".into());
+        let arity = machines.len();
+        let alphabet = Alphabet::union_all(machines.iter().map(|m| m.alphabet()));
+        let k = alphabet.len();
+        let k_old = base.top().alphabet().len();
+        debug_assert_eq!(
+            base.top().alphabet().events(),
+            &alphabet.events()[..k_old],
+            "the old union alphabet must be a prefix of the new one"
+        );
+        // Per union event, the new machine's own event id (None = ignored).
+        let resolved: Vec<Option<crate::event::EventId>> = alphabet
+            .events()
+            .iter()
+            .map(|ev| machine.alphabet().id_of(ev))
+            .collect();
+        let s_new = machine.size() as u64;
+        let n_base = base.size() as u64;
+
+        // Intern (base state, new coordinate) pairs under the key
+        // `x * |S_new| + c`; dense when the pair space is small.
+        let pair_space = n_base * s_new;
+        enum PairInterner {
+            Dense(Vec<u32>),
+            Map(HashMap<u64, u32>),
+        }
+        let mut interner = if pair_space <= self.resolved_dense_limit() {
+            PairInterner::Dense(vec![u32::MAX; pair_space as usize])
+        } else {
+            PairInterner::Map(HashMap::new())
+        };
+        let mut mapping: Vec<u32> = Vec::new();
+        let mut coords: Vec<u32> = Vec::new();
+        let mut intern = |x: u32, c: u32, mapping: &mut Vec<u32>, coords: &mut Vec<u32>| -> u32 {
+            let key = x as u64 * s_new + c as u64;
+            let slot = match &mut interner {
+                PairInterner::Dense(table) => &mut table[key as usize],
+                PairInterner::Map(map) => map.entry(key).or_insert(u32::MAX),
+            };
+            if *slot == u32::MAX {
+                *slot = mapping.len() as u32;
+                mapping.push(x);
+                coords.push(c);
+            }
+            *slot
+        };
+
+        // The base product's BFS put its initial state at id 0, so the new
+        // initial pair is (0, new initial) — interned first, id 0.
+        intern(
+            0,
+            machine.initial().index() as u32,
+            &mut mapping,
+            &mut coords,
+        );
+
+        // One-state-at-a-time BFS over the implicit FIFO (ids are assigned
+        // in discovery order, so processing states in id order IS the
+        // frontier × event order of the cold level-synchronized build).
+        let base_table = base.top().transition_table();
+        let mut transitions: Vec<Vec<StateId>> = Vec::new();
+        let mut t = 0usize;
+        while t < mapping.len() {
+            let x = mapping[t];
+            let c = coords[t];
+            let base_row = &base_table[x as usize];
+            let mut row = Vec::with_capacity(k);
+            for (e, res) in resolved.iter().enumerate() {
+                // Old-union events follow the stored base row; events the
+                // base machines never knew leave the base coordinate put.
+                let x2 = if e < k_old {
+                    base_row[e].index() as u32
+                } else {
+                    x
+                };
+                let c2 = match res {
+                    Some(id) => machine.next(StateId(c as usize), *id).index() as u32,
+                    None => c,
+                };
+                row.push(StateId(intern(x2, c2, &mut mapping, &mut coords) as usize));
+            }
+            transitions.push(row);
+            t += 1;
+        }
+
+        let num_states = mapping.len();
+        let mut tuple_flat: Vec<StateId> = Vec::with_capacity(num_states * arity);
+        for (&x, &c) in mapping.iter().zip(coords.iter()) {
+            tuple_flat.extend_from_slice(base.tuple(StateId(x as usize)));
+            tuple_flat.push(StateId(c as usize));
+        }
+
+        // The tuple index is built by the cold rules, so even the index
+        // variant matches what a from-scratch build would have chosen.
+        let cap = self.packed_capacity.unwrap_or(u64::MAX);
+        let index = match Radix::new(&machines, cap) {
+            Some((radix, full)) if full <= self.resolved_dense_limit() => {
+                let mut table = vec![u32::MAX; full as usize];
+                for (t, tuple) in tuple_flat.chunks(arity).enumerate() {
+                    let key = radix.pack(tuple).expect("stored tuples are in range");
+                    table[key as usize] = t as u32;
+                }
+                TupleIndex::Dense { radix, table }
+            }
+            Some((radix, _)) => {
+                let map = tuple_flat
+                    .chunks(arity)
+                    .enumerate()
+                    .map(|(t, tuple)| {
+                        let key = radix.pack(tuple).expect("stored tuples are in range");
+                        (key, t as u32)
+                    })
+                    .collect();
+                TupleIndex::Packed { radix, map }
+            }
+            None => TupleIndex::Tuples(
+                tuple_flat
+                    .chunks(arity)
+                    .enumerate()
+                    .map(|(t, tuple)| (tuple.to_vec(), StateId(t)))
+                    .collect(),
+            ),
+        };
+
+        // State names splice the base product's (always "{a,…,e}" from a
+        // prior finish) with the appended coordinate — bit-identical to the
+        // cold join over every component, without re-walking the tuple.
+        let states: Vec<StateInfo> = mapping
+            .iter()
+            .zip(coords.iter())
+            .map(|(&x, &c)| {
+                let base_name = base.top().state_name(StateId(x as usize));
+                let coord = machine.state_name(StateId(c as usize));
+                let mut n = String::with_capacity(base_name.len() + coord.len() + 1);
+                n.push_str(&base_name[..base_name.len() - 1]);
+                n.push(',');
+                n.push_str(coord);
+                n.push('}');
+                StateInfo::named(n)
+            })
+            .collect();
+        let product = ReachableProduct::finish_with_states(
+            &machines,
+            name,
+            states,
+            alphabet,
+            arity,
+            tuple_flat,
+            transitions,
+            index,
+        )?;
+        Ok((
+            product,
+            FactorExtension {
+                mapping,
+                reexpanded: num_states,
+            },
+        ))
+    }
+}
+
+/// What a [`ProductBuilder::extend_factor`] construction reused from the
+/// base product and what it had to re-derive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorExtension {
+    /// `mapping[t]` is the base-product state that new product state `t`
+    /// projects onto when the appended factor's coordinate is dropped.
+    /// Every base state appears (old event paths replay unchanged), so this
+    /// is a surjection onto the base product's states.
+    pub mapping: Vec<u32>,
+    /// Product states expanded by the incremental BFS — the new product's
+    /// size.  Each expansion costs two lookups (one stored base row, one
+    /// new-machine step) instead of the cold build's per-component
+    /// successor sum, and no base-machine step tables are rebuilt.
+    pub reexpanded: usize,
 }
 
 /// The mixed-radix packing of component-state tuples into `u64` keys.
@@ -860,6 +1066,33 @@ impl ReachableProduct {
                 StateInfo::named(format!("{{{}}}", names.join(",")))
             })
             .collect();
+        Self::finish_with_states(
+            machines,
+            name,
+            states,
+            alphabet,
+            arity,
+            tuple_flat,
+            transitions,
+            index,
+        )
+    }
+
+    /// [`ReachableProduct::finish`] with the state names already
+    /// materialized — the incremental `extend_factor` path derives them by
+    /// splicing the base product's names instead of re-joining every
+    /// component's.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_with_states(
+        machines: &[Dfsm],
+        name: String,
+        states: Vec<StateInfo>,
+        alphabet: Alphabet,
+        arity: usize,
+        tuple_flat: Vec<StateId>,
+        transitions: Vec<Vec<StateId>>,
+        index: TupleIndex,
+    ) -> Result<Self> {
         let top = Dfsm::from_parts(name, states, alphabet, transitions, StateId(0))?;
         Ok(ReachableProduct {
             top,
@@ -1272,6 +1505,127 @@ mod tests {
             .unwrap();
         assert!(matches!(roomy.index, TupleIndex::Dense { .. }));
         assert_same_product(&packed, &roomy);
+    }
+
+    /// Cold twin of an [`ProductBuilder::extend_factor`] call: the same
+    /// builder building all machines from scratch.
+    fn cold_extended(base: &ReachableProduct, machine: &Dfsm) -> ReachableProduct {
+        let machines: Vec<Dfsm> = base
+            .components()
+            .iter()
+            .cloned()
+            .chain(std::iter::once(machine.clone()))
+            .collect();
+        ProductBuilder::new().build(&machines).unwrap()
+    }
+
+    #[test]
+    fn extend_factor_matches_cold_build_for_disjoint_events() {
+        // A third counter over a brand-new event: the pair BFS must produce
+        // the 24-state product with the cold build's exact numbering.
+        let base = ReachableProduct::new(&[counter("a", "0", 3), counter("b", "1", 4)]).unwrap();
+        let c = counter("c", "2", 2);
+        let (ext, stats) = ProductBuilder::new().extend_factor(&base, &c).unwrap();
+        let cold = cold_extended(&base, &c);
+        assert_same_product(&ext, &cold);
+        assert_eq!(stats.reexpanded, ext.size());
+        assert_eq!(stats.mapping.len(), ext.size());
+        // The mapping really is the drop-last-coordinate projection.
+        for t in 0..ext.size() {
+            let tuple = ext.tuple(StateId(t));
+            let x = StateId(stats.mapping[t] as usize);
+            assert_eq!(&tuple[..base.arity()], base.tuple(x));
+        }
+        // And it is surjective onto the base product.
+        let mut hit = vec![false; base.size()];
+        for &x in &stats.mapping {
+            hit[x as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "every base state must reappear");
+    }
+
+    #[test]
+    fn extend_factor_matches_cold_build_for_shared_and_novel_events() {
+        // The appended machine shares event "0" with the base AND brings a
+        // novel event "2" — both the prefix-alphabet path and the
+        // stay-in-place path are exercised.
+        let base = ReachableProduct::new(&[counter("a", "0", 3), counter("b", "1", 2)]).unwrap();
+        let mut b = DfsmBuilder::new("c");
+        for i in 0..3 {
+            b.add_state(format!("c{i}"));
+        }
+        b.set_initial("c0");
+        for i in 0..3 {
+            b.add_transition(format!("c{i}"), "0", format!("c{}", (i + 1) % 3));
+            b.add_transition(format!("c{i}"), "2", format!("c{}", (i + 2) % 3));
+        }
+        b.complete_missing_with_self_loops();
+        let c = b.build().unwrap();
+        let (ext, stats) = ProductBuilder::new().extend_factor(&base, &c).unwrap();
+        let cold = cold_extended(&base, &c);
+        assert_same_product(&ext, &cold);
+        assert_eq!(stats.reexpanded, ext.size());
+        // Lockstep with "a" on event "0" keeps the product smaller than the
+        // full 18-state space; the incremental build must agree on that too.
+        assert_eq!(ext.size(), cold.size());
+        for s0 in 0..3 {
+            for s1 in 0..2 {
+                for s2 in 0..3 {
+                    let tuple = [StateId(s0), StateId(s1), StateId(s2)];
+                    assert_eq!(ext.find_tuple(&tuple), cold.find_tuple(&tuple));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_factor_chains_match_one_cold_build() {
+        // Two successive extensions ≡ one cold build of all four machines.
+        let base = ReachableProduct::new(std::slice::from_ref(&counter("a", "0", 2))).unwrap();
+        let (p2, _) = ProductBuilder::new()
+            .extend_factor(&base, &counter("b", "1", 3))
+            .unwrap();
+        let (p3, _) = ProductBuilder::new()
+            .extend_factor(&p2, &counter("c", "0", 2))
+            .unwrap();
+        let cold = ProductBuilder::new()
+            .build(&[
+                counter("a", "0", 2),
+                counter("b", "1", 3),
+                counter("c", "0", 2),
+            ])
+            .unwrap();
+        assert_same_product(&p3, &cold);
+    }
+
+    #[test]
+    fn extend_factor_builds_the_cold_index_variant() {
+        let base = ReachableProduct::new(&[counter("a", "0", 3), counter("b", "1", 4)]).unwrap();
+        let c = counter("c", "2", 2);
+        // 24 full states: dense both ways.
+        let (dense, _) = ProductBuilder::new().extend_factor(&base, &c).unwrap();
+        assert!(matches!(dense.index, TupleIndex::Dense { .. }));
+        // A dense limit below 24 flips both the cold build and the
+        // extension to the packed map.
+        let (mapped, _) = ProductBuilder::new()
+            .dense_limit(23)
+            .extend_factor(&base, &c)
+            .unwrap();
+        assert!(matches!(mapped.index, TupleIndex::Packed { .. }));
+        assert_same_product(&dense, &mapped);
+        // A packed-key cap below 24 forces the tuple fallback, like cold.
+        let (capped, _) = ProductBuilder::new()
+            .packed_key_capacity(23)
+            .extend_factor(&base, &c)
+            .unwrap();
+        assert!(matches!(capped.index, TupleIndex::Tuples(_)));
+        assert_same_product(&dense, &capped);
+        // The name knob applies to the extended product too.
+        let (named, _) = ProductBuilder::new()
+            .name("R")
+            .extend_factor(&base, &c)
+            .unwrap();
+        assert_eq!(named.top().name(), "R");
     }
 
     #[test]

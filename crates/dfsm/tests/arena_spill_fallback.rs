@@ -1,0 +1,53 @@
+//! Forces `PageArena`'s spill path to fail and pins the degraded behavior:
+//! pages that should have spilled stay resident, the failures are counted
+//! in `spill_fallbacks`, and `into_rows` output is bit-identical to a
+//! healthy arena's.
+//!
+//! The spill file is created in `std::env::temp_dir()`, which honours
+//! `TMPDIR` on unix — so this lives in its own integration-test binary
+//! (its own process) where repointing `TMPDIR` at a nonexistent directory
+//! cannot race other tests.
+
+use fsm_dfsm::PageArena;
+
+#[test]
+fn unwritable_temp_dir_degrades_to_resident_pages() {
+    // Nonexistent directory: the spill file's `create_new` must fail.
+    std::env::set_var(
+        "TMPDIR",
+        format!("/nonexistent-fsm-fusion-spill-{}", std::process::id()),
+    );
+
+    // A budget this small keeps one sealed page resident and would spill
+    // the other nine.
+    let total = 2560u32;
+    let mut broken = PageArena::with_budget(2 * 1024);
+    for v in 0..total {
+        broken.push(v);
+    }
+    assert_eq!(broken.spilled_pages(), 0, "spilling cannot have succeeded");
+    assert_eq!(broken.spilled_bytes(), 0);
+    assert!(
+        broken.spill_fallbacks() > 0,
+        "failed spills must be counted"
+    );
+    assert_eq!(broken.len(), total as usize);
+
+    // The degraded arena still produces the exact rows — the budget turned
+    // advisory, not lossy.
+    let rows = broken.into_rows(4).unwrap();
+    assert_eq!(rows.len(), total as usize / 4);
+    for (r, row) in rows.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            assert_eq!(v as usize, r * 4 + c);
+        }
+    }
+
+    // Bit-identical to a healthy all-resident arena over the same pushes.
+    let mut healthy = PageArena::with_budget(64 << 20);
+    for v in 0..total {
+        healthy.push(v);
+    }
+    assert_eq!(healthy.spill_fallbacks(), 0);
+    assert_eq!(healthy.into_rows(4).unwrap(), rows);
+}

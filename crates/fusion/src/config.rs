@@ -76,8 +76,11 @@ pub enum CachePolicy {
     /// free-function engines.
     Disabled,
     /// Keep closures across calls, bounded to this many cached **elements**
-    /// (entries × `|⊤|`, i.e. roughly `8 × bound` bytes); the whole cache
-    /// is cleared when an insertion would exceed the bound.
+    /// (entries × `|⊤|`, i.e. roughly `8 × bound` bytes).  When an
+    /// insertion would exceed the bound, whole descent levels are evicted
+    /// *oldest first* (counted in [`crate::CacheStats::evicted`]) until it
+    /// fits; an insertion that cannot fit even then is skipped, so a
+    /// single oversized closure never cold-starts subsequent sweeps.
     Bounded(usize),
 }
 

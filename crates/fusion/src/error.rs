@@ -25,6 +25,11 @@ pub enum FusionError {
     NothingToRecoverFrom,
     /// A report referenced a block or machine index that does not exist.
     InvalidReport(String),
+    /// A [`crate::TopDelta`] that cannot be applied to the session's
+    /// installed `⊤` (index out of range, no top installed, removing the
+    /// last machine, or an extension that shrinks a machine's states or
+    /// alphabet).
+    InvalidDelta(String),
     /// An underlying DFSM error.
     Dfsm(fsm_dfsm::DfsmError),
     /// A parallel-engine worker thread panicked while evaluating a
@@ -64,6 +69,7 @@ impl fmt::Display for FusionError {
                 write!(f, "recovery attempted with no surviving machine state")
             }
             FusionError::InvalidReport(msg) => write!(f, "invalid recovery report: {msg}"),
+            FusionError::InvalidDelta(msg) => write!(f, "invalid top delta: {msg}"),
             FusionError::Dfsm(e) => write!(f, "dfsm error: {e}"),
             FusionError::WorkerPanicked { worker } => {
                 write!(

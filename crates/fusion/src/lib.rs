@@ -26,6 +26,10 @@
 //!   point**: a config-driven session (engine, worker count, product
 //!   strategy, cache policy resolved once) that owns scratch buffers, the
 //!   pool handle and a cross-call closure cache (module [`mod@session`]).
+//! * [`TopDelta`] / [`FusionSession::update_top`] — **delta-aware
+//!   re-fusion** for evolving machine sets: add, remove or extend one
+//!   machine and have the product, fault graph and closure cache updated
+//!   incrementally instead of rebuilt (module [`mod@delta`]).
 //! * [`generate_fusion`] — Algorithm 2: minimal fusion generation (§5.1,
 //!   Theorem 5), with a sequential engine ([`generate_fusion_seq`]) and a
 //!   crossbeam-backed parallel engine ([`generate_fusion_par`], module
@@ -85,6 +89,7 @@
 pub mod bitset;
 pub mod closed;
 pub mod config;
+pub mod delta;
 mod error;
 pub mod fault_graph;
 pub mod generate;
@@ -103,8 +108,9 @@ pub mod theory;
 pub use bitset::{BitsetPartition, BlockMatrix};
 pub use closed::{check_closed, close, is_closed, quotient_machine, CloseScratch, ClosureKernel};
 pub use config::{CachePolicy, Engine, FusionConfig, ProductStrategy};
+pub use delta::{TopDelta, UpdateStats};
 pub use error::{FusionError, Result};
-pub use fault_graph::{FaultGraph, WeightRepr};
+pub use fault_graph::{FaultGraph, GraphDelta, WeightRepr};
 #[doc(hidden)]
 pub use generate::generate_fusion_par_spawn;
 pub use generate::{

@@ -63,12 +63,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use fsm_dfsm::{Dfsm, ProductBuilder, ReachableProduct};
+use fsm_dfsm::{Dfsm, ProductBuilder, ReachableProduct, StateId};
 
 use crate::closed::{CloseScratch, ClosureKernel};
 use crate::config::{CachePolicy, Engine, FusionConfig, ProductStrategy};
-use crate::error::Result;
-use crate::fault_graph::FaultGraph;
+use crate::delta::{TopDelta, UpdateStats};
+use crate::error::{FusionError, Result};
+use crate::fault_graph::{FaultGraph, WeightRepr};
 use crate::generate::{pooled_engine, seq_engine, FusionGeneration};
 use crate::lattice::{enumerate_lattice_session, lower_cover_session, ClosedPartitionLattice};
 use crate::par::MergePool;
@@ -79,8 +80,10 @@ use crate::set_repr::projection_partitions;
 ///
 /// `hits + misses` is the number of cache consultations (one per candidate
 /// closure while the cache is enabled); `insertions` counts stored
-/// closures; `clears` counts whole-cache resets (bound exceeded or top
-/// machine changed).
+/// closures; `clears` counts whole-cache resets (top machine changed or an
+/// explicit [`FusionSession::clear_cache`]); `remapped`/`evicted` count
+/// entries carried across or dropped by bound evictions and
+/// [`FusionSession::update_top`] deltas.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Candidate closures answered from the cache.
@@ -91,11 +94,36 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Whole-cache resets.
     pub clears: u64,
+    /// Entries (level assignments and merge closures) re-indexed across a
+    /// [`crate::TopDelta`] instead of recomputed.
+    pub remapped: u64,
+    /// Entries dropped one level at a time — oldest first to make room
+    /// under the element bound, or because a delta made them
+    /// unrepresentable over the new `⊤`.
+    pub evicted: u64,
     /// Initial fault graphs answered from the cached copy (same `⊤` and
     /// same originals as a previous call, e.g. along an `f` sweep).
     pub graph_hits: u64,
     /// Initial fault graphs that had to be rebuilt from the originals.
     pub graph_misses: u64,
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "closure cache: {} hits / {} misses, {} inserted, {} remapped, \
+             {} evicted, {} clears, graph {} hits / {} misses",
+            self.hits,
+            self.misses,
+            self.insertions,
+            self.remapped,
+            self.evicted,
+            self.clears,
+            self.graph_hits,
+            self.graph_misses,
+        )
+    }
 }
 
 /// SplitMix64-style avalanche step for the partition fingerprints.
@@ -123,6 +151,16 @@ struct LevelEntry {
     assignment: Vec<u32>,
     /// `(b1 << 32 | b2)` → closed merge.
     merges: HashMap<u64, Partition>,
+    /// Insertion order, for oldest-first eviction under the bound.
+    seq: u64,
+}
+
+impl LevelEntry {
+    /// Cached elements this level accounts for: its assignment plus every
+    /// stored merge closure.
+    fn elements(&self) -> usize {
+        self.assignment.len() + self.merges.values().map(Partition::len).sum::<usize>()
+    }
 }
 
 /// The cross-call closure cache: partition-fingerprint → level entry →
@@ -133,6 +171,8 @@ pub(crate) struct ClosureCache {
     bound: usize,
     /// Current total cached elements.
     elements: usize,
+    /// Monotone insertion counter backing [`LevelEntry::seq`].
+    next_seq: u64,
     /// One cached initial fault graph: `(n, originals, graph)`.  Every
     /// generation starts by folding the originals into a fresh graph —
     /// `O(m · n²)` word work that is identical across an `f` sweep — so
@@ -149,9 +189,34 @@ impl ClosureCache {
             levels: HashMap::new(),
             bound,
             elements: 0,
+            next_seq: 0,
             graph: None,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Evicts whole oldest levels (never the one named by `keep`) until
+    /// `needed` more elements fit under the bound.  Returns whether they
+    /// do — `false` means the insertion itself is oversized and must be
+    /// skipped rather than cold-starting the cache.
+    fn evict_until(&mut self, needed: usize, keep: Option<u64>) -> bool {
+        while self.elements + needed > self.bound {
+            let oldest = self
+                .levels
+                .iter()
+                .filter(|&(fp, _)| Some(*fp) != keep)
+                .min_by_key(|&(_, e)| e.seq)
+                .map(|(&fp, _)| fp);
+            match oldest {
+                Some(fp) => {
+                    let entry = self.levels.remove(&fp).expect("picked from the map");
+                    self.elements -= entry.elements();
+                    self.stats.evicted += 1 + entry.merges.len() as u64;
+                }
+                None => return false,
+            }
+        }
+        true
     }
 
     /// Drops every cached closure and the cached fault graph (counted in
@@ -200,15 +265,20 @@ impl ClosureCache {
                     .all(|(&a, &b)| a as usize == b);
             return same.then_some(fp);
         }
-        if self.elements + assignment.len() > self.bound {
-            self.clear();
+        if !self.evict_until(assignment.len(), None) {
+            // The level alone exceeds the whole bound: bypass the cache
+            // for this descent level instead of thrashing.
+            return None;
         }
         self.elements += assignment.len();
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.levels.insert(
             fp,
             LevelEntry {
                 assignment: assignment.iter().map(|&b| b as u32).collect(),
                 merges: HashMap::new(),
+                seq,
             },
         );
         Some(fp)
@@ -235,14 +305,16 @@ impl ClosureCache {
     }
 
     /// Stores the closure of merging blocks `b1`/`b2` of the level's
-    /// partition.  A no-op when the level entry vanished in a bound-clear;
-    /// exceeding the bound clears the whole cache instead of storing.
+    /// partition.  A no-op when the level entry vanished in an eviction;
+    /// exceeding the bound evicts *oldest levels first* (never the level
+    /// being inserted into), and an insert that cannot fit even then is
+    /// skipped — a single oversized closure no longer cold-starts every
+    /// subsequent sweep.
     pub(crate) fn insert(&mut self, level: u64, b1: usize, b2: usize, closed: &Partition) {
         if !self.levels.contains_key(&level) {
             return;
         }
-        if self.elements + closed.len() > self.bound {
-            self.clear();
+        if !self.evict_until(closed.len(), Some(level)) {
             return;
         }
         let entry = self.levels.get_mut(&level).expect("checked above");
@@ -254,6 +326,175 @@ impl ClosureCache {
     fn merge_key(b1: usize, b2: usize) -> u64 {
         ((b1 as u64) << 32) | b2 as u64
     }
+
+    /// Lifts every cached level through a product extension.  `mapping[i]`
+    /// is the old product state that new state `i` projects onto (a
+    /// surjection — `FactorExtension::mapping`).  Closure commutes with
+    /// this pullback (every fiber starts merged and old propagations
+    /// replay factor-wise), so each lifted merge closure is exactly what
+    /// the new kernel would compute; fingerprints are rehashed from the
+    /// lifted assignments and remain collision-verified on lookup.
+    /// Returns the number of entries carried across.
+    pub(crate) fn remap_lift(&mut self, mapping: &[u32]) -> u64 {
+        let old = std::mem::take(&mut self.levels);
+        self.elements = 0;
+        let mut remapped = 0u64;
+        for (_, entry) in old {
+            let (lifted, relabel) = lift_assignment(&entry.assignment, mapping);
+            let lifted_usize: Vec<usize> = lifted.iter().map(|&b| b as usize).collect();
+            let fp = fingerprint(&lifted_usize);
+            if self.levels.contains_key(&fp) {
+                // Two lifted levels landed on one fingerprint: keep the
+                // first, drop this one — collisions may only cost speed.
+                self.stats.evicted += 1 + entry.merges.len() as u64;
+                continue;
+            }
+            let mut merges = HashMap::with_capacity(entry.merges.len());
+            let mut size = lifted.len();
+            for (key, closed) in entry.merges {
+                let (b1, b2) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+                let (nb1, nb2) = (relabel[b1] as usize, relabel[b2] as usize);
+                let a = closed.assignment();
+                let lifted_closed = Partition::from_assignment(
+                    &mapping.iter().map(|&x| a[x as usize]).collect::<Vec<_>>(),
+                );
+                size += lifted_closed.len();
+                merges.insert(Self::merge_key(nb1.min(nb2), nb1.max(nb2)), lifted_closed);
+                remapped += 1;
+            }
+            remapped += 1;
+            self.elements += size;
+            self.levels.insert(
+                fp,
+                LevelEntry {
+                    assignment: lifted,
+                    merges,
+                    seq: entry.seq,
+                },
+            );
+        }
+        self.stats.remapped += remapped;
+        // Every entry grew by the extension factor; trim the oldest levels
+        // back under the bound.
+        self.evict_until(0, None);
+        remapped
+    }
+
+    /// Pushes every cached level forward through a contraction.
+    /// `sigma[x]` is the new product state that old state `x` collapses
+    /// onto (a surjection).  Only entries *constant on every fiber* of
+    /// `sigma` survive — for those, the pushed-forward closure equals the
+    /// new kernel's (the surviving machines cannot distinguish fiber
+    /// members, and removed-machine-only events only moved within fibers);
+    /// anything else is evicted.  Returns the number of entries carried
+    /// across.
+    pub(crate) fn remap_contract(&mut self, sigma: &[u32], n_new: usize) -> u64 {
+        let old = std::mem::take(&mut self.levels);
+        self.elements = 0;
+        let mut remapped = 0u64;
+        for (_, entry) in old {
+            let Some((pushed, relabel)) = push_assignment(|x| entry.assignment[x], sigma, n_new)
+            else {
+                self.stats.evicted += 1 + entry.merges.len() as u64;
+                continue;
+            };
+            let pushed_usize: Vec<usize> = pushed.iter().map(|&b| b as usize).collect();
+            let fp = fingerprint(&pushed_usize);
+            if self.levels.contains_key(&fp) {
+                self.stats.evicted += 1 + entry.merges.len() as u64;
+                continue;
+            }
+            let mut merges = HashMap::with_capacity(entry.merges.len());
+            let mut size = pushed.len();
+            for (key, closed) in entry.merges {
+                let a = closed.assignment();
+                let Some((pushed_closed, _)) = push_assignment(|x| a[x] as u32, sigma, n_new)
+                else {
+                    self.stats.evicted += 1;
+                    continue;
+                };
+                let (b1, b2) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+                let (nb1, nb2) = (relabel[b1] as usize, relabel[b2] as usize);
+                let p = Partition::from_assignment(
+                    &pushed_closed
+                        .iter()
+                        .map(|&b| b as usize)
+                        .collect::<Vec<_>>(),
+                );
+                size += p.len();
+                merges.insert(Self::merge_key(nb1.min(nb2), nb1.max(nb2)), p);
+                remapped += 1;
+            }
+            remapped += 1;
+            self.elements += size;
+            self.levels.insert(
+                fp,
+                LevelEntry {
+                    assignment: pushed,
+                    merges,
+                    seq: entry.seq,
+                },
+            );
+        }
+        self.stats.remapped += remapped;
+        self.evict_until(0, None);
+        remapped
+    }
+}
+
+/// Lifts a canonical block assignment through `mapping` (new state → old
+/// state), re-canonicalizing labels by first occurrence in the new state
+/// order.  Returns the lifted assignment and the old-label → new-label
+/// map (total, because the mapping is surjective).
+fn lift_assignment(assignment: &[u32], mapping: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let num_blocks = assignment.iter().max().map_or(0, |&b| b as usize + 1);
+    let mut relabel = vec![u32::MAX; num_blocks];
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(mapping.len());
+    for &x in mapping {
+        let ob = assignment[x as usize] as usize;
+        if relabel[ob] == u32::MAX {
+            relabel[ob] = next;
+            next += 1;
+        }
+        out.push(relabel[ob]);
+    }
+    (out, relabel)
+}
+
+/// Pushes a canonical block assignment forward through `sigma` (old state
+/// → new state).  Returns `None` unless the assignment is constant on
+/// every `sigma` fiber; otherwise the canonical pushed assignment and the
+/// old-label → new-label map.
+fn push_assignment(
+    label: impl Fn(usize) -> u32,
+    sigma: &[u32],
+    n_new: usize,
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    let mut raw = vec![u32::MAX; n_new];
+    let mut num_blocks = 0usize;
+    for (x, &u) in sigma.iter().enumerate() {
+        let b = label(x);
+        let slot = &mut raw[u as usize];
+        if *slot == u32::MAX {
+            *slot = b;
+            num_blocks = num_blocks.max(b as usize + 1);
+        } else if *slot != b {
+            return None;
+        }
+    }
+    let mut relabel = vec![u32::MAX; num_blocks];
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(n_new);
+    for &b in &raw {
+        debug_assert_ne!(b, u32::MAX, "sigma is not surjective");
+        if relabel[b as usize] == u32::MAX {
+            relabel[b as usize] = next;
+            next += 1;
+        }
+        out.push(relabel[b as usize]);
+    }
+    Some((out, relabel))
 }
 
 /// Closes blocks `b1`/`b2` of `current` into `out`, answering from the
@@ -294,6 +535,15 @@ struct TopContext {
     pool: Option<MergePool>,
 }
 
+/// The session's installed `⊤`: the machine set, its reachable cross
+/// product and the projection partitions — the state
+/// [`FusionSession::update_top`] evolves in place.
+struct TopState {
+    machines: Vec<Dfsm>,
+    product: ReachableProduct,
+    originals: Vec<Partition>,
+}
+
 /// A configured, stateful handle onto the fusion engines — see the
 /// [module docs](self) for what it owns and caches.
 ///
@@ -308,6 +558,9 @@ pub struct FusionSession {
     scratch: CloseScratch,
     cache: Option<ClosureCache>,
     ctx: Option<TopContext>,
+    /// The installed evolving top ([`FusionSession::install_top`]), absent
+    /// until one is installed.
+    top: Option<TopState>,
 }
 
 impl std::fmt::Debug for FusionSession {
@@ -340,6 +593,7 @@ impl FusionSession {
             scratch: CloseScratch::new(),
             cache,
             ctx: None,
+            top: None,
         }
     }
 
@@ -387,16 +641,21 @@ impl FusionSession {
         }
     }
 
-    /// Builds the reachable cross product of `machines` with the session's
-    /// product strategy, worker count and sizing knobs (dense-interner
-    /// limit and streaming memory budget).
-    pub fn build_product(&self, machines: &[Dfsm]) -> Result<ReachableProduct> {
-        Ok(ProductBuilder::new()
+    /// The session's configured [`ProductBuilder`] (strategy, workers,
+    /// dense-interner limit, streaming memory budget).
+    fn product_builder(&self) -> ProductBuilder {
+        ProductBuilder::new()
             .strategy(self.product)
             .workers(self.workers)
             .dense_limit(self.config.resolved_dense_limit())
             .mem_budget(self.config.resolved_mem_budget())
-            .build(machines)?)
+    }
+
+    /// Builds the reachable cross product of `machines` with the session's
+    /// product strategy, worker count and sizing knobs (dense-interner
+    /// limit and streaming memory budget).
+    pub fn build_product(&self, machines: &[Dfsm]) -> Result<ReachableProduct> {
+        Ok(self.product_builder().build(machines)?)
     }
 
     /// Algorithm 2 through the session: generates the smallest set of
@@ -492,6 +751,313 @@ impl FusionSession {
         )
     }
 
+    /// Installs `machines` as the session's evolving `⊤`: builds the
+    /// reachable cross product and projection partitions, installs the
+    /// per-machine context, and stores everything for
+    /// [`FusionSession::update_top`] / [`FusionSession::generate_top_fusion`]
+    /// to evolve in place.  Returns the size of the installed product.
+    pub fn install_top(&mut self, machines: &[Dfsm]) -> Result<usize> {
+        let product = self.build_product(machines)?;
+        let originals = projection_partitions(&product);
+        self.refresh_context(product.top());
+        let size = product.size();
+        self.top = Some(TopState {
+            machines: machines.to_vec(),
+            product,
+            originals,
+        });
+        Ok(size)
+    }
+
+    /// The reachable cross product of the installed `⊤`, if one is
+    /// installed.
+    pub fn top_product(&self) -> Option<&ReachableProduct> {
+        self.top.as_ref().map(|t| &t.product)
+    }
+
+    /// The machine set behind the installed `⊤`, if one is installed.
+    pub fn top_machines(&self) -> Option<&[Dfsm]> {
+        self.top.as_ref().map(|t| t.machines.as_slice())
+    }
+
+    /// Algorithm 2 over the *installed* `⊤`
+    /// ([`FusionSession::install_top`] / [`FusionSession::update_top`]) —
+    /// the delta-aware form of [`FusionSession::generate_fusion`], sharing
+    /// its cache, kernel and pool.
+    pub fn generate_top_fusion(&mut self, f: usize) -> Result<FusionGeneration> {
+        let top = self.top.take().ok_or_else(|| {
+            FusionError::InvalidDelta("no top installed (call install_top first)".into())
+        })?;
+        let result = self.generate_fusion(top.product.top(), &top.originals, f);
+        self.top = Some(top);
+        result
+    }
+
+    /// Applies one [`TopDelta`] to the installed `⊤` *incrementally*,
+    /// reusing — instead of rebuilding — every layer the delta does not
+    /// touch:
+    ///
+    /// * the product interner is stride-extended
+    ///   ([`fsm_dfsm::ProductBuilder::extend_factor`]) for
+    ///   [`TopDelta::AddMachine`],
+    /// * the cached fault graph is pulled back / contracted and re-scored
+    ///   only on the touched stripes
+    ///   ([`crate::FaultGraph::apply_delta`]),
+    /// * cached closures are re-indexed and rehashed
+    ///   (collision-verified) rather than cleared,
+    /// * the kernel and pool handle are replaced in place without a
+    ///   cache reset.
+    ///
+    /// The post-delta session is pinned **bit-identical** — fusion
+    /// partitions, generation statistics, product numbering — to a cold
+    /// session built on the post-delta machine set
+    /// (`tests/delta_properties.rs`).  On error the installed `⊤` is left
+    /// unchanged.
+    pub fn update_top(&mut self, delta: TopDelta) -> Result<UpdateStats> {
+        let top = self.top.as_ref().ok_or_else(|| {
+            FusionError::InvalidDelta("no top installed (call install_top first)".into())
+        })?;
+        // Validate before taking the top so errors leave it untouched.
+        match &delta {
+            TopDelta::AddMachine(_) => {}
+            TopDelta::RemoveMachine(index) => {
+                if *index >= top.machines.len() {
+                    return Err(FusionError::InvalidDelta(format!(
+                        "remove index {index} out of range for {} machines",
+                        top.machines.len()
+                    )));
+                }
+                if top.machines.len() == 1 {
+                    return Err(FusionError::InvalidDelta(
+                        "cannot remove the last machine of the top".into(),
+                    ));
+                }
+            }
+            TopDelta::ExtendMachine { index, machine } => {
+                if *index >= top.machines.len() {
+                    return Err(FusionError::InvalidDelta(format!(
+                        "extend index {index} out of range for {} machines",
+                        top.machines.len()
+                    )));
+                }
+                let old = &top.machines[*index];
+                if machine.size() < old.size() {
+                    return Err(FusionError::InvalidDelta(format!(
+                        "extension shrinks machine `{}` from {} to {} states",
+                        old.name(),
+                        old.size(),
+                        machine.size()
+                    )));
+                }
+                if let Some(missing) = old
+                    .alphabet()
+                    .events()
+                    .iter()
+                    .find(|&e| !machine.alphabet().contains(e))
+                {
+                    return Err(FusionError::InvalidDelta(format!(
+                        "extension of `{}` drops event `{missing}`",
+                        old.name()
+                    )));
+                }
+            }
+        }
+        let top = self.top.take().expect("validated above");
+        match delta {
+            TopDelta::AddMachine(machine) => self.apply_add(top, machine),
+            TopDelta::RemoveMachine(index) => self.apply_remove(top, index),
+            TopDelta::ExtendMachine { index, machine } => self.apply_extend(top, index, machine),
+        }
+    }
+
+    /// [`TopDelta::AddMachine`]: stride-extend the product, pull the
+    /// cached graph back along the projection and score only the new
+    /// machine's stripes, lift cached closures.
+    fn apply_add(&mut self, top: TopState, machine: Dfsm) -> Result<UpdateStats> {
+        let (product, ext) = match self.product_builder().extend_factor(&top.product, &machine) {
+            Ok(v) => v,
+            Err(e) => {
+                self.top = Some(top);
+                return Err(e.into());
+            }
+        };
+        let mut machines = top.machines;
+        machines.push(machine);
+        let originals = projection_partitions(&product);
+        let n_new = product.size();
+        let mut stats = UpdateStats {
+            product_states_reexpanded: ext.reexpanded,
+            ..Default::default()
+        };
+        if let Some(cache) = self.cache.as_mut() {
+            let want = WeightRepr::auto_for(n_new, &originals);
+            let warm = match cache.graph.take() {
+                Some((gn, key, g))
+                    if gn == top.product.size()
+                        && key.as_slice() == top.originals.as_slice()
+                        && g.representation() == want =>
+                {
+                    Some(g)
+                }
+                _ => None,
+            };
+            let g = match warm {
+                Some(g) => {
+                    // Pull the old graph back along the projection (the
+                    // old originals lift to exactly the new ones), then
+                    // fold in only the added machine's partition.
+                    let (g, touched) = g.remap_states_adding(
+                        &ext.mapping,
+                        originals.last().expect("just pushed a machine"),
+                    );
+                    stats.graph_stripes_touched = touched;
+                    g
+                }
+                None => {
+                    stats.graph_rebuilt = true;
+                    FaultGraph::from_partitions(n_new, &originals)
+                }
+            };
+            cache.graph = Some((n_new, originals.clone(), g));
+            let (rm, ev) = (cache.stats.remapped, cache.stats.evicted);
+            cache.remap_lift(&ext.mapping);
+            stats.closures_remapped = cache.stats.remapped - rm;
+            stats.closures_evicted = cache.stats.evicted - ev;
+        } else {
+            stats.graph_rebuilt = true;
+        }
+        self.install_context(product.top());
+        self.top = Some(TopState {
+            machines,
+            product,
+            originals,
+        });
+        Ok(stats)
+    }
+
+    /// [`TopDelta::RemoveMachine`]: rebuild the (smaller) product cold,
+    /// subtract the departing machine from the cached graph and contract
+    /// it onto representative states, push fiber-constant closures
+    /// forward.
+    fn apply_remove(&mut self, top: TopState, index: usize) -> Result<UpdateStats> {
+        let mut machines = top.machines.clone();
+        machines.remove(index);
+        let product = match self.build_product(&machines) {
+            Ok(p) => p,
+            Err(e) => {
+                self.top = Some(top);
+                return Err(e);
+            }
+        };
+        let originals = projection_partitions(&product);
+        let n_old = top.product.size();
+        let n_new = product.size();
+        // `sigma`: old product state → the new state its surviving
+        // components land on (total — a projection of a reachable state is
+        // reachable, because ignored-event semantics let the reaching run
+        // replay on the survivors).  `rep`: first old preimage of each new
+        // state, the contraction representatives.
+        let mut sigma = Vec::with_capacity(n_old);
+        let mut rep = vec![u32::MAX; n_new];
+        let mut tuple = Vec::with_capacity(top.product.arity() - 1);
+        for x in 0..n_old {
+            tuple.clear();
+            tuple.extend(
+                top.product
+                    .tuple(StateId(x))
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != index)
+                    .map(|(_, &s)| s),
+            );
+            let u = product
+                .find_tuple(&tuple)
+                .expect("projection of a reachable state is reachable");
+            sigma.push(u.0 as u32);
+            if rep[u.0] == u32::MAX {
+                rep[u.0] = x as u32;
+            }
+        }
+        let mut stats = UpdateStats {
+            product_states_reexpanded: n_new,
+            ..Default::default()
+        };
+        if let Some(cache) = self.cache.as_mut() {
+            let want = WeightRepr::auto_for(n_new, &originals);
+            let warm = match cache.graph.take() {
+                Some((gn, key, g))
+                    if gn == n_old
+                        && key.as_slice() == top.originals.as_slice()
+                        && g.representation() == want =>
+                {
+                    Some(g)
+                }
+                _ => None,
+            };
+            let g = match warm {
+                Some(g) => {
+                    // Subtract the departing machine while contracting onto
+                    // representatives: the remaining weights are
+                    // fiber-constant, so any representative gives the cold
+                    // graph, and the fused pass never walks the full-size
+                    // edge set.
+                    let (g, touched) = g.remap_states_removing(&rep, &top.originals[index]);
+                    stats.graph_stripes_touched = touched;
+                    g
+                }
+                None => {
+                    stats.graph_rebuilt = true;
+                    FaultGraph::from_partitions(n_new, &originals)
+                }
+            };
+            cache.graph = Some((n_new, originals.clone(), g));
+            let (rm, ev) = (cache.stats.remapped, cache.stats.evicted);
+            cache.remap_contract(&sigma, n_new);
+            stats.closures_remapped = cache.stats.remapped - rm;
+            stats.closures_evicted = cache.stats.evicted - ev;
+        } else {
+            stats.graph_rebuilt = true;
+        }
+        self.install_context(product.top());
+        self.top = Some(TopState {
+            machines,
+            product,
+            originals,
+        });
+        Ok(stats)
+    }
+
+    /// [`TopDelta::ExtendMachine`]: a grown component changes the
+    /// transition structure itself — documented cold rebuild.
+    fn apply_extend(&mut self, top: TopState, index: usize, machine: Dfsm) -> Result<UpdateStats> {
+        let mut machines = top.machines.clone();
+        machines[index] = machine;
+        let product = match self.build_product(&machines) {
+            Ok(p) => p,
+            Err(e) => {
+                self.top = Some(top);
+                return Err(e);
+            }
+        };
+        let originals = projection_partitions(&product);
+        // `refresh_context` clears the cache iff the top machine actually
+        // changed (an extension that leaves the product identical keeps
+        // everything — nothing was invalidated).
+        self.refresh_context(product.top());
+        let size = product.size();
+        self.top = Some(TopState {
+            machines,
+            product,
+            originals,
+        });
+        Ok(UpdateStats {
+            product_states_reexpanded: size,
+            graph_rebuilt: true,
+            cold_rebuild: true,
+            ..Default::default()
+        })
+    }
+
     /// Installs (or keeps) the per-machine context for `top`.  The closure
     /// cache is only valid for one transition table, so it is cleared when
     /// the machine changes; an unchanged machine keeps kernel, pool handle
@@ -515,6 +1081,13 @@ impl FusionSession {
                 cache.clear();
             }
         }
+        self.install_context(top);
+    }
+
+    /// Rebuilds kernel and pool handle for `top` **without** touching the
+    /// cache — the delta paths remap cached state themselves and must not
+    /// lose it to a machine-change reset.
+    fn install_context(&mut self, top: &Dfsm) {
         let kernel = Arc::new(ClosureKernel::new(top));
         let pool = match self.engine {
             Engine::Sequential => None,
@@ -628,7 +1201,7 @@ mod tests {
     }
 
     #[test]
-    fn tiny_cache_bound_clears_instead_of_growing() {
+    fn tiny_cache_bound_evicts_instead_of_growing() {
         let mut session = FusionConfig::new()
             .engine(Engine::Sequential)
             .cache(CachePolicy::Bounded(32))
@@ -642,10 +1215,52 @@ mod tests {
             .unwrap();
         let cold = generate_fusion_seq(product.top(), &originals, 2).unwrap();
         assert_eq!(warm.partitions, cold.partitions);
-        // |⊤| = 9 and a 32-element bound: the top machine never changed,
-        // so every counted clear is a bound-triggered one — and the bound
-        // must never cause wrong output.
-        assert!(session.cache_stats().clears > 0);
+        // |⊤| = 9 and a 32-element bound: the descent overflows the cache,
+        // which must shed *oldest levels* — never reset wholesale (the top
+        // machine never changed, so clears stays 0) and never change
+        // output.
+        let stats = session.cache_stats();
+        assert!(stats.evicted > 0, "{stats}");
+        assert_eq!(stats.clears, 0, "{stats}");
+    }
+
+    #[test]
+    fn oversized_insert_is_skipped_not_a_cold_start() {
+        // Bound of 6: the 4-element level fits, but a 4-element closure on
+        // top of it would need 8.  Eviction can't help (the level being
+        // inserted into is exempt), so the insert is skipped and the
+        // *level entry itself survives* for future sweeps.
+        let mut cache = ClosureCache::new(6);
+        let p = Partition::from_assignment(&[0, 1, 2, 3]);
+        let key = cache.level_key(&p).unwrap();
+        let closed = Partition::from_assignment(&[0, 0, 1, 1]);
+        cache.insert(key, 0, 1, &closed);
+        let mut out = Partition::singletons(0);
+        assert!(
+            !cache.lookup(key, 0, 1, &mut out),
+            "oversized insert stored"
+        );
+        assert_eq!(cache.stats.clears, 0);
+        // The level is still resolvable — no cold start.
+        assert_eq!(cache.level_key(&p), Some(key));
+
+        // A bound-straddling workload: a second level arrives while the
+        // first still holds elements.  The oldest level is evicted whole;
+        // the new one lands and serves lookups.
+        let mut cache = ClosureCache::new(10);
+        let first = Partition::from_assignment(&[0, 1, 2, 3]);
+        let k1 = cache.level_key(&first).unwrap();
+        cache.insert(k1, 0, 1, &Partition::from_assignment(&[0, 0, 1, 2]));
+        assert_eq!(cache.elements, 8);
+        let second = Partition::from_assignment(&[0, 0, 1, 2]);
+        let k2 = cache.level_key(&second).unwrap();
+        assert!(!cache.levels.contains_key(&k1), "oldest level not evicted");
+        cache.insert(k2, 0, 1, &Partition::from_assignment(&[0, 0, 0, 1]));
+        let mut out = Partition::singletons(0);
+        assert!(cache.lookup(k2, 0, 1, &mut out));
+        let stats = cache.stats;
+        assert_eq!(stats.evicted, 2, "{stats}"); // level + its one merge
+        assert_eq!(stats.clears, 0, "{stats}");
     }
 
     #[test]
@@ -732,6 +1347,156 @@ mod tests {
     }
 
     #[test]
+    fn update_top_add_matches_cold_session_and_reuses_layers() {
+        let mut warm = FusionConfig::new().engine(Engine::Sequential).build();
+        warm.install_top(&fig1_pair()).unwrap();
+        let before = warm.generate_top_fusion(1).unwrap();
+        assert_eq!(before.machine_sizes(), vec![3]);
+
+        let stats = warm
+            .update_top(TopDelta::AddMachine(counter("c", "0", 3)))
+            .unwrap();
+        assert!(!stats.cold_rebuild, "{stats}");
+        assert!(!stats.graph_rebuilt, "{stats}");
+        assert!(stats.graph_stripes_touched > 0, "{stats}");
+        assert!(stats.closures_remapped > 0, "{stats}");
+        assert!(stats.product_states_reexpanded > 0, "{stats}");
+        assert_eq!(warm.top_machines().unwrap().len(), 3);
+
+        let mut machines = fig1_pair();
+        machines.push(counter("c", "0", 3));
+        let mut cold = FusionConfig::new().engine(Engine::Sequential).build();
+        cold.install_top(&machines).unwrap();
+        for f in 1..=2 {
+            let w = warm.generate_top_fusion(f).unwrap();
+            let c = cold.generate_top_fusion(f).unwrap();
+            assert_eq!(w.partitions, c.partitions, "f={f}");
+            assert_eq!(w.stats.initial_dmin, c.stats.initial_dmin, "f={f}");
+            assert_eq!(w.stats.final_dmin, c.stats.final_dmin, "f={f}");
+            assert_eq!(w.stats.descent_steps, c.stats.descent_steps, "f={f}");
+            assert_eq!(
+                w.stats.candidates_examined, c.stats.candidates_examined,
+                "f={f}"
+            );
+        }
+        // Product numbering is pinned identical to a cold build.
+        let (wp, cp) = (warm.top_product().unwrap(), cold.top_product().unwrap());
+        assert_eq!(wp.size(), cp.size());
+        for x in 0..wp.size() {
+            assert_eq!(wp.tuple(StateId(x)), cp.tuple(StateId(x)));
+        }
+        // No machine-change clear happened on the warm path.
+        assert_eq!(warm.cache_stats().clears, 0);
+    }
+
+    #[test]
+    fn update_top_remove_matches_cold_session() {
+        let mut machines = fig1_pair();
+        machines.push(counter("c", "0", 4));
+        let mut warm = FusionConfig::new().engine(Engine::Sequential).build();
+        warm.install_top(&machines).unwrap();
+        warm.generate_top_fusion(1).unwrap();
+
+        let stats = warm.update_top(TopDelta::RemoveMachine(2)).unwrap();
+        assert!(!stats.cold_rebuild, "{stats}");
+        assert!(!stats.graph_rebuilt, "{stats}");
+        assert_eq!(warm.top_machines().unwrap().len(), 2);
+        assert_eq!(warm.top_product().unwrap().size(), 9);
+
+        let mut cold = FusionConfig::new().engine(Engine::Sequential).build();
+        cold.install_top(&fig1_pair()).unwrap();
+        let w = warm.generate_top_fusion(2).unwrap();
+        let c = cold.generate_top_fusion(2).unwrap();
+        assert_eq!(w.partitions, c.partitions);
+        assert_eq!(w.stats.candidates_examined, c.stats.candidates_examined);
+        let (wp, cp) = (warm.top_product().unwrap(), cold.top_product().unwrap());
+        for x in 0..wp.size() {
+            assert_eq!(wp.tuple(StateId(x)), cp.tuple(StateId(x)));
+        }
+    }
+
+    #[test]
+    fn update_top_extend_is_a_documented_cold_rebuild() {
+        let mut warm = FusionConfig::new().engine(Engine::Sequential).build();
+        warm.install_top(&fig1_pair()).unwrap();
+        warm.generate_top_fusion(1).unwrap();
+        let stats = warm
+            .update_top(TopDelta::ExtendMachine {
+                index: 0,
+                machine: counter("a", "0", 4),
+            })
+            .unwrap();
+        assert!(stats.cold_rebuild, "{stats}");
+        assert!(stats.graph_rebuilt, "{stats}");
+        assert_eq!(warm.top_product().unwrap().size(), 12);
+
+        let mut cold = FusionConfig::new().engine(Engine::Sequential).build();
+        cold.install_top(&[counter("a", "0", 4), counter("b", "1", 3)])
+            .unwrap();
+        let w = warm.generate_top_fusion(1).unwrap();
+        let c = cold.generate_top_fusion(1).unwrap();
+        assert_eq!(w.partitions, c.partitions);
+    }
+
+    #[test]
+    fn update_top_rejects_bad_deltas_and_leaves_the_top_installed() {
+        let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+        assert!(matches!(
+            session.update_top(TopDelta::RemoveMachine(0)),
+            Err(FusionError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            session.generate_top_fusion(1),
+            Err(FusionError::InvalidDelta(_))
+        ));
+
+        session.install_top(&fig1_pair()).unwrap();
+        // Out-of-range remove and extend.
+        assert!(matches!(
+            session.update_top(TopDelta::RemoveMachine(5)),
+            Err(FusionError::InvalidDelta(_))
+        ));
+        assert!(matches!(
+            session.update_top(TopDelta::ExtendMachine {
+                index: 9,
+                machine: counter("a", "0", 3)
+            }),
+            Err(FusionError::InvalidDelta(_))
+        ));
+        // An "extension" that shrinks states or drops events.
+        assert!(matches!(
+            session.update_top(TopDelta::ExtendMachine {
+                index: 0,
+                machine: counter("a", "0", 2)
+            }),
+            Err(FusionError::InvalidDelta(_))
+        ));
+        let mut b = DfsmBuilder::new("a");
+        b.add_states(["a0", "a1", "a2", "a3"]);
+        b.set_initial("a0");
+        for i in 0..4 {
+            b.add_transition(format!("a{i}"), "2", format!("a{}", (i + 1) % 4));
+        }
+        let wrong_alphabet = b.build().unwrap();
+        assert!(matches!(
+            session.update_top(TopDelta::ExtendMachine {
+                index: 0,
+                machine: wrong_alphabet
+            }),
+            Err(FusionError::InvalidDelta(_))
+        ));
+        // Removing down to one machine is fine; removing the last is not.
+        session.update_top(TopDelta::RemoveMachine(1)).unwrap();
+        assert!(matches!(
+            session.update_top(TopDelta::RemoveMachine(0)),
+            Err(FusionError::InvalidDelta(_))
+        ));
+        // The top survived every rejected delta.
+        assert_eq!(session.top_machines().unwrap().len(), 1);
+        session.generate_top_fusion(0).unwrap();
+    }
+
+    #[test]
     fn fingerprint_collisions_only_bypass_never_corrupt() {
         let mut cache = ClosureCache::new(1 << 16);
         let p = Partition::from_assignment(&[0, 1, 0, 1]);
@@ -760,6 +1525,7 @@ mod tests {
             LevelEntry {
                 assignment: p.assignment().iter().map(|&b| b as u32).collect(),
                 merges: HashMap::new(),
+                seq: 0,
             },
         );
         assert_eq!(forged.level_key(&q), None);
@@ -771,6 +1537,7 @@ mod tests {
             LevelEntry {
                 assignment: shorter.assignment().iter().map(|&b| b as u32).collect(),
                 merges: HashMap::new(),
+                seq: 0,
             },
         );
         assert_eq!(forged.level_key(&q), None);

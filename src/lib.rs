@@ -67,8 +67,8 @@ pub use fsm_machines as machines;
 /// The most commonly used types, importable with one `use`.
 pub mod prelude {
     pub use fsm_dfsm::{
-        Dfsm, DfsmBuilder, Event, Executor, ProductBuildStats, ProductBuilder, ProductStrategy,
-        ReachableProduct, StateId,
+        Dfsm, DfsmBuilder, Event, Executor, FactorExtension, ProductBuildStats, ProductBuilder,
+        ProductStrategy, ReachableProduct, StateId,
     };
     pub use fsm_distsys::sim::sweep::{
         compare_backends, sweep, sweep_recovery, BackendCost, RecoveryScenario, Scenario,
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use fsm_fusion_core::{
         generate_fusion, generate_fusion_for_machines, BitsetPartition, CachePolicy, CacheStats,
         Engine, FaultGraph, FaultModel, FusionConfig, FusionReport, FusionSession, MachineReport,
-        Partition, RecoveryEngine, WeightRepr,
+        Partition, RecoveryEngine, TopDelta, UpdateStats, WeightRepr,
     };
     pub use fsm_machines::{fig1_machines, table1_rows, MachineSet};
 }

@@ -139,6 +139,27 @@ fn prelude_exposes_ingest_surface() {
     assert_eq!(report.metrics.flushed_events, 60);
 }
 
+/// The evolving-top surface — top deltas, update statistics and the
+/// product-extension record — must be importable from the prelude alone.
+#[test]
+fn prelude_exposes_delta_surface() {
+    // Types usable in signatures straight from the prelude.
+    fn _takes_delta(_: &TopDelta) {}
+    fn _takes_update_stats(_: UpdateStats) {}
+    fn _takes_extension(_: &FactorExtension) {}
+
+    // The evolving-top workflow, reachable without naming a sub-crate.
+    let mut machines = fig1_machines();
+    let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+    session.install_top(&machines[..1]).unwrap();
+    let added = machines.remove(1);
+    let stats = session.update_top(TopDelta::AddMachine(added)).unwrap();
+    assert!(!stats.cold_rebuild, "{stats}");
+    assert_eq!(session.top_product().unwrap().size(), 9);
+    let fusion = session.generate_top_fusion(1).unwrap();
+    assert_eq!(fusion.machine_sizes(), vec![3]);
+}
+
 /// The `src/lib.rs` doctest scenario, as a plain test: crash one of the
 /// Figure 1 mod-3 counters, recover, and match the oracle.
 #[test]

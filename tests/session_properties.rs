@@ -187,6 +187,59 @@ fn repeated_sweep_is_answered_entirely_from_the_cache() {
     );
     assert!(steady.graph_hits > warm.graph_hits);
     assert_eq!(steady.clears, warm.clears);
+    // The default bound is far above this workload, and no delta ran:
+    // nothing may have been remapped or evicted, in either sweep.
+    assert_eq!(warm.remapped, 0);
+    assert_eq!(warm.evicted, 0);
+    assert_eq!(steady.remapped, 0);
+    assert_eq!(steady.evicted, 0);
+}
+
+/// The delta counterpart of the steady-state assertion: after
+/// `update_top(AddMachine)` remaps the cache, a fusion sweep over the
+/// evolved `⊤` must *reuse* the remapped levels — the level lookups hit
+/// without a single clear, and the remapped/evicted counters move only
+/// when the delta runs, not during the sweeps.
+#[test]
+fn update_top_remaps_instead_of_clearing() {
+    let machines = fig1_machines();
+    let mut session = FusionConfig::new().engine(Engine::Sequential).build();
+    session.install_top(&machines).unwrap();
+    for f in 1..=2 {
+        session.generate_top_fusion(f).unwrap();
+    }
+    let before = session.cache_stats();
+    assert_eq!(before.remapped, 0);
+    assert_eq!(before.clears, 0);
+
+    let mut third = fig1_machines().remove(0);
+    third = third.renamed("C");
+    let delta_stats = session.update_top(TopDelta::AddMachine(third)).unwrap();
+    let after_delta = session.cache_stats();
+    assert_eq!(
+        after_delta.remapped - before.remapped,
+        delta_stats.closures_remapped,
+        "session counter and UpdateStats disagree"
+    );
+    assert_eq!(
+        after_delta.evicted - before.evicted,
+        delta_stats.closures_evicted
+    );
+    assert!(after_delta.remapped > 0, "{after_delta}");
+    assert_eq!(after_delta.clears, 0, "{after_delta}");
+
+    // Sweeps over the evolved top leave the delta counters untouched.
+    for f in 1..=2 {
+        session.generate_top_fusion(f).unwrap();
+    }
+    let steady = session.cache_stats();
+    assert_eq!(steady.remapped, after_delta.remapped);
+    assert_eq!(steady.evicted, after_delta.evicted);
+    assert_eq!(steady.clears, 0);
+    assert!(
+        steady.hits > after_delta.hits,
+        "remapped cache was not reused: {steady}"
+    );
 }
 
 /// Engine-config precedence regression: explicit > environment snapshot >
